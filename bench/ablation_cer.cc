@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Ablation: the CER cost-model terms (Eq. 1-2 and our extensions).
+ *
+ * Disables one model term at a time and reports AQV plus the number of
+ * reclaim/skip decisions on representative large benchmarks:
+ *
+ *  - no 2^l:        drop the recursive-recomputation level factor;
+ *  - no area:       drop the sqrt((Na+Nn)/Na) reservation term;
+ *  - no S:          drop the communication factor;
+ *  - no pressure:   drop the qubit-pressure divergence;
+ *  - local G_p:     paper-literal gates-to-parent estimate
+ *                   (holdHorizon = 0) instead of the hold-to-end
+ *                   accumulation.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace square;
+using namespace square::bench;
+
+int
+main()
+{
+    printHeader("CER cost-model ablation", "design study (Sec. IV-D)");
+
+    struct Variant
+    {
+        const char *name;
+        SquareConfig cfg;
+    };
+    std::vector<Variant> variants;
+    variants.push_back({"SQUARE (full)", SquareConfig::square()});
+    {
+        SquareConfig c = SquareConfig::square();
+        c.useLevelFactor = false;
+        variants.push_back({"no 2^l", c});
+    }
+    {
+        SquareConfig c = SquareConfig::square();
+        c.useAreaExpansion = false;
+        variants.push_back({"no area term", c});
+    }
+    {
+        SquareConfig c = SquareConfig::square();
+        c.useCommFactor = false;
+        variants.push_back({"no S factor", c});
+    }
+    {
+        SquareConfig c = SquareConfig::square();
+        c.usePressure = false;
+        variants.push_back({"no pressure", c});
+    }
+    {
+        SquareConfig c = SquareConfig::square();
+        c.holdHorizon = 0.0;
+        variants.push_back({"local G_p (paper-literal)", c});
+    }
+
+    for (const char *name : {"MODEXP", "MUL32", "SALSA20", "Jasmine"}) {
+        const BenchmarkInfo &info = findBenchmark(name);
+        Program prog = info.build();
+        std::printf("%s (%s)\n", info.name.c_str(),
+                    info.description.c_str());
+        std::printf("  %-26s %12s %10s %10s %10s\n", "variant", "AQV",
+                    "gates", "reclaims", "skips");
+        for (const Variant &v : variants) {
+            Machine m = boundaryMachine(info);
+            CompileResult r = compile(prog, m, v.cfg, {});
+            std::printf("  %-26s %12lld %10lld %10d %10d\n", v.name,
+                        static_cast<long long>(r.aqv),
+                        static_cast<long long>(r.gates), r.reclaimCount,
+                        r.skipCount);
+        }
+        printRule(74);
+    }
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Ablation: Locality-Aware Allocation scoring (Sec. IV-C).
+ *
+ * Compares LIFO allocation against LAA with individual scoring terms
+ * removed, reporting swaps and AQV across the NISQ suite (reclamation
+ * fixed to the full CER policy so only allocation varies).
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace square;
+using namespace square::bench;
+
+int
+main()
+{
+    printHeader("LAA scoring ablation", "design study (Sec. IV-C)");
+
+    struct Variant
+    {
+        const char *name;
+        SquareConfig cfg;
+    };
+    std::vector<Variant> variants;
+    {
+        SquareConfig c = SquareConfig::square();
+        c.alloc = AllocPolicy::Lifo;
+        variants.push_back({"LIFO heap", c});
+    }
+    variants.push_back({"LAA (full)", SquareConfig::square()});
+    {
+        SquareConfig c = SquareConfig::square();
+        c.serializationWeight = 0.0;
+        variants.push_back({"LAA, no serialization", c});
+    }
+    {
+        SquareConfig c = SquareConfig::square();
+        c.areaWeight = 0.0;
+        variants.push_back({"LAA, no area term", c});
+    }
+    {
+        SquareConfig c = SquareConfig::square();
+        c.candidateCap = 2;
+        variants.push_back({"LAA, candidateCap=2", c});
+    }
+
+    std::printf("%-10s %-24s %10s %10s %10s\n", "Benchmark", "variant",
+                "AQV", "swaps", "depth");
+    printRule(72);
+    for (const BenchmarkInfo &info : benchmarkRegistry()) {
+        if (!info.nisqScale)
+            continue;
+        Program prog = info.build();
+        for (const Variant &v : variants) {
+            Machine m = nisqMachine();
+            CompileResult r = compile(prog, m, v.cfg, {});
+            std::printf("%-10s %-24s %10lld %10lld %10lld\n",
+                        info.name.c_str(), v.name,
+                        static_cast<long long>(r.aqv),
+                        static_cast<long long>(r.swaps),
+                        static_cast<long long>(r.depth));
+        }
+        printRule(72);
+    }
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Shared helpers for the experiment-reproduction binaries.
+ *
+ * Each bench binary regenerates one table or figure of the paper's
+ * evaluation; these helpers provide consistent machine construction,
+ * policy sets, and fixed-width table printing.
+ */
+
+#ifndef SQUARE_BENCH_BENCH_COMMON_H
+#define SQUARE_BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "arch/machine.h"
+#include "core/compiler.h"
+#include "core/policy.h"
+#include "workloads/registry.h"
+
+namespace square::bench {
+
+/** The three policies of Table I. */
+inline std::vector<SquareConfig>
+paperPolicies()
+{
+    return {SquareConfig::lazy(), SquareConfig::eager(),
+            SquareConfig::square()};
+}
+
+/** The four series of Fig. 8a / 9 / 10 (adds LAA-only). */
+inline std::vector<SquareConfig>
+figurePolicies()
+{
+    return {SquareConfig::lazy(), SquareConfig::eager(),
+            SquareConfig::squareLaaOnly(), SquareConfig::square()};
+}
+
+/** NISQ machine used by the Sec. V-C experiments. */
+inline Machine
+nisqMachine()
+{
+    return Machine::nisqLattice(5, 5);
+}
+
+/** Boundary-scale machine for one benchmark (Sec. V-D). */
+inline Machine
+boundaryMachine(const BenchmarkInfo &info)
+{
+    return Machine::nisqLattice(info.boundaryEdge, info.boundaryEdge);
+}
+
+/** FT machine for one benchmark (Sec. V-E). */
+inline Machine
+ftMachine(const BenchmarkInfo &info)
+{
+    return Machine::ftBraid(info.boundaryEdge, info.boundaryEdge);
+}
+
+/** Print a horizontal rule sized for @p width columns. */
+inline void
+printRule(int width)
+{
+    for (int i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+/** Print the standard bench header. */
+inline void
+printHeader(const std::string &title, const std::string &paper_ref)
+{
+    printRule(72);
+    std::printf("%s\n(reproduces %s of Ding et al., SQUARE, ISCA 2020)\n",
+                title.c_str(), paper_ref.c_str());
+    printRule(72);
+}
+
+} // namespace square::bench
+
+#endif // SQUARE_BENCH_BENCH_COMMON_H

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Compiler throughput microbenchmarks (google-benchmark).
+ *
+ * SQUARE is a greedy, linear-time pass (Sec. III-D); these timings
+ * document compile cost per benchmark and policy and catch
+ * super-linear regressions in the allocator/router/scheduler stack.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+using namespace square;
+using namespace square::bench;
+
+namespace {
+
+void
+runCompile(benchmark::State &state, const std::string &bench_name,
+           SquareConfig cfg)
+{
+    const BenchmarkInfo &info = findBenchmark(bench_name);
+    Program prog = info.build();
+    int64_t gates = 0;
+    for (auto _ : state) {
+        Machine m = info.nisqScale ? nisqMachine()
+                                   : boundaryMachine(info);
+        CompileResult r = compile(prog, m, cfg, {});
+        gates = r.gates + r.swaps;
+        benchmark::DoNotOptimize(r.aqv);
+    }
+    state.counters["gates"] = static_cast<double>(gates);
+    state.counters["gates/s"] = benchmark::Counter(
+        static_cast<double>(gates), benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void
+registerAll()
+{
+    for (const char *name :
+         {"RD53", "ADDER4", "Belle-s", "ADDER32", "MODEXP", "SALSA20",
+          "MUL32", "SHA2", "Belle"}) {
+        for (const SquareConfig &cfg :
+             {SquareConfig::lazy(), SquareConfig::eager(),
+              SquareConfig::square()}) {
+            std::string label =
+                std::string("compile/") + name + "/" + cfg.name;
+            benchmark::RegisterBenchmark(
+                label.c_str(),
+                [name, cfg](benchmark::State &st) {
+                    runCompile(st, name, cfg);
+                })
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

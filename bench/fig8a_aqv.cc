@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fig. 8a reproduction: active quantum volume of the NISQ benchmarks
+ * under LAZY / EAGER / SQUARE(LAA only) / SQUARE on the 5x5 lattice.
+ * Lower AQV is better.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace square;
+using namespace square::bench;
+
+int
+main()
+{
+    printHeader("Active quantum volume, NISQ benchmarks", "Fig. 8a");
+    std::printf("%-10s %12s %12s %16s %12s  %s\n", "Benchmark", "LAZY",
+                "EAGER", "SQUARE(LAA)", "SQUARE", "best");
+    printRule(80);
+
+    for (const BenchmarkInfo &info : benchmarkRegistry()) {
+        if (!info.nisqScale)
+            continue;
+        Program prog = info.build();
+        std::vector<int64_t> aqv;
+        for (const SquareConfig &cfg : figurePolicies()) {
+            Machine m = nisqMachine();
+            CompileResult r = compile(prog, m, cfg, {});
+            aqv.push_back(r.aqv);
+        }
+        const char *names[] = {"LAZY", "EAGER", "SQUARE(LAA)", "SQUARE"};
+        size_t best = 0;
+        for (size_t i = 1; i < aqv.size(); ++i) {
+            if (aqv[i] < aqv[best])
+                best = i;
+        }
+        std::printf("%-10s %12lld %12lld %16lld %12lld  %s\n",
+                    info.name.c_str(), static_cast<long long>(aqv[0]),
+                    static_cast<long long>(aqv[1]),
+                    static_cast<long long>(aqv[2]),
+                    static_cast<long long>(aqv[3]), names[best]);
+    }
+    printRule(80);
+    return 0;
+}

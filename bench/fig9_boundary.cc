@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fig. 9 reproduction: normalized AQV on medium-scale
+ * non-error-corrected machines (NISQ-FT boundary, swap communication).
+ *
+ * For each large benchmark, AQV of the four policies normalized to
+ * LAZY (the paper's chart normalizes the same way and annotates the
+ * SQUARE bar).
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace square;
+using namespace square::bench;
+
+int
+main()
+{
+    printHeader("Normalized AQV, NISQ-FT boundary machines (swaps)",
+                "Fig. 9");
+    std::printf("%-10s %8s %8s %8s %12s %8s %14s\n", "Benchmark",
+                "sites", "LAZY", "EAGER", "SQUARE(LAA)", "SQUARE",
+                "LAZY/SQUARE");
+    printRule(78);
+
+    double geo = 1.0;
+    int count = 0;
+    for (const BenchmarkInfo &info : benchmarkRegistry()) {
+        if (info.nisqScale)
+            continue;
+        Program prog = info.build();
+        double aqv[4];
+        int i = 0;
+        for (const SquareConfig &cfg : figurePolicies()) {
+            Machine m = boundaryMachine(info);
+            CompileResult r = compile(prog, m, cfg, {});
+            aqv[i++] = static_cast<double>(r.aqv);
+        }
+        double lazy = aqv[0];
+        std::printf("%-10s %8d %8.2f %8.2f %12.2f %8.2f %14.2fx\n",
+                    info.name.c_str(),
+                    info.boundaryEdge * info.boundaryEdge, 1.0,
+                    aqv[1] / lazy, aqv[2] / lazy, aqv[3] / lazy,
+                    lazy / aqv[3]);
+        geo *= lazy / aqv[3];
+        ++count;
+    }
+    printRule(78);
+    std::printf("geomean AQV reduction of SQUARE vs LAZY: %.2fx\n",
+                std::pow(geo, 1.0 / count));
+    std::printf("(paper reports 6.9x average on its larger instances; "
+                "see EXPERIMENTS.md)\n");
+    return 0;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Optimality-gap study: how close is SQUARE's greedy CER to the true
+ * optimum?
+ *
+ * Finding optimal reclamation points is PSPACE-complete in general
+ * (Sec. III-D cites the reversible-pebbling results); on small programs
+ * we can brute-force the entire decision space with the Forced policy
+ * (one bit per Free point, consumed in program order) and measure the
+ * minimum-achievable AQV.  SQUARE's gap to that optimum - and the
+ * baselines' - quantifies the quality of the heuristic.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/logging.h"
+
+using namespace square;
+using namespace square::bench;
+
+namespace {
+
+struct OptResult
+{
+    int64_t bestAqv;
+    std::vector<bool> bestDecisions;
+    int decisionPoints;
+    int64_t evaluated;
+};
+
+OptResult
+bruteForce(const Program &prog, int edge, int max_bits)
+{
+    // Decision-point count is maximal when nothing reclaims (holding
+    // garbage keeps ancestors' Free points non-trivial).
+    Machine probe = Machine::nisqLattice(edge, edge);
+    CompileResult lazy =
+        compile(prog, probe, SquareConfig::lazy(), {});
+    int k = lazy.reclaimCount + lazy.skipCount;
+
+    OptResult out;
+    out.decisionPoints = k;
+    out.bestAqv = INT64_MAX;
+    out.evaluated = 0;
+    if (k > max_bits) {
+        warn("decision space too large; skipping");
+        return out;
+    }
+    for (uint64_t bits = 0; bits < (uint64_t{1} << k); ++bits) {
+        std::vector<bool> decisions(static_cast<size_t>(k));
+        for (int i = 0; i < k; ++i)
+            decisions[static_cast<size_t>(i)] = (bits >> i) & 1;
+        Machine m = Machine::nisqLattice(edge, edge);
+        CompileResult r =
+            compile(prog, m, SquareConfig::forced(decisions), {});
+        ++out.evaluated;
+        if (r.aqv < out.bestAqv) {
+            out.bestAqv = r.aqv;
+            out.bestDecisions = decisions;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Greedy CER vs brute-force optimal reclamation",
+                "design study (Sec. III-D)");
+
+    struct Case
+    {
+        const char *name;
+        int edge;
+    };
+    for (const Case &c : {Case{"ADDER4", 5}, Case{"RD53", 5},
+                          Case{"2OF5", 5}, Case{"Elsa-s", 5},
+                          Case{"Belle-s", 5}}) {
+        Program prog = makeBenchmark(c.name);
+        OptResult opt = bruteForce(prog, c.edge, /*max_bits=*/16);
+        if (opt.bestAqv == INT64_MAX) {
+            std::printf("%-10s: %d decision points - skipped\n", c.name,
+                        opt.decisionPoints);
+            continue;
+        }
+
+        std::printf("%-10s: %d decision points, %lld schedules "
+                    "evaluated\n",
+                    c.name, opt.decisionPoints,
+                    static_cast<long long>(opt.evaluated));
+        std::printf("  %-18s %12s %10s\n", "policy", "AQV",
+                    "vs optimal");
+        for (const SquareConfig &cfg : figurePolicies()) {
+            Machine m = Machine::nisqLattice(c.edge, c.edge);
+            CompileResult r = compile(prog, m, cfg, {});
+            std::printf("  %-18s %12lld %9.2f%%\n", cfg.name.c_str(),
+                        static_cast<long long>(r.aqv),
+                        100.0 * (static_cast<double>(r.aqv) /
+                                     static_cast<double>(opt.bestAqv) -
+                                 1.0));
+        }
+        std::printf("  %-18s %12lld %10s\n", "OPTIMAL (forced)",
+                    static_cast<long long>(opt.bestAqv), "-");
+        printRule(56);
+    }
+    std::printf("\nThe optimum is over reclamation decisions *given LAA "
+                "allocation*; LAZY/EAGER\nuse the LIFO allocator and "
+                "can occasionally land outside that space.\n");
+    return 0;
+}

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * square-cc: command-line driver for the SQUARE compiler.
+ *
+ * Compiles a mini-Scaffold source file or a named built-in benchmark
+ * for a chosen machine and policy, printing the metric summary and
+ * optionally the timed schedule or the qubit-usage curve.
+ *
+ * Usage:
+ *   square_cc (--bench NAME | --file prog.sqr)
+ *             [--policy lazy|eager|laa|square]
+ *             [--machine lattice WxH | full N | ft WxH]
+ *             [--print] [--trace N] [--curve] [--list]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "arch/machine.h"
+#include "common/logging.h"
+#include "core/compiler.h"
+#include "ir/printer.h"
+#include "lang/parser.h"
+#include "workloads/registry.h"
+
+using namespace square;
+
+namespace {
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: square_cc (--bench NAME | --file prog.sqr)\n"
+        "                 [--policy lazy|eager|laa|square]\n"
+        "                 [--machine lattice WxH | full N | ft WxH]\n"
+        "                 [--print] [--trace N] [--curve] [--list]\n");
+    std::exit(2);
+}
+
+SquareConfig
+policyByName(const std::string &name)
+{
+    if (name == "lazy")
+        return SquareConfig::lazy();
+    if (name == "eager")
+        return SquareConfig::eager();
+    if (name == "laa")
+        return SquareConfig::squareLaaOnly();
+    if (name == "square")
+        return SquareConfig::square();
+    fatal("unknown policy: ", name);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string bench_name, file_name, policy = "square";
+    std::string machine_kind = "lattice", machine_dims;
+    bool print_program = false, print_curve = false;
+    int trace_head = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--bench") {
+            bench_name = next();
+        } else if (arg == "--file") {
+            file_name = next();
+        } else if (arg == "--policy") {
+            policy = next();
+        } else if (arg == "--machine") {
+            machine_kind = next();
+            machine_dims = next();
+        } else if (arg == "--print") {
+            print_program = true;
+        } else if (arg == "--curve") {
+            print_curve = true;
+        } else if (arg == "--trace") {
+            trace_head = std::atoi(next().c_str());
+        } else if (arg == "--list") {
+            std::printf("%-12s %-6s %s\n", "name", "scale",
+                        "description");
+            for (const BenchmarkInfo &b : benchmarkRegistry()) {
+                std::printf("%-12s %-6s %s\n", b.name.c_str(),
+                            b.nisqScale ? "NISQ" : "large",
+                            b.description.c_str());
+            }
+            return 0;
+        } else {
+            usage();
+        }
+    }
+    if (bench_name.empty() == file_name.empty())
+        usage();
+
+    try {
+        Program prog;
+        int default_edge = 8;
+        if (!bench_name.empty()) {
+            const BenchmarkInfo &info = findBenchmark(bench_name);
+            prog = info.build();
+            default_edge = info.nisqScale ? 5 : info.boundaryEdge;
+        } else {
+            std::ifstream in(file_name);
+            if (!in)
+                fatal("cannot open ", file_name);
+            std::ostringstream text;
+            text << in.rdbuf();
+            prog = parseProgram(text.str());
+        }
+
+        if (print_program)
+            std::printf("%s\n", printProgram(prog).c_str());
+
+        Machine machine;
+        if (machine_dims.empty()) {
+            machine = Machine::nisqLattice(default_edge, default_edge);
+        } else if (machine_kind == "full") {
+            machine = Machine::fullyConnected(
+                std::atoi(machine_dims.c_str()));
+        } else {
+            int w = 0, h = 0;
+            if (std::sscanf(machine_dims.c_str(), "%dx%d", &w, &h) != 2)
+                fatal("bad machine dims (expected WxH): ", machine_dims);
+            machine = machine_kind == "ft" ? Machine::ftBraid(w, h)
+                                           : Machine::nisqLattice(w, h);
+        }
+
+        CompileOptions opts;
+        opts.recordTrace = trace_head > 0;
+        CompileResult r =
+            compile(prog, machine, policyByName(policy), opts);
+
+        std::printf("machine   : %s\n", r.machineLabel.c_str());
+        std::printf("policy    : %s\n", r.policyLabel.c_str());
+        std::printf("gates     : %lld (1q %lld, 2q %lld, T %lld, "
+                    "Toffoli %lld)\n",
+                    static_cast<long long>(r.gates),
+                    static_cast<long long>(r.sched.oneQubitGates),
+                    static_cast<long long>(r.sched.twoQubitGates),
+                    static_cast<long long>(r.sched.tGates),
+                    static_cast<long long>(r.sched.toffoliGates));
+        std::printf("swaps     : %lld\n",
+                    static_cast<long long>(r.swaps));
+        std::printf("depth     : %lld cycles\n",
+                    static_cast<long long>(r.depth));
+        std::printf("qubits    : peak %d live, %d sites touched\n",
+                    r.peakLive, r.qubitsUsed);
+        std::printf("AQV       : %lld\n", static_cast<long long>(r.aqv));
+        std::printf("reclaims  : %d (skipped %d)\n", r.reclaimCount,
+                    r.skipCount);
+        std::printf("comm S    : %.3f\n", r.commFactor);
+
+        if (trace_head > 0) {
+            std::printf("\nschedule head:\n");
+            for (int i = 0;
+                 i < trace_head &&
+                 i < static_cast<int>(r.trace.size());
+                 ++i) {
+                const TimedGate &g = r.trace[static_cast<size_t>(i)];
+                std::printf("  t=%-6lld %-8s",
+                            static_cast<long long>(g.start),
+                            std::string(gateName(g.kind)).c_str());
+                for (int k = 0; k < g.arity; ++k)
+                    std::printf(" q%d", g.sites[static_cast<size_t>(k)]);
+                std::printf("\n");
+            }
+        }
+        if (print_curve) {
+            std::printf("\nqubit-usage curve (time live):\n");
+            for (const UsagePoint &p : r.usageCurve) {
+                std::printf("  %lld %d\n",
+                            static_cast<long long>(p.time), p.live);
+            }
+        }
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,89 @@
+#include "arch/machine.h"
+
+#include "common/logging.h"
+
+namespace square {
+
+int
+GateTimes::durationFor(GateKind kind) const
+{
+    switch (kind) {
+      case GateKind::X:
+      case GateKind::H:
+      case GateKind::Z:
+      case GateKind::S:
+      case GateKind::Sdg:
+        return oneQubit;
+      case GateKind::T:
+      case GateKind::Tdg:
+        return tGate;
+      case GateKind::CNOT:
+      case GateKind::CZ:
+        return twoQubit;
+      case GateKind::Swap:
+        return swapGate;
+      case GateKind::Toffoli:
+        return toffoli;
+      default:
+        panic("no duration for gate kind");
+    }
+}
+
+Machine
+Machine::nisqLattice(int width, int height)
+{
+    Machine m;
+    m.topology = std::make_unique<LatticeTopology>(width, height);
+    m.comm = CommModel::Swap;
+    m.decomposeToffoli = true;
+    m.label = "NISQ " + m.topology->name();
+    return m;
+}
+
+Machine
+Machine::nisqLatticeMacro(int width, int height)
+{
+    Machine m = nisqLattice(width, height);
+    m.decomposeToffoli = false;
+    m.label += " (macro Toffoli)";
+    return m;
+}
+
+Machine
+Machine::fullyConnected(int num_qubits)
+{
+    Machine m;
+    m.topology = std::make_unique<FullTopology>(num_qubits);
+    m.comm = CommModel::None;
+    // All-to-all machines (trapped ion) execute multi-qubit gates
+    // natively; keep Toffoli as a macro gate.
+    m.decomposeToffoli = false;
+    m.label = "NISQ " + m.topology->name();
+    return m;
+}
+
+Machine
+Machine::ftBraid(int width, int height, int t_latency)
+{
+    if (t_latency <= 0)
+        fatal("T-gate latency must be positive");
+    Machine m;
+    m.topology = std::make_unique<LatticeTopology>(width, height);
+    m.comm = CommModel::Braid;
+    m.decomposeToffoli = true;
+    m.times.tGate = t_latency;
+    m.times.twoQubit = m.times.braid;
+    m.label = "FT " + m.topology->name();
+    return m;
+}
+
+Machine
+Machine::ftBraidMacro(int width, int height, int t_latency)
+{
+    Machine m = ftBraid(width, height, t_latency);
+    m.decomposeToffoli = false;
+    m.label += " (macro Toffoli)";
+    return m;
+}
+
+} // namespace square

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Target machine descriptions.
+ *
+ * A Machine bundles a topology with a communication model and gate
+ * timing parameters.  Three factory families match the paper's three
+ * evaluation regimes (Fig. 7):
+ *
+ *  - nisqLattice():    2-D grid, swap-chain communication, Toffoli
+ *                      lowered to Clifford+T (Sec. V-C);
+ *  - fullyConnected(): all-to-all, no routing (IonQ-style; Fig. 5);
+ *  - ftBraid():        2-D grid of surface-code logical qubits, braid
+ *                      communication, T gates slowed by magic-state
+ *                      latency (Sec. V-E).
+ */
+
+#ifndef SQUARE_ARCH_MACHINE_H
+#define SQUARE_ARCH_MACHINE_H
+
+#include <memory>
+#include <string>
+
+#include "arch/topology.h"
+#include "ir/gate.h"
+
+namespace square {
+
+/** How long-distance two-qubit gates are resolved. */
+enum class CommModel : uint8_t {
+    None, ///< all-to-all; no communication cost
+    Swap, ///< NISQ: chain of SWAP gates moves operands together
+    Braid ///< FT: braid a path between operands; paths may not cross
+};
+
+/** Gate durations in machine cycles. */
+struct GateTimes
+{
+    int oneQubit = 1;   ///< X, H, S, Z, ...
+    int tGate = 1;      ///< T / Tdg (FT machines pay magic-state latency)
+    int twoQubit = 2;   ///< CNOT, CZ
+    int swapGate = 6;   ///< SWAP = 3 back-to-back CNOTs
+    int toffoli = 10;   ///< native 3-qubit macro (when not decomposed)
+    int braid = 2;      ///< braid window claimed per routed CNOT
+
+    /** Duration for a gate kind under this timing model. */
+    int durationFor(GateKind kind) const;
+};
+
+/** A compilation target: topology + communication + timing. */
+struct Machine
+{
+    std::unique_ptr<Topology> topology;
+    CommModel comm = CommModel::Swap;
+    GateTimes times;
+
+    /** Lower Toffoli to the 15-gate Clifford+T circuit when true. */
+    bool decomposeToffoli = true;
+
+    /** Human-readable machine label (for reports). */
+    std::string label;
+
+    int numSites() const { return topology->numSites(); }
+
+    // -- Factories ----------------------------------------------------
+
+    /** NISQ machine: w x h lattice, swaps, Clifford+T decomposition. */
+    static Machine nisqLattice(int width, int height);
+
+    /**
+     * NISQ lattice keeping Toffoli as a macro gate (used by the
+     * Monte-Carlo noise simulator, which tracks classical basis states
+     * and therefore needs a Clifford-free trace; swap/locality effects
+     * are identical to nisqLattice()).
+     */
+    static Machine nisqLatticeMacro(int width, int height);
+
+    /** NISQ-sized machine with all-to-all connectivity. */
+    static Machine fullyConnected(int num_qubits);
+
+    /**
+     * Fault-tolerant machine: w x h grid of surface-code logical
+     * qubits communicating via braids; T gates cost @p t_latency
+     * cycles (magic-state distillation).
+     */
+    static Machine ftBraid(int width, int height, int t_latency = 10);
+
+    /**
+     * FT machine keeping Toffoli as a macro gate braided pairwise to
+     * its target (Clifford-free traces for functional verification and
+     * trajectory simulation on FT targets).
+     */
+    static Machine ftBraidMacro(int width, int height, int t_latency = 10);
+};
+
+} // namespace square
+
+#endif // SQUARE_ARCH_MACHINE_H

@@ -1,0 +1,148 @@
+#include "arch/topology.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace square {
+
+// ---------------------------------------------------------------------
+// LatticeTopology
+// ---------------------------------------------------------------------
+
+LatticeTopology::LatticeTopology(int width, int height)
+    : width_(width), height_(height)
+{
+    if (width <= 0 || height <= 0)
+        fatal("lattice dimensions must be positive: ", width, "x", height);
+}
+
+std::vector<PhysQubit>
+LatticeTopology::neighbors(PhysQubit site) const
+{
+    SQ_ASSERT(site >= 0 && site < numSites(), "site out of range");
+    std::vector<PhysQubit> out;
+    out.reserve(4);
+    int x = xOf(site), y = yOf(site);
+    if (x > 0)
+        out.push_back(siteAt(x - 1, y));
+    if (x + 1 < width_)
+        out.push_back(siteAt(x + 1, y));
+    if (y > 0)
+        out.push_back(siteAt(x, y - 1));
+    if (y + 1 < height_)
+        out.push_back(siteAt(x, y + 1));
+    return out;
+}
+
+int
+LatticeTopology::distance(PhysQubit a, PhysQubit b) const
+{
+    return std::abs(xOf(a) - xOf(b)) + std::abs(yOf(a) - yOf(b));
+}
+
+std::vector<PhysQubit>
+LatticeTopology::path(PhysQubit a, PhysQubit b) const
+{
+    // L-shaped shortest route: horizontal leg first, then vertical.
+    std::vector<PhysQubit> out;
+    int x = xOf(a), y = yOf(a);
+    const int bx = xOf(b), by = yOf(b);
+    out.push_back(a);
+    while (x != bx) {
+        x += (bx > x) ? 1 : -1;
+        out.push_back(siteAt(x, y));
+    }
+    while (y != by) {
+        y += (by > y) ? 1 : -1;
+        out.push_back(siteAt(x, y));
+    }
+    return out;
+}
+
+std::pair<double, double>
+LatticeTopology::coords(PhysQubit site) const
+{
+    return {static_cast<double>(xOf(site)), static_cast<double>(yOf(site))};
+}
+
+std::string
+LatticeTopology::name() const
+{
+    return "lattice-" + std::to_string(width_) + "x" +
+           std::to_string(height_);
+}
+
+// ---------------------------------------------------------------------
+// FullTopology
+// ---------------------------------------------------------------------
+
+FullTopology::FullTopology(int n) : n_(n)
+{
+    if (n <= 0)
+        fatal("fully-connected topology needs a positive size, got ", n);
+}
+
+std::vector<PhysQubit>
+FullTopology::neighbors(PhysQubit site) const
+{
+    std::vector<PhysQubit> out;
+    out.reserve(n_ - 1);
+    for (PhysQubit s = 0; s < n_; ++s) {
+        if (s != site)
+            out.push_back(s);
+    }
+    return out;
+}
+
+int
+FullTopology::distance(PhysQubit a, PhysQubit b) const
+{
+    return a == b ? 0 : 1;
+}
+
+std::vector<PhysQubit>
+FullTopology::path(PhysQubit a, PhysQubit b) const
+{
+    if (a == b)
+        return {a};
+    return {a, b};
+}
+
+std::pair<double, double>
+FullTopology::coords(PhysQubit site) const
+{
+    // Sites arranged on a circle: coordinates exist for heuristic use
+    // but all pairs are adjacent.
+    double theta = 2.0 * M_PI * site / n_;
+    return {std::cos(theta), std::sin(theta)};
+}
+
+std::string
+FullTopology::name() const
+{
+    return "full-" + std::to_string(n_);
+}
+
+// ---------------------------------------------------------------------
+// Factories
+// ---------------------------------------------------------------------
+
+std::unique_ptr<Topology>
+makeLinearTopology(int n)
+{
+    return std::make_unique<LatticeTopology>(n, 1);
+}
+
+std::unique_ptr<Topology>
+makeSquareLattice(int min_sites)
+{
+    if (min_sites <= 0)
+        fatal("lattice must hold at least one site");
+    int w = static_cast<int>(std::ceil(std::sqrt(min_sites)));
+    int h = (min_sites + w - 1) / w;
+    return std::make_unique<LatticeTopology>(w, h);
+}
+
+} // namespace square

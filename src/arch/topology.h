@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Machine connectivity models.
+ *
+ * A Topology describes the sites (physical locations for qubits) of a
+ * machine and which pairs may interact directly.  Three concrete models
+ * cover the paper's experiments:
+ *
+ *  - LatticeTopology: W x H grid with nearest-neighbor connectivity, the
+ *    standard NISQ superconducting layout (and the site grid of the
+ *    surface-code model);
+ *  - FullTopology: all-to-all connectivity (trapped-ion style), used for
+ *    the Fig. 5 locality experiment;
+ *  - LinearTopology: 1-D chain (degenerate lattice), useful in tests.
+ */
+
+#ifndef SQUARE_ARCH_TOPOLOGY_H
+#define SQUARE_ARCH_TOPOLOGY_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/qubit.h"
+
+namespace square {
+
+/** Abstract connectivity model over integer site ids [0, numSites). */
+class Topology
+{
+  public:
+    virtual ~Topology() = default;
+
+    /** Number of physical sites. */
+    virtual int numSites() const = 0;
+
+    /** Sites directly connected to @p site. */
+    virtual std::vector<PhysQubit> neighbors(PhysQubit site) const = 0;
+
+    /** Hop distance between two sites (0 when equal). */
+    virtual int distance(PhysQubit a, PhysQubit b) const = 0;
+
+    /**
+     * A shortest path from @p a to @p b inclusive of both endpoints
+     * (size = distance + 1).
+     */
+    virtual std::vector<PhysQubit> path(PhysQubit a, PhysQubit b) const = 0;
+
+    /** Planar coordinates of a site (for centroid/area heuristics). */
+    virtual std::pair<double, double> coords(PhysQubit site) const = 0;
+
+    /** Human-readable description. */
+    virtual std::string name() const = 0;
+
+    /** True if a and b may interact without routing. */
+    bool
+    adjacent(PhysQubit a, PhysQubit b) const
+    {
+        return distance(a, b) <= 1;
+    }
+};
+
+/** W x H grid, nearest-neighbor (Manhattan) connectivity. */
+class LatticeTopology : public Topology
+{
+  public:
+    LatticeTopology(int width, int height);
+
+    int numSites() const override { return width_ * height_; }
+    std::vector<PhysQubit> neighbors(PhysQubit site) const override;
+    int distance(PhysQubit a, PhysQubit b) const override;
+    std::vector<PhysQubit> path(PhysQubit a, PhysQubit b) const override;
+    std::pair<double, double> coords(PhysQubit site) const override;
+    std::string name() const override;
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+
+    int xOf(PhysQubit site) const { return site % width_; }
+    int yOf(PhysQubit site) const { return site / width_; }
+    PhysQubit siteAt(int x, int y) const { return y * width_ + x; }
+
+  private:
+    int width_;
+    int height_;
+};
+
+/** All-to-all connectivity over n sites. */
+class FullTopology : public Topology
+{
+  public:
+    explicit FullTopology(int n);
+
+    int numSites() const override { return n_; }
+    std::vector<PhysQubit> neighbors(PhysQubit site) const override;
+    int distance(PhysQubit a, PhysQubit b) const override;
+    std::vector<PhysQubit> path(PhysQubit a, PhysQubit b) const override;
+    std::pair<double, double> coords(PhysQubit site) const override;
+    std::string name() const override;
+
+  private:
+    int n_;
+};
+
+/** 1-D chain of n sites. */
+std::unique_ptr<Topology> makeLinearTopology(int n);
+
+/** Smallest near-square lattice holding at least @p min_sites sites. */
+std::unique_ptr<Topology> makeSquareLattice(int min_sites);
+
+} // namespace square
+
+#endif // SQUARE_ARCH_TOPOLOGY_H

@@ -1,0 +1,32 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace square {
+
+namespace {
+std::atomic<bool> g_quiet{false};
+} // namespace
+
+void
+warn(const std::string &msg)
+{
+    if (!g_quiet.load(std::memory_order_relaxed))
+        std::cerr << "warn: " << msg << "\n";
+}
+
+void
+inform(const std::string &msg)
+{
+    if (!g_quiet.load(std::memory_order_relaxed))
+        std::cerr << "info: " << msg << "\n";
+}
+
+void
+setQuiet(bool quiet)
+{
+    g_quiet.store(quiet, std::memory_order_relaxed);
+}
+
+} // namespace square

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Error and status reporting helpers.
+ *
+ * Follows the gem5 fatal/panic discipline:
+ *  - fatal():  the *user* did something unsupportable (bad configuration,
+ *              malformed program, impossible machine description).  Throws
+ *              a FatalError so callers (and tests) can catch it.
+ *  - panic():  an internal invariant of the library itself was violated,
+ *              i.e. a bug in SQUARE.  Also throws (PanicError) so tests can
+ *              assert on internal invariants without aborting the process.
+ *  - warn()/inform(): non-fatal status messages to stderr.
+ */
+
+#ifndef SQUARE_COMMON_LOGGING_H
+#define SQUARE_COMMON_LOGGING_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace square {
+
+/** Error thrown on unrecoverable user-caused conditions. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Error thrown on violated internal invariants (library bugs). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+namespace detail {
+
+/** Fold a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Abort the current operation due to a user error. Never returns. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    throw FatalError(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Abort the current operation due to an internal bug. Never returns. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    throw PanicError(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print a warning to stderr (non-fatal, possibly-wrong behaviour). */
+void warn(const std::string &msg);
+
+/** Print an informational message to stderr. */
+void inform(const std::string &msg);
+
+/** Globally silence warn()/inform() (useful in benchmark loops). */
+void setQuiet(bool quiet);
+
+} // namespace square
+
+/**
+ * Internal invariant check: active in all build types (the compiler is a
+ * research artifact; silent corruption is worse than a thrown PanicError).
+ */
+#define SQ_ASSERT(cond, msg)                                                  \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            ::square::panic("assertion failed: ", #cond, " — ", msg, " (",    \
+                            __FILE__, ":", __LINE__, ")");                    \
+        }                                                                     \
+    } while (0)
+
+#endif // SQUARE_COMMON_LOGGING_H

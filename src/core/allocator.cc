@@ -1,0 +1,228 @@
+#include "core/allocator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace square {
+
+Allocator::Allocator(const SquareConfig &cfg, const Machine &machine,
+                     Layout &layout, const GateScheduler &sched,
+                     AncillaHeap &heap)
+    : cfg_(cfg),
+      machine_(machine),
+      layout_(layout),
+      sched_(sched),
+      heap_(heap),
+      visit_mark_(static_cast<size_t>(machine.numSites()), 0)
+{
+    const Topology &topo = *machine_.topology;
+    const int n = topo.numSites();
+    double cx = 0, cy = 0;
+    for (int s = 0; s < n; ++s) {
+        auto [x, y] = topo.coords(s);
+        cx += x;
+        cy += y;
+    }
+    cx /= n;
+    cy /= n;
+    center_order_.resize(static_cast<size_t>(n));
+    for (int s = 0; s < n; ++s)
+        center_order_[static_cast<size_t>(s)] = s;
+    std::stable_sort(center_order_.begin(), center_order_.end(),
+                     [&](PhysQubit a, PhysQubit b) {
+                         auto [ax, ay] = topo.coords(a);
+                         auto [bx, by] = topo.coords(b);
+                         double da = (ax - cx) * (ax - cx) +
+                                     (ay - cy) * (ay - cy);
+                         double db = (bx - cx) * (bx - cx) +
+                                     (by - cy) * (by - cy);
+                         return da < db;
+                     });
+}
+
+PhysQubit
+Allocator::nextFreshSite()
+{
+    while (fresh_cursor_ < center_order_.size()) {
+        PhysQubit s = center_order_[fresh_cursor_];
+        if (!layout_.everUsed(s) && layout_.isFree(s)) {
+            ++fresh_cursor_used_;
+            return s;
+        }
+        ++fresh_cursor_;
+    }
+    fatal("machine out of qubits: all ", machine_.numSites(),
+          " sites are in use or reserved (program does not fit; pick a "
+          "larger machine or a more aggressive reclamation policy)");
+}
+
+std::vector<LogicalQubit>
+Allocator::allocPrimaries(int n)
+{
+    if (n > machine_.numSites()) {
+        fatal("program needs ", n, " primary qubits but the machine has ",
+              machine_.numSites(), " sites");
+    }
+    std::vector<LogicalQubit> out;
+    out.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i)
+        out.push_back(layout_.place(nextFreshSite()));
+    return out;
+}
+
+double
+Allocator::score(PhysQubit site, const std::vector<PhysQubit> &anchors,
+                 double cx, double cy, bool fresh, int64_t t_ready) const
+{
+    const Topology &topo = *machine_.topology;
+    double comm = 0.0;
+    if (!anchors.empty()) {
+        for (PhysQubit a : anchors)
+            comm += topo.distance(site, a);
+        comm /= static_cast<double>(anchors.size());
+    }
+    double s = cfg_.commWeight * comm;
+    if (fresh) {
+        auto [x, y] = topo.coords(site);
+        double dx = x - cx, dy = y - cy;
+        s += cfg_.areaWeight * std::sqrt(dx * dx + dy * dy);
+    } else {
+        int64_t clk = sched_.siteClock(site);
+        if (clk > t_ready) {
+            double swap_time =
+                std::max(1, machine_.times.swapGate);
+            s += cfg_.serializationWeight *
+                 static_cast<double>(clk - t_ready) / swap_time;
+        }
+    }
+    return s;
+}
+
+PhysQubit
+Allocator::chooseSite(const std::vector<PhysQubit> &anchor_sites,
+                      int64_t t_ready)
+{
+    if (cfg_.alloc == AllocPolicy::Lifo) {
+        if (!heap_.empty())
+            return heap_.popLifo();
+        return nextFreshSite();
+    }
+
+    // Locality-aware: bounded BFS outward from the anchor, scoring up
+    // to candidateCap candidates of each class.
+    const Topology &topo = *machine_.topology;
+    PhysQubit start = anchor_sites.empty() ? center_order_.front()
+                                           : anchor_sites.front();
+    double cx = 0, cy = 0;
+    if (!anchor_sites.empty()) {
+        for (PhysQubit a : anchor_sites) {
+            auto [x, y] = topo.coords(a);
+            cx += x;
+            cy += y;
+        }
+        cx /= static_cast<double>(anchor_sites.size());
+        cy /= static_cast<double>(anchor_sites.size());
+    } else {
+        auto [x, y] = topo.coords(start);
+        cx = x;
+        cy = y;
+    }
+
+    ++visit_stamp_;
+    std::deque<PhysQubit> queue;
+    auto visit = [&](PhysQubit s) {
+        if (visit_mark_[static_cast<size_t>(s)] != visit_stamp_) {
+            visit_mark_[static_cast<size_t>(s)] = visit_stamp_;
+            queue.push_back(s);
+        }
+    };
+    visit(start);
+
+    int heap_seen = 0, fresh_seen = 0;
+    double best_score = std::numeric_limits<double>::infinity();
+    PhysQubit best_site = kNoQubit;
+    bool best_in_heap = false;
+
+    // Bound the sweep: on large machines with few heap sites the BFS
+    // would otherwise flood the whole lattice on every allocation.
+    int visited = 0;
+    const int visit_budget = std::max(256, 32 * cfg_.candidateCap);
+    while (!queue.empty() && visited < visit_budget &&
+           (heap_seen < cfg_.candidateCap ||
+            fresh_seen < cfg_.candidateCap)) {
+        PhysQubit s = queue.front();
+        queue.pop_front();
+        ++visited;
+        if (layout_.isFree(s)) {
+            bool in_heap = heap_.contains(s);
+            bool fresh = !layout_.everUsed(s);
+            if (in_heap && heap_seen < cfg_.candidateCap) {
+                ++heap_seen;
+                double sc = score(s, anchor_sites, cx, cy, false, t_ready);
+                if (sc < best_score) {
+                    best_score = sc;
+                    best_site = s;
+                    best_in_heap = true;
+                }
+            } else if (fresh && fresh_seen < cfg_.candidateCap) {
+                ++fresh_seen;
+                double sc = score(s, anchor_sites, cx, cy, true, t_ready);
+                if (sc < best_score) {
+                    best_score = sc;
+                    best_site = s;
+                    best_in_heap = false;
+                }
+            }
+        }
+        for (PhysQubit nbr : topo.neighbors(s))
+            visit(nbr);
+    }
+
+    if (best_site == kNoQubit) {
+        // Anchor region exhausted: fall back to any reclaimed or fresh
+        // site anywhere on the machine.
+        if (!heap_.empty())
+            return heap_.popLifo();
+        return nextFreshSite();
+    }
+    if (best_in_heap) {
+        heap_.take(best_site);
+    } else {
+        ++fresh_cursor_used_;
+    }
+    return best_site;
+}
+
+std::vector<LogicalQubit>
+Allocator::allocAncilla(int n, const ModuleStats &st,
+                        const std::vector<LogicalQubit> &args,
+                        int64_t t_ready)
+{
+    std::vector<LogicalQubit> out;
+    out.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        // Anchor on the parameters this ancilla interacts with; when
+        // the interaction analysis is empty, anchor on all args.
+        std::vector<PhysQubit> anchors;
+        if (i < static_cast<int>(st.ancillaParams.size())) {
+            for (int p : st.ancillaParams[static_cast<size_t>(i)]) {
+                if (p < static_cast<int>(args.size()))
+                    anchors.push_back(
+                        layout_.siteOf(args[static_cast<size_t>(p)]));
+            }
+        }
+        if (anchors.empty()) {
+            for (LogicalQubit q : args)
+                anchors.push_back(layout_.siteOf(q));
+        }
+        PhysQubit site = chooseSite(anchors, t_ready);
+        out.push_back(layout_.place(site));
+    }
+    return out;
+}
+
+} // namespace square

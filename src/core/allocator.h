@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Qubit allocation: LIFO baseline and Locality-Aware Allocation (Alg. 1).
+ *
+ * LAA scores candidate sites for each requested ancilla by balancing the
+ * paper's three considerations (Sec. III-A1 / IV-C):
+ *
+ *  - communication: mean distance from the candidate to the sites of the
+ *    qubits the ancilla will interact with (from the static interaction
+ *    analysis, the get_interact_qubits() lookahead);
+ *  - serialization: reusing a recently-busy qubit adds a false data
+ *    dependency, so a candidate whose site clock is ahead of the
+ *    requesting module's ready time is penalized;
+ *  - area expansion: claiming a brand-new site grows the active region,
+ *    lengthening future swap chains/braids, so fresh candidates pay for
+ *    their distance from the active centroid.
+ *
+ * closest_qubit_in_heap() and closest_qubit_new() are realized as a
+ * bounded breadth-first sweep outward from an anchor site, scoring up to
+ * candidateCap sites of each class and taking the minimum.
+ */
+
+#ifndef SQUARE_CORE_ALLOCATOR_H
+#define SQUARE_CORE_ALLOCATOR_H
+
+#include <vector>
+
+#include "arch/layout.h"
+#include "arch/machine.h"
+#include "core/heap.h"
+#include "core/policy.h"
+#include "ir/analysis.h"
+#include "schedule/scheduler.h"
+
+namespace square {
+
+/** Chooses sites for ancilla (and primary) qubit allocations. */
+class Allocator
+{
+  public:
+    Allocator(const SquareConfig &cfg, const Machine &machine,
+              Layout &layout, const GateScheduler &sched,
+              AncillaHeap &heap);
+
+    /**
+     * Place the program's primary qubits on a compact block of sites
+     * near the machine center.
+     */
+    std::vector<LogicalQubit> allocPrimaries(int n);
+
+    /**
+     * Allocate the @p n ancilla of one module invocation.
+     *
+     * @param st      static analysis of the invoked module (interaction
+     *                sets per ancilla)
+     * @param args    logical qubits bound to the module's parameters
+     * @param t_ready invocation ready time (max clock of the args)
+     */
+    std::vector<LogicalQubit> allocAncilla(int n, const ModuleStats &st,
+                                           const std::vector<LogicalQubit> &args,
+                                           int64_t t_ready);
+
+    /** Fresh sites claimed so far (diagnostics). */
+    int freshClaimed() const { return fresh_cursor_used_; }
+
+  private:
+    /** Next never-used site in center-out order (fatal when full). */
+    PhysQubit nextFreshSite();
+
+    /** Locality-scored choice for one ancilla. */
+    PhysQubit chooseSite(const std::vector<PhysQubit> &anchor_sites,
+                         int64_t t_ready);
+
+    double score(PhysQubit site, const std::vector<PhysQubit> &anchors,
+                 double cx, double cy, bool fresh, int64_t t_ready) const;
+
+    const SquareConfig &cfg_;
+    const Machine &machine_;
+    Layout &layout_;
+    const GateScheduler &sched_;
+    AncillaHeap &heap_;
+
+    /** All sites ordered by distance from the machine center. */
+    std::vector<PhysQubit> center_order_;
+    size_t fresh_cursor_ = 0;
+    int fresh_cursor_used_ = 0;
+
+    // scratch for the BFS candidate sweep
+    mutable std::vector<int64_t> visit_mark_;
+    mutable int64_t visit_stamp_ = 0;
+};
+
+} // namespace square
+
+#endif // SQUARE_CORE_ALLOCATOR_H

@@ -1,0 +1,47 @@
+#include "core/cer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace square {
+
+CerDecision
+cerDecide(const SquareConfig &cfg, const CerInputs &in)
+{
+    CerDecision d;
+
+    const double n_active = std::max(1, in.numActive);
+    const double n_anc = static_cast<double>(in.numAncilla);
+
+    double s_mult = 1.0;
+    if (cfg.useCommFactor)
+        s_mult += std::max(0.0, in.commFactor);
+
+    double level_factor = 1.0;
+    if (cfg.useLevelFactor) {
+        // Cap the exponent: beyond ~30 levels the factor is effectively
+        // "never worth uncomputing deep in the tree" anyway and the
+        // double would overflow for adversarial inputs.
+        level_factor = std::ldexp(1.0, std::min(in.depth, 30));
+    }
+
+    double area_factor = 1.0;
+    if (cfg.useAreaExpansion && in.hasLocality && n_anc > 0) {
+        area_factor = std::sqrt((n_active + n_anc) / n_active);
+    }
+
+    double pressure_factor = 1.0;
+    if (cfg.usePressure) {
+        pressure_factor =
+            std::max(1.0, n_active / std::max(1, in.freeSites));
+    }
+
+    d.c1 = n_active * static_cast<double>(in.uncomputeGates) * s_mult *
+           level_factor;
+    d.c0 = n_anc * static_cast<double>(in.gatesToParentUncompute) *
+           s_mult * area_factor * pressure_factor;
+    d.reclaim = d.c1 <= d.c0;
+    return d;
+}
+
+} // namespace square

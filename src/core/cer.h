@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Cost-Effective Reclamation: the uncompute/keep decision (Alg. 2).
+ *
+ * At each Free point the compiler compares (Sec. III-A2, Eq. 1-2):
+ *
+ *   C1 = N_active * G_uncomp * S * 2^l          (cost of uncomputing)
+ *   C0 = N_anc * G_p * S * sqrt((N_active + N_anc) / N_active)
+ *                                               (cost of holding garbage)
+ *
+ * and reclaims when C1 <= C0.  C0 additionally carries a qubit-pressure
+ * factor max(1, N_active / free_sites): as the machine fills up,
+ * holding garbage approaches "the next allocation fails", so its cost
+ * diverges - this is what lets SQUARE fit computations into
+ * resource-constrained machines, throttling reservation when necessary
+ * (Sec. I / IV-C of the paper; toggle with usePressure for the
+ * ablation).  S is the running communication factor
+ * (average swaps per two-qubit gate on NISQ machines, braid conflicts
+ * per braid on FT machines); it is applied as (1 + S) so that a
+ * congestion-free prefix does not zero both sides.  The 2^l factor
+ * prices recursive recomputation (an uncomputed child is re-executed by
+ * every ancestor that later uncomputes); the square root prices the
+ * area expansion caused by qubit reservation.  On machines without
+ * locality (all-to-all) the area term is 1: holding garbage costs no
+ * communication there, which is what flips Belle's preferred strategy
+ * between Fig. 5's two machines.
+ */
+
+#ifndef SQUARE_CORE_CER_H
+#define SQUARE_CORE_CER_H
+
+#include <cstdint>
+
+#include "core/policy.h"
+
+namespace square {
+
+/** Inputs to one reclamation decision. */
+struct CerInputs
+{
+    /** Currently live qubits on the machine (N_active). */
+    int numActive = 0;
+    /** Garbage qubits this invocation would hand to its parent (N_anc). */
+    int numAncilla = 0;
+    /** Estimated gates to run this invocation's uncompute (G_uncomp). */
+    int64_t uncomputeGates = 0;
+    /** Estimated gates until the parent's uncompute block (G_p). */
+    int64_t gatesToParentUncompute = 0;
+    /** Call depth of this invocation (l; entry call = 0). */
+    int depth = 0;
+    /** Running communication factor S (swaps/gate or conflicts/braid). */
+    double commFactor = 0.0;
+    /** True when the machine has locality (lattice), false all-to-all. */
+    bool hasLocality = true;
+    /** Free sites remaining on the machine (heap + never-used). */
+    int freeSites = 1 << 20;
+};
+
+/** Decision record (kept for diagnostics/ablation reporting). */
+struct CerDecision
+{
+    double c1 = 0.0;
+    double c0 = 0.0;
+    bool reclaim = false;
+};
+
+/** Evaluate the CER cost model under @p cfg. */
+CerDecision cerDecide(const SquareConfig &cfg, const CerInputs &in);
+
+} // namespace square
+
+#endif // SQUARE_CORE_CER_H

@@ -1,0 +1,15 @@
+#include "core/compiler.h"
+
+#include "core/executor.h"
+
+namespace square {
+
+CompileResult
+compile(const Program &prog, const Machine &machine,
+        const SquareConfig &cfg, const CompileOptions &options)
+{
+    Executor exec(prog, machine, cfg, options);
+    return exec.run();
+}
+
+} // namespace square

@@ -1,0 +1,381 @@
+#include "core/executor.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "ir/validate.h"
+
+namespace square {
+
+Executor::Executor(const Program &prog, const Machine &machine,
+                   const SquareConfig &cfg, const CompileOptions &options)
+    : prog_(prog),
+      machine_(machine),
+      cfg_(cfg),
+      options_(options),
+      analysis_(prog),
+      layout_(machine.numSites()),
+      heap_(),
+      tee_(),
+      recorder_(),
+      sched_(machine, layout_, &tee_),
+      alloc_(cfg, machine, layout_, sched_, heap_),
+      aqv_()
+{
+    if (options_.recordTrace)
+        tee_.add(&recorder_);
+    if (options_.extraSink)
+        tee_.add(options_.extraSink);
+    layout_.setSwapObserver([this](PhysQubit a, PhysQubit b) {
+        heap_.onSwap(a, b, layout_);
+    });
+}
+
+int64_t
+Executor::readyTime(const std::vector<LogicalQubit> &args) const
+{
+    int64_t t = 0;
+    for (LogicalQubit q : args)
+        t = std::max(t, sched_.logicalClock(q));
+    return t;
+}
+
+std::vector<LogicalQubit>
+Executor::allocAncillaTracked(ModuleId id,
+                              const std::vector<LogicalQubit> &args)
+{
+    const Module &m = prog_.module(id);
+    if (m.numAncilla == 0)
+        return {};
+    int64_t t_ready = readyTime(args);
+    std::vector<LogicalQubit> anc = alloc_.allocAncilla(
+        m.numAncilla, analysis_.stats(id), args, t_ready);
+    for (LogicalQubit q : anc) {
+        // Liveness cannot begin before the site's previous occupant was
+        // reclaimed (the site clock covers the uncompute that grounded
+        // it), nor before the invocation's inputs are ready.
+        int64_t t0 = std::max(t_ready,
+                              sched_.siteClock(layout_.siteOf(q)));
+        aqv_.onAlloc(q, t0);
+    }
+    return anc;
+}
+
+void
+Executor::freeAncilla(std::vector<LogicalQubit> &anc)
+{
+    // Free in reverse allocation order so the LIFO heap hands the most
+    // recently grounded sites out first.
+    for (auto it = anc.rbegin(); it != anc.rend(); ++it) {
+        LogicalQubit q = *it;
+        PhysQubit site = layout_.siteOf(q);
+        aqv_.onFree(q, sched_.siteClock(site));
+        layout_.remove(q);
+        heap_.push(site);
+        tee_.onReclaim(site);
+    }
+}
+
+void
+Executor::execGate(const Stmt &s, const Binding &b, bool inverse)
+{
+    GateKind kind = inverse ? gateInverse(s.gate) : s.gate;
+    LogicalQubit ops[3];
+    const int arity = gateArity(kind);
+    for (int i = 0; i < arity; ++i)
+        ops[i] = resolve(b, s.operands[static_cast<size_t>(i)]);
+    sched_.apply(kind, std::span<const LogicalQubit>(ops,
+                                                     static_cast<size_t>(
+                                                         arity)));
+    if (uncompute_depth_ > 0)
+        ++uncompute_ir_gates_;
+}
+
+void
+Executor::runBlockForward(const std::vector<Stmt> &block, const Binding &b,
+                          std::vector<InvPtr> &kids, int depth,
+                          const std::vector<int64_t> &suffix,
+                          bool force_kids, int64_t inherited_gates)
+{
+    const int64_t carried = static_cast<int64_t>(
+        cfg_.holdHorizon * static_cast<double>(inherited_gates));
+    for (size_t k = 0; k < block.size(); ++k) {
+        const Stmt &s = block[k];
+        if (s.isGate()) {
+            execGate(s, b, false);
+        } else {
+            std::vector<LogicalQubit> args;
+            args.reserve(s.args.size());
+            for (const QubitRef &r : s.args)
+                args.push_back(resolve(b, r));
+            int64_t g_parent =
+                (k + 1 < suffix.size() ? suffix[k + 1] : 0) + carried;
+            kids.push_back(
+                execCall(s.callee, args, depth + 1, g_parent, force_kids));
+        }
+    }
+}
+
+void
+Executor::invertBlock(const std::vector<Stmt> &block, const Binding &b,
+                      std::vector<InvPtr> &kids, int depth)
+{
+    size_t kid_idx = kids.size();
+    for (auto it = block.rbegin(); it != block.rend(); ++it) {
+        const Stmt &s = *it;
+        if (s.isGate()) {
+            execGate(s, b, true);
+        } else {
+            SQ_ASSERT(kid_idx > 0, "invocation record underflow");
+            --kid_idx;
+            Invocation &kid = *kids[kid_idx];
+            SQ_ASSERT(kid.mod == s.callee, "record/statement mismatch");
+            std::vector<LogicalQubit> args;
+            args.reserve(s.args.size());
+            for (const QubitRef &r : s.args)
+                args.push_back(resolve(b, r));
+            invertInvocation(kid, args, depth + 1);
+        }
+    }
+    SQ_ASSERT(kid_idx == 0, "leftover invocation records in block");
+}
+
+bool
+Executor::shouldReclaim(const Invocation &inv, int depth,
+                        int64_t gates_to_parent_uncompute)
+{
+    switch (cfg_.reclaim) {
+      case ReclaimPolicy::Eager:
+        return true;
+      case ReclaimPolicy::Forced: {
+        size_t idx = forced_idx_++;
+        return idx < cfg_.forcedDecisions.size() &&
+               cfg_.forcedDecisions[idx];
+      }
+      case ReclaimPolicy::MeasureReset:
+        // Handled before the decision point in execCall (resets do not
+        // go through the uncompute machinery).
+        panic("MeasureReset must not reach shouldReclaim");
+      case ReclaimPolicy::Lazy:
+        // "Never reclaim" in practice (Fig. 1): garbage rides to the
+        // end of the program.
+        return false;
+      case ReclaimPolicy::Cer: {
+        CerInputs in;
+        in.numActive = layout_.numLive();
+        in.numAncilla = inv.garbage;
+        in.uncomputeGates = inv.uncompCost;
+        in.gatesToParentUncompute = gates_to_parent_uncompute;
+        in.depth = depth;
+        in.commFactor = sched_.commFactor();
+        in.hasLocality = machine_.comm != CommModel::None;
+        in.freeSites = layout_.numSites() - layout_.numLive();
+        return cerDecide(cfg_, in).reclaim;
+      }
+    }
+    panic("unknown reclaim policy");
+}
+
+Executor::InvPtr
+Executor::execCall(ModuleId id, const std::vector<LogicalQubit> &args,
+                   int depth, int64_t gates_to_parent_uncompute,
+                   bool force_reclaim)
+{
+    const Module &m = prog_.module(id);
+    const ModuleStats &st = analysis_.stats(id);
+
+    auto inv = std::make_unique<Invocation>();
+    inv->mod = id;
+    inv->anc = allocAncillaTracked(id, args);
+    inv->ancLive = !inv->anc.empty();
+
+    Binding b{&args, &inv->anc};
+    const bool force_kids = m.hasExplicitUncompute();
+    runBlockForward(m.compute, b, inv->computeKids, depth,
+                    st.suffixCompute, force_kids,
+                    gates_to_parent_uncompute);
+    runBlockForward(m.store, b, inv->storeKids, depth, st.suffixStore,
+                    false, gates_to_parent_uncompute);
+
+    // Dynamic uncompute-cost estimate for CER, from the children's
+    // actual decisions.
+    if (m.hasExplicitUncompute()) {
+        inv->uncompCost = st.suffixUncompute.empty()
+                              ? 0
+                              : st.suffixUncompute[0];
+    } else {
+        int64_t cost = 0;
+        size_t ki = 0;
+        for (const Stmt &s : m.compute) {
+            cost += s.isGate() ? 1 : inv->computeKids[ki++]->invertCost;
+        }
+        inv->uncompCost = cost;
+    }
+
+    auto recompute_garbage = [&]() {
+        int g = inv->ancLive ? static_cast<int>(inv->anc.size()) : 0;
+        for (const InvPtr &k : inv->computeKids)
+            g += k->garbage;
+        for (const InvPtr &k : inv->storeKids)
+            g += k->garbage;
+        inv->garbage = g;
+    };
+    recompute_garbage();
+
+    // Measurement-and-reset reclamation (Sec. II-E): no uncompute;
+    // each invocation resets its own ancilla, paying the reset
+    // latency.  Only sound for classical-basis executions.
+    if (cfg_.reclaim == ReclaimPolicy::MeasureReset && !force_reclaim) {
+        if (inv->ancLive) {
+            for (auto it = inv->anc.rbegin(); it != inv->anc.rend();
+                 ++it) {
+                LogicalQubit q = *it;
+                PhysQubit site = layout_.siteOf(q);
+                sched_.occupy(site, cfg_.resetLatency);
+                aqv_.onFree(q, sched_.siteClock(site));
+                layout_.remove(q);
+                heap_.push(site);
+                tee_.onReset(site);
+            }
+            inv->ancLive = false;
+            inv->reclaimed = true; // grounded; never invertible again
+            ++reclaim_count_;
+        }
+        recompute_garbage();
+        inv->invertCost = st.flatEager;
+        return inv;
+    }
+
+    bool do_reclaim = false;
+    if (inv->garbage > 0) {
+        do_reclaim = force_reclaim ||
+                     shouldReclaim(*inv, depth, gates_to_parent_uncompute);
+        if (do_reclaim)
+            ++reclaim_count_;
+        else
+            ++skip_count_;
+    }
+
+    if (do_reclaim) {
+        ++uncompute_depth_;
+        if (m.hasExplicitUncompute()) {
+            std::vector<InvPtr> none;
+            runBlockForward(m.uncompute, b, none, depth,
+                            st.suffixUncompute, true, 0);
+            SQ_ASSERT(none.empty(), "explicit uncompute spawned calls");
+        } else {
+            invertBlock(m.compute, b, inv->computeKids, depth);
+        }
+        --uncompute_depth_;
+        if (inv->ancLive) {
+            freeAncilla(inv->anc);
+            inv->ancLive = false;
+        }
+        inv->reclaimed = true;
+        recompute_garbage();
+    }
+
+    if (inv->reclaimed) {
+        inv->invertCost = st.flatEager;
+    } else {
+        int64_t store_cost = 0;
+        size_t ki = 0;
+        for (const Stmt &s : m.store)
+            store_cost += s.isGate() ? 1 : inv->storeKids[ki++]->invertCost;
+        inv->invertCost = store_cost + inv->uncompCost;
+    }
+    return inv;
+}
+
+void
+Executor::invertInvocation(Invocation &rec,
+                           const std::vector<LogicalQubit> &args, int depth)
+{
+    const Module &m = prog_.module(rec.mod);
+    const ModuleStats &st = analysis_.stats(rec.mod);
+    ++uncompute_depth_;
+
+    if (rec.reclaimed) {
+        // Recursive recomputation: the forward invocation realized
+        // C;S;C^-1, so its inverse is C;S^-1;C^-1 with fresh ancilla.
+        Invocation replay;
+        replay.mod = rec.mod;
+        replay.anc = allocAncillaTracked(rec.mod, args);
+        Binding b{&args, &replay.anc};
+        const bool force_kids = m.hasExplicitUncompute();
+        runBlockForward(m.compute, b, replay.computeKids, depth,
+                        st.suffixCompute, force_kids, /*inherited=*/0);
+        invertBlock(m.store, b, rec.storeKids, depth);
+        invertBlock(m.compute, b, replay.computeKids, depth);
+        if (!replay.anc.empty())
+            freeAncilla(replay.anc);
+    } else {
+        // Garbage consumption: forward realized C;S, so the inverse
+        // S^-1;C^-1 grounds the recorded ancillas.
+        Binding b{&args, &rec.anc};
+        invertBlock(m.store, b, rec.storeKids, depth);
+        if (m.hasExplicitUncompute()) {
+            std::vector<InvPtr> none;
+            runBlockForward(m.uncompute, b, none, depth,
+                            st.suffixUncompute, true, 0);
+        } else {
+            invertBlock(m.compute, b, rec.computeKids, depth);
+        }
+        if (rec.ancLive) {
+            freeAncilla(rec.anc);
+            rec.ancLive = false;
+        }
+        rec.reclaimed = true; // consumed; must not be inverted again
+    }
+
+    int g = 0;
+    for (const InvPtr &k : rec.computeKids)
+        g += k->garbage;
+    for (const InvPtr &k : rec.storeKids)
+        g += k->garbage;
+    rec.garbage = g;
+    --uncompute_depth_;
+}
+
+CompileResult
+Executor::run()
+{
+    const Module &entry = prog_.entryModule();
+    std::vector<LogicalQubit> primaries =
+        alloc_.allocPrimaries(entry.numParams);
+    for (LogicalQubit q : primaries)
+        aqv_.onAlloc(q, 0);
+
+    CompileResult r;
+    r.machineLabel = machine_.label;
+    r.policyLabel = cfg_.name;
+    for (LogicalQubit q : primaries)
+        r.primaryInitialSites.push_back(layout_.siteOf(q));
+
+    InvPtr root = execCall(prog_.entry, primaries, 0, 0, false);
+
+    const int64_t makespan = sched_.makespan();
+    aqv_.finish(makespan);
+
+    for (LogicalQubit q : primaries)
+        r.primaryFinalSites.push_back(layout_.siteOf(q));
+
+    r.aqv = aqv_.aqv();
+    r.qubitsUsed = layout_.sitesTouched();
+    r.peakLive = layout_.peakLive();
+    r.sched = sched_.stats();
+    r.gates = r.sched.totalGates;
+    r.swaps = r.sched.swaps;
+    r.depth = makespan;
+    r.uncomputeIrGates = uncompute_ir_gates_;
+    r.reclaimCount = reclaim_count_;
+    r.skipCount = skip_count_;
+    r.commFactor = sched_.commFactor();
+    r.avgBraidLength = sched_.avgBraidLength();
+    r.usageCurve = aqv_.usageCurve();
+    if (options_.recordTrace)
+        r.trace = recorder_.take();
+    return r;
+}
+
+} // namespace square

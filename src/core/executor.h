@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The instrumentation-driven execution engine (Sec. III-C / IV-B).
+ *
+ * The Executor walks the program's call tree in program order, playing
+ * the role of the instrumented classical executable the paper builds
+ * with LLVM: each Allocate invokes the allocation heuristic, each Free
+ * invokes the reclamation heuristic, and each gate goes to the
+ * scheduler.
+ *
+ * Reclamation semantics (the correctness contract tested by the
+ * functional simulator):
+ *
+ *  - a module invocation is Compute C, Store S, then a Free decision;
+ *  - reclaim:   run C^-1 (or the explicit Uncompute block); own
+ *               ancillas return to |0> and are pushed on the heap;
+ *  - keep:      ancillas become garbage recorded in the invocation
+ *               record, handed to the parent (qubit reservation);
+ *  - inverting a completed invocation (while an ancestor uncomputes):
+ *      reclaimed case:  fresh-allocate, run C, S^-1, C^-1, free
+ *                       (recursive recomputation - the 2^l cost);
+ *      garbage case:    run S^-1 then C^-1 consuming the recorded
+ *                       ancillas, which end in |0> and are freed.
+ *
+ * Explicit Uncompute{} blocks contain only gates (validated); when a
+ * module with an explicit block has calls in its compute block, those
+ * callees are forced to reclaim so the gate-level inverse is sound.
+ */
+
+#ifndef SQUARE_CORE_EXECUTOR_H
+#define SQUARE_CORE_EXECUTOR_H
+
+#include <memory>
+#include <vector>
+
+#include "arch/layout.h"
+#include "core/allocator.h"
+#include "core/cer.h"
+#include "core/compiler.h"
+#include "core/heap.h"
+#include "ir/analysis.h"
+
+namespace square {
+
+/** One compilation run; single-use. */
+class Executor
+{
+  public:
+    Executor(const Program &prog, const Machine &machine,
+             const SquareConfig &cfg, const CompileOptions &options);
+
+    /** Execute the program and collect the result. */
+    CompileResult run();
+
+  private:
+    /** Record of one completed forward invocation. */
+    struct Invocation
+    {
+        ModuleId mod = kNoModule;
+        std::vector<LogicalQubit> anc;
+        bool reclaimed = false;
+        bool ancLive = false;
+        /** Children per block, in forward execution order. */
+        std::vector<std::unique_ptr<Invocation>> computeKids;
+        std::vector<std::unique_ptr<Invocation>> storeKids;
+        /** Estimated gates to undo this invocation's compute block. */
+        int64_t uncompCost = 0;
+        /** Estimated gates to invert the whole invocation later. */
+        int64_t invertCost = 0;
+        /** Garbage qubits this invocation hands to its parent. */
+        int garbage = 0;
+    };
+
+    using InvPtr = std::unique_ptr<Invocation>;
+
+    /** Current virtual-register bindings for one executing frame. */
+    struct Binding
+    {
+        const std::vector<LogicalQubit> *params;
+        const std::vector<LogicalQubit> *anc;
+    };
+
+    /** Resolve a virtual qubit ref against a frame's bindings. */
+    LogicalQubit
+    resolve(const Binding &b, const QubitRef &q) const
+    {
+        return q.isParam() ? (*b.params)[static_cast<size_t>(q.index)]
+                           : (*b.anc)[static_cast<size_t>(q.index)];
+    }
+
+    /** Forward call: allocate, compute, store, Free decision. */
+    InvPtr execCall(ModuleId id, const std::vector<LogicalQubit> &args,
+                    int depth, int64_t gates_to_parent_uncompute,
+                    bool force_reclaim);
+
+    /**
+     * Execute a block forward, recording call children into @p kids.
+     * @p inherited_gates is the enclosing frame's own
+     * gates-to-reclamation estimate, folded into each child's G_p
+     * (scaled by cfg.holdHorizon).
+     */
+    void runBlockForward(const std::vector<Stmt> &block, const Binding &b,
+                         std::vector<InvPtr> &kids, int depth,
+                         const std::vector<int64_t> &suffix,
+                         bool force_kids, int64_t inherited_gates);
+
+    /** Execute the inverse of a block, consuming @p kids in reverse. */
+    void invertBlock(const std::vector<Stmt> &block, const Binding &b,
+                     std::vector<InvPtr> &kids, int depth);
+
+    /** Undo a completed invocation per its record (see file header). */
+    void invertInvocation(Invocation &rec,
+                          const std::vector<LogicalQubit> &args, int depth);
+
+    /** The Free decision for @p inv at @p depth. */
+    bool shouldReclaim(const Invocation &inv, int depth,
+                       int64_t gates_to_parent_uncompute);
+
+    /** Allocate and AQV-track the ancillas of one invocation. */
+    std::vector<LogicalQubit> allocAncillaTracked(
+        ModuleId id, const std::vector<LogicalQubit> &args);
+
+    /** Free a set of ancillas to the heap, closing AQV segments. */
+    void freeAncilla(std::vector<LogicalQubit> &anc);
+
+    /** Apply one gate statement (possibly inverted). */
+    void execGate(const Stmt &s, const Binding &b, bool inverse);
+
+    /** Invocation ready time: max clock over its argument qubits. */
+    int64_t readyTime(const std::vector<LogicalQubit> &args) const;
+
+    const Program &prog_;
+    const Machine &machine_;
+    const SquareConfig &cfg_;
+    const CompileOptions &options_;
+    ProgramAnalysis analysis_;
+    Layout layout_;
+    AncillaHeap heap_;
+    TeeTrace tee_;
+    VectorTrace recorder_;
+    GateScheduler sched_;
+    Allocator alloc_;
+    AqvTracker aqv_;
+
+    int64_t uncompute_ir_gates_ = 0;
+    int uncompute_depth_ = 0; ///< >0 while executing uncompute/inverse
+    int reclaim_count_ = 0;
+    int skip_count_ = 0;
+    size_t forced_idx_ = 0; ///< cursor into cfg.forcedDecisions
+};
+
+} // namespace square
+
+#endif // SQUARE_CORE_EXECUTOR_H

@@ -1,0 +1,73 @@
+#include "core/heap.h"
+
+#include "common/logging.h"
+
+namespace square {
+
+void
+AncillaHeap::push(PhysQubit site)
+{
+    SQ_ASSERT(!contains(site), "site already in ancilla heap");
+    stack_.push_back(site);
+    pos_[site] = stack_.size() - 1;
+    ++live_count_;
+}
+
+PhysQubit
+AncillaHeap::popLifo()
+{
+    while (!stack_.empty()) {
+        PhysQubit site = stack_.back();
+        stack_.pop_back();
+        if (site == kTombstone)
+            continue;
+        pos_.erase(site);
+        --live_count_;
+        return site;
+    }
+    panic("popLifo on empty ancilla heap");
+}
+
+void
+AncillaHeap::take(PhysQubit site)
+{
+    auto it = pos_.find(site);
+    SQ_ASSERT(it != pos_.end(), "taking a site not in the heap");
+    stack_[it->second] = kTombstone;
+    pos_.erase(it);
+    --live_count_;
+    if (static_cast<int>(stack_.size()) > 4 * live_count_ + 16)
+        compact();
+}
+
+void
+AncillaHeap::compact()
+{
+    std::vector<PhysQubit> fresh;
+    fresh.reserve(static_cast<size_t>(live_count_));
+    for (PhysQubit s : stack_) {
+        if (s != kTombstone)
+            fresh.push_back(s);
+    }
+    stack_ = std::move(fresh);
+    pos_.clear();
+    for (size_t i = 0; i < stack_.size(); ++i)
+        pos_[stack_[i]] = i;
+}
+
+void
+AncillaHeap::onSwap(PhysQubit a, PhysQubit b, const Layout &layout)
+{
+    // After the swap, membership must match "free and ever-used".
+    for (PhysQubit s : {a, b}) {
+        bool should = layout.isFree(s) && layout.everUsed(s);
+        bool has = contains(s);
+        if (should && !has) {
+            push(s);
+        } else if (!should && has) {
+            take(s);
+        }
+    }
+}
+
+} // namespace square

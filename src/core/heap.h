@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The ancilla heap: the pool of reclaimed |0> sites (Sec. III-A).
+ *
+ * Sites enter the heap when uncomputation (or garbage consumption during
+ * inverse replay) returns them to |0>; allocations either pop from the
+ * heap or claim brand-new sites.  Swap chains can relocate free sites
+ * (swapping a live qubit with an empty site leaves the |0> behind on the
+ * other side), so the heap listens to layout swap events to keep its
+ * site ids current.
+ */
+
+#ifndef SQUARE_CORE_HEAP_H
+#define SQUARE_CORE_HEAP_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "arch/layout.h"
+
+namespace square {
+
+/** LIFO pool of reclaimed sites with by-site removal. */
+class AncillaHeap
+{
+  public:
+    /** Number of sites currently in the heap. */
+    int size() const { return live_count_; }
+
+    bool empty() const { return live_count_ == 0; }
+
+    /** True when @p site is in the heap. */
+    bool contains(PhysQubit site) const { return pos_.count(site) > 0; }
+
+    /** Add a reclaimed site (must not already be present). */
+    void push(PhysQubit site);
+
+    /** Pop the most recently reclaimed site (fatal when empty). */
+    PhysQubit popLifo();
+
+    /** Remove a specific site (used by locality-aware allocation). */
+    void take(PhysQubit site);
+
+    /**
+     * Layout swap notification: when a swap relocates an empty |0>
+     * site, rename the heap entry to the new location.
+     */
+    void onSwap(PhysQubit a, PhysQubit b, const Layout &layout);
+
+  private:
+    void compact();
+
+    static constexpr PhysQubit kTombstone = -2;
+
+    std::vector<PhysQubit> stack_;
+    std::unordered_map<PhysQubit, size_t> pos_;
+    int live_count_ = 0;
+};
+
+} // namespace square
+
+#endif // SQUARE_CORE_HEAP_H

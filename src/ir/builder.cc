@@ -1,0 +1,92 @@
+#include "ir/builder.h"
+
+#include "common/logging.h"
+#include "ir/validate.h"
+
+namespace square {
+
+Module &
+ModuleBuilder::mod()
+{
+    return owner_->prog_.module(id_);
+}
+
+ModuleBuilder &
+ModuleBuilder::gate(GateKind kind, std::initializer_list<QubitRef> ops)
+{
+    if (static_cast<int>(ops.size()) != gateArity(kind)) {
+        fatal("gate ", gateName(kind), " expects ", gateArity(kind),
+              " operands, got ", ops.size());
+    }
+    std::array<QubitRef, 3> packed{};
+    int i = 0;
+    for (const auto &q : ops)
+        packed[i++] = q;
+    Stmt s = Stmt::makeGate(kind, packed);
+    Module &m = mod();
+    switch (block_) {
+      case BlockKind::Compute: m.compute.push_back(std::move(s)); break;
+      case BlockKind::Store: m.store.push_back(std::move(s)); break;
+      case BlockKind::Uncompute: m.uncompute.push_back(std::move(s)); break;
+    }
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::call(ModuleId callee, std::vector<QubitRef> args)
+{
+    Stmt s = Stmt::makeCall(callee, std::move(args));
+    Module &m = mod();
+    switch (block_) {
+      case BlockKind::Compute: m.compute.push_back(std::move(s)); break;
+      case BlockKind::Store: m.store.push_back(std::move(s)); break;
+      case BlockKind::Uncompute: m.uncompute.push_back(std::move(s)); break;
+    }
+    return *this;
+}
+
+ModuleBuilder
+ProgramBuilder::module(const std::string &name, int num_params,
+                       int num_ancilla)
+{
+    if (num_params < 0 || num_ancilla < 0)
+        fatal("module ", name, ": negative register counts");
+    if (prog_.findModule(name) != kNoModule)
+        fatal("duplicate module name: ", name);
+    Module m;
+    m.name = name;
+    m.numParams = num_params;
+    m.numAncilla = num_ancilla;
+    prog_.modules.push_back(std::move(m));
+    return ModuleBuilder(this,
+                         static_cast<ModuleId>(prog_.modules.size() - 1));
+}
+
+ModuleId
+ProgramBuilder::tryFindModule(const std::string &name) const
+{
+    return prog_.findModule(name);
+}
+
+ModuleId
+ProgramBuilder::findModule(const std::string &name) const
+{
+    ModuleId id = prog_.findModule(name);
+    if (id == kNoModule)
+        fatal("unknown module: ", name);
+    return id;
+}
+
+Program
+ProgramBuilder::build(const std::string &entry_name)
+{
+    prog_.entry = prog_.findModule(entry_name);
+    if (prog_.entry == kNoModule)
+        fatal("entry module not found: ", entry_name);
+    validateProgram(prog_);
+    Program out = std::move(prog_);
+    prog_ = Program{};
+    return out;
+}
+
+} // namespace square

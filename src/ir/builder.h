@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Fluent construction of SQUARE IR programs from C++.
+ *
+ * This is the embedded-DSL front end that replaces the paper's Scaffold
+ * source language for programmatic workload generation:
+ *
+ * @code
+ *   ProgramBuilder pb;
+ *   auto maj = pb.module("maj", 3, 0);
+ *   maj.cnot(maj.p(2), maj.p(1))
+ *      .cnot(maj.p(2), maj.p(0))
+ *      .toffoli(maj.p(0), maj.p(1), maj.p(2));
+ *   auto top = pb.module("main", 4, 1);
+ *   top.call(maj.id(), {top.p(0), top.p(1), top.p(2)});
+ *   Program prog = pb.build("main");
+ * @endcode
+ *
+ * Statements are appended to the module's Compute block by default;
+ * inStore() / inUncompute() switch the target block (mirroring the
+ * Compute{} / Store{} / Uncompute{} syntax of Fig. 6).
+ */
+
+#ifndef SQUARE_IR_BUILDER_H
+#define SQUARE_IR_BUILDER_H
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace square {
+
+class ProgramBuilder;
+
+/** Fluent handle appending statements to one module under construction. */
+class ModuleBuilder
+{
+  public:
+    /** Id of the module being built. */
+    ModuleId id() const { return id_; }
+
+    /** Reference to parameter @p i. */
+    QubitRef p(int i) const { return QubitRef::param(i); }
+    /** Reference to local ancilla @p i. */
+    QubitRef a(int i) const { return QubitRef::ancilla(i); }
+
+    /** Switch statement emission to the Compute block (the default). */
+    ModuleBuilder &inCompute() { block_ = BlockKind::Compute; return *this; }
+    /** Switch statement emission to the Store block. */
+    ModuleBuilder &inStore() { block_ = BlockKind::Store; return *this; }
+    /** Switch emission to an explicit Uncompute block. */
+    ModuleBuilder &
+    inUncompute()
+    {
+        block_ = BlockKind::Uncompute;
+        return *this;
+    }
+
+    /** Append an arbitrary gate. */
+    ModuleBuilder &gate(GateKind kind, std::initializer_list<QubitRef> ops);
+
+    ModuleBuilder &x(QubitRef q) { return gate(GateKind::X, {q}); }
+    ModuleBuilder &h(QubitRef q) { return gate(GateKind::H, {q}); }
+    ModuleBuilder &t(QubitRef q) { return gate(GateKind::T, {q}); }
+    ModuleBuilder &tdg(QubitRef q) { return gate(GateKind::Tdg, {q}); }
+
+    ModuleBuilder &
+    cnot(QubitRef ctrl, QubitRef tgt)
+    {
+        return gate(GateKind::CNOT, {ctrl, tgt});
+    }
+
+    ModuleBuilder &
+    toffoli(QubitRef c0, QubitRef c1, QubitRef tgt)
+    {
+        return gate(GateKind::Toffoli, {c0, c1, tgt});
+    }
+
+    ModuleBuilder &
+    swapg(QubitRef q0, QubitRef q1)
+    {
+        return gate(GateKind::Swap, {q0, q1});
+    }
+
+    /** Append a call to @p callee with the given argument refs. */
+    ModuleBuilder &call(ModuleId callee, std::vector<QubitRef> args);
+
+  private:
+    friend class ProgramBuilder;
+
+    ModuleBuilder(ProgramBuilder *owner, ModuleId id)
+        : owner_(owner), id_(id)
+    {}
+
+    Module &mod();
+
+    ProgramBuilder *owner_;
+    ModuleId id_;
+    BlockKind block_ = BlockKind::Compute;
+};
+
+/** Accumulates modules and produces a validated Program. */
+class ProgramBuilder
+{
+  public:
+    /**
+     * Start a new module.
+     *
+     * @param name      unique module name
+     * @param num_params number of qubit parameters
+     * @param num_ancilla number of local ancilla qubits
+     */
+    ModuleBuilder module(const std::string &name, int num_params,
+                         int num_ancilla);
+
+    /** Find a previously declared module by name (fatal if absent). */
+    ModuleId findModule(const std::string &name) const;
+
+    /** Like findModule() but returns kNoModule when absent. */
+    ModuleId tryFindModule(const std::string &name) const;
+
+    /**
+     * Finalize: set the entry module, run structural validation, and
+     * return the finished program.  The builder is left empty.
+     */
+    Program build(const std::string &entry_name);
+
+  private:
+    friend class ModuleBuilder;
+
+    Program prog_;
+};
+
+} // namespace square
+
+#endif // SQUARE_IR_BUILDER_H

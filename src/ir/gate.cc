@@ -1,0 +1,86 @@
+#include "ir/gate.h"
+
+#include "common/logging.h"
+
+namespace square {
+
+namespace {
+
+struct GateInfo
+{
+    std::string_view name;
+    int arity;
+    bool classical;
+    GateKind inverse;
+};
+
+constexpr int kNumKinds = static_cast<int>(GateKind::NumKinds);
+
+const GateInfo kGateTable[kNumKinds] = {
+    /* X       */ {"X", 1, true, GateKind::X},
+    /* CNOT    */ {"CNOT", 2, true, GateKind::CNOT},
+    /* Toffoli */ {"Toffoli", 3, true, GateKind::Toffoli},
+    /* Swap    */ {"Swap", 2, true, GateKind::Swap},
+    /* H       */ {"H", 1, false, GateKind::H},
+    /* Z       */ {"Z", 1, false, GateKind::Z},
+    /* S       */ {"S", 1, false, GateKind::Sdg},
+    /* Sdg     */ {"Sdg", 1, false, GateKind::S},
+    /* T       */ {"T", 1, false, GateKind::Tdg},
+    /* Tdg     */ {"Tdg", 1, false, GateKind::T},
+    /* CZ      */ {"CZ", 2, false, GateKind::CZ},
+};
+
+const GateInfo &
+info(GateKind kind)
+{
+    int idx = static_cast<int>(kind);
+    SQ_ASSERT(idx >= 0 && idx < kNumKinds, "gate kind out of range");
+    return kGateTable[idx];
+}
+
+} // namespace
+
+int
+gateArity(GateKind kind)
+{
+    return info(kind).arity;
+}
+
+bool
+gateIsClassical(GateKind kind)
+{
+    return info(kind).classical;
+}
+
+GateKind
+gateInverse(GateKind kind)
+{
+    return info(kind).inverse;
+}
+
+std::string_view
+gateName(GateKind kind)
+{
+    return info(kind).name;
+}
+
+bool
+gateFromName(std::string_view name, GateKind &out)
+{
+    for (int i = 0; i < kNumKinds; ++i) {
+        if (kGateTable[i].name == name) {
+            out = static_cast<GateKind>(i);
+            return true;
+        }
+    }
+    if (name == "NOT") { out = GateKind::X; return true; }
+    if (name == "CX") { out = GateKind::CNOT; return true; }
+    if (name == "CCNOT" || name == "CCX") {
+        out = GateKind::Toffoli;
+        return true;
+    }
+    if (name == "SWAP") { out = GateKind::Swap; return true; }
+    return false;
+}
+
+} // namespace square

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Gate vocabulary of the SQUARE intermediate representation.
+ *
+ * The IR keeps reversible-arithmetic circuits at the Toffoli level of
+ * abstraction (X / CNOT / Toffoli / SWAP); the scheduler may later lower
+ * Toffoli and SWAP to Clifford+T per the target machine.  Non-classical
+ * gates (H, S, T, ...) are representable so that decomposition output and
+ * full quantum examples share the same data structures, but compute
+ * blocks that are subject to uncomputation must be classical-reversible
+ * (checked by ir/validate).
+ */
+
+#ifndef SQUARE_IR_GATE_H
+#define SQUARE_IR_GATE_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace square {
+
+/** Kinds of primitive gates representable in the IR. */
+enum class GateKind : uint8_t {
+    X,        ///< Pauli-X (NOT)
+    CNOT,     ///< controlled-NOT
+    Toffoli,  ///< controlled-controlled-NOT (CCX)
+    Swap,     ///< two-qubit SWAP
+    H,        ///< Hadamard
+    Z,        ///< Pauli-Z
+    S,        ///< phase gate sqrt(Z)
+    Sdg,      ///< inverse phase gate
+    T,        ///< pi/8 gate
+    Tdg,      ///< inverse T
+    CZ,       ///< controlled-Z
+    NumKinds
+};
+
+/** Number of qubit operands the gate takes. */
+int gateArity(GateKind kind);
+
+/** True if the gate implements classical reversible logic. */
+bool gateIsClassical(GateKind kind);
+
+/** The gate kind realizing the inverse unitary. */
+GateKind gateInverse(GateKind kind);
+
+/** Canonical mnemonic, e.g. "Toffoli". */
+std::string_view gateName(GateKind kind);
+
+/**
+ * Parse a mnemonic into a gate kind (case-sensitive; accepts the aliases
+ * "NOT" for X and "CCNOT"/"CCX" for Toffoli and "CX" for CNOT).
+ *
+ * @return true on success.
+ */
+bool gateFromName(std::string_view name, GateKind &out);
+
+} // namespace square
+
+#endif // SQUARE_IR_GATE_H

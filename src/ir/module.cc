@@ -1,0 +1,31 @@
+#include "ir/module.h"
+
+#include <algorithm>
+
+namespace square {
+
+ModuleId
+Program::findModule(std::string_view name) const
+{
+    for (size_t i = 0; i < modules.size(); ++i) {
+        if (modules[i].name == name)
+            return static_cast<ModuleId>(i);
+    }
+    return kNoModule;
+}
+
+std::vector<Stmt>
+invertedBlock(const std::vector<Stmt> &block)
+{
+    std::vector<Stmt> out;
+    out.reserve(block.size());
+    for (auto it = block.rbegin(); it != block.rend(); ++it) {
+        Stmt s = *it;
+        if (s.isGate())
+            s.gate = gateInverse(s.gate);
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+} // namespace square

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Modules, statements and programs: the SQUARE IR.
+ *
+ * A Module mirrors the paper's compute-store-uncompute construct
+ * (Fig. 6): a number of qubit parameters, a number of local ancilla
+ * (Allocate/Free markers are implicit at module entry/exit), a Compute
+ * block, a Store block, and an optional explicit Uncompute block (when
+ * absent the compiler synthesizes the inverse of Compute, i.e. the
+ * Inverse() idiom from the paper).
+ *
+ * The reclamation heuristic decides per *invocation* whether the
+ * uncompute block executes (reclaiming the ancilla to the heap) or is
+ * skipped (leaving the ancilla as garbage transferred to the parent).
+ */
+
+#ifndef SQUARE_IR_MODULE_H
+#define SQUARE_IR_MODULE_H
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "ir/gate.h"
+#include "ir/qubit.h"
+
+namespace square {
+
+/** Index of a module within its Program. */
+using ModuleId = int32_t;
+
+/** Sentinel for "no module". */
+inline constexpr ModuleId kNoModule = -1;
+
+/**
+ * One statement in a module body: either a primitive gate or a call to
+ * another module.  Gates store operands inline (max arity 3); calls keep
+ * their argument list out of line.
+ */
+struct Stmt
+{
+    enum class Kind : uint8_t { Gate, Call };
+
+    Kind kind = Kind::Gate;
+
+    // -- Gate payload ------------------------------------------------
+    GateKind gate = GateKind::X;
+    std::array<QubitRef, 3> operands{};
+
+    // -- Call payload ------------------------------------------------
+    ModuleId callee = kNoModule;
+    std::vector<QubitRef> args;
+
+    /** Build a gate statement (operand count must match gate arity). */
+    static Stmt
+    makeGate(GateKind g, std::array<QubitRef, 3> ops)
+    {
+        Stmt s;
+        s.kind = Kind::Gate;
+        s.gate = g;
+        s.operands = ops;
+        return s;
+    }
+
+    /** Build a call statement. */
+    static Stmt
+    makeCall(ModuleId callee, std::vector<QubitRef> args)
+    {
+        Stmt s;
+        s.kind = Kind::Call;
+        s.callee = callee;
+        s.args = std::move(args);
+        return s;
+    }
+
+    bool isGate() const { return kind == Kind::Gate; }
+    bool isCall() const { return kind == Kind::Call; }
+};
+
+/** The three block roles inside a module body. */
+enum class BlockKind : uint8_t { Compute, Store, Uncompute };
+
+/**
+ * A callable unit of the program.
+ *
+ * Parameters are virtual qubits supplied by the caller; ancillas are
+ * allocated on entry and (depending on the reclamation decision) either
+ * reclaimed on exit or handed to the caller as garbage.
+ */
+struct Module
+{
+    std::string name;
+    int numParams = 0;
+    int numAncilla = 0;
+
+    /** Forward computation (must be classical-reversible). */
+    std::vector<Stmt> compute;
+    /** Result extraction; never uncomputed by this module. */
+    std::vector<Stmt> store;
+    /**
+     * Explicit uncompute block.  Empty means "auto": the compiler uses
+     * the reversed, gate-inverted compute block.
+     */
+    std::vector<Stmt> uncompute;
+
+    /** Total virtual qubits visible in this module. */
+    int numLocal() const { return numParams + numAncilla; }
+
+    bool hasExplicitUncompute() const { return !uncompute.empty(); }
+};
+
+/**
+ * A complete modular program: a set of modules plus a designated entry
+ * module.  The entry module's parameters are the program's primary
+ * (input/output) qubits, live for the whole execution.
+ */
+struct Program
+{
+    std::vector<Module> modules;
+    ModuleId entry = kNoModule;
+
+    const Module &
+    module(ModuleId id) const
+    {
+        return modules.at(static_cast<size_t>(id));
+    }
+
+    Module &
+    module(ModuleId id)
+    {
+        return modules.at(static_cast<size_t>(id));
+    }
+
+    const Module &entryModule() const { return module(entry); }
+
+    /** Find a module by name; returns kNoModule if absent. */
+    ModuleId findModule(std::string_view name) const;
+
+    /** Number of primary (entry-parameter) qubits. */
+    int numPrimary() const { return entryModule().numParams; }
+};
+
+/**
+ * Produce the statement sequence realizing the inverse of @p block:
+ * statements reversed, gates replaced by their inverses.  Calls are kept
+ * as-is (marked by position); the executor interprets a call encountered
+ * during inverse execution as "invert the callee".
+ */
+std::vector<Stmt> invertedBlock(const std::vector<Stmt> &block);
+
+} // namespace square
+
+#endif // SQUARE_IR_MODULE_H

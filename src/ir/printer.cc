@@ -1,0 +1,97 @@
+#include "ir/printer.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace square {
+
+namespace {
+
+void
+printRef(std::ostream &os, const QubitRef &q)
+{
+    if (q.isParam())
+        os << "q" << q.index;
+    else
+        os << "anc[" << q.index << "]";
+}
+
+void
+printStmt(std::ostream &os, const Program &prog, const Stmt &s,
+          const char *indent)
+{
+    os << indent;
+    if (s.isGate()) {
+        os << gateName(s.gate) << "(";
+        int arity = gateArity(s.gate);
+        for (int i = 0; i < arity; ++i) {
+            if (i)
+                os << ", ";
+            printRef(os, s.operands[i]);
+        }
+        os << ");\n";
+    } else {
+        os << "call " << prog.module(s.callee).name << "(";
+        for (size_t i = 0; i < s.args.size(); ++i) {
+            if (i)
+                os << ", ";
+            printRef(os, s.args[i]);
+        }
+        os << ");\n";
+    }
+}
+
+void
+printBlock(std::ostream &os, const Program &prog, const char *label,
+           const std::vector<Stmt> &block)
+{
+    if (block.empty())
+        return;
+    os << "  " << label << " {\n";
+    for (const Stmt &s : block)
+        printStmt(os, prog, s, "    ");
+    os << "  }\n";
+}
+
+} // namespace
+
+void
+printProgram(const Program &prog, std::ostream &os)
+{
+    for (size_t i = 0; i < prog.modules.size(); ++i) {
+        const Module &m = prog.modules[i];
+        os << "module " << m.name << "(";
+        for (int p = 0; p < m.numParams; ++p) {
+            if (p)
+                os << ", ";
+            os << "q" << p;
+        }
+        os << ")";
+        if (m.numAncilla > 0)
+            os << " ancilla " << m.numAncilla;
+        os << " {\n";
+        printBlock(os, prog, "Compute", m.compute);
+        printBlock(os, prog, "Store", m.store);
+        if (m.hasExplicitUncompute()) {
+            printBlock(os, prog, "Uncompute", m.uncompute);
+        } else if (!m.compute.empty()) {
+            os << "  Uncompute auto;\n";
+        }
+        os << "}\n";
+        if (i + 1 < prog.modules.size())
+            os << "\n";
+    }
+    os << "\nentry " << prog.entryModule().name << ";\n";
+}
+
+std::string
+printProgram(const Program &prog)
+{
+    std::ostringstream os;
+    printProgram(prog, os);
+    return os.str();
+}
+
+} // namespace square

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Textual serialization of IR programs in mini-Scaffold syntax.
+ *
+ * The emitted text is re-parsable by lang/parser (round-trip property is
+ * unit-tested).  Example output:
+ *
+ * @code
+ *   module fun1(q0, q1, q2) ancilla 1 {
+ *     Compute {
+ *       Toffoli(q0, q1, q2);
+ *       CNOT(q2, anc[0]);
+ *     }
+ *     Store {
+ *       CNOT(anc[0], q0);
+ *     }
+ *     Uncompute auto;
+ *   }
+ * @endcode
+ */
+
+#ifndef SQUARE_IR_PRINTER_H
+#define SQUARE_IR_PRINTER_H
+
+#include <iosfwd>
+#include <string>
+
+#include "ir/module.h"
+
+namespace square {
+
+/** Serialize @p prog as mini-Scaffold text. */
+std::string printProgram(const Program &prog);
+
+/** Stream variant of printProgram(). */
+void printProgram(const Program &prog, std::ostream &os);
+
+} // namespace square
+
+#endif // SQUARE_IR_PRINTER_H

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * References to qubits inside a module body.
+ *
+ * A module sees two virtual register spaces: its input parameters
+ * (provided by the caller) and its local ancilla (allocated at module
+ * entry, released at module exit).  QubitRef names one slot of either
+ * space; the executor resolves refs to physical qubits per invocation.
+ */
+
+#ifndef SQUARE_IR_QUBIT_H
+#define SQUARE_IR_QUBIT_H
+
+#include <cstdint>
+#include <functional>
+
+namespace square {
+
+/** A reference to a virtual qubit within a module. */
+struct QubitRef
+{
+    /** Which register space the reference names. */
+    enum class Space : uint8_t { Param, Ancilla };
+
+    Space space = Space::Param;
+    int32_t index = 0;
+
+    /** Make a reference to parameter @p i. */
+    static QubitRef param(int i) { return {Space::Param, i}; }
+    /** Make a reference to local ancilla @p i. */
+    static QubitRef ancilla(int i) { return {Space::Ancilla, i}; }
+
+    bool isParam() const { return space == Space::Param; }
+    bool isAncilla() const { return space == Space::Ancilla; }
+
+    bool
+    operator==(const QubitRef &other) const
+    {
+        return space == other.space && index == other.index;
+    }
+
+    /**
+     * Flat local index inside a module with @p num_params parameters:
+     * params occupy [0, P), ancillas [P, P + A).
+     */
+    int
+    local(int num_params) const
+    {
+        return isParam() ? index : num_params + index;
+    }
+};
+
+/** Identifier of a physical (machine) qubit. */
+using PhysQubit = int32_t;
+
+/** Sentinel for "no physical qubit". */
+inline constexpr PhysQubit kNoQubit = -1;
+
+} // namespace square
+
+template <>
+struct std::hash<square::QubitRef>
+{
+    size_t
+    operator()(const square::QubitRef &q) const noexcept
+    {
+        return std::hash<int64_t>()(
+            (static_cast<int64_t>(q.space) << 32) | (uint32_t)q.index);
+    }
+};
+
+#endif // SQUARE_IR_QUBIT_H

@@ -1,0 +1,137 @@
+#include "ir/validate.h"
+
+#include <vector>
+
+#include "common/logging.h"
+
+namespace square {
+
+namespace {
+
+void
+checkRef(const Module &m, const QubitRef &q)
+{
+    if (q.isParam()) {
+        if (q.index < 0 || q.index >= m.numParams) {
+            fatal("module ", m.name, ": parameter ref ", q.index,
+                  " out of range [0, ", m.numParams, ")");
+        }
+    } else {
+        if (q.index < 0 || q.index >= m.numAncilla) {
+            fatal("module ", m.name, ": ancilla ref ", q.index,
+                  " out of range [0, ", m.numAncilla, ")");
+        }
+    }
+}
+
+void
+checkBlock(const Program &prog, const Module &m,
+           const std::vector<Stmt> &block, BlockKind kind)
+{
+    const bool must_be_classical =
+        kind == BlockKind::Compute || kind == BlockKind::Uncompute;
+    for (const Stmt &s : block) {
+        if (s.isGate()) {
+            int arity = gateArity(s.gate);
+            for (int i = 0; i < arity; ++i) {
+                checkRef(m, s.operands[i]);
+                for (int j = i + 1; j < arity; ++j) {
+                    if (s.operands[i] == s.operands[j]) {
+                        fatal("module ", m.name, ": gate ",
+                              gateName(s.gate),
+                              " has duplicate operands");
+                    }
+                }
+            }
+            if (must_be_classical && !gateIsClassical(s.gate)) {
+                fatal("module ", m.name, ": non-classical gate ",
+                      gateName(s.gate),
+                      " in a compute/uncompute block cannot be "
+                      "uncomputed");
+            }
+        } else {
+            if (kind == BlockKind::Uncompute) {
+                // Explicit uncompute blocks are gate-level inverses;
+                // calls there would bypass the executor's invocation
+                // records and corrupt garbage accounting.
+                fatal("module ", m.name,
+                      ": calls are not allowed in explicit Uncompute "
+                      "blocks (use Uncompute auto)");
+            }
+            if (s.callee < 0 ||
+                s.callee >= static_cast<ModuleId>(prog.modules.size())) {
+                fatal("module ", m.name, ": call to undefined module id ",
+                      s.callee);
+            }
+            const Module &callee = prog.module(s.callee);
+            if (static_cast<int>(s.args.size()) != callee.numParams) {
+                fatal("module ", m.name, ": call to ", callee.name,
+                      " passes ", s.args.size(), " args, expected ",
+                      callee.numParams);
+            }
+            for (size_t i = 0; i < s.args.size(); ++i) {
+                checkRef(m, s.args[i]);
+                for (size_t j = i + 1; j < s.args.size(); ++j) {
+                    if (s.args[i] == s.args[j]) {
+                        fatal("module ", m.name, ": call to ", callee.name,
+                              " passes the same qubit twice "
+                              "(no-cloning violation)");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/** DFS cycle detection over the call graph. */
+enum class Mark : uint8_t { White, Grey, Black };
+
+void
+dfs(const Program &prog, ModuleId id, std::vector<Mark> &marks)
+{
+    marks[id] = Mark::Grey;
+    const Module &m = prog.module(id);
+    auto visit_block = [&](const std::vector<Stmt> &block) {
+        for (const Stmt &s : block) {
+            if (!s.isCall())
+                continue;
+            if (marks[s.callee] == Mark::Grey) {
+                fatal("recursive call cycle through module ",
+                      prog.module(s.callee).name,
+                      " (recursion is not expressible in reversible "
+                      "modular programs)");
+            }
+            if (marks[s.callee] == Mark::White)
+                dfs(prog, s.callee, marks);
+        }
+    };
+    visit_block(m.compute);
+    visit_block(m.store);
+    visit_block(m.uncompute);
+    marks[id] = Mark::Black;
+}
+
+} // namespace
+
+void
+validateProgram(const Program &prog)
+{
+    if (prog.entry == kNoModule)
+        fatal("program has no entry module");
+    if (prog.modules.empty())
+        fatal("program has no modules");
+
+    for (const Module &m : prog.modules) {
+        checkBlock(prog, m, m.compute, BlockKind::Compute);
+        checkBlock(prog, m, m.store, BlockKind::Store);
+        checkBlock(prog, m, m.uncompute, BlockKind::Uncompute);
+    }
+
+    std::vector<Mark> marks(prog.modules.size(), Mark::White);
+    for (size_t i = 0; i < prog.modules.size(); ++i) {
+        if (marks[i] == Mark::White)
+            dfs(prog, static_cast<ModuleId>(i), marks);
+    }
+}
+
+} // namespace square

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Structural validation of SQUARE IR programs.
+ */
+
+#ifndef SQUARE_IR_VALIDATE_H
+#define SQUARE_IR_VALIDATE_H
+
+#include "ir/module.h"
+
+namespace square {
+
+/**
+ * Check a program's structural well-formedness; calls fatal() on the
+ * first violation.  Checks performed:
+ *
+ *  - an entry module is designated;
+ *  - every gate statement has distinct, in-range operands;
+ *  - every call targets a valid module with a matching, duplicate-free
+ *    argument list;
+ *  - the call graph is acyclic (no recursion — required for the
+ *    compute/uncompute replay semantics);
+ *  - compute and uncompute blocks contain only classical-reversible
+ *    gates (X / CNOT / Toffoli / SWAP), the precondition for
+ *    uncomputation (Sec. II-D of the paper);
+ *  - modules with a non-empty uncompute block and zero ancilla are
+ *    rejected (nothing to reclaim).
+ */
+void validateProgram(const Program &prog);
+
+} // namespace square
+
+#endif // SQUARE_IR_VALIDATE_H

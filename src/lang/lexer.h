@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Tokenizer for the mini-Scaffold surface language.
+ *
+ * The language reproduces the paper's compute-store-uncompute syntactical
+ * construct (Fig. 6) in a standalone text format:
+ *
+ * @code
+ *   module fun1(a, b, out) ancilla 1 {
+ *     Compute {
+ *       Toffoli(a, b, anc[0]);
+ *     }
+ *     Store {
+ *       CNOT(anc[0], out);
+ *     }
+ *     Uncompute auto;
+ *   }
+ *   entry fun1;
+ * @endcode
+ */
+
+#ifndef SQUARE_LANG_LEXER_H
+#define SQUARE_LANG_LEXER_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace square {
+
+/** Token categories of the mini-Scaffold language. */
+enum class TokKind : uint8_t {
+    Ident,
+    Int,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    End
+};
+
+/** One lexed token with source position for diagnostics. */
+struct Token
+{
+    TokKind kind = TokKind::End;
+    std::string text;
+    int64_t value = 0; ///< valid when kind == Int
+    int line = 0;
+    int col = 0;
+};
+
+/**
+ * Tokenize @p src.  Supports //-comments and block comments.
+ * Calls fatal() on malformed input (stray characters, unterminated
+ * comments, integer overflow).
+ */
+std::vector<Token> lex(std::string_view src);
+
+} // namespace square
+
+#endif // SQUARE_LANG_LEXER_H

@@ -1,0 +1,280 @@
+#include "lang/parser.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "ir/validate.h"
+#include "lang/lexer.h"
+
+namespace square {
+
+namespace {
+
+/**
+ * Parser state: a token cursor plus the program under construction and
+ * the pending call fixups (module calls are resolved by name at the
+ * end, permitting forward references).
+ */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view src) : toks_(lex(src)) {}
+
+    Program
+    run()
+    {
+        while (!at(TokKind::End)) {
+            if (peekIdent("module")) {
+                parseModule();
+            } else if (peekIdent("entry")) {
+                expectIdent("entry");
+                entry_name_ = expect(TokKind::Ident).text;
+                expect(TokKind::Semi);
+            } else {
+                fail("expected 'module' or 'entry'");
+            }
+        }
+        resolveCalls();
+        if (prog_.modules.empty())
+            fatal("parse: empty program");
+        if (entry_name_.empty()) {
+            ModuleId main_id = prog_.findModule("main");
+            prog_.entry = main_id != kNoModule
+                              ? main_id
+                              : static_cast<ModuleId>(
+                                    prog_.modules.size() - 1);
+        } else {
+            prog_.entry = prog_.findModule(entry_name_);
+            if (prog_.entry == kNoModule)
+                fatal("parse: entry module '", entry_name_, "' not found");
+        }
+        validateProgram(prog_);
+        return std::move(prog_);
+    }
+
+  private:
+    struct CallFixup
+    {
+        ModuleId module;
+        BlockKind block;
+        size_t stmt;
+        std::string callee;
+        int line;
+    };
+
+    const Token &cur() const { return toks_[pos_]; }
+    bool at(TokKind k) const { return cur().kind == k; }
+
+    bool
+    peekIdent(std::string_view text) const
+    {
+        return cur().kind == TokKind::Ident && cur().text == text;
+    }
+
+    Token
+    expect(TokKind k)
+    {
+        if (!at(k))
+            fail("unexpected token '" + cur().text + "'");
+        return toks_[pos_++];
+    }
+
+    void
+    expectIdent(std::string_view text)
+    {
+        if (!peekIdent(text))
+            fail("expected '" + std::string(text) + "'");
+        ++pos_;
+    }
+
+    [[noreturn]] void
+    fail(const std::string &msg) const
+    {
+        fatal("parse error at line ", cur().line, ", col ", cur().col,
+              ": ", msg);
+    }
+
+    void
+    parseModule()
+    {
+        expectIdent("module");
+        std::string name = expect(TokKind::Ident).text;
+        if (prog_.findModule(name) != kNoModule)
+            fail("duplicate module '" + name + "'");
+
+        Module m;
+        m.name = name;
+        param_names_.clear();
+        expect(TokKind::LParen);
+        if (!at(TokKind::RParen)) {
+            for (;;) {
+                std::string pname = expect(TokKind::Ident).text;
+                if (param_names_.count(pname))
+                    fail("duplicate parameter '" + pname + "'");
+                param_names_[pname] = m.numParams++;
+                if (at(TokKind::Comma)) {
+                    ++pos_;
+                    continue;
+                }
+                break;
+            }
+        }
+        expect(TokKind::RParen);
+
+        if (peekIdent("ancilla")) {
+            ++pos_;
+            m.numAncilla = static_cast<int>(expect(TokKind::Int).value);
+        }
+
+        prog_.modules.push_back(std::move(m));
+        ModuleId id = static_cast<ModuleId>(prog_.modules.size() - 1);
+
+        expect(TokKind::LBrace);
+        while (!at(TokKind::RBrace)) {
+            if (peekIdent("Compute")) {
+                ++pos_;
+                parseBlock(id, BlockKind::Compute);
+            } else if (peekIdent("Store")) {
+                ++pos_;
+                parseBlock(id, BlockKind::Store);
+            } else if (peekIdent("Uncompute")) {
+                ++pos_;
+                if (peekIdent("auto")) {
+                    ++pos_;
+                    expect(TokKind::Semi);
+                } else {
+                    parseBlock(id, BlockKind::Uncompute);
+                }
+            } else {
+                parseStmt(id, BlockKind::Compute);
+            }
+        }
+        expect(TokKind::RBrace);
+    }
+
+    void
+    parseBlock(ModuleId id, BlockKind block)
+    {
+        expect(TokKind::LBrace);
+        while (!at(TokKind::RBrace))
+            parseStmt(id, block);
+        expect(TokKind::RBrace);
+    }
+
+    std::vector<Stmt> &
+    blockOf(ModuleId id, BlockKind block)
+    {
+        Module &m = prog_.module(id);
+        switch (block) {
+          case BlockKind::Compute: return m.compute;
+          case BlockKind::Store: return m.store;
+          case BlockKind::Uncompute: return m.uncompute;
+        }
+        panic("unreachable block kind");
+    }
+
+    void
+    parseStmt(ModuleId id, BlockKind block)
+    {
+        if (peekIdent("call")) {
+            int line = cur().line;
+            ++pos_;
+            std::string callee = expect(TokKind::Ident).text;
+            std::vector<QubitRef> args = parseOperands(id);
+            expect(TokKind::Semi);
+            auto &stmts = blockOf(id, block);
+            // callee id patched in resolveCalls(); 0 placeholder keeps
+            // the Stmt well-formed in the meantime.
+            stmts.push_back(Stmt::makeCall(0, std::move(args)));
+            fixups_.push_back(
+                {id, block, stmts.size() - 1, std::move(callee), line});
+            return;
+        }
+
+        Token name = expect(TokKind::Ident);
+        GateKind kind;
+        if (!gateFromName(name.text, kind))
+            fail("unknown gate '" + name.text + "'");
+        std::vector<QubitRef> ops = parseOperands(id);
+        expect(TokKind::Semi);
+        if (static_cast<int>(ops.size()) != gateArity(kind)) {
+            fail("gate " + name.text + " expects " +
+                 std::to_string(gateArity(kind)) + " operands");
+        }
+        std::array<QubitRef, 3> packed{};
+        for (size_t i = 0; i < ops.size(); ++i)
+            packed[i] = ops[i];
+        blockOf(id, block).push_back(Stmt::makeGate(kind, packed));
+    }
+
+    std::vector<QubitRef>
+    parseOperands(ModuleId id)
+    {
+        std::vector<QubitRef> ops;
+        expect(TokKind::LParen);
+        if (!at(TokKind::RParen)) {
+            for (;;) {
+                ops.push_back(parseOperand(id));
+                if (at(TokKind::Comma)) {
+                    ++pos_;
+                    continue;
+                }
+                break;
+            }
+        }
+        expect(TokKind::RParen);
+        return ops;
+    }
+
+    QubitRef
+    parseOperand(ModuleId id)
+    {
+        Token name = expect(TokKind::Ident);
+        if (name.text == "anc") {
+            expect(TokKind::LBracket);
+            int idx = static_cast<int>(expect(TokKind::Int).value);
+            expect(TokKind::RBracket);
+            if (idx >= prog_.module(id).numAncilla) {
+                fail("ancilla index " + std::to_string(idx) +
+                     " exceeds declared count");
+            }
+            return QubitRef::ancilla(idx);
+        }
+        auto it = param_names_.find(name.text);
+        if (it == param_names_.end())
+            fail("unknown qubit name '" + name.text + "'");
+        return QubitRef::param(it->second);
+    }
+
+    void
+    resolveCalls()
+    {
+        for (const CallFixup &f : fixups_) {
+            ModuleId callee = prog_.findModule(f.callee);
+            if (callee == kNoModule) {
+                fatal("parse: call to undefined module '", f.callee,
+                      "' at line ", f.line);
+            }
+            blockOf(f.module, f.block)[f.stmt].callee = callee;
+        }
+    }
+
+    std::vector<Token> toks_;
+    size_t pos_ = 0;
+    Program prog_;
+    std::string entry_name_;
+    std::map<std::string, int> param_names_;
+    std::vector<CallFixup> fixups_;
+};
+
+} // namespace
+
+Program
+parseProgram(std::string_view src)
+{
+    return Parser(src).run();
+}
+
+} // namespace square

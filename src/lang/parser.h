@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Recursive-descent parser for the mini-Scaffold language.
+ *
+ * Grammar:
+ * @code
+ *   program   := module* entrydecl?
+ *   module    := "module" IDENT "(" [IDENT ("," IDENT)*] ")"
+ *                ["ancilla" INT] "{" section* "}"
+ *   section   := "Compute" "{" stmt* "}"
+ *              | "Store" "{" stmt* "}"
+ *              | "Uncompute" ("auto" ";" | "{" stmt* "}")
+ *              | stmt                      // bare stmts -> Compute
+ *   stmt      := IDENT "(" [operand ("," operand)*] ")" ";"   // gate
+ *              | "call" IDENT "(" [operand ("," operand)*] ")" ";"
+ *   operand   := IDENT | "anc" "[" INT "]"
+ *   entrydecl := "entry" IDENT ";"
+ * @endcode
+ *
+ * Module references may be forward (calls are resolved by name after the
+ * whole file is parsed).  Absent an entry declaration, a module named
+ * "main" is used, else the last module.  The resulting program is run
+ * through validateProgram().
+ */
+
+#ifndef SQUARE_LANG_PARSER_H
+#define SQUARE_LANG_PARSER_H
+
+#include <string_view>
+
+#include "ir/module.h"
+
+namespace square {
+
+/** Parse mini-Scaffold source text into a validated Program. */
+Program parseProgram(std::string_view src);
+
+} // namespace square
+
+#endif // SQUARE_LANG_PARSER_H

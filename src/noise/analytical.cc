@@ -1,0 +1,28 @@
+#include "noise/analytical.h"
+
+#include <cmath>
+
+namespace square {
+
+SuccessEstimate
+estimateSuccess(const CompileResult &r, const DeviceParams &dev)
+{
+    SuccessEstimate e;
+    const double n1 = static_cast<double>(r.sched.oneQubitGates);
+    const double n2 = static_cast<double>(r.sched.twoQubitGates) +
+                      3.0 * static_cast<double>(r.sched.swaps);
+    const double nt = static_cast<double>(r.sched.toffoliGates);
+
+    e.gateSuccess = std::pow(1.0 - dev.oneQubitError, n1) *
+                    std::pow(1.0 - dev.twoQubitError, n2) *
+                    std::pow(1.0 - dev.toffoliError, nt);
+
+    const double live_ns =
+        static_cast<double>(r.aqv) * dev.cycleNs;
+    e.coherenceSuccess = std::exp(-live_ns / (dev.t1Us * 1000.0));
+
+    e.total = e.gateSuccess * e.coherenceSuccess;
+    return e;
+}
+
+} // namespace square

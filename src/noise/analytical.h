@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Worst-case analytical success-rate model (Sec. V-C2).
+ *
+ * The program succeeds when no gate errs and no live qubit decoheres:
+ *
+ *   P = (1-e1)^n1 * (1-e2)^(n2 + 3*swaps) * (1-eT)^toffoli
+ *       * exp(-AQV * cycle / T1)
+ *
+ * The coherence product over qubits of exp(-t_live / T1) telescopes
+ * into a single exponential of the total active quantum volume - which
+ * is exactly why AQV is the right minimization objective (Sec. III-B).
+ */
+
+#ifndef SQUARE_NOISE_ANALYTICAL_H
+#define SQUARE_NOISE_ANALYTICAL_H
+
+#include "core/compiler.h"
+#include "noise/device_params.h"
+
+namespace square {
+
+/** Components of the analytical estimate (for reporting). */
+struct SuccessEstimate
+{
+    double gateSuccess = 1.0;      ///< product of gate fidelities
+    double coherenceSuccess = 1.0; ///< exp(-AQV * cycle / T1)
+    double total = 1.0;
+};
+
+/** Estimate the success rate of a compiled program on @p dev. */
+SuccessEstimate estimateSuccess(const CompileResult &r,
+                                const DeviceParams &dev);
+
+} // namespace square
+
+#endif // SQUARE_NOISE_ANALYTICAL_H

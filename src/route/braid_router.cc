@@ -1,0 +1,220 @@
+#include "route/braid_router.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.h"
+
+namespace square {
+
+bool
+BraidRouter::CellOccupancy::busy(int64_t t, int dur, int64_t &release) const
+{
+    bool blocked = false;
+    for (int i = 0; i < count; ++i) {
+        const Interval &iv = slots[i];
+        if (iv.start < t + dur && t < iv.end) {
+            blocked = true;
+            release = std::max(release, iv.end);
+        }
+    }
+    return blocked;
+}
+
+BraidRouter::BraidRouter(const LatticeTopology &topo)
+    : topo_(topo),
+      cells_w_(2 * topo.width() + 1),
+      cells_h_(2 * topo.height() + 1),
+      cells_(static_cast<size_t>(cells_w_) * cells_h_),
+      bfs_mark_(cells_.size(), 0),
+      bfs_parent_(cells_.size(), -1)
+{
+}
+
+std::vector<int>
+BraidRouter::directPath(PhysQubit a, PhysQubit b, bool horizontal_first) const
+{
+    const int ax = topo_.xOf(a), ay = topo_.yOf(a);
+    const int bx = topo_.xOf(b), by = topo_.yOf(b);
+    std::vector<int> path;
+
+    auto push_unique = [&](int cx, int cy) {
+        SQ_ASSERT(isChannel(cx, cy), "direct path entered a site tile");
+        int id = cellId(cx, cy);
+        if (path.empty() || path.back() != id)
+            path.push_back(id);
+    };
+
+    if (horizontal_first) {
+        // Exit north of a, run along channel row 2*ay, descend along
+        // channel column 2*bx, stop west of b.
+        const int row = 2 * ay;
+        const int col = 2 * bx;
+        int cx = 2 * ax + 1;
+        push_unique(cx, row);
+        int step = (col > cx) ? 1 : -1;
+        while (cx != col) {
+            cx += step;
+            push_unique(cx, row);
+        }
+        int cy = row;
+        const int stop = 2 * by + 1;
+        int vstep = (stop > cy) ? 1 : -1;
+        while (cy != stop) {
+            cy += vstep;
+            push_unique(col, cy);
+        }
+    } else {
+        // Exit west of a, run along channel column 2*ax, cross along
+        // channel row 2*by, stop north of b.
+        const int col = 2 * ax;
+        const int row = 2 * by;
+        int cy = 2 * ay + 1;
+        push_unique(col, cy);
+        int step = (row > cy) ? 1 : -1;
+        while (cy != row) {
+            cy += step;
+            push_unique(col, cy);
+        }
+        int cx = col;
+        const int stop = 2 * bx + 1;
+        int hstep = (stop > cx) ? 1 : -1;
+        while (cx != stop) {
+            cx += hstep;
+            push_unique(cx, row);
+        }
+    }
+    return path;
+}
+
+bool
+BraidRouter::pathFree(const std::vector<int> &path, int64_t t, int dur,
+                      int64_t &release) const
+{
+    bool blocked = false;
+    for (int id : path) {
+        if (cells_[static_cast<size_t>(id)].busy(t, dur, release))
+            blocked = true;
+    }
+    return !blocked;
+}
+
+std::vector<int>
+BraidRouter::searchPath(PhysQubit a, PhysQubit b, int64_t t, int dur)
+{
+    // BFS over free channel cells inside a bounding box around the
+    // operands (congestion is local; a global detour is unrealistic
+    // for a braid anyway).
+    const int margin = 4;
+    const int ax = 2 * topo_.xOf(a) + 1, ay = 2 * topo_.yOf(a) + 1;
+    const int bx = 2 * topo_.xOf(b) + 1, by = 2 * topo_.yOf(b) + 1;
+    const int x_lo = std::max(0, std::min(ax, bx) - 2 * margin);
+    const int x_hi = std::min(cells_w_ - 1, std::max(ax, bx) + 2 * margin);
+    const int y_lo = std::max(0, std::min(ay, by) - 2 * margin);
+    const int y_hi = std::min(cells_h_ - 1, std::max(ay, by) + 2 * margin);
+
+    ++bfs_stamp_;
+    std::deque<int> queue;
+
+    auto try_visit = [&](int cx, int cy, int parent) -> bool {
+        if (cx < x_lo || cx > x_hi || cy < y_lo || cy > y_hi)
+            return false;
+        if (!isChannel(cx, cy))
+            return false;
+        int id = cellId(cx, cy);
+        if (bfs_mark_[static_cast<size_t>(id)] == bfs_stamp_)
+            return false;
+        int64_t release = 0;
+        if (cells_[static_cast<size_t>(id)].busy(t, dur, release))
+            return false;
+        bfs_mark_[static_cast<size_t>(id)] = bfs_stamp_;
+        bfs_parent_[static_cast<size_t>(id)] = parent;
+        queue.push_back(id);
+        return true;
+    };
+
+    // Seed with the free channel cells bordering the source tile.
+    for (auto [dx, dy] : {std::pair{0, -1}, {0, 1}, {-1, 0}, {1, 0}}) {
+        try_visit(ax + dx, ay + dy, -1);
+    }
+
+    while (!queue.empty()) {
+        int id = queue.front();
+        queue.pop_front();
+        int cx = id % cells_w_;
+        int cy = id / cells_w_;
+        // Goal: a channel cell bordering the target tile.
+        if ((std::abs(cx - bx) == 1 && cy == by) ||
+            (std::abs(cy - by) == 1 && cx == bx)) {
+            std::vector<int> path;
+            for (int cur = id; cur != -1;
+                 cur = bfs_parent_[static_cast<size_t>(cur)]) {
+                path.push_back(cur);
+            }
+            std::reverse(path.begin(), path.end());
+            return path;
+        }
+        for (auto [dx, dy] : {std::pair{0, -1}, {0, 1}, {-1, 0}, {1, 0}}) {
+            try_visit(cx + dx, cy + dy, id);
+        }
+    }
+    return {};
+}
+
+void
+BraidRouter::claim(const std::vector<int> &path, int64_t t, int dur)
+{
+    for (int id : path)
+        cells_[static_cast<size_t>(id)].add({t, t + dur});
+    total_path_cells_ += static_cast<int64_t>(path.size());
+}
+
+BraidRouter::Reservation
+BraidRouter::reserve(PhysQubit a, PhysQubit b, int64_t ready, int dur)
+{
+    SQ_ASSERT(a != b, "braid endpoints must differ");
+    SQ_ASSERT(dur > 0, "braid duration must be positive");
+
+    Reservation res;
+    int64_t t = ready;
+    constexpr int kMaxStalls = 4096;
+
+    for (int attempt = 0; attempt < kMaxStalls; ++attempt) {
+        int64_t release = t + 1;
+        std::vector<int> path = directPath(a, b, true);
+        if (pathFree(path, t, dur, release)) {
+            claim(path, t, dur);
+            res.start = t;
+            res.pathCells = static_cast<int>(path.size());
+            ++total_braids_;
+            return res;
+        }
+        ++res.conflicts;
+        ++total_conflicts_;
+
+        path = directPath(a, b, false);
+        if (pathFree(path, t, dur, release)) {
+            claim(path, t, dur);
+            res.start = t;
+            res.pathCells = static_cast<int>(path.size());
+            ++total_braids_;
+            return res;
+        }
+
+        path = searchPath(a, b, t, dur);
+        if (!path.empty()) {
+            claim(path, t, dur);
+            res.start = t;
+            res.pathCells = static_cast<int>(path.size());
+            ++total_braids_;
+            return res;
+        }
+
+        // Everything overlapping is busy: stall until the earliest
+        // blocking braid releases its cells.
+        t = std::max(release, t + 1);
+    }
+    panic("braid router livelock between sites ", a, " and ", b);
+}
+
+} // namespace square

@@ -1,0 +1,48 @@
+#include "route/swap_router.h"
+
+#include "common/logging.h"
+
+namespace square {
+
+int
+SwapRouter::makeAdjacent(PhysQubit &a, PhysQubit b, const SwapEmitter &emit)
+{
+    SQ_ASSERT(a != b, "cannot route a qubit to itself");
+    if (topo_.adjacent(a, b))
+        return 0;
+
+    std::vector<PhysQubit> route = topo_.path(a, b);
+    SQ_ASSERT(route.size() >= 3, "non-adjacent sites with path < 3");
+
+    // Swap along the path, stopping one hop short of b.
+    int swaps = 0;
+    for (size_t k = 0; k + 2 < route.size(); ++k) {
+        PhysQubit from = route[k];
+        PhysQubit to = route[k + 1];
+        emit(from, to);
+        layout_.swapSites(from, to);
+        ++swaps;
+    }
+    total_swaps_ += swaps;
+    a = route[route.size() - 2];
+    return swaps;
+}
+
+int
+SwapRouter::moveTo(PhysQubit &a, PhysQubit dest, const SwapEmitter &emit)
+{
+    if (a == dest)
+        return 0;
+    std::vector<PhysQubit> route = topo_.path(a, dest);
+    int swaps = 0;
+    for (size_t k = 0; k + 1 < route.size(); ++k) {
+        emit(route[k], route[k + 1]);
+        layout_.swapSites(route[k], route[k + 1]);
+        ++swaps;
+    }
+    total_swaps_ += swaps;
+    a = dest;
+    return swaps;
+}
+
+} // namespace square

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * ASAP gate scheduling with communication resolution.
+ *
+ * The GateScheduler is the back half of the SQUARE tool flow (Fig. 4):
+ * it receives logical-qubit gates from the executor, resolves
+ * connectivity per the machine's communication model (swap chains on
+ * NISQ machines, braids on FT machines), optionally lowers Toffoli to
+ * the standard 15-gate Clifford+T circuit, and assigns start times using
+ * per-site availability clocks (gates schedule at the earliest time all
+ * operand sites are free - data dependencies resolve naturally because
+ * a qubit's clock advances with every gate touching it).
+ */
+
+#ifndef SQUARE_SCHEDULE_SCHEDULER_H
+#define SQUARE_SCHEDULE_SCHEDULER_H
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "arch/layout.h"
+#include "arch/machine.h"
+#include "route/braid_router.h"
+#include "route/swap_router.h"
+#include "schedule/trace.h"
+
+namespace square {
+
+/** Aggregate gate/communication counters for one compilation. */
+struct SchedStats
+{
+    int64_t totalGates = 0;  ///< scheduled gates, excluding swaps
+    int64_t oneQubitGates = 0;
+    int64_t twoQubitGates = 0;
+    int64_t tGates = 0;      ///< subset of oneQubitGates that are T/Tdg
+    int64_t toffoliGates = 0; ///< native (undecomposed) Toffolis
+    int64_t swaps = 0;       ///< routing swaps + program SWAP gates
+    int64_t routedGates = 0; ///< two-qubit gates that needed routing
+    int64_t braidConflicts = 0;
+    int64_t braids = 0;
+};
+
+/** Schedules gates onto a machine, resolving communication. */
+class GateScheduler
+{
+  public:
+    /**
+     * @param machine target machine (must outlive the scheduler)
+     * @param layout  logical-to-site mapping, mutated by swap routing
+     * @param sink    optional consumer of the emitted schedule
+     */
+    GateScheduler(const Machine &machine, Layout &layout, TraceSink *sink);
+
+    /** Schedule one logical gate (routing + decomposition as needed). */
+    void apply(GateKind kind, std::span<const LogicalQubit> operands);
+
+    /**
+     * Occupy @p site for @p duration cycles with non-gate work
+     * (measurement + reset); advances its clock and the makespan.
+     */
+    void occupy(PhysQubit site, int64_t duration);
+
+    /** Availability clock of a site (end of its last gate). */
+    int64_t
+    siteClock(PhysQubit site) const
+    {
+        return clock_.at(static_cast<size_t>(site));
+    }
+
+    /** Availability clock of a live logical qubit. */
+    int64_t
+    logicalClock(LogicalQubit q) const
+    {
+        return siteClock(layout_.siteOf(q));
+    }
+
+    /** Current makespan (max clock over all sites); the circuit depth. */
+    int64_t makespan() const { return makespan_; }
+
+    const SchedStats &stats() const { return stats_; }
+
+    /**
+     * The communication factor S of the CER cost model: average swaps
+     * per two-qubit gate (NISQ) or braid conflicts per braid (FT);
+     * zero on all-to-all machines.
+     */
+    double commFactor() const;
+
+    /** Average braid path length in channel cells (FT diagnostics). */
+    double avgBraidLength() const;
+
+  private:
+    void issue(GateKind kind, const PhysQubit *sites, int arity);
+    void issueAt(GateKind kind, const PhysQubit *sites, int arity,
+                 int64_t start);
+    void applyTwoQubit(GateKind kind, LogicalQubit a, LogicalQubit b);
+    void applyToffoliDecomposed(LogicalQubit c0, LogicalQubit c1,
+                                LogicalQubit tgt);
+    void gatherForMacro(LogicalQubit c0, LogicalQubit c1, LogicalQubit tgt);
+    void emitRoutingSwap(PhysQubit from, PhysQubit to);
+
+    const Machine &machine_;
+    Layout &layout_;
+    TraceSink *sink_;
+    std::vector<int64_t> clock_;
+    int64_t makespan_ = 0;
+    SchedStats stats_;
+    std::unique_ptr<SwapRouter> swap_router_;
+    std::unique_ptr<BraidRouter> braid_router_;
+};
+
+} // namespace square
+
+#endif // SQUARE_SCHEDULE_SCHEDULER_H

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Timed instruction records and trace consumers.
+ *
+ * The gate scheduler emits a stream of TimedGate records (the "optimized
+ * schedule of quantum gate instructions" of Fig. 4).  Consumers include
+ * the in-memory trace recorder, the classical functional simulator, and
+ * the Monte-Carlo noise simulator.
+ */
+
+#ifndef SQUARE_SCHEDULE_TRACE_H
+#define SQUARE_SCHEDULE_TRACE_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "ir/gate.h"
+#include "ir/qubit.h"
+
+namespace square {
+
+/** One scheduled gate instance on physical sites. */
+struct TimedGate
+{
+    GateKind kind = GateKind::X;
+    int8_t arity = 1;
+    std::array<PhysQubit, 3> sites{kNoQubit, kNoQubit, kNoQubit};
+    int64_t start = 0;
+    int32_t duration = 1;
+
+    int64_t end() const { return start + duration; }
+};
+
+/**
+ * Consumer of scheduled gates and reclamation events.  All methods have
+ * empty defaults so consumers override only what they need.
+ */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Called once per scheduled gate, in issue order. */
+    virtual void onGate(const TimedGate &) {}
+
+    /**
+     * Called when the compiler reclaims the qubit at @p site (it is
+     * guaranteed to be |0> if the compiler is correct - the functional
+     * simulator asserts exactly this).
+     */
+    virtual void onReclaim(PhysQubit site) { (void)site; }
+
+    /**
+     * Called when the compiler resets the qubit at @p site
+     * (measurement-and-reset reclamation; the site may hold garbage
+     * and is forced to |0>).
+     */
+    virtual void onReset(PhysQubit site) { (void)site; }
+};
+
+/** TraceSink that records all gates into a vector. */
+class VectorTrace : public TraceSink
+{
+  public:
+    void onGate(const TimedGate &g) override { gates_.push_back(g); }
+
+    const std::vector<TimedGate> &gates() const { return gates_; }
+    std::vector<TimedGate> take() { return std::move(gates_); }
+
+  private:
+    std::vector<TimedGate> gates_;
+};
+
+/** Fan-out sink delivering each event to several consumers. */
+class TeeTrace : public TraceSink
+{
+  public:
+    void add(TraceSink *sink) { sinks_.push_back(sink); }
+
+    void
+    onGate(const TimedGate &g) override
+    {
+        for (TraceSink *s : sinks_)
+            s->onGate(g);
+    }
+
+    void
+    onReclaim(PhysQubit site) override
+    {
+        for (TraceSink *s : sinks_)
+            s->onReclaim(site);
+    }
+
+    void
+    onReset(PhysQubit site) override
+    {
+        for (TraceSink *s : sinks_)
+            s->onReset(site);
+    }
+
+  private:
+    std::vector<TraceSink *> sinks_;
+};
+
+} // namespace square
+
+#endif // SQUARE_SCHEDULE_TRACE_H

@@ -1,0 +1,81 @@
+#include "sim/classical.h"
+
+#include "common/logging.h"
+
+namespace square {
+
+std::vector<bool>
+ClassicalSim::read(const std::vector<PhysQubit> &sites) const
+{
+    std::vector<bool> out;
+    out.reserve(sites.size());
+    for (PhysQubit s : sites)
+        out.push_back(bit(s));
+    return out;
+}
+
+int64_t
+ClassicalSim::onesCount() const
+{
+    int64_t n = 0;
+    for (bool b : bits_)
+        n += b ? 1 : 0;
+    return n;
+}
+
+void
+ClassicalSim::onGate(const TimedGate &g)
+{
+    auto at = [&](int i) -> std::vector<bool>::reference {
+        return bits_[static_cast<size_t>(g.sites[static_cast<size_t>(i)])];
+    };
+    switch (g.kind) {
+      case GateKind::X:
+        at(0) = !at(0);
+        return;
+      case GateKind::CNOT:
+        if (at(0))
+            at(1) = !at(1);
+        return;
+      case GateKind::Toffoli:
+        if (at(0) && at(1))
+            at(2) = !at(2);
+        return;
+      case GateKind::Swap: {
+        bool tmp = at(0);
+        at(0) = at(1);
+        at(1) = tmp;
+        return;
+      }
+      case GateKind::Z:
+      case GateKind::S:
+      case GateKind::Sdg:
+      case GateKind::T:
+      case GateKind::Tdg:
+      case GateKind::CZ:
+        // Phase gates act trivially on basis states.
+        return;
+      case GateKind::H:
+        fatal("classical simulation cannot execute H; compile with "
+              "macro Toffoli (Machine::nisqLatticeMacro or "
+              "fullyConnected) for functional runs");
+      default:
+        panic("unhandled gate kind in classical simulation");
+    }
+}
+
+void
+ClassicalSim::onReclaim(PhysQubit site)
+{
+    if (bit(site))
+        ++reclaim_violations_;
+}
+
+void
+ClassicalSim::onReset(PhysQubit site)
+{
+    bits_[static_cast<size_t>(site)] = false;
+    ++resets_;
+}
+
+} // namespace square

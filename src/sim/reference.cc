@@ -1,0 +1,160 @@
+#include "sim/reference.h"
+
+#include "common/logging.h"
+
+namespace square {
+
+namespace {
+
+/** Recursive interpreter; qubit slots are caller-provided char cells. */
+class Interp
+{
+  public:
+    explicit Interp(const Program &prog) : prog_(prog) {}
+
+    void
+    runEntry(std::vector<char> &primary)
+    {
+        std::vector<char *> args;
+        args.reserve(primary.size());
+        for (char &b : primary)
+            args.push_back(&b);
+        call(prog_.entry, args);
+    }
+
+  private:
+    void
+    call(ModuleId id, const std::vector<char *> &args)
+    {
+        const Module &m = prog_.module(id);
+        std::vector<char> anc(static_cast<size_t>(m.numAncilla), 0);
+        runBlock(m.compute, args, anc, false);
+        runBlock(m.store, args, anc, false);
+        if (m.hasExplicitUncompute())
+            runBlock(m.uncompute, args, anc, false);
+        else
+            runBlock(m.compute, args, anc, true);
+        for (char a : anc) {
+            if (a) {
+                fatal("reference simulation: module ", m.name,
+                      " left a dirty ancilla after uncompute (the "
+                      "explicit Uncompute block does not invert "
+                      "Compute?)");
+            }
+        }
+    }
+
+    /** Inverse of a whole call: C, S^-1, C^-1 (see executor docs). */
+    void
+    callInverse(ModuleId id, const std::vector<char *> &args)
+    {
+        const Module &m = prog_.module(id);
+        std::vector<char> anc(static_cast<size_t>(m.numAncilla), 0);
+        runBlock(m.compute, args, anc, false);
+        runBlock(m.store, args, anc, true);
+        if (m.hasExplicitUncompute())
+            runBlock(m.uncompute, args, anc, false);
+        else
+            runBlock(m.compute, args, anc, true);
+    }
+
+    void
+    runBlock(const std::vector<Stmt> &block,
+             const std::vector<char *> &args, std::vector<char> &anc,
+             bool inverse)
+    {
+        auto slot = [&](const QubitRef &q) -> char * {
+            if (q.isParam())
+                return args[static_cast<size_t>(q.index)];
+            return &anc[static_cast<size_t>(q.index)];
+        };
+        auto exec_stmt = [&](const Stmt &s) {
+            if (s.isGate()) {
+                GateKind kind = inverse ? gateInverse(s.gate) : s.gate;
+                applyGate(kind, s, slot);
+            } else {
+                std::vector<char *> sub;
+                sub.reserve(s.args.size());
+                for (const QubitRef &r : s.args)
+                    sub.push_back(slot(r));
+                if (inverse)
+                    callInverse(s.callee, sub);
+                else
+                    call(s.callee, sub);
+            }
+        };
+        if (inverse) {
+            for (auto it = block.rbegin(); it != block.rend(); ++it)
+                exec_stmt(*it);
+        } else {
+            for (const Stmt &s : block)
+                exec_stmt(s);
+        }
+    }
+
+    template <typename SlotFn>
+    void
+    applyGate(GateKind kind, const Stmt &s, SlotFn &&slot)
+    {
+        switch (kind) {
+          case GateKind::X:
+            *slot(s.operands[0]) ^= 1;
+            return;
+          case GateKind::CNOT:
+            if (*slot(s.operands[0]))
+                *slot(s.operands[1]) ^= 1;
+            return;
+          case GateKind::Toffoli:
+            if (*slot(s.operands[0]) && *slot(s.operands[1]))
+                *slot(s.operands[2]) ^= 1;
+            return;
+          case GateKind::Swap: {
+            char *a = slot(s.operands[0]);
+            char *b = slot(s.operands[1]);
+            char tmp = *a;
+            *a = *b;
+            *b = tmp;
+            return;
+          }
+          default:
+            fatal("reference simulation supports classical gates only, "
+                  "got ", gateName(kind));
+        }
+    }
+
+    const Program &prog_;
+};
+
+} // namespace
+
+std::vector<bool>
+simulateReference(const Program &prog, const std::vector<bool> &inputs)
+{
+    if (static_cast<int>(inputs.size()) != prog.numPrimary()) {
+        fatal("reference simulation: program has ", prog.numPrimary(),
+              " primary qubits but ", inputs.size(), " inputs given");
+    }
+    std::vector<char> state(inputs.begin(), inputs.end());
+    Interp interp(prog);
+    interp.runEntry(state);
+    return std::vector<bool>(state.begin(), state.end());
+}
+
+uint64_t
+simulateReferenceBits(const Program &prog, uint64_t input)
+{
+    int n = prog.numPrimary();
+    SQ_ASSERT(n <= 64, "too many primary qubits for the bit wrapper");
+    std::vector<bool> bits(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i)
+        bits[static_cast<size_t>(i)] = (input >> i) & 1;
+    std::vector<bool> out = simulateReference(prog, bits);
+    uint64_t result = 0;
+    for (int i = 0; i < n; ++i) {
+        if (out[static_cast<size_t>(i)])
+            result |= uint64_t{1} << i;
+    }
+    return result;
+}
+
+} // namespace square

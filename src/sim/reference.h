@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Machine-independent reference semantics for IR programs.
+ *
+ * Interprets a program directly over virtual registers with
+ * reclaim-everywhere (Eager) semantics: every invocation runs
+ * Compute, Store, then its uncompute.  On classical reversible
+ * programs the primary outputs are invariant under reclamation policy,
+ * so this provides the golden model the compiled traces are checked
+ * against, as well as a fast functional simulator for workload tests
+ * (e.g. "the adder adds").
+ */
+
+#ifndef SQUARE_SIM_REFERENCE_H
+#define SQUARE_SIM_REFERENCE_H
+
+#include <vector>
+
+#include "ir/module.h"
+
+namespace square {
+
+/**
+ * Execute @p prog on classical input bits (one per primary qubit).
+ *
+ * @return the final values of the primary qubits.
+ * Fatal on non-classical gates.
+ */
+std::vector<bool> simulateReference(const Program &prog,
+                                    const std::vector<bool> &inputs);
+
+/**
+ * Convenience wrapper: pack/unpack little-endian integers (bit i of
+ * @p input feeds primary qubit i).
+ */
+uint64_t simulateReferenceBits(const Program &prog, uint64_t input);
+
+} // namespace square
+
+#endif // SQUARE_SIM_REFERENCE_H

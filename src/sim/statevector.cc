@@ -1,0 +1,191 @@
+#include "sim/statevector.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace square {
+
+namespace {
+constexpr int kMaxQubits = 24;
+} // namespace
+
+StateVector::StateVector(int num_qubits) : n_(num_qubits)
+{
+    if (num_qubits <= 0 || num_qubits > kMaxQubits) {
+        fatal("state-vector simulator supports 1..", kMaxQubits,
+              " qubits, got ", num_qubits);
+    }
+    amps_.assign(size_t{1} << n_, Amp{0.0, 0.0});
+    amps_[0] = Amp{1.0, 0.0};
+}
+
+void
+StateVector::setBasis(uint64_t basis)
+{
+    SQ_ASSERT(basis < dim(), "basis state out of range");
+    std::fill(amps_.begin(), amps_.end(), Amp{0.0, 0.0});
+    amps_[basis] = Amp{1.0, 0.0};
+}
+
+void
+StateVector::apply1(int q, const Amp m00, const Amp m01, const Amp m10,
+                    const Amp m11)
+{
+    const uint64_t bit = uint64_t{1} << q;
+    for (uint64_t i = 0; i < dim(); ++i) {
+        if (i & bit)
+            continue;
+        const uint64_t j = i | bit;
+        const Amp a0 = amps_[i];
+        const Amp a1 = amps_[j];
+        amps_[i] = m00 * a0 + m01 * a1;
+        amps_[j] = m10 * a0 + m11 * a1;
+    }
+}
+
+void
+StateVector::applyPhase1(int q, Amp phase)
+{
+    const uint64_t bit = uint64_t{1} << q;
+    for (uint64_t i = 0; i < dim(); ++i) {
+        if (i & bit)
+            amps_[i] *= phase;
+    }
+}
+
+void
+StateVector::applyCnot(int c, int t)
+{
+    const uint64_t cb = uint64_t{1} << c;
+    const uint64_t tb = uint64_t{1} << t;
+    for (uint64_t i = 0; i < dim(); ++i) {
+        if ((i & cb) && !(i & tb))
+            std::swap(amps_[i], amps_[i | tb]);
+    }
+}
+
+void
+StateVector::applyToffoli(int c0, int c1, int t)
+{
+    const uint64_t c0b = uint64_t{1} << c0;
+    const uint64_t c1b = uint64_t{1} << c1;
+    const uint64_t tb = uint64_t{1} << t;
+    for (uint64_t i = 0; i < dim(); ++i) {
+        if ((i & c0b) && (i & c1b) && !(i & tb))
+            std::swap(amps_[i], amps_[i | tb]);
+    }
+}
+
+void
+StateVector::applySwap(int a, int b)
+{
+    const uint64_t ab = uint64_t{1} << a;
+    const uint64_t bb = uint64_t{1} << b;
+    for (uint64_t i = 0; i < dim(); ++i) {
+        if ((i & ab) && !(i & bb))
+            std::swap(amps_[i], amps_[(i & ~ab) | bb]);
+    }
+}
+
+void
+StateVector::applyCz(int a, int b)
+{
+    const uint64_t ab = uint64_t{1} << a;
+    const uint64_t bb = uint64_t{1} << b;
+    for (uint64_t i = 0; i < dim(); ++i) {
+        if ((i & ab) && (i & bb))
+            amps_[i] = -amps_[i];
+    }
+}
+
+void
+StateVector::apply(GateKind kind, std::span<const int> qubits)
+{
+    SQ_ASSERT(static_cast<int>(qubits.size()) == gateArity(kind),
+              "operand count mismatch");
+    for (int q : qubits)
+        SQ_ASSERT(q >= 0 && q < n_, "qubit index out of range");
+
+    const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+    switch (kind) {
+      case GateKind::X:
+        apply1(qubits[0], 0, 1, 1, 0);
+        return;
+      case GateKind::H:
+        apply1(qubits[0], inv_sqrt2, inv_sqrt2, inv_sqrt2, -inv_sqrt2);
+        return;
+      case GateKind::Z:
+        applyPhase1(qubits[0], Amp{-1.0, 0.0});
+        return;
+      case GateKind::S:
+        applyPhase1(qubits[0], Amp{0.0, 1.0});
+        return;
+      case GateKind::Sdg:
+        applyPhase1(qubits[0], Amp{0.0, -1.0});
+        return;
+      case GateKind::T:
+        applyPhase1(qubits[0], Amp{inv_sqrt2, inv_sqrt2});
+        return;
+      case GateKind::Tdg:
+        applyPhase1(qubits[0], Amp{inv_sqrt2, -inv_sqrt2});
+        return;
+      case GateKind::CNOT:
+        applyCnot(qubits[0], qubits[1]);
+        return;
+      case GateKind::CZ:
+        applyCz(qubits[0], qubits[1]);
+        return;
+      case GateKind::Swap:
+        applySwap(qubits[0], qubits[1]);
+        return;
+      case GateKind::Toffoli:
+        applyToffoli(qubits[0], qubits[1], qubits[2]);
+        return;
+      default:
+        panic("unhandled gate kind in state-vector simulation");
+    }
+}
+
+void
+StateVector::apply(const TimedGate &g)
+{
+    int qubits[3];
+    const int arity = g.arity;
+    for (int i = 0; i < arity; ++i) {
+        qubits[i] = g.sites[static_cast<size_t>(i)];
+        SQ_ASSERT(qubits[i] >= 0 && qubits[i] < n_,
+                  "trace site exceeds simulator capacity");
+    }
+    apply(g.kind, std::span<const int>(qubits, static_cast<size_t>(arity)));
+}
+
+double
+StateVector::probOne(int qubit) const
+{
+    const uint64_t bit = uint64_t{1} << qubit;
+    double p = 0.0;
+    for (uint64_t i = 0; i < dim(); ++i) {
+        if (i & bit)
+            p += std::norm(amps_[i]);
+    }
+    return p;
+}
+
+double
+StateVector::fidelityWith(const StateVector &other) const
+{
+    SQ_ASSERT(n_ == other.n_, "qubit count mismatch");
+    Amp overlap{0.0, 0.0};
+    for (uint64_t i = 0; i < dim(); ++i)
+        overlap += std::conj(amps_[i]) * other.amps_[i];
+    return std::norm(overlap);
+}
+
+bool
+StateVector::isZero(int qubit, double tol) const
+{
+    return probOne(qubit) <= tol;
+}
+
+} // namespace square

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Dense state-vector simulator for small circuits.
+ *
+ * Used where phases matter: verifying the Clifford+T Toffoli
+ * decomposition against the macro gate, checking that uncomputation
+ * disentangles ancilla, and powering the superposition examples.
+ * Capacity is bounded (default 20 qubits = 1M amplitudes).
+ */
+
+#ifndef SQUARE_SIM_STATEVECTOR_H
+#define SQUARE_SIM_STATEVECTOR_H
+
+#include <complex>
+#include <span>
+#include <vector>
+
+#include "ir/gate.h"
+#include "ir/qubit.h"
+#include "schedule/trace.h"
+
+namespace square {
+
+/** Dense 2^n-amplitude simulator. */
+class StateVector
+{
+  public:
+    using Amp = std::complex<double>;
+
+    /** Initialize n qubits to |0...0>. */
+    explicit StateVector(int num_qubits);
+
+    int numQubits() const { return n_; }
+    size_t dim() const { return amps_.size(); }
+
+    /** Reset to the computational basis state @p basis. */
+    void setBasis(uint64_t basis);
+
+    /** Amplitude of a basis state. */
+    Amp amp(uint64_t basis) const { return amps_.at(basis); }
+
+    /** Apply a gate to the given qubit indices. */
+    void apply(GateKind kind, std::span<const int> qubits);
+
+    /** Apply a scheduled gate (sites must be < numQubits). */
+    void apply(const TimedGate &g);
+
+    /** Probability of measuring @p qubit as 1. */
+    double probOne(int qubit) const;
+
+    /** |<this|other>|^2. */
+    double fidelityWith(const StateVector &other) const;
+
+    /**
+     * True when @p qubit is unentangled and exactly |0> (up to
+     * @p tol) - the disentanglement check for reclaimed ancilla.
+     */
+    bool isZero(int qubit, double tol = 1e-9) const;
+
+  private:
+    void apply1(int q, const Amp m00, const Amp m01, const Amp m10,
+                const Amp m11);
+    void applyPhase1(int q, Amp phase); ///< diag(1, phase)
+    void applyCnot(int c, int t);
+    void applyToffoli(int c0, int c1, int t);
+    void applySwap(int a, int b);
+    void applyCz(int a, int b);
+
+    int n_;
+    std::vector<Amp> amps_;
+};
+
+} // namespace square
+
+#endif // SQUARE_SIM_STATEVECTOR_H

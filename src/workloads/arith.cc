@@ -1,0 +1,237 @@
+#include "workloads/arith.h"
+
+#include <string>
+
+#include "common/logging.h"
+
+namespace square {
+
+ModuleId
+buildCuccaroAdd(ProgramBuilder &pb, int n)
+{
+    SQ_ASSERT(n >= 1, "adder width must be positive");
+    const std::string name = "cuccaro_add_" + std::to_string(n);
+    if (ModuleId existing = pb.tryFindModule(name); existing != kNoModule)
+        return existing;
+
+    // Params: a[0..n-1], b[0..n-1].  Ancilla: 1 carry-in (self-cleaned
+    // by the ladder, hence the whole circuit sits in Store).
+    ModuleBuilder m = pb.module(name, 2 * n, 1);
+    auto a = [&](int i) { return m.p(i); };
+    auto b = [&](int i) { return m.p(n + i); };
+    QubitRef c = m.a(0);
+    m.inStore();
+
+    auto maj = [&](QubitRef x, QubitRef y, QubitRef z) {
+        m.cnot(z, y);
+        m.cnot(z, x);
+        m.toffoli(x, y, z);
+    };
+    auto uma = [&](QubitRef x, QubitRef y, QubitRef z) {
+        m.toffoli(x, y, z);
+        m.cnot(z, x);
+        m.cnot(x, y);
+    };
+
+    maj(c, b(0), a(0));
+    for (int i = 1; i < n; ++i)
+        maj(a(i - 1), b(i), a(i));
+    for (int i = n - 1; i >= 1; --i)
+        uma(a(i - 1), b(i), a(i));
+    uma(c, b(0), a(0));
+    return m.id();
+}
+
+ModuleId
+buildCtrlAdd(ProgramBuilder &pb, int n)
+{
+    SQ_ASSERT(n >= 1, "adder width must be positive");
+    const std::string name = "cadd_" + std::to_string(n);
+    if (ModuleId existing = pb.tryFindModule(name); existing != kNoModule)
+        return existing;
+
+    ModuleId inner = buildCuccaroAdd(pb, n);
+
+    // Params: ctrl, a[0..n-1], b[0..n-1].  Ancilla: mask m = ctrl & a.
+    ModuleBuilder m = pb.module(name, 1 + 2 * n, n);
+    QubitRef ctrl = m.p(0);
+    auto a = [&](int i) { return m.p(1 + i); };
+    auto b = [&](int i) { return m.p(1 + n + i); };
+
+    for (int i = 0; i < n; ++i)
+        m.toffoli(ctrl, a(i), m.a(i));
+
+    m.inStore();
+    std::vector<QubitRef> args;
+    for (int i = 0; i < n; ++i)
+        args.push_back(m.a(i));
+    for (int i = 0; i < n; ++i)
+        args.push_back(b(i));
+    m.call(inner, std::move(args));
+    return m.id();
+}
+
+ModuleId
+buildCtrlMul(ProgramBuilder &pb, int n)
+{
+    SQ_ASSERT(n >= 1, "multiplier width must be positive");
+    const std::string name = "cmul_" + std::to_string(n);
+    if (ModuleId existing = pb.tryFindModule(name); existing != kNoModule)
+        return existing;
+
+    // Pre-build the shifted adders (callee-before-caller).
+    std::vector<ModuleId> adders(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i)
+        adders[static_cast<size_t>(i)] = buildCtrlAdd(pb, n - i);
+
+    // Params: ctrl, a[n], b[n], p[n].  Ancilla: cc_i = ctrl & b_i.
+    ModuleBuilder m = pb.module(name, 1 + 3 * n, n);
+    QubitRef ctrl = m.p(0);
+    auto a = [&](int i) { return m.p(1 + i); };
+    auto b = [&](int i) { return m.p(1 + n + i); };
+    auto prod = [&](int i) { return m.p(1 + 2 * n + i); };
+
+    for (int i = 0; i < n; ++i)
+        m.toffoli(ctrl, b(i), m.a(i));
+
+    m.inStore();
+    for (int i = 0; i < n; ++i) {
+        // p[i..n-1] += a[0..n-1-i] when cc_i.
+        const int k = n - i;
+        std::vector<QubitRef> args;
+        args.push_back(m.a(i));
+        for (int j = 0; j < k; ++j)
+            args.push_back(a(j));
+        for (int j = 0; j < k; ++j)
+            args.push_back(prod(i + j));
+        m.call(adders[static_cast<size_t>(i)], std::move(args));
+    }
+    return m.id();
+}
+
+ModuleId
+buildConstMulAdd(ProgramBuilder &pb, int n, uint64_t c)
+{
+    SQ_ASSERT(n >= 1 && n < 63, "bad const-multiplier width");
+    c &= (uint64_t{1} << n) - 1;
+    const std::string name =
+        "cmulc_" + std::to_string(n) + "_" + std::to_string(c);
+    if (ModuleId existing = pb.tryFindModule(name); existing != kNoModule)
+        return existing;
+
+    std::vector<ModuleId> adders(static_cast<size_t>(n), kNoModule);
+    for (int j = 0; j < n; ++j) {
+        if ((c >> j) & 1)
+            adders[static_cast<size_t>(j)] = buildCtrlAdd(pb, n - j);
+    }
+
+    // Params: ctrl, x[n], out[n].  Pure dispatch module (no ancilla of
+    // its own); all work in Store since it writes the output register.
+    ModuleBuilder m = pb.module(name, 1 + 2 * n, 0);
+    QubitRef ctrl = m.p(0);
+    auto x = [&](int i) { return m.p(1 + i); };
+    auto out = [&](int i) { return m.p(1 + n + i); };
+
+    m.inStore();
+    for (int j = 0; j < n; ++j) {
+        if (!((c >> j) & 1))
+            continue;
+        const int k = n - j;
+        std::vector<QubitRef> args;
+        args.push_back(ctrl);
+        for (int i = 0; i < k; ++i)
+            args.push_back(x(i));
+        for (int i = 0; i < k; ++i)
+            args.push_back(out(j + i));
+        m.call(adders[static_cast<size_t>(j)], std::move(args));
+    }
+    return m.id();
+}
+
+Program
+makeAdder(int n)
+{
+    ProgramBuilder pb;
+    ModuleId cadd = buildCtrlAdd(pb, n);
+    ModuleBuilder m = pb.module("main", 1 + 2 * n, 0);
+    std::vector<QubitRef> args;
+    for (int i = 0; i < 1 + 2 * n; ++i)
+        args.push_back(m.p(i));
+    m.inStore().call(cadd, std::move(args));
+    return pb.build("main");
+}
+
+Program
+makeMultiplier(int n)
+{
+    ProgramBuilder pb;
+    ModuleId cmul = buildCtrlMul(pb, n);
+    ModuleBuilder m = pb.module("main", 1 + 3 * n, 0);
+    std::vector<QubitRef> args;
+    for (int i = 0; i < 1 + 3 * n; ++i)
+        args.push_back(m.p(i));
+    m.inStore().call(cmul, std::move(args));
+    return pb.build("main");
+}
+
+Program
+makeModexp(int n, int e_bits, uint64_t g)
+{
+    SQ_ASSERT(n >= 1 && n < 32, "bad modexp width");
+    SQ_ASSERT(e_bits >= 1, "modexp needs at least one exponent bit");
+    const uint64_t mask = (uint64_t{1} << n) - 1;
+
+    ProgramBuilder pb;
+
+    // Constants g^(2^i) mod 2^n.
+    std::vector<uint64_t> consts(static_cast<size_t>(e_bits));
+    uint64_t cur = g & mask;
+    for (int i = 0; i < e_bits; ++i) {
+        consts[static_cast<size_t>(i)] = cur;
+        cur = (cur * cur) & mask;
+    }
+
+    std::vector<ModuleId> mul_by_c(static_cast<size_t>(e_bits));
+    for (int i = 0; i < e_bits; ++i) {
+        mul_by_c[static_cast<size_t>(i)] =
+            buildConstMulAdd(pb, n, consts[static_cast<size_t>(i)]);
+    }
+    ModuleId mul_by_1 = buildConstMulAdd(pb, n, 1);
+
+    // Params: e[e_bits], out[n].  Ancilla: intermediate result
+    // registers r_0..r_{e_bits-1}, n bits each.
+    ModuleBuilder m = pb.module("modexp", e_bits + n, e_bits * n);
+    auto e = [&](int i) { return m.p(i); };
+    auto out = [&](int i) { return m.p(e_bits + i); };
+    auto r = [&](int reg, int bit) { return m.a(reg * n + bit); };
+
+    auto step = [&](int i, bool to_out) {
+        // dst += r_i * (e_i ? g^(2^i) : 1)
+        auto dst = [&](int bit) {
+            return to_out ? out(bit) : r(i + 1, bit);
+        };
+        std::vector<QubitRef> args;
+        args.push_back(e(i));
+        for (int bit = 0; bit < n; ++bit)
+            args.push_back(r(i, bit));
+        for (int bit = 0; bit < n; ++bit)
+            args.push_back(dst(bit));
+        m.call(mul_by_c[static_cast<size_t>(i)], args);
+        m.x(e(i));
+        m.call(mul_by_1, std::move(args));
+        m.x(e(i));
+    };
+
+    // Compute: r_0 = 1, then chain the first e_bits-1 steps.
+    m.x(r(0, 0));
+    for (int i = 0; i + 1 < e_bits; ++i)
+        step(i, false);
+
+    // Store: final step writes the output register.
+    m.inStore();
+    step(e_bits - 1, true);
+
+    return pb.build("modexp");
+}
+
+} // namespace square

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Reversible arithmetic workload generators (Table II).
+ *
+ * Construction notes (the compute/store/uncompute discipline):
+ *
+ *  - cuccaro_add_n is the in-place ripple-carry adder of Cuccaro et
+ *    al. [63]: b += a (mod 2^n) with one carry ancilla that the MAJ/UMA
+ *    ladder itself returns to |0>.  Because its useful effect is
+ *    in-place, the whole ladder lives in the Store block (an uncompute
+ *    would undo the sum); its Free point is then trivially cheap to
+ *    reclaim.
+ *
+ *  - cadd_n (controlled add) masks a through `ctrl` into n compute
+ *    ancillas (m_i = ctrl & a_i), adds the mask in its Store block, and
+ *    lets the reclamation heuristic decide whether to uncompute the
+ *    mask - the canonical Fig. 6 pattern.
+ *
+ *  - cmul_n (out-of-place controlled multiply) computes per-bit
+ *    controls cc_i = ctrl & b_i, then shift-adds a into the product
+ *    register: p += (a << i) per set bit, each via cadd.
+ *
+ *  - modexp chains controlled multiplications by the constants
+ *    g^(2^i): intermediate result registers are the ancillas whose
+ *    allocation/reclamation trade-off produces the Fig. 1 usage curves.
+ *
+ * Arithmetic is modulo 2^n (register-width truncation) rather than
+ * modulo an odd N: the true modular reduction adds comparators and
+ * conditional subtractors but no new allocation/reclamation structure;
+ * see DESIGN.md.
+ */
+
+#ifndef SQUARE_WORKLOADS_ARITH_H
+#define SQUARE_WORKLOADS_ARITH_H
+
+#include <cstdint>
+
+#include "ir/builder.h"
+
+namespace square {
+
+/** In-place adder: params a[n], b[n]; b += a (mod 2^n). */
+ModuleId buildCuccaroAdd(ProgramBuilder &pb, int n);
+
+/** Controlled in-place adder: params ctrl, a[n], b[n]; b += a iff ctrl. */
+ModuleId buildCtrlAdd(ProgramBuilder &pb, int n);
+
+/**
+ * Controlled out-of-place multiplier: params ctrl, a[n], b[n], p[n];
+ * p += a*b (mod 2^n) iff ctrl.
+ */
+ModuleId buildCtrlMul(ProgramBuilder &pb, int n);
+
+/**
+ * Controlled multiply-add by a constant: params ctrl, x[n], out[n];
+ * out += x * c (mod 2^n) iff ctrl.
+ */
+ModuleId buildConstMulAdd(ProgramBuilder &pb, int n, uint64_t c);
+
+/** Benchmark ADDERn: primaries ctrl, a[n], b[n]. */
+Program makeAdder(int n);
+
+/** Benchmark MULn: primaries ctrl, a[n], b[n], p[n]. */
+Program makeMultiplier(int n);
+
+/**
+ * Benchmark MODEXP: primaries e[e_bits], out[n]; computes
+ * out += g^e (mod 2^n) via a chain of controlled constant
+ * multiplications with intermediate result registers as ancilla.
+ */
+Program makeModexp(int n, int e_bits, uint64_t g);
+
+} // namespace square
+
+#endif // SQUARE_WORKLOADS_ARITH_H

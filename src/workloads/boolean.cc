@@ -1,0 +1,235 @@
+#include "workloads/boolean.h"
+
+#include <vector>
+
+#include "common/logging.h"
+
+namespace square {
+
+namespace {
+
+/** Half adder: params x, y, s0, s1; s0 ^= x^y, s1 ^= x&y. */
+ModuleId
+buildHa(ProgramBuilder &pb)
+{
+    if (ModuleId id = pb.tryFindModule("ha"); id != kNoModule)
+        return id;
+    ModuleBuilder m = pb.module("ha", 4, 0);
+    m.inStore()
+        .cnot(m.p(0), m.p(2))
+        .cnot(m.p(1), m.p(2))
+        .toffoli(m.p(0), m.p(1), m.p(3));
+    return m.id();
+}
+
+/**
+ * 2-bit + 2-bit out-of-place adder: params a0,a1,b0,b1,s0,s1,s2;
+ * s ^= a + b (a, b <= 2).  One carry ancilla.
+ */
+ModuleId
+buildAdd22(ProgramBuilder &pb)
+{
+    if (ModuleId id = pb.tryFindModule("add22"); id != kNoModule)
+        return id;
+    ModuleBuilder m = pb.module("add22", 7, 1);
+    QubitRef a0 = m.p(0), a1 = m.p(1), b0 = m.p(2), b1 = m.p(3);
+    QubitRef s0 = m.p(4), s1 = m.p(5), s2 = m.p(6);
+    QubitRef t = m.a(0); // carry out of bit 0
+    m.toffoli(a0, b0, t);
+    m.inStore()
+        .cnot(a0, s0)
+        .cnot(b0, s0)
+        .cnot(a1, s1)
+        .cnot(b1, s1)
+        .cnot(t, s1)
+        .toffoli(a1, b1, s2)
+        .toffoli(a1, t, s2)
+        .toffoli(b1, t, s2);
+    return m.id();
+}
+
+/**
+ * 3-bit + 1-bit out-of-place adder: params w0,w1,w2,x,s0,s1,s2;
+ * s ^= w + x (w <= 5).  Two carry ancillas.
+ */
+ModuleId
+buildAdd31(ProgramBuilder &pb)
+{
+    if (ModuleId id = pb.tryFindModule("add31"); id != kNoModule)
+        return id;
+    ModuleBuilder m = pb.module("add31", 7, 2);
+    QubitRef w0 = m.p(0), w1 = m.p(1), w2 = m.p(2), x = m.p(3);
+    QubitRef s0 = m.p(4), s1 = m.p(5), s2 = m.p(6);
+    QubitRef c1 = m.a(0), c2 = m.a(1);
+    m.toffoli(w0, x, c1).toffoli(w1, c1, c2);
+    m.inStore()
+        .cnot(w0, s0)
+        .cnot(x, s0)
+        .cnot(w1, s1)
+        .cnot(c1, s1)
+        .cnot(w2, s2)
+        .cnot(c2, s2);
+    return m.id();
+}
+
+/**
+ * 3-bit + 2-bit out-of-place adder: params t0..t2,z0,z1,s0..s2;
+ * s ^= t + z (t <= 4, z <= 2).  Two carry ancillas.
+ */
+ModuleId
+buildAdd32(ProgramBuilder &pb)
+{
+    if (ModuleId id = pb.tryFindModule("add32"); id != kNoModule)
+        return id;
+    ModuleBuilder m = pb.module("add32", 8, 2);
+    QubitRef t0 = m.p(0), t1 = m.p(1), t2 = m.p(2);
+    QubitRef z0 = m.p(3), z1 = m.p(4);
+    QubitRef s0 = m.p(5), s1 = m.p(6), s2 = m.p(7);
+    QubitRef c1 = m.a(0), c2 = m.a(1);
+    m.toffoli(t0, z0, c1)
+        .toffoli(t1, z1, c2)
+        .toffoli(t1, c1, c2)
+        .toffoli(z1, c1, c2);
+    m.inStore()
+        .cnot(t0, s0)
+        .cnot(z0, s0)
+        .cnot(t1, s1)
+        .cnot(z1, s1)
+        .cnot(c1, s1)
+        .cnot(t2, s2)
+        .cnot(c2, s2);
+    return m.id();
+}
+
+/** Weight of 5 bits: params x0..x4, w0..w2; w ^= popcount(x). */
+ModuleId
+buildWeight5(ProgramBuilder &pb)
+{
+    if (ModuleId id = pb.tryFindModule("weight5"); id != kNoModule)
+        return id;
+    ModuleId ha = buildHa(pb);
+    ModuleId add22 = buildAdd22(pb);
+    ModuleId add31 = buildAdd31(pb);
+
+    // Ancilla: u[2] = x0+x1, v[2] = x2+x3, t[3] = u+v.
+    ModuleBuilder m = pb.module("weight5", 8, 7);
+    auto x = [&](int i) { return m.p(i); };
+    auto w = [&](int i) { return m.p(5 + i); };
+    QubitRef u0 = m.a(0), u1 = m.a(1);
+    QubitRef v0 = m.a(2), v1 = m.a(3);
+    QubitRef t0 = m.a(4), t1 = m.a(5), t2 = m.a(6);
+
+    m.call(ha, {x(0), x(1), u0, u1});
+    m.call(ha, {x(2), x(3), v0, v1});
+    m.call(add22, {u0, u1, v0, v1, t0, t1, t2});
+    m.inStore().call(add31, {t0, t1, t2, x(4), w(0), w(1), w(2)});
+    return m.id();
+}
+
+/** Weight of 6 bits: params x0..x5, w0..w2; w ^= popcount(x). */
+ModuleId
+buildWeight6(ProgramBuilder &pb)
+{
+    if (ModuleId id = pb.tryFindModule("weight6"); id != kNoModule)
+        return id;
+    ModuleId ha = buildHa(pb);
+    ModuleId add22 = buildAdd22(pb);
+    ModuleId add32 = buildAdd32(pb);
+
+    // Ancilla: u[2], v[2], z[2] pairwise sums; t[3] = u+v.
+    ModuleBuilder m = pb.module("weight6", 9, 9);
+    auto x = [&](int i) { return m.p(i); };
+    auto w = [&](int i) { return m.p(6 + i); };
+    QubitRef u0 = m.a(0), u1 = m.a(1);
+    QubitRef v0 = m.a(2), v1 = m.a(3);
+    QubitRef z0 = m.a(4), z1 = m.a(5);
+    QubitRef t0 = m.a(6), t1 = m.a(7), t2 = m.a(8);
+
+    m.call(ha, {x(0), x(1), u0, u1});
+    m.call(ha, {x(2), x(3), v0, v1});
+    m.call(ha, {x(4), x(5), z0, z1});
+    m.call(add22, {u0, u1, v0, v1, t0, t1, t2});
+    m.inStore().call(add32, {t0, t1, t2, z0, z1, w(0), w(1), w(2)});
+    return m.id();
+}
+
+/** out ^= [w == 3] for a 3-bit w: params w0,w1,w2,out; 1 ancilla. */
+ModuleId
+buildEq3(ProgramBuilder &pb)
+{
+    if (ModuleId id = pb.tryFindModule("eq3"); id != kNoModule)
+        return id;
+    ModuleBuilder m = pb.module("eq3", 4, 1);
+    QubitRef w0 = m.p(0), w1 = m.p(1), w2 = m.p(2), out = m.p(3);
+    QubitRef t = m.a(0);
+    // t = w1 & ~w2, computed as w1 XOR (w1 AND w2) so the compute
+    // block never modifies its parameters (this module is invoked from
+    // Store blocks, where an unreclaimed param-modifying compute would
+    // corrupt the caller's uncompute).
+    m.cnot(w1, t).toffoli(w1, w2, t);
+    m.inStore().toffoli(t, w0, out);
+    return m.id();
+}
+
+/** out ^= [w == 2] for a 3-bit w: params w0,w1,w2,out; 1 ancilla. */
+ModuleId
+buildEq2(ProgramBuilder &pb)
+{
+    if (ModuleId id = pb.tryFindModule("eq2"); id != kNoModule)
+        return id;
+    ModuleBuilder m = pb.module("eq2", 4, 1);
+    QubitRef w0 = m.p(0), w1 = m.p(1), w2 = m.p(2), out = m.p(3);
+    QubitRef t = m.a(0);
+    // t = w1 & ~w2 (param-preserving, see eq3); then
+    // out ^= t & ~w0 = t XOR (t AND w0).
+    m.cnot(w1, t).toffoli(w1, w2, t);
+    m.inStore().cnot(t, out).toffoli(t, w0, out);
+    return m.id();
+}
+
+} // namespace
+
+Program
+makeRd53()
+{
+    ProgramBuilder pb;
+    ModuleId weight5 = buildWeight5(pb);
+    ModuleBuilder m = pb.module("main", 8, 0);
+    std::vector<QubitRef> args;
+    for (int i = 0; i < 8; ++i)
+        args.push_back(m.p(i));
+    m.inStore().call(weight5, std::move(args));
+    return pb.build("main");
+}
+
+Program
+makeSym6()
+{
+    ProgramBuilder pb;
+    ModuleId weight6 = buildWeight6(pb);
+    ModuleId eq3 = buildEq3(pb);
+    ModuleBuilder m = pb.module("main", 7, 3);
+    auto x = [&](int i) { return m.p(i); };
+    QubitRef out = m.p(6);
+    QubitRef w0 = m.a(0), w1 = m.a(1), w2 = m.a(2);
+    m.call(weight6, {x(0), x(1), x(2), x(3), x(4), x(5), w0, w1, w2});
+    m.inStore().call(eq3, {w0, w1, w2, out});
+    return pb.build("main");
+}
+
+Program
+makeTwoOf5()
+{
+    ProgramBuilder pb;
+    ModuleId weight5 = buildWeight5(pb);
+    ModuleId eq2 = buildEq2(pb);
+    ModuleBuilder m = pb.module("main", 6, 3);
+    auto x = [&](int i) { return m.p(i); };
+    QubitRef out = m.p(5);
+    QubitRef w0 = m.a(0), w1 = m.a(1), w2 = m.a(2);
+    m.call(weight5, {x(0), x(1), x(2), x(3), x(4), w0, w1, w2});
+    m.inStore().call(eq2, {w0, w1, w2, out});
+    return pb.build("main");
+}
+
+} // namespace square

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Small boolean-function benchmarks (Table II): RD53, 6SYM, 2OF5.
+ *
+ * All three are symmetric functions of their inputs, synthesized as a
+ * population-count network (half adders and small ripple adders writing
+ * out-of-place into ancilla) followed by an output decode:
+ *
+ *  - RD53: 5 inputs, 3 outputs = the binary weight of the input;
+ *  - 6SYM: 6 inputs, 1 output = 1 iff the weight is exactly 3;
+ *  - 2OF5: 5 inputs, 1 output = 1 iff the weight is exactly 2.
+ *
+ * The counter tree provides the nested compute/store/uncompute
+ * structure whose reclamation trade-offs Table III and Fig. 8 measure.
+ */
+
+#ifndef SQUARE_WORKLOADS_BOOLEAN_H
+#define SQUARE_WORKLOADS_BOOLEAN_H
+
+#include "ir/builder.h"
+
+namespace square {
+
+/** Benchmark RD53: primaries x[5], out[3]. */
+Program makeRd53();
+
+/** Benchmark 6SYM: primaries x[6], out. */
+Program makeSym6();
+
+/** Benchmark 2OF5: primaries x[5], out. */
+Program makeTwoOf5();
+
+} // namespace square
+
+#endif // SQUARE_WORKLOADS_BOOLEAN_H

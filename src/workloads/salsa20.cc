@@ -1,0 +1,144 @@
+#include "workloads/salsa20.h"
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "workloads/arith.h"
+
+namespace square {
+
+namespace {
+
+/**
+ * Quarter-round step: params x[w], y[w], tgt[w];
+ * tgt ^= (x + y) <<< rot.  Ancilla: the sum word.
+ */
+ModuleId
+buildQStep(ProgramBuilder &pb, int w, int rot)
+{
+    rot %= w;
+    const std::string name =
+        "qstep_" + std::to_string(w) + "_" + std::to_string(rot);
+    if (ModuleId id = pb.tryFindModule(name); id != kNoModule)
+        return id;
+
+    ModuleId add = buildCuccaroAdd(pb, w);
+    ModuleBuilder m = pb.module(name, 3 * w, w);
+    auto x = [&](int j) { return m.p(j); };
+    auto y = [&](int j) { return m.p(w + j); };
+    auto tgt = [&](int j) { return m.p(2 * w + j); };
+
+    auto add_into_t = [&](auto src) {
+        std::vector<QubitRef> args;
+        for (int j = 0; j < w; ++j)
+            args.push_back(src(j));
+        for (int j = 0; j < w; ++j)
+            args.push_back(m.a(j));
+        m.call(add, std::move(args));
+    };
+    add_into_t(x);
+    add_into_t(y);
+
+    m.inStore();
+    for (int j = 0; j < w; ++j) {
+        // left-rotate by rot: bit j of the rotated word is bit
+        // (j - rot) mod w of the sum.
+        m.cnot(m.a(((j - rot) % w + w) % w), tgt(j));
+    }
+    return m.id();
+}
+
+/**
+ * Quarter-round: params y0..y3 (4 words); the standard four steps
+ * with rotations 7, 9, 13, 18.
+ */
+ModuleId
+buildQuarterRound(ProgramBuilder &pb, int w)
+{
+    const std::string name = "quarterround_" + std::to_string(w);
+    if (ModuleId id = pb.tryFindModule(name); id != kNoModule)
+        return id;
+
+    std::array<ModuleId, 4> steps = {
+        buildQStep(pb, w, 7), buildQStep(pb, w, 9),
+        buildQStep(pb, w, 13), buildQStep(pb, w, 18)};
+
+    ModuleBuilder m = pb.module(name, 4 * w, 0);
+    auto word_args = [&](int a, int b, int tgt) {
+        std::vector<QubitRef> args;
+        for (int j = 0; j < w; ++j)
+            args.push_back(m.p(a * w + j));
+        for (int j = 0; j < w; ++j)
+            args.push_back(m.p(b * w + j));
+        for (int j = 0; j < w; ++j)
+            args.push_back(m.p(tgt * w + j));
+        return args;
+    };
+    // z1 = y1 ^ ((y0+y3)<<<7); z2 = y2 ^ ((z1+y0)<<<9);
+    // z3 = y3 ^ ((z2+z1)<<<13); z0 = y0 ^ ((z3+z2)<<<18).
+    m.inStore();
+    m.call(steps[0], word_args(0, 3, 1));
+    m.call(steps[1], word_args(1, 0, 2));
+    m.call(steps[2], word_args(2, 1, 3));
+    m.call(steps[3], word_args(3, 2, 0));
+    return m.id();
+}
+
+/** Apply the quarter-round to four groups of word indices. */
+ModuleId
+buildGroupRound(ProgramBuilder &pb, int w, const std::string &name,
+                const std::array<std::array<int, 4>, 4> &groups)
+{
+    if (ModuleId id = pb.tryFindModule(name); id != kNoModule)
+        return id;
+    ModuleId qr = buildQuarterRound(pb, w);
+    ModuleBuilder m = pb.module(name, 16 * w, 0);
+    m.inStore();
+    for (const auto &g : groups) {
+        std::vector<QubitRef> args;
+        for (int word : g) {
+            for (int j = 0; j < w; ++j)
+                args.push_back(m.p(word * w + j));
+        }
+        m.call(qr, std::move(args));
+    }
+    return m.id();
+}
+
+} // namespace
+
+Program
+makeSalsa20(const SalsaParams &p)
+{
+    SQ_ASSERT(p.wordBits >= 2 && p.wordBits <= 32, "bad Salsa word size");
+    SQ_ASSERT(p.doubleRounds >= 1, "need at least one double round");
+    const int w = p.wordBits;
+
+    ProgramBuilder pb;
+    const std::array<std::array<int, 4>, 4> column_groups = {
+        std::array<int, 4>{0, 4, 8, 12}, {5, 9, 13, 1},
+        {10, 14, 2, 6}, {15, 3, 7, 11}};
+    const std::array<std::array<int, 4>, 4> row_groups = {
+        std::array<int, 4>{0, 1, 2, 3}, {5, 6, 7, 4},
+        {10, 11, 8, 9}, {15, 12, 13, 14}};
+
+    ModuleId colround = buildGroupRound(
+        pb, w, "columnround_" + std::to_string(w), column_groups);
+    ModuleId rowround = buildGroupRound(
+        pb, w, "rowround_" + std::to_string(w), row_groups);
+
+    ModuleBuilder m = pb.module("main", 16 * w, 0);
+    std::vector<QubitRef> all;
+    for (int i = 0; i < 16 * w; ++i)
+        all.push_back(m.p(i));
+    m.inStore();
+    for (int r = 0; r < p.doubleRounds; ++r) {
+        m.call(colround, all);
+        m.call(rowround, all);
+    }
+    return pb.build("main");
+}
+
+} // namespace square

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Salsa20 core benchmark (Table II), after Bernstein [65].
+ *
+ * Reduced-width model: word size and double-round count are parameters
+ * (the real cipher uses 32-bit words and 10 double rounds).  The
+ * quarter-round's four steps are each a module computing
+ * t = x + y into an ancilla word (two ripple-carry adds) and XOR-ing
+ * its rotation into the target word in the Store block - the cipher's
+ * in-place mixing lives entirely in Store blocks, while the ancilla
+ * sums are reclamation candidates.  Row and column rounds are pure
+ * dispatch modules applying the quarter-round to the standard index
+ * permutations.
+ */
+
+#ifndef SQUARE_WORKLOADS_SALSA20_H
+#define SQUARE_WORKLOADS_SALSA20_H
+
+#include "ir/builder.h"
+
+namespace square {
+
+/** Shape parameters of the reduced Salsa20 instance. */
+struct SalsaParams
+{
+    int wordBits = 4;    ///< word width (real: 32)
+    int doubleRounds = 1; ///< column+row round pairs (real: 10)
+};
+
+/** Benchmark SALSA20: primaries state[16 * wordBits], mixed in place. */
+Program makeSalsa20(const SalsaParams &params = {});
+
+} // namespace square
+
+#endif // SQUARE_WORKLOADS_SALSA20_H

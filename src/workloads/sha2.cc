@@ -1,0 +1,227 @@
+#include "workloads/sha2.h"
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "workloads/arith.h"
+
+namespace square {
+
+namespace {
+
+/** First eight SHA-256 round constants (truncated to the word width). */
+constexpr uint64_t kRoundConstants[] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5,
+    0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+};
+
+/** Initial hash values H0..H7 (truncated to the word width). */
+constexpr uint64_t kIv[] = {
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+    0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+};
+
+/**
+ * Build the round module for round @p t.
+ *
+ * Params: a,b,c,d,e,f,g,h (8 words), W (1 word), a_new, e_new
+ * (2 fresh words).  Ancilla: ch, maj, s0, s1, t1, t2 (6 words).
+ */
+ModuleId
+buildRound(ProgramBuilder &pb, const Sha2Params &p, int t)
+{
+    const int w = p.wordBits;
+    const std::string name = "sha2_round_" + std::to_string(t);
+    if (ModuleId id = pb.tryFindModule(name); id != kNoModule)
+        return id;
+
+    ModuleId add = buildCuccaroAdd(pb, w);
+    const uint64_t k_t =
+        kRoundConstants[static_cast<size_t>(t) %
+                        (sizeof(kRoundConstants) /
+                         sizeof(kRoundConstants[0]))] &
+        ((uint64_t{1} << w) - 1);
+
+    ModuleBuilder m = pb.module(name, 11 * w, 6 * w);
+    auto word = [&](int idx, int bit) { return m.p(idx * w + bit); };
+    // parameter word indices
+    constexpr int A = 0, B = 1, C = 2, D = 3, E = 4, F = 5, G = 6, H = 7;
+    constexpr int W = 8, ANEW = 9, ENEW = 10;
+    // ancilla word offsets
+    auto ch = [&](int j) { return m.a(0 * w + j); };
+    auto mj = [&](int j) { return m.a(1 * w + j); };
+    auto s0 = [&](int j) { return m.a(2 * w + j); };
+    auto s1 = [&](int j) { return m.a(3 * w + j); };
+    auto t1 = [&](int j) { return m.a(4 * w + j); };
+    auto t2 = [&](int j) { return m.a(5 * w + j); };
+
+    // Ch(e, f, g) = (e AND f) XOR (~e AND g) = (e AND f) XOR g XOR
+    // (e AND g) - parameter-preserving form.
+    for (int j = 0; j < w; ++j) {
+        m.toffoli(word(E, j), word(F, j), ch(j));
+        m.cnot(word(G, j), ch(j));
+        m.toffoli(word(E, j), word(G, j), ch(j));
+    }
+    // Maj(a, b, c)
+    for (int j = 0; j < w; ++j) {
+        m.toffoli(word(A, j), word(B, j), mj(j));
+        m.toffoli(word(A, j), word(C, j), mj(j));
+        m.toffoli(word(B, j), word(C, j), mj(j));
+    }
+    // Sigma1(e): rotations 6, 11, 25 reduced mod w; Sigma0(a): 2, 13, 22.
+    const std::array<int, 3> rot1 = {6 % w, 11 % w, 25 % w};
+    const std::array<int, 3> rot0 = {2 % w, 13 % w, 22 % w};
+    for (int j = 0; j < w; ++j) {
+        for (int r : rot1)
+            m.cnot(word(E, (j + r) % w), s1(j));
+        for (int r : rot0)
+            m.cnot(word(A, (j + r) % w), s0(j));
+    }
+
+    // T1 = h + Sigma1 + Ch (+ K_t as XOR) + W; T2 = Sigma0 + Maj.
+    auto add_words = [&](auto src, auto dst) {
+        std::vector<QubitRef> args;
+        for (int j = 0; j < w; ++j)
+            args.push_back(src(j));
+        for (int j = 0; j < w; ++j)
+            args.push_back(dst(j));
+        m.call(add, std::move(args));
+    };
+    auto add_param_word = [&](int idx, auto dst) {
+        std::vector<QubitRef> args;
+        for (int j = 0; j < w; ++j)
+            args.push_back(word(idx, j));
+        for (int j = 0; j < w; ++j)
+            args.push_back(dst(j));
+        m.call(add, std::move(args));
+    };
+    add_param_word(H, t1);
+    add_words(s1, t1);
+    add_words(ch, t1);
+    add_param_word(W, t1);
+    for (int j = 0; j < w; ++j) {
+        if ((k_t >> j) & 1)
+            m.x(t1(j));
+    }
+    add_words(s0, t2);
+    add_words(mj, t2);
+
+    // Store: the two fresh state words (out-of-place; D is read as an
+    // addend, never written).
+    m.inStore();
+    auto add_to_param = [&](auto src, int dst_idx) {
+        std::vector<QubitRef> args;
+        for (int j = 0; j < w; ++j)
+            args.push_back(src(j));
+        for (int j = 0; j < w; ++j)
+            args.push_back(word(dst_idx, j));
+        m.call(add, std::move(args));
+    };
+    add_to_param(t1, ANEW); // a' = T1 + T2
+    add_to_param(t2, ANEW);
+    add_to_param(t1, ENEW); // e' = d + T1
+    {
+        std::vector<QubitRef> args;
+        for (int j = 0; j < w; ++j)
+            args.push_back(word(D, j));
+        for (int j = 0; j < w; ++j)
+            args.push_back(word(ENEW, j));
+        m.call(add, std::move(args));
+    }
+    return m.id();
+}
+
+} // namespace
+
+Program
+makeSha2(const Sha2Params &p)
+{
+    SQ_ASSERT(p.wordBits >= 2 && p.wordBits <= 32, "bad SHA-2 word size");
+    SQ_ASSERT(p.rounds >= 1, "need at least one round");
+    SQ_ASSERT(p.msgWords >= 1, "need at least one message word");
+    const int w = p.wordBits;
+    const uint64_t mask = (uint64_t{1} << w) - 1;
+
+    ProgramBuilder pb;
+    std::vector<ModuleId> rounds(static_cast<size_t>(p.rounds));
+    for (int t = 0; t < p.rounds; ++t)
+        rounds[static_cast<size_t>(t)] = buildRound(pb, p, t);
+
+    // Primaries: message words then output words.
+    // Ancilla: 8 IV state words + 2 fresh words per round.
+    const int num_primary = (p.msgWords + 8) * w;
+    const int num_anc = (8 + 2 * p.rounds) * w;
+    ModuleBuilder m = pb.module("main", num_primary, num_anc);
+
+    auto msg = [&](int word_idx, int bit) {
+        return m.p(word_idx * w + bit);
+    };
+    auto out = [&](int word_idx, int bit) {
+        return m.p((p.msgWords + word_idx) * w + bit);
+    };
+    auto anc_word = [&](int idx) {
+        return [&m, idx, w](int bit) { return m.a(idx * w + bit); };
+    };
+
+    // State words are tracked as ancilla-word indices; rotation between
+    // rounds is pure renaming.
+    std::array<int, 8> state{};
+    for (int i = 0; i < 8; ++i)
+        state[static_cast<size_t>(i)] = i;
+
+    // Compute: prepare the IV.
+    for (int i = 0; i < 8; ++i) {
+        uint64_t iv = kIv[static_cast<size_t>(i)] & mask;
+        for (int j = 0; j < w; ++j) {
+            if ((iv >> j) & 1)
+                m.x(m.a(i * w + j));
+        }
+    }
+
+    // Rounds.
+    int next_fresh = 8;
+    for (int t = 0; t < p.rounds; ++t) {
+        int a_new = next_fresh++;
+        int e_new = next_fresh++;
+        std::vector<QubitRef> args;
+        for (int s : state) {
+            for (int j = 0; j < w; ++j)
+                args.push_back(m.a(s * w + j));
+        }
+        const int w_word = t % p.msgWords;
+        for (int j = 0; j < w; ++j)
+            args.push_back(msg(w_word, j));
+        for (int j = 0; j < w; ++j)
+            args.push_back(m.a(a_new * w + j));
+        for (int j = 0; j < w; ++j)
+            args.push_back(m.a(e_new * w + j));
+        m.call(rounds[static_cast<size_t>(t)], std::move(args));
+
+        // Rotate: (a,b,c,d,e,f,g,h) <- (a', a, b, c, e', e, f, g).
+        std::array<int, 8> next{};
+        next[0] = a_new;
+        next[1] = state[0];
+        next[2] = state[1];
+        next[3] = state[2];
+        next[4] = e_new;
+        next[5] = state[4];
+        next[6] = state[5];
+        next[7] = state[6];
+        state = next;
+    }
+
+    // Store: copy the final state to the outputs.
+    m.inStore();
+    for (int i = 0; i < 8; ++i) {
+        for (int j = 0; j < w; ++j)
+            m.cnot(m.a(state[static_cast<size_t>(i)] * w + j), out(i, j));
+    }
+    (void)anc_word;
+    return pb.build("main");
+}
+
+} // namespace square

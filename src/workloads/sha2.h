@@ -1,0 +1,42 @@
+/**
+ * @file
+ * SHA-2 round-function benchmark (Table II), after the reversible
+ * implementation of Parent, Roetteler & Svore [24].
+ *
+ * Reduced-width model: word size and round count are parameters
+ * (defaults 8 bits / 8 rounds versus SHA-256's 32 bits / 64 rounds);
+ * the message schedule reuses the message words cyclically; round
+ * constants are folded in as XORs.  Each round module computes
+ * Ch(e,f,g), Maj(a,b,c) and the two Sigma rotations into ancilla
+ * words, accumulates T1 and T2 with ripple-carry adders, and writes
+ * the two genuinely-new state words of the SHA-2 dataflow
+ * (a' = T1 + T2, e' = d + T1) out-of-place into registers provided by
+ * the caller; the six remaining words rotate by renaming.  The
+ * per-round temporaries (6 words) are exactly the ancillas whose
+ * reclamation SQUARE trades off.
+ */
+
+#ifndef SQUARE_WORKLOADS_SHA2_H
+#define SQUARE_WORKLOADS_SHA2_H
+
+#include "ir/builder.h"
+
+namespace square {
+
+/** Shape parameters of the reduced SHA-2 instance. */
+struct Sha2Params
+{
+    int wordBits = 8;   ///< word width (SHA-256: 32)
+    int rounds = 8;     ///< compression rounds (SHA-256: 64)
+    int msgWords = 8;   ///< message words, reused cyclically (real: 16)
+};
+
+/**
+ * Benchmark SHA2: primaries msg[msgWords * wordBits] then
+ * out[8 * wordBits]; out receives the final state words.
+ */
+Program makeSha2(const Sha2Params &params = {});
+
+} // namespace square
+
+#endif // SQUARE_WORKLOADS_SHA2_H

@@ -1,0 +1,321 @@
+#include "workloads/synthetic.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace square {
+
+namespace {
+
+/** Draw @p count distinct values from [0, bound). */
+std::vector<int>
+drawDistinct(Rng &rng, int count, int bound)
+{
+    SQ_ASSERT(count <= bound, "cannot draw that many distinct values");
+    std::vector<int> pool(static_cast<size_t>(bound));
+    for (int i = 0; i < bound; ++i)
+        pool[static_cast<size_t>(i)] = i;
+    // partial Fisher-Yates
+    for (int i = 0; i < count; ++i) {
+        int j = i + static_cast<int>(rng.below(
+                        static_cast<uint64_t>(bound - i)));
+        std::swap(pool[static_cast<size_t>(i)],
+                  pool[static_cast<size_t>(j)]);
+    }
+    pool.resize(static_cast<size_t>(count));
+    return pool;
+}
+
+/**
+ * Random classical gate.  Targets are drawn from the module's own
+ * ancilla only: a compute block must leave its parameters net-unchanged
+ * or the program's primary outputs would depend on the reclamation
+ * policy (see the soundness rules in the header).  Controls may be any
+ * local qubit.
+ */
+void
+emitRandomGate(ModuleBuilder &m, Rng &rng,
+               const std::vector<QubitRef> &controls, int num_ancilla)
+{
+    const int n = static_cast<int>(controls.size());
+    QubitRef tgt = QubitRef::ancilla(
+        static_cast<int>(rng.below(static_cast<uint64_t>(num_ancilla))));
+    int arity;
+    uint64_t pick = rng.below(10);
+    arity = pick < 2 ? 1 : (pick < 6 ? 2 : 3);
+
+    auto draw_controls = [&](int count) {
+        std::vector<QubitRef> out;
+        std::vector<int> idx = drawDistinct(rng, std::min(count + 1, n), n);
+        for (int i : idx) {
+            QubitRef c = controls[static_cast<size_t>(i)];
+            if (c == tgt)
+                continue;
+            out.push_back(c);
+            if (static_cast<int>(out.size()) == count)
+                break;
+        }
+        return out;
+    };
+
+    if (arity >= 2) {
+        auto ctl = draw_controls(arity - 1);
+        arity = static_cast<int>(ctl.size()) + 1;
+        if (arity == 3) {
+            m.toffoli(ctl[0], ctl[1], tgt);
+            return;
+        }
+        if (arity == 2) {
+            m.cnot(ctl[0], tgt);
+            return;
+        }
+    }
+    m.x(tgt);
+}
+
+} // namespace
+
+Program
+makeSynthetic(const std::string &name, const SynthParams &p)
+{
+    SQ_ASSERT(p.levels >= 1, "need at least one level");
+    SQ_ASSERT(p.dataParams >= 1 && p.outParams >= 1, "bad param counts");
+    SQ_ASSERT(p.ancilla >= p.outParams,
+              "caller ancilla must cover callee outputs");
+    SQ_ASSERT(p.dataParams + p.ancilla >= 3,
+              "too few qubits per function for 3-qubit gates");
+
+    Rng rng(p.seed);
+    ProgramBuilder pb;
+    const int num_params = p.dataParams + p.outParams;
+
+    // modules_by_level[l] holds the modules at depth l (leaves at
+    // p.levels - 1).  A couple of distinct modules per level keeps the
+    // call graph a DAG with varied bodies.
+    std::vector<std::vector<ModuleId>> by_level(
+        static_cast<size_t>(p.levels));
+    const int variants = 2;
+
+    for (int level = p.levels - 1; level >= 0; --level) {
+        for (int v = 0; v < variants; ++v) {
+            std::string mod_name = name + "_L" + std::to_string(level) +
+                                   "_" + std::to_string(v);
+            ModuleBuilder m = pb.module(mod_name, num_params, p.ancilla);
+
+            // Candidate operand pools.
+            std::vector<QubitRef> compute_pool;
+            for (int i = 0; i < p.dataParams; ++i)
+                compute_pool.push_back(m.p(i));
+            for (int i = 0; i < p.ancilla; ++i)
+                compute_pool.push_back(m.a(i));
+
+            // Compute: random gates with calls interleaved.
+            const bool is_leaf = level == p.levels - 1;
+            const int num_calls = is_leaf ? 0 : p.callees;
+            std::vector<int> call_slots;
+            for (int c = 0; c < num_calls; ++c) {
+                call_slots.push_back(static_cast<int>(
+                    rng.below(static_cast<uint64_t>(p.gates + 1))));
+            }
+            std::sort(call_slots.begin(), call_slots.end());
+
+            size_t next_call = 0;
+            for (int gidx = 0; gidx <= p.gates; ++gidx) {
+                while (next_call < call_slots.size() &&
+                       call_slots[next_call] == gidx) {
+                    ++next_call;
+                    const auto &kids =
+                        by_level[static_cast<size_t>(level + 1)];
+                    ModuleId callee = kids[rng.below(kids.size())];
+                    // output args first (from own ancilla), then data
+                    // args from the pool minus the chosen outputs, so
+                    // the argument list is always duplicate-free.
+                    std::vector<int> out_idx =
+                        drawDistinct(rng, p.outParams, p.ancilla);
+                    std::vector<QubitRef> data_pool;
+                    for (const QubitRef &r : compute_pool) {
+                        bool is_out = false;
+                        for (int i : out_idx) {
+                            if (r == QubitRef::ancilla(i))
+                                is_out = true;
+                        }
+                        if (!is_out)
+                            data_pool.push_back(r);
+                    }
+                    std::vector<int> data_idx = drawDistinct(
+                        rng, p.dataParams,
+                        static_cast<int>(data_pool.size()));
+                    std::vector<QubitRef> args;
+                    for (int i : data_idx)
+                        args.push_back(data_pool[static_cast<size_t>(i)]);
+                    for (int i : out_idx)
+                        args.push_back(QubitRef::ancilla(i));
+                    m.call(callee, std::move(args));
+                }
+                if (gidx < p.gates)
+                    emitRandomGate(m, rng, compute_pool, p.ancilla);
+            }
+
+            // Store: per output param, 1-2 gates controlled by data.
+            m.inStore();
+            for (int o = 0; o < p.outParams; ++o) {
+                QubitRef tgt = m.p(p.dataParams + o);
+                int ngates = 1 + static_cast<int>(rng.below(2));
+                for (int g = 0; g < ngates; ++g) {
+                    std::vector<int> ctl = drawDistinct(
+                        rng, 2, static_cast<int>(compute_pool.size()));
+                    if (rng.coin(0.5)) {
+                        m.cnot(compute_pool[static_cast<size_t>(ctl[0])],
+                               tgt);
+                    } else {
+                        m.toffoli(
+                            compute_pool[static_cast<size_t>(ctl[0])],
+                            compute_pool[static_cast<size_t>(ctl[1])],
+                            tgt);
+                    }
+                }
+            }
+
+            by_level[static_cast<size_t>(level)].push_back(m.id());
+        }
+    }
+
+    // main: data params for the level-0 calls plus one output per call.
+    const int main_outputs = p.callees;
+    const int main_params = p.dataParams + main_outputs;
+    ModuleBuilder m = pb.module("main", main_params, p.ancilla);
+    std::vector<QubitRef> pool;
+    for (int i = 0; i < p.dataParams; ++i)
+        pool.push_back(m.p(i));
+    for (int i = 0; i < p.ancilla; ++i)
+        pool.push_back(m.a(i));
+
+    for (int c = 0; c < p.callees; ++c) {
+        const auto &tops = by_level[0];
+        ModuleId callee = tops[rng.below(tops.size())];
+        std::vector<int> out_idx =
+            drawDistinct(rng, p.outParams, p.ancilla);
+        std::vector<QubitRef> data_pool;
+        for (const QubitRef &r : pool) {
+            bool is_out = false;
+            for (int i : out_idx) {
+                if (r == QubitRef::ancilla(i))
+                    is_out = true;
+            }
+            if (!is_out)
+                data_pool.push_back(r);
+        }
+        std::vector<int> data_idx = drawDistinct(
+            rng, p.dataParams, static_cast<int>(data_pool.size()));
+        std::vector<QubitRef> args;
+        for (int i : data_idx)
+            args.push_back(data_pool[static_cast<size_t>(i)]);
+        for (int i : out_idx)
+            args.push_back(QubitRef::ancilla(i));
+        m.call(callee, std::move(args));
+    }
+
+    // main store: fold ancilla into the dedicated outputs.
+    m.inStore();
+    for (int c = 0; c < main_outputs; ++c) {
+        QubitRef tgt = m.p(p.dataParams + c);
+        std::vector<int> ctl =
+            drawDistinct(rng, 2, static_cast<int>(pool.size()));
+        m.toffoli(pool[static_cast<size_t>(ctl[0])],
+                  pool[static_cast<size_t>(ctl[1])], tgt);
+    }
+
+    return pb.build("main");
+}
+
+SynthParams
+jasmineParams()
+{
+    SynthParams p;
+    p.levels = 2;
+    p.callees = 4;
+    p.dataParams = 6;
+    p.outParams = 2;
+    p.ancilla = 8;
+    p.gates = 24;
+    p.seed = 0x7A5;
+    return p;
+}
+
+SynthParams
+elsaParams()
+{
+    SynthParams p;
+    p.levels = 2;
+    p.callees = 3;
+    p.dataParams = 8;
+    p.outParams = 2;
+    p.ancilla = 12;
+    p.gates = 80;
+    p.seed = 0xE15A;
+    return p;
+}
+
+SynthParams
+belleParams()
+{
+    // Light workload, deeply nested, ancilla-hungry: the shape whose
+    // preferred strategy flips with machine connectivity (Fig. 5 -
+    // Eager wins on a lattice, Lazy on a fully-connected machine).
+    SynthParams p;
+    p.levels = 3;
+    p.callees = 3;
+    p.dataParams = 4;
+    p.outParams = 1;
+    p.ancilla = 10;
+    p.gates = 3;
+    p.seed = 0xBE11E;
+    return p;
+}
+
+SynthParams
+jasmineSmallParams()
+{
+    SynthParams p;
+    p.levels = 2;
+    p.callees = 2;
+    p.dataParams = 3;
+    p.outParams = 1;
+    p.ancilla = 2;
+    p.gates = 10;
+    p.seed = 0x7A55;
+    return p;
+}
+
+SynthParams
+elsaSmallParams()
+{
+    SynthParams p;
+    p.levels = 1;
+    p.callees = 2;
+    p.dataParams = 3;
+    p.outParams = 1;
+    p.ancilla = 2;
+    p.gates = 20;
+    p.seed = 0xE15A5;
+    return p;
+}
+
+SynthParams
+belleSmallParams()
+{
+    SynthParams p;
+    p.levels = 3;
+    p.callees = 2;
+    p.dataParams = 3;
+    p.outParams = 1;
+    p.ancilla = 1;
+    p.gates = 4;
+    p.seed = 0xBE11E5;
+    return p;
+}
+
+} // namespace square

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Parameterized synthetic benchmarks (Table II: Jasmine, Elsa, Belle
+ * and their small "-s" variants).
+ *
+ * As in the paper (Sec. V-A), a synthetic program is characterized by
+ * the size and shape of its call graph through five variables: number
+ * of nested levels, callees per function, input qubits per function,
+ * ancilla qubits per function, and gates per function.  Qubits and
+ * gates are assigned randomly from a seeded generator, subject to the
+ * structural soundness rules of the compute/store/uncompute contract:
+ *
+ *  - compute blocks mix random classical gates with calls to
+ *    next-level modules; gate targets are restricted to the module's
+ *    own ancilla (controls may be anything), so compute blocks leave
+ *    their parameters net-unchanged and the program's outputs are
+ *    invariant under the reclamation policy;
+ *  - store blocks contain only gates whose targets are dedicated
+ *    output params (never referenced by compute), so skipping an
+ *    uncompute can never corrupt an ancestor's reclamation;
+ *  - callee output arguments are drawn from the caller's ancilla.
+ */
+
+#ifndef SQUARE_WORKLOADS_SYNTHETIC_H
+#define SQUARE_WORKLOADS_SYNTHETIC_H
+
+#include <cstdint>
+#include <string>
+
+#include "ir/builder.h"
+
+namespace square {
+
+/** The five shape variables of Sec. V-A plus a seed. */
+struct SynthParams
+{
+    int levels = 3;      ///< nesting depth below main
+    int callees = 2;     ///< calls per function
+    int dataParams = 3;  ///< input qubits per function
+    int outParams = 1;   ///< output qubits per function
+    int ancilla = 2;     ///< ancilla qubits per function
+    int gates = 8;       ///< gates per function (compute block)
+    uint64_t seed = 0xB0BA;
+};
+
+/** Generate a synthetic program with the given shape. */
+Program makeSynthetic(const std::string &name, const SynthParams &params);
+
+/** Stock shapes from the paper's descriptions. */
+SynthParams jasmineParams();  ///< shallowly nested
+SynthParams elsaParams();     ///< heavy workload, shallowly nested
+SynthParams belleParams();    ///< light workload, deeply nested
+SynthParams jasmineSmallParams();
+SynthParams elsaSmallParams();
+SynthParams belleSmallParams();
+
+} // namespace square
+
+#endif // SQUARE_WORKLOADS_SYNTHETIC_H

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Unit tests for the ancilla heap and the LAA allocator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+#include "core/allocator.h"
+#include "core/heap.h"
+
+namespace square {
+namespace {
+
+TEST(Heap, LifoOrder)
+{
+    AncillaHeap h;
+    h.push(3);
+    h.push(7);
+    h.push(5);
+    EXPECT_EQ(h.size(), 3);
+    EXPECT_EQ(h.popLifo(), 5);
+    EXPECT_EQ(h.popLifo(), 7);
+    EXPECT_EQ(h.popLifo(), 3);
+    EXPECT_TRUE(h.empty());
+}
+
+TEST(Heap, TakeSpecificSite)
+{
+    AncillaHeap h;
+    h.push(1);
+    h.push(2);
+    h.push(3);
+    h.take(2);
+    EXPECT_FALSE(h.contains(2));
+    EXPECT_EQ(h.popLifo(), 3);
+    EXPECT_EQ(h.popLifo(), 1);
+}
+
+TEST(Heap, MisusePanics)
+{
+    AncillaHeap h;
+    EXPECT_THROW(h.popLifo(), PanicError);
+    h.push(4);
+    EXPECT_THROW(h.push(4), PanicError);
+    EXPECT_THROW(h.take(9), PanicError);
+}
+
+TEST(Heap, CompactionKeepsContents)
+{
+    AncillaHeap h;
+    for (int i = 0; i < 100; ++i)
+        h.push(i);
+    for (int i = 0; i < 99; ++i)
+        h.take(i); // force heavy tombstoning + compaction
+    EXPECT_EQ(h.size(), 1);
+    EXPECT_TRUE(h.contains(99));
+    EXPECT_EQ(h.popLifo(), 99);
+}
+
+TEST(Heap, SwapRenamesFreeSite)
+{
+    Layout layout(4);
+    AncillaHeap h;
+    LogicalQubit q = layout.place(0);
+    // site 1 was used then freed -> heap
+    LogicalQubit tmp = layout.place(1);
+    layout.remove(tmp);
+    h.push(1);
+
+    layout.setSwapObserver(
+        [&](PhysQubit a, PhysQubit b) { h.onSwap(a, b, layout); });
+    layout.swapSites(0, 1); // qubit moves onto the heap site
+    EXPECT_EQ(layout.siteOf(q), 1);
+    EXPECT_FALSE(h.contains(1));
+    EXPECT_TRUE(h.contains(0)); // the |0> moved to site 0
+}
+
+class AllocatorTest : public ::testing::Test
+{
+  protected:
+    AllocatorTest()
+        : machine_(Machine::nisqLattice(5, 5)),
+          layout_(25),
+          sched_(machine_, layout_, nullptr)
+    {
+    }
+
+    Machine machine_;
+    Layout layout_;
+    AncillaHeap heap_;
+    GateScheduler sched_;
+};
+
+TEST_F(AllocatorTest, PrimariesCompactNearCenter)
+{
+    SquareConfig cfg = SquareConfig::square();
+    Allocator alloc(cfg, machine_, layout_, sched_, heap_);
+    auto prim = alloc.allocPrimaries(4);
+    ASSERT_EQ(prim.size(), 4u);
+    const Topology &topo = *machine_.topology;
+    // All four within distance 2 of the central site.
+    PhysQubit center = 12;
+    for (LogicalQubit q : prim)
+        EXPECT_LE(topo.distance(layout_.siteOf(q), center), 2);
+}
+
+TEST_F(AllocatorTest, LocalityPrefersNearbyHeapSite)
+{
+    SquareConfig cfg = SquareConfig::square();
+    Allocator alloc(cfg, machine_, layout_, sched_, heap_);
+    auto prim = alloc.allocPrimaries(2);
+
+    // A reclaimed site right next to the primaries, and one far away.
+    LatticeTopology topo(5, 5);
+    PhysQubit near_site = kNoQubit;
+    for (PhysQubit s : topo.neighbors(layout_.siteOf(prim[0]))) {
+        if (layout_.isFree(s)) {
+            near_site = s;
+            break;
+        }
+    }
+    ASSERT_NE(near_site, kNoQubit);
+    PhysQubit far_site = topo.siteAt(4, 4);
+    LogicalQubit t1 = layout_.place(near_site);
+    layout_.remove(t1);
+    heap_.push(near_site);
+    LogicalQubit t2 = layout_.place(far_site);
+    layout_.remove(t2);
+    heap_.push(far_site);
+
+    // Ancilla interacting with primary 0 should take the near site.
+    ModuleStats st;
+    st.ancillaParams = {{0}};
+    auto anc = alloc.allocAncilla(1, st, prim, 0);
+    EXPECT_EQ(layout_.siteOf(anc[0]), near_site);
+}
+
+TEST_F(AllocatorTest, LifoIgnoresLocality)
+{
+    SquareConfig cfg = SquareConfig::eager(); // LIFO allocation
+    Allocator alloc(cfg, machine_, layout_, sched_, heap_);
+    auto prim = alloc.allocPrimaries(2);
+
+    LatticeTopology topo(5, 5);
+    PhysQubit far_site = topo.siteAt(4, 4);
+    LogicalQubit t = layout_.place(far_site);
+    layout_.remove(t);
+    heap_.push(far_site);
+
+    ModuleStats st;
+    st.ancillaParams = {{0}};
+    auto anc = alloc.allocAncilla(1, st, prim, 0);
+    // LIFO pops the (far) heap site regardless of distance.
+    EXPECT_EQ(layout_.siteOf(anc[0]), far_site);
+}
+
+TEST_F(AllocatorTest, ExhaustionIsFatal)
+{
+    SquareConfig cfg = SquareConfig::square();
+    Allocator alloc(cfg, machine_, layout_, sched_, heap_);
+    EXPECT_THROW(alloc.allocPrimaries(26), FatalError);
+}
+
+TEST_F(AllocatorTest, SerializationPenaltySteersAway)
+{
+    SquareConfig cfg = SquareConfig::square();
+    cfg.serializationWeight = 100.0; // dominate the decision
+    Allocator alloc(cfg, machine_, layout_, sched_, heap_);
+    auto prim = alloc.allocPrimaries(1);
+    PhysQubit p0 = layout_.siteOf(prim[0]);
+
+    LatticeTopology topo(5, 5);
+    // Two heap sites, equidistant-ish; make one "busy until late" by
+    // scheduling gates on it.
+    auto nbrs = topo.neighbors(p0);
+    ASSERT_GE(nbrs.size(), 2u);
+    PhysQubit busy = nbrs[0], idle = nbrs[1];
+    LogicalQubit qb = layout_.place(busy);
+    LogicalQubit ops[1] = {qb};
+    for (int i = 0; i < 50; ++i)
+        sched_.apply(GateKind::X, ops);
+    layout_.remove(qb);
+    heap_.push(busy);
+    LogicalQubit qi = layout_.place(idle);
+    layout_.remove(qi);
+    heap_.push(idle);
+
+    ModuleStats st;
+    st.ancillaParams = {{0}};
+    auto anc = alloc.allocAncilla(1, st, prim, /*t_ready=*/0);
+    EXPECT_EQ(layout_.siteOf(anc[0]), idle);
+}
+
+} // namespace
+} // namespace square

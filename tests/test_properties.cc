@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Property-based sweeps over the whole compiler stack.
+ *
+ * The central invariants, exercised across benchmarks x policies x
+ * machines x inputs (and randomized synthetic programs):
+ *
+ *  P1. No dirty reclamation: every site pushed on the ancilla heap
+ *      holds |0> (checked gate-by-gate by the classical simulator).
+ *  P2. Policy independence: the primary outputs of the compiled trace
+ *      equal the reference interpreter's outputs for every policy.
+ *  P3. Metric sanity: AQV <= peakLive x depth; usage curve starts and
+ *      ends at zero live; trace length matches gate counters.
+ *  P4. Forced-policy decision space is well-formed: every decision
+ *      script yields a functionally correct program.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+#include "arch/machine.h"
+#include "core/compiler.h"
+#include "sim/classical.h"
+#include "sim/reference.h"
+#include "workloads/arith.h"
+#include "workloads/registry.h"
+#include "workloads/synthetic.h"
+
+namespace square {
+namespace {
+
+struct SweepOutcome
+{
+    uint64_t got = 0;
+    uint64_t expected = 0;
+    int64_t violations = 0;
+    CompileResult result;
+};
+
+SweepOutcome
+runOne(const Program &prog, Machine machine, const SquareConfig &cfg,
+       uint64_t input)
+{
+    SweepOutcome out;
+    CompileResult probe = compile(prog, machine, cfg, {});
+
+    ClassicalSim sim(machine.numSites());
+    for (size_t i = 0; i < probe.primaryInitialSites.size(); ++i)
+        sim.setBit(probe.primaryInitialSites[i], (input >> i) & 1);
+    CompileOptions opts;
+    opts.extraSink = &sim;
+    out.result = compile(prog, machine, cfg, opts);
+
+    out.violations = sim.reclaimViolations();
+    out.expected = simulateReferenceBits(prog, input);
+    for (size_t i = 0; i < out.result.primaryFinalSites.size(); ++i) {
+        if (sim.bit(out.result.primaryFinalSites[i]))
+            out.got |= uint64_t{1} << i;
+    }
+    return out;
+}
+
+void
+checkMetricSanity(const CompileResult &r)
+{
+    EXPECT_GE(r.aqv, 0);
+    EXPECT_GE(r.depth, 0);
+    ASSERT_FALSE(r.usageCurve.empty());
+    EXPECT_EQ(r.usageCurve.back().live, 0);
+    // Time-axis peak (curve) and program-order peak (layout occupancy,
+    // r.peakLive) may differ slightly under ASAP timestamps, but both
+    // bound the volume.
+    int curve_peak = 0;
+    for (const auto &p : r.usageCurve)
+        curve_peak = std::max(curve_peak, p.live);
+    EXPECT_GT(curve_peak, 0);
+    EXPECT_LE(r.aqv, static_cast<int64_t>(curve_peak) * r.depth);
+}
+
+// ---------------------------------------------------------------------
+// P1-P3 across random synthetic programs, all policies, three machine
+// families (swap lattice, all-to-all, FT braid).
+// ---------------------------------------------------------------------
+
+class SynthSweep
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int, int>>
+{
+};
+
+TEST_P(SynthSweep, CompiledMatchesReferenceEverywhere)
+{
+    const auto &[seed, policy_idx, machine_idx] = GetParam();
+
+    SynthParams p;
+    p.levels = 2 + static_cast<int>(seed % 3);
+    p.callees = 2;
+    p.dataParams = 3;
+    p.outParams = 1;
+    p.ancilla = 2 + static_cast<int>(seed % 2);
+    p.gates = 6;
+    p.seed = 0xF00D + seed * 977;
+    Program prog = makeSynthetic("fuzz", p);
+
+    SquareConfig cfg;
+    switch (policy_idx) {
+      case 0: cfg = SquareConfig::lazy(); break;
+      case 1: cfg = SquareConfig::eager(); break;
+      case 2: cfg = SquareConfig::squareLaaOnly(); break;
+      default: cfg = SquareConfig::square(); break;
+    }
+
+    Machine machine = machine_idx == 0
+                          ? Machine::nisqLatticeMacro(12, 12)
+                      : machine_idx == 1
+                          ? Machine::fullyConnected(144)
+                          : Machine::ftBraidMacro(12, 12);
+
+    uint64_t input = (seed * 0x9e3779b97f4a7c15ull) &
+                     ((uint64_t{1} << prog.numPrimary()) - 1);
+    SweepOutcome out = runOne(prog, std::move(machine), cfg, input);
+
+    EXPECT_EQ(out.violations, 0) << "dirty reclaim, seed " << seed;
+    EXPECT_EQ(out.got, out.expected) << "seed " << seed;
+    checkMetricSanity(out.result);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fuzz, SynthSweep,
+    ::testing::Combine(::testing::Range<uint64_t>(0, 6),
+                       ::testing::Range(0, 4), ::testing::Range(0, 3)),
+    [](const auto &info) {
+        return "s" + std::to_string(std::get<0>(info.param)) + "_p" +
+               std::to_string(std::get<1>(info.param)) + "_m" +
+               std::to_string(std::get<2>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// P2 for arithmetic across many inputs (adder/multiplier on lattice).
+// ---------------------------------------------------------------------
+
+class ArithInputSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ArithInputSweep, AdderMatchesReferencePerInput)
+{
+    const int case_idx = GetParam();
+    Program prog = makeAdder(3);
+    uint64_t a = static_cast<uint64_t>(case_idx) % 8;
+    uint64_t b = (static_cast<uint64_t>(case_idx) * 3 + 1) % 8;
+    uint64_t ctrl = static_cast<uint64_t>(case_idx) & 1;
+    uint64_t input = ctrl | (a << 1) | (b << 4);
+
+    SweepOutcome out = runOne(prog, Machine::nisqLatticeMacro(6, 6),
+                              SquareConfig::square(), input);
+    EXPECT_EQ(out.violations, 0);
+    EXPECT_EQ(out.got, out.expected)
+        << "ctrl=" << ctrl << " a=" << a << " b=" << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(Inputs, ArithInputSweep, ::testing::Range(0, 16));
+
+// ---------------------------------------------------------------------
+// P4: forced-policy scripts.
+// ---------------------------------------------------------------------
+
+TEST(ForcedPolicy, AllScriptsFunctionallyCorrect)
+{
+    Program prog = makeAdder(2);
+    // Count the decision points under all-keep.
+    Machine probe = Machine::fullyConnected(32);
+    CompileResult lazy = compile(prog, probe, SquareConfig::lazy(), {});
+    int k = lazy.reclaimCount + lazy.skipCount;
+    ASSERT_LE(k, 8);
+
+    uint64_t input = 1 | (2u << 1) | (3u << 3); // ctrl=1, a=2, b=3
+    uint64_t expected = simulateReferenceBits(prog, input);
+    for (uint64_t bits = 0; bits < (uint64_t{1} << k); ++bits) {
+        std::vector<bool> decisions(static_cast<size_t>(k));
+        for (int i = 0; i < k; ++i)
+            decisions[static_cast<size_t>(i)] = (bits >> i) & 1;
+        SweepOutcome out =
+            runOne(prog, Machine::fullyConnected(32),
+                   SquareConfig::forced(decisions), input);
+        EXPECT_EQ(out.violations, 0) << "script " << bits;
+        EXPECT_EQ(out.got, expected) << "script " << bits;
+    }
+}
+
+TEST(ForcedPolicy, AllTrueMatchesEagerAllFalseMatchesLazy)
+{
+    Program prog = makeMultiplier(3);
+    Machine m1 = Machine::fullyConnected(64);
+    CompileResult lazy = compile(prog, m1, SquareConfig::lazy(), {});
+    int k = lazy.reclaimCount + lazy.skipCount;
+
+    Machine m2 = Machine::fullyConnected(64);
+    CompileResult forced_false = compile(
+        prog, m2, SquareConfig::forced(std::vector<bool>(k, false)), {});
+    EXPECT_EQ(forced_false.gates, lazy.gates);
+    EXPECT_EQ(forced_false.aqv, lazy.aqv);
+
+    Machine m3 = Machine::fullyConnected(64);
+    CompileResult eager = compile(prog, m3, SquareConfig::eager(), {});
+    // Under all-true the decision sequence may shrink (reclaimed kids
+    // leave ancestors with no garbage), so pad generously.
+    Machine m4 = Machine::fullyConnected(64);
+    CompileResult forced_true = compile(
+        prog, m4, SquareConfig::forced(std::vector<bool>(64, true)), {});
+    EXPECT_EQ(forced_true.gates, eager.gates);
+    EXPECT_EQ(forced_true.aqv, eager.aqv);
+}
+
+// ---------------------------------------------------------------------
+// Full registry on FT machines: compile + sanity (functional checks
+// for FT run on the macro variant).
+// ---------------------------------------------------------------------
+
+class FtRegistrySweep : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(FtRegistrySweep, NisqBenchmarksFunctionalOnFtMacro)
+{
+    const std::string name = GetParam();
+    Program prog = makeBenchmark(name);
+    SweepOutcome out = runOne(prog, Machine::ftBraidMacro(7, 7),
+                              SquareConfig::square(), 0b0110);
+    EXPECT_EQ(out.violations, 0);
+    EXPECT_EQ(out.got, out.expected);
+    checkMetricSanity(out.result);
+    EXPECT_GT(out.result.sched.braids, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllNisq, FtRegistrySweep,
+    ::testing::Values("RD53", "6SYM", "2OF5", "ADDER4", "Jasmine-s",
+                      "Elsa-s", "Belle-s"),
+    [](const auto &info) {
+        std::string n = info.param;
+        for (auto &c : n) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return n;
+    });
+
+// ---------------------------------------------------------------------
+// Monotonicity-style properties of the policies.
+// ---------------------------------------------------------------------
+
+TEST(PolicyProperties, EagerNeverSkipsLazyNeverReclaims)
+{
+    for (const char *name : {"MODEXP", "SALSA20", "Belle"}) {
+        const BenchmarkInfo &info = findBenchmark(name);
+        Program prog = info.build();
+        Machine m1 = Machine::nisqLattice(info.boundaryEdge,
+                                          info.boundaryEdge);
+        CompileResult eager = compile(prog, m1, SquareConfig::eager(), {});
+        EXPECT_EQ(eager.skipCount, 0) << name;
+        Machine m2 = Machine::nisqLattice(info.boundaryEdge,
+                                          info.boundaryEdge);
+        CompileResult lazy = compile(prog, m2, SquareConfig::lazy(), {});
+        EXPECT_EQ(lazy.reclaimCount, 0) << name;
+        // Lazy executes the forward program only: fewest gates.
+        EXPECT_LE(lazy.gates, eager.gates) << name;
+        // Eager's peak footprint is minimal among the two.
+        EXPECT_LE(eager.peakLive, lazy.peakLive) << name;
+    }
+}
+
+TEST(PolicyProperties, SquareAqvNeverWorseThanBothBaselinesByMuch)
+{
+    // SQUARE should be within 10% of min(Lazy, Eager) AQV on the large
+    // suite (it usually beats both).
+    for (const char *name : {"MODEXP", "MUL32", "SALSA20", "SHA2",
+                             "Jasmine", "Elsa", "Belle"}) {
+        const BenchmarkInfo &info = findBenchmark(name);
+        Program prog = info.build();
+        int64_t aqv[3];
+        int i = 0;
+        for (const SquareConfig &cfg :
+             {SquareConfig::lazy(), SquareConfig::eager(),
+              SquareConfig::square()}) {
+            Machine m = Machine::nisqLattice(info.boundaryEdge,
+                                             info.boundaryEdge);
+            aqv[i++] = compile(prog, m, cfg, {}).aqv;
+        }
+        int64_t best_baseline = std::min(aqv[0], aqv[1]);
+        EXPECT_LE(static_cast<double>(aqv[2]),
+                  1.10 * static_cast<double>(best_baseline))
+            << name;
+    }
+}
+
+} // namespace
+} // namespace square

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Unit tests for the swap router and the braid router.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+#include "route/braid_router.h"
+#include "route/swap_router.h"
+
+namespace square {
+namespace {
+
+TEST(SwapRouter, AdjacentNeedsNoSwaps)
+{
+    LatticeTopology topo(4, 4);
+    Layout layout(16);
+    SwapRouter router(topo, layout);
+    LogicalQubit qa = layout.place(topo.siteAt(1, 1));
+    layout.place(topo.siteAt(2, 1));
+    PhysQubit a = topo.siteAt(1, 1);
+    int swaps = router.makeAdjacent(a, topo.siteAt(2, 1),
+                                    [](PhysQubit, PhysQubit) {});
+    EXPECT_EQ(swaps, 0);
+    EXPECT_EQ(layout.siteOf(qa), topo.siteAt(1, 1));
+}
+
+TEST(SwapRouter, MovesQubitAlongPath)
+{
+    LatticeTopology topo(6, 1);
+    Layout layout(6);
+    SwapRouter router(topo, layout);
+    LogicalQubit qa = layout.place(0);
+    LogicalQubit qb = layout.place(5);
+    int emitted = 0;
+    PhysQubit a = 0;
+    int swaps = router.makeAdjacent(
+        a, 5, [&](PhysQubit, PhysQubit) { ++emitted; });
+    EXPECT_EQ(swaps, 4); // distance 5, stop adjacent
+    EXPECT_EQ(emitted, 4);
+    EXPECT_EQ(a, 4);
+    EXPECT_EQ(layout.siteOf(qa), 4);
+    EXPECT_EQ(layout.siteOf(qb), 5);
+    EXPECT_EQ(router.totalSwaps(), 4);
+}
+
+TEST(SwapRouter, SwapsThroughOccupiedSites)
+{
+    LatticeTopology topo(4, 1);
+    Layout layout(4);
+    SwapRouter router(topo, layout);
+    LogicalQubit qa = layout.place(0);
+    LogicalQubit mid = layout.place(1);
+    LogicalQubit qb = layout.place(3);
+    PhysQubit a = 0;
+    router.makeAdjacent(a, 3, [](PhysQubit, PhysQubit) {});
+    EXPECT_EQ(layout.siteOf(qa), 2);
+    // the in-between qubit was displaced to site 0 then stayed
+    EXPECT_EQ(layout.siteOf(mid), 0);
+    EXPECT_EQ(layout.siteOf(qb), 3);
+}
+
+TEST(SwapRouter, MoveToLandsExactly)
+{
+    LatticeTopology topo(5, 5);
+    Layout layout(25);
+    SwapRouter router(topo, layout);
+    LogicalQubit q = layout.place(topo.siteAt(0, 0));
+    PhysQubit a = topo.siteAt(0, 0);
+    int swaps = router.moveTo(a, topo.siteAt(3, 2),
+                              [](PhysQubit, PhysQubit) {});
+    EXPECT_EQ(swaps, 5);
+    EXPECT_EQ(a, topo.siteAt(3, 2));
+    EXPECT_EQ(layout.siteOf(q), topo.siteAt(3, 2));
+}
+
+TEST(BraidRouter, ReservesAtReadyWhenFree)
+{
+    LatticeTopology topo(6, 6);
+    BraidRouter router(topo);
+    auto res = router.reserve(topo.siteAt(0, 0), topo.siteAt(4, 4),
+                              /*ready=*/10, /*dur=*/2);
+    EXPECT_EQ(res.start, 10);
+    EXPECT_EQ(res.conflicts, 0);
+    EXPECT_GT(res.pathCells, 0);
+    EXPECT_EQ(router.totalBraids(), 1);
+}
+
+TEST(BraidRouter, NonOverlappingTimesNoConflict)
+{
+    LatticeTopology topo(6, 6);
+    BraidRouter router(topo);
+    auto r1 = router.reserve(topo.siteAt(0, 2), topo.siteAt(5, 2), 0, 2);
+    // Same corridor but after r1 released.
+    auto r2 = router.reserve(topo.siteAt(0, 2), topo.siteAt(5, 2), 2, 2);
+    EXPECT_EQ(r1.conflicts, 0);
+    EXPECT_EQ(r2.conflicts, 0);
+    EXPECT_EQ(r2.start, 2);
+}
+
+TEST(BraidRouter, CrossingBraidsConflictOrDetour)
+{
+    LatticeTopology topo(8, 8);
+    BraidRouter router(topo);
+    // A long horizontal braid across row 2.
+    auto r1 = router.reserve(topo.siteAt(0, 2), topo.siteAt(7, 2), 0, 4);
+    EXPECT_EQ(r1.conflicts, 0);
+    // A vertical braid crossing it in time: must detour or stall but
+    // still complete.
+    auto r2 = router.reserve(topo.siteAt(4, 0), topo.siteAt(4, 7), 0, 4);
+    EXPECT_GE(r2.start, 0);
+    // It either found a free route (possibly around) or waited.
+    EXPECT_TRUE(r2.conflicts > 0 || r2.start >= 0);
+    EXPECT_EQ(router.totalBraids(), 2);
+}
+
+TEST(BraidRouter, HeavyCongestionStillCompletes)
+{
+    LatticeTopology topo(4, 4);
+    BraidRouter router(topo);
+    int64_t max_start = 0;
+    for (int i = 0; i < 200; ++i) {
+        auto r = router.reserve(topo.siteAt(0, i % 4),
+                                topo.siteAt(3, (i + 1) % 4), 0, 3);
+        max_start = std::max(max_start, r.start);
+    }
+    EXPECT_EQ(router.totalBraids(), 200);
+    // Congestion forces some braids to start late.
+    EXPECT_GT(max_start, 0);
+    EXPECT_GT(router.totalConflicts(), 0);
+}
+
+TEST(BraidRouter, AdjacentSitesStillBraid)
+{
+    LatticeTopology topo(4, 4);
+    BraidRouter router(topo);
+    auto r = router.reserve(topo.siteAt(1, 1), topo.siteAt(2, 1), 5, 2);
+    EXPECT_EQ(r.start, 5);
+    EXPECT_GT(r.pathCells, 0);
+}
+
+} // namespace
+} // namespace square

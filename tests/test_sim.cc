@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Unit tests for the functional simulators (classical, reference,
+ * state-vector).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+#include "ir/builder.h"
+#include "sim/classical.h"
+#include "sim/reference.h"
+#include "sim/statevector.h"
+
+namespace square {
+namespace {
+
+TimedGate
+tg(GateKind k, std::initializer_list<PhysQubit> sites)
+{
+    TimedGate g;
+    g.kind = k;
+    g.arity = static_cast<int8_t>(sites.size());
+    int i = 0;
+    for (PhysQubit s : sites)
+        g.sites[static_cast<size_t>(i++)] = s;
+    return g;
+}
+
+TEST(ClassicalSim, GateSemantics)
+{
+    ClassicalSim sim(4);
+    sim.onGate(tg(GateKind::X, {0}));
+    EXPECT_TRUE(sim.bit(0));
+    sim.onGate(tg(GateKind::CNOT, {0, 1}));
+    EXPECT_TRUE(sim.bit(1));
+    sim.onGate(tg(GateKind::Toffoli, {0, 1, 2}));
+    EXPECT_TRUE(sim.bit(2));
+    sim.onGate(tg(GateKind::Swap, {2, 3}));
+    EXPECT_FALSE(sim.bit(2));
+    EXPECT_TRUE(sim.bit(3));
+    EXPECT_EQ(sim.onesCount(), 3);
+}
+
+TEST(ClassicalSim, PhaseGatesAreNoOps)
+{
+    ClassicalSim sim(2);
+    sim.setBit(0, true);
+    sim.onGate(tg(GateKind::T, {0}));
+    sim.onGate(tg(GateKind::Z, {0}));
+    sim.onGate(tg(GateKind::CZ, {0, 1}));
+    EXPECT_TRUE(sim.bit(0));
+    EXPECT_FALSE(sim.bit(1));
+}
+
+TEST(ClassicalSim, HadamardIsFatal)
+{
+    ClassicalSim sim(1);
+    EXPECT_THROW(sim.onGate(tg(GateKind::H, {0})), FatalError);
+}
+
+TEST(ClassicalSim, ReclaimViolationCounting)
+{
+    ClassicalSim sim(2);
+    sim.onReclaim(0);
+    EXPECT_EQ(sim.reclaimViolations(), 0);
+    sim.setBit(1, true);
+    sim.onReclaim(1);
+    EXPECT_EQ(sim.reclaimViolations(), 1);
+}
+
+TEST(Reference, CnotChain)
+{
+    ProgramBuilder pb;
+    auto m = pb.module("main", 3, 0);
+    m.inStore().cnot(m.p(0), m.p(1)).cnot(m.p(1), m.p(2));
+    Program prog = pb.build("main");
+
+    EXPECT_EQ(simulateReferenceBits(prog, 0b001), 0b111u);
+    EXPECT_EQ(simulateReferenceBits(prog, 0b000), 0b000u);
+    EXPECT_EQ(simulateReferenceBits(prog, 0b010), 0b110u);
+}
+
+TEST(Reference, AncillaRestoredOrFatal)
+{
+    // A sound module: anc computed from p0/p1, stored into a dedicated
+    // output p2 (never read by compute), then auto-uncomputed.
+    ProgramBuilder pb;
+    auto m = pb.module("main", 3, 1);
+    m.toffoli(m.p(0), m.p(1), m.a(0));
+    m.inStore().cnot(m.a(0), m.p(2));
+    Program prog = pb.build("main");
+    // 011 -> and=1 -> p2 = 1 -> 111
+    EXPECT_EQ(simulateReferenceBits(prog, 0b011), 0b111u);
+    EXPECT_EQ(simulateReferenceBits(prog, 0b001), 0b001u);
+}
+
+TEST(Reference, BadExplicitUncomputeIsFatal)
+{
+    ProgramBuilder pb;
+    auto m = pb.module("main", 2, 1);
+    m.cnot(m.p(0), m.a(0));
+    m.inStore().cnot(m.a(0), m.p(1));
+    // wrong explicit uncompute: X instead of the CNOT inverse leaves
+    // the ancilla dirty when p0 = 0.
+    m.inUncompute().x(m.a(0));
+    Program prog = pb.build("main");
+    EXPECT_THROW(simulateReference(prog, {false, false}), FatalError);
+}
+
+TEST(Reference, NestedCallsWithGarbageSemantics)
+{
+    // leaf leaves its ancilla to the parent's uncompute (conceptually);
+    // the reference interpreter always reclaims, so outputs match the
+    // compiled runs regardless of policy.
+    ProgramBuilder pb;
+    auto leaf = pb.module("leaf", 3, 1);
+    leaf.toffoli(leaf.p(0), leaf.p(1), leaf.a(0));
+    leaf.inStore().cnot(leaf.a(0), leaf.p(2));
+    auto m = pb.module("main", 3, 0);
+    m.inStore().call(leaf.id(), {m.p(0), m.p(1), m.p(2)});
+    Program prog = pb.build("main");
+    EXPECT_EQ(simulateReferenceBits(prog, 0b011), 0b111u);
+}
+
+TEST(StateVector, BellState)
+{
+    StateVector sv(2);
+    int h[1] = {0}, cx[2] = {0, 1};
+    sv.apply(GateKind::H, h);
+    sv.apply(GateKind::CNOT, cx);
+    EXPECT_NEAR(std::norm(sv.amp(0b00)), 0.5, 1e-12);
+    EXPECT_NEAR(std::norm(sv.amp(0b11)), 0.5, 1e-12);
+    EXPECT_NEAR(sv.probOne(0), 0.5, 1e-12);
+    EXPECT_NEAR(sv.probOne(1), 0.5, 1e-12);
+}
+
+TEST(StateVector, PhaseAlgebra)
+{
+    // T^2 = S, S^2 = Z on |1>.
+    StateVector a(1), b(1);
+    a.setBasis(1);
+    b.setBasis(1);
+    int q[1] = {0};
+    a.apply(GateKind::T, q);
+    a.apply(GateKind::T, q);
+    b.apply(GateKind::S, q);
+    EXPECT_NEAR(a.fidelityWith(b), 1.0, 1e-12);
+
+    a.apply(GateKind::Tdg, q);
+    a.apply(GateKind::Tdg, q);
+    b.apply(GateKind::Sdg, q);
+    EXPECT_NEAR(a.fidelityWith(b), 1.0, 1e-12);
+}
+
+TEST(StateVector, ToffoliTruthTable)
+{
+    for (uint64_t basis = 0; basis < 8; ++basis) {
+        StateVector sv(3);
+        sv.setBasis(basis);
+        int q[3] = {0, 1, 2};
+        sv.apply(GateKind::Toffoli, q);
+        uint64_t expect = basis;
+        if ((basis & 1) && (basis & 2))
+            expect ^= 4;
+        EXPECT_NEAR(std::norm(sv.amp(expect)), 1.0, 1e-12)
+            << "basis " << basis;
+    }
+}
+
+TEST(StateVector, SwapExchanges)
+{
+    StateVector sv(2);
+    sv.setBasis(0b01);
+    int q[2] = {0, 1};
+    sv.apply(GateKind::Swap, q);
+    EXPECT_NEAR(std::norm(sv.amp(0b10)), 1.0, 1e-12);
+}
+
+TEST(StateVector, UncomputationDisentangles)
+{
+    // H on x, compute x AND y into anc, then uncompute: anc must be
+    // exactly |0> again even though x is in superposition.
+    StateVector sv(3);
+    int h[1] = {0};
+    int tof[3] = {0, 1, 2};
+    sv.apply(GateKind::H, h);
+    int x1[1] = {1};
+    sv.apply(GateKind::X, x1);
+    sv.apply(GateKind::Toffoli, tof);
+    EXPECT_GT(sv.probOne(2), 0.1); // entangled garbage
+    sv.apply(GateKind::Toffoli, tof);
+    EXPECT_TRUE(sv.isZero(2));
+}
+
+TEST(StateVector, CapacityGuard)
+{
+    EXPECT_THROW(StateVector(0), FatalError);
+    EXPECT_THROW(StateVector(25), FatalError);
+}
+
+} // namespace
+} // namespace square
