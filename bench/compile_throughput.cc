@@ -5,9 +5,18 @@
  * SQUARE is a greedy, linear-time pass (Sec. III-D); these timings
  * document compile cost per benchmark and policy and catch
  * super-linear regressions in the allocator/router/scheduler stack.
+ *
+ * Pass --square_json=PATH to additionally emit a compact JSON baseline
+ * (gates/s per workload x policy) suitable for committing as
+ * BENCH_compile_throughput.json and diffing across PRs.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
 
@@ -56,13 +65,122 @@ registerAll()
     }
 }
 
+/** Console reporter that also captures per-run throughput rows. */
+class JsonCaptureReporter : public benchmark::ConsoleReporter
+{
+  public:
+    struct Row
+    {
+        std::string workload;
+        std::string policy;
+        double gates = 0;
+        double gates_per_s = 0;
+        double ms_per_compile = 0;
+    };
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &r : runs) {
+            // Skip errored runs and the _mean/_median/_stddev/_cv
+            // aggregate rows --benchmark_repetitions produces; only
+            // real iteration runs carry a meaningful gates/s.
+            if (r.error_occurred || r.run_type != Run::RT_Iteration)
+                continue;
+            // Names look like "compile/SHA2/SQUARE".
+            std::string name = r.benchmark_name();
+            size_t first = name.find('/');
+            size_t last = name.rfind('/');
+            if (first == std::string::npos || last <= first)
+                continue;
+            Row row;
+            row.workload = name.substr(first + 1, last - first - 1);
+            row.policy = name.substr(last + 1);
+            auto g = r.counters.find("gates");
+            auto gps = r.counters.find("gates/s");
+            if (g != r.counters.end())
+                row.gates = g->second.value;
+            if (gps != r.counters.end())
+                row.gates_per_s = gps->second.value;
+            // real_time is per-iteration in the run's time unit (ms).
+            row.ms_per_compile = r.GetAdjustedRealTime();
+            rows.push_back(row);
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+    std::vector<Row> rows;
+};
+
+void
+writeJson(const std::string &path,
+          const std::vector<JsonCaptureReporter::Row> &all_rows)
+{
+    // Under --benchmark_repetitions each benchmark reports once per
+    // repetition; keep only the last row per (workload, policy) so the
+    // baseline stays one row per cell, in first-seen order.
+    std::vector<JsonCaptureReporter::Row> rows;
+    for (const auto &r : all_rows) {
+        bool replaced = false;
+        for (auto &kept : rows) {
+            if (kept.workload == r.workload && kept.policy == r.policy) {
+                kept = r;
+                replaced = true;
+                break;
+            }
+        }
+        if (!replaced)
+            rows.push_back(r);
+    }
+
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+        return;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"benchmark\": \"compile_throughput\",\n");
+    std::fprintf(f, "  \"unit\": \"gates_per_second\",\n");
+    std::fprintf(f, "  \"results\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const auto &r = rows[i];
+        std::fprintf(f,
+                     "    {\"workload\": \"%s\", \"policy\": \"%s\", "
+                     "\"gates\": %.0f, \"gates_per_s\": %.0f, "
+                     "\"ms_per_compile\": %.3f}%s\n",
+                     r.workload.c_str(), r.policy.c_str(), r.gates,
+                     r.gates_per_s, r.ms_per_compile,
+                     i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %zu results to %s\n", rows.size(),
+                 path.c_str());
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    // Extract --square_json=PATH before google-benchmark sees argv.
+    std::string json_path;
+    std::vector<char *> args;
+    for (int i = 0; i < argc; ++i) {
+        constexpr const char *kFlag = "--square_json=";
+        if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+            json_path = argv[i] + std::strlen(kFlag);
+        } else {
+            args.push_back(argv[i]);
+        }
+    }
+    int filtered_argc = static_cast<int>(args.size());
+
     registerAll();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Initialize(&filtered_argc, args.data());
+    JsonCaptureReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    if (!json_path.empty())
+        writeJson(json_path, reporter.rows);
     return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <numbers>
 
 #include "common/logging.h"
 
@@ -18,35 +19,18 @@ LatticeTopology::LatticeTopology(int width, int height)
         fatal("lattice dimensions must be positive: ", width, "x", height);
 }
 
-std::vector<PhysQubit>
-LatticeTopology::neighbors(PhysQubit site) const
-{
-    SQ_ASSERT(site >= 0 && site < numSites(), "site out of range");
-    std::vector<PhysQubit> out;
-    out.reserve(4);
-    int x = xOf(site), y = yOf(site);
-    if (x > 0)
-        out.push_back(siteAt(x - 1, y));
-    if (x + 1 < width_)
-        out.push_back(siteAt(x + 1, y));
-    if (y > 0)
-        out.push_back(siteAt(x, y - 1));
-    if (y + 1 < height_)
-        out.push_back(siteAt(x, y + 1));
-    return out;
-}
-
 int
 LatticeTopology::distance(PhysQubit a, PhysQubit b) const
 {
     return std::abs(xOf(a) - xOf(b)) + std::abs(yOf(a) - yOf(b));
 }
 
-std::vector<PhysQubit>
-LatticeTopology::path(PhysQubit a, PhysQubit b) const
+void
+LatticeTopology::pathInto(PhysQubit a, PhysQubit b,
+                          std::vector<PhysQubit> &out) const
 {
     // L-shaped shortest route: horizontal leg first, then vertical.
-    std::vector<PhysQubit> out;
+    out.clear();
     int x = xOf(a), y = yOf(a);
     const int bx = xOf(b), by = yOf(b);
     out.push_back(a);
@@ -58,7 +42,6 @@ LatticeTopology::path(PhysQubit a, PhysQubit b) const
         y += (by > y) ? 1 : -1;
         out.push_back(siteAt(x, y));
     }
-    return out;
 }
 
 std::pair<double, double>
@@ -84,30 +67,20 @@ FullTopology::FullTopology(int n) : n_(n)
         fatal("fully-connected topology needs a positive size, got ", n);
 }
 
-std::vector<PhysQubit>
-FullTopology::neighbors(PhysQubit site) const
-{
-    std::vector<PhysQubit> out;
-    out.reserve(n_ - 1);
-    for (PhysQubit s = 0; s < n_; ++s) {
-        if (s != site)
-            out.push_back(s);
-    }
-    return out;
-}
-
 int
 FullTopology::distance(PhysQubit a, PhysQubit b) const
 {
     return a == b ? 0 : 1;
 }
 
-std::vector<PhysQubit>
-FullTopology::path(PhysQubit a, PhysQubit b) const
+void
+FullTopology::pathInto(PhysQubit a, PhysQubit b,
+                       std::vector<PhysQubit> &out) const
 {
-    if (a == b)
-        return {a};
-    return {a, b};
+    out.clear();
+    out.push_back(a);
+    if (a != b)
+        out.push_back(b);
 }
 
 std::pair<double, double>
@@ -115,7 +88,7 @@ FullTopology::coords(PhysQubit site) const
 {
     // Sites arranged on a circle: coordinates exist for heuristic use
     // but all pairs are adjacent.
-    double theta = 2.0 * M_PI * site / n_;
+    double theta = 2.0 * std::numbers::pi * site / n_;
     return {std::cos(theta), std::sin(theta)};
 }
 

@@ -12,6 +12,12 @@
  *  - FullTopology: all-to-all connectivity (trapped-ion style), used for
  *    the Fig. 5 locality experiment;
  *  - LinearTopology: 1-D chain (degenerate lattice), useful in tests.
+ *
+ * The allocation-free forms forEachNeighbor() and pathInto() are the
+ * virtual primitives; the vector-returning neighbors() and path() are
+ * thin convenience wrappers for tests and cold paths.  Hot loops
+ * (allocator BFS, swap routing) must use the *Into/forEach forms so the
+ * inner loops stay heap-allocation-free in steady state.
  */
 
 #ifndef SQUARE_ARCH_TOPOLOGY_H
@@ -21,9 +27,14 @@
 #include <string>
 #include <vector>
 
+#include "common/function_ref.h"
+#include "common/logging.h"
 #include "ir/qubit.h"
 
 namespace square {
+
+/** Callback receiving one neighbor site id. */
+using NeighborFn = FunctionRef<void(PhysQubit)>;
 
 /** Abstract connectivity model over integer site ids [0, numSites). */
 class Topology
@@ -34,23 +45,48 @@ class Topology
     /** Number of physical sites. */
     virtual int numSites() const = 0;
 
-    /** Sites directly connected to @p site. */
-    virtual std::vector<PhysQubit> neighbors(PhysQubit site) const = 0;
+    /** Invoke @p fn for every site directly connected to @p site. */
+    virtual void forEachNeighbor(PhysQubit site, NeighborFn fn) const = 0;
 
     /** Hop distance between two sites (0 when equal). */
     virtual int distance(PhysQubit a, PhysQubit b) const = 0;
 
     /**
-     * A shortest path from @p a to @p b inclusive of both endpoints
-     * (size = distance + 1).
+     * Write a shortest path from @p a to @p b inclusive of both
+     * endpoints (size = distance + 1) into @p out, replacing its
+     * contents.  Reusing one scratch vector across calls makes routing
+     * allocation-free once its capacity has grown.
      */
-    virtual std::vector<PhysQubit> path(PhysQubit a, PhysQubit b) const = 0;
+    virtual void pathInto(PhysQubit a, PhysQubit b,
+                          std::vector<PhysQubit> &out) const = 0;
 
     /** Planar coordinates of a site (for centroid/area heuristics). */
     virtual std::pair<double, double> coords(PhysQubit site) const = 0;
 
     /** Human-readable description. */
     virtual std::string name() const = 0;
+
+    /** Sites directly connected to @p site (allocating wrapper). */
+    std::vector<PhysQubit>
+    neighbors(PhysQubit site) const
+    {
+        std::vector<PhysQubit> out;
+        out.reserve(4);
+        forEachNeighbor(site, [&](PhysQubit s) { out.push_back(s); });
+        return out;
+    }
+
+    /**
+     * A shortest path from @p a to @p b inclusive of both endpoints
+     * (allocating wrapper over pathInto).
+     */
+    std::vector<PhysQubit>
+    path(PhysQubit a, PhysQubit b) const
+    {
+        std::vector<PhysQubit> out;
+        pathInto(a, b, out);
+        return out;
+    }
 
     /** True if a and b may interact without routing. */
     bool
@@ -61,15 +97,31 @@ class Topology
 };
 
 /** W x H grid, nearest-neighbor (Manhattan) connectivity. */
-class LatticeTopology : public Topology
+class LatticeTopology final : public Topology
 {
   public:
     LatticeTopology(int width, int height);
 
     int numSites() const override { return width_ * height_; }
-    std::vector<PhysQubit> neighbors(PhysQubit site) const override;
+
+    void
+    forEachNeighbor(PhysQubit site, NeighborFn fn) const override
+    {
+        SQ_ASSERT(site >= 0 && site < numSites(), "site out of range");
+        const int x = xOf(site), y = yOf(site);
+        if (x > 0)
+            fn(site - 1);
+        if (x + 1 < width_)
+            fn(site + 1);
+        if (y > 0)
+            fn(site - width_);
+        if (y + 1 < height_)
+            fn(site + width_);
+    }
+
     int distance(PhysQubit a, PhysQubit b) const override;
-    std::vector<PhysQubit> path(PhysQubit a, PhysQubit b) const override;
+    void pathInto(PhysQubit a, PhysQubit b,
+                  std::vector<PhysQubit> &out) const override;
     std::pair<double, double> coords(PhysQubit site) const override;
     std::string name() const override;
 
@@ -86,15 +138,25 @@ class LatticeTopology : public Topology
 };
 
 /** All-to-all connectivity over n sites. */
-class FullTopology : public Topology
+class FullTopology final : public Topology
 {
   public:
     explicit FullTopology(int n);
 
     int numSites() const override { return n_; }
-    std::vector<PhysQubit> neighbors(PhysQubit site) const override;
+
+    void
+    forEachNeighbor(PhysQubit site, NeighborFn fn) const override
+    {
+        for (PhysQubit s = 0; s < n_; ++s) {
+            if (s != site)
+                fn(s);
+        }
+    }
+
     int distance(PhysQubit a, PhysQubit b) const override;
-    std::vector<PhysQubit> path(PhysQubit a, PhysQubit b) const override;
+    void pathInto(PhysQubit a, PhysQubit b,
+                  std::vector<PhysQubit> &out) const override;
     std::pair<double, double> coords(PhysQubit site) const override;
     std::string name() const override;
 

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Non-owning, non-allocating callable reference.
+ *
+ * The compile hot path (allocator BFS, swap routing) visits thousands of
+ * neighbor sites per compilation; std::function's type erasure may heap
+ * allocate and always costs an ownership copy.  FunctionRef erases to a
+ * raw {object pointer, trampoline} pair — two words, no allocation —
+ * which is all the hot loops need, since every callback is invoked
+ * strictly within the lifetime of the passed-in callable.
+ */
+
+#ifndef SQUARE_COMMON_FUNCTION_REF_H
+#define SQUARE_COMMON_FUNCTION_REF_H
+
+#include <type_traits>
+#include <utility>
+
+namespace square {
+
+template <typename Signature> class FunctionRef;
+
+/**
+ * Lightweight view of a callable; the referent must outlive all calls.
+ *
+ * Use only as a function parameter invoked within the call expression.
+ * Do NOT store a FunctionRef in a member or bind one to a function
+ * pointer variable (`FunctionRef<void()> f = &fn;` stores the address
+ * of the pointer argument itself, which dies with the expression) —
+ * unlike std::function_ref (P0792) there is no function-pointer
+ * special case.
+ */
+template <typename R, typename... Args> class FunctionRef<R(Args...)>
+{
+  public:
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                  std::is_invocable_r_v<R, F &, Args...>>>
+    FunctionRef(F &&f) // NOLINT(google-explicit-constructor)
+        : obj_(const_cast<void *>(
+              static_cast<const void *>(std::addressof(f)))),
+          call_([](void *obj, Args... args) -> R {
+              return (*static_cast<std::remove_reference_t<F> *>(obj))(
+                  std::forward<Args>(args)...);
+          })
+    {}
+
+    R
+    operator()(Args... args) const
+    {
+        return call_(obj_, std::forward<Args>(args)...);
+    }
+
+  private:
+    void *obj_;
+    R (*call_)(void *, Args...);
+};
+
+} // namespace square
+
+#endif // SQUARE_COMMON_FUNCTION_REF_H

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 #include <limits>
 
 #include "common/logging.h"
@@ -19,6 +18,8 @@ Allocator::Allocator(const SquareConfig &cfg, const Machine &machine,
       heap_(heap),
       visit_mark_(static_cast<size_t>(machine.numSites()), 0)
 {
+    bfs_queue_.reserve(static_cast<size_t>(machine.numSites()));
+    lattice_ = dynamic_cast<const LatticeTopology *>(machine.topology.get());
     const Topology &topo = *machine_.topology;
     const int n = topo.numSites();
     double cx = 0, cy = 0;
@@ -112,6 +113,9 @@ Allocator::chooseSite(const std::vector<PhysQubit> &anchor_sites,
         return nextFreshSite();
     }
 
+    if (lattice_)
+        return chooseSiteLattice(anchor_sites, t_ready);
+
     // Locality-aware: bounded BFS outward from the anchor, scoring up
     // to candidateCap candidates of each class.
     const Topology &topo = *machine_.topology;
@@ -133,11 +137,12 @@ Allocator::chooseSite(const std::vector<PhysQubit> &anchor_sites,
     }
 
     ++visit_stamp_;
-    std::deque<PhysQubit> queue;
+    bfs_queue_.clear();
+    size_t q_head = 0;
     auto visit = [&](PhysQubit s) {
         if (visit_mark_[static_cast<size_t>(s)] != visit_stamp_) {
             visit_mark_[static_cast<size_t>(s)] = visit_stamp_;
-            queue.push_back(s);
+            bfs_queue_.push_back(s);
         }
     };
     visit(start);
@@ -151,11 +156,10 @@ Allocator::chooseSite(const std::vector<PhysQubit> &anchor_sites,
     // would otherwise flood the whole lattice on every allocation.
     int visited = 0;
     const int visit_budget = std::max(256, 32 * cfg_.candidateCap);
-    while (!queue.empty() && visited < visit_budget &&
+    while (q_head < bfs_queue_.size() && visited < visit_budget &&
            (heap_seen < cfg_.candidateCap ||
             fresh_seen < cfg_.candidateCap)) {
-        PhysQubit s = queue.front();
-        queue.pop_front();
+        PhysQubit s = bfs_queue_[q_head++];
         ++visited;
         if (layout_.isFree(s)) {
             bool in_heap = heap_.contains(s);
@@ -178,8 +182,7 @@ Allocator::chooseSite(const std::vector<PhysQubit> &anchor_sites,
                 }
             }
         }
-        for (PhysQubit nbr : topo.neighbors(s))
-            visit(nbr);
+        topo.forEachNeighbor(s, [&](PhysQubit nbr) { visit(nbr); });
     }
 
     if (best_site == kNoQubit) {
@@ -197,17 +200,141 @@ Allocator::chooseSite(const std::vector<PhysQubit> &anchor_sites,
     return best_site;
 }
 
-std::vector<LogicalQubit>
-Allocator::allocAncilla(int n, const ModuleStats &st,
-                        const std::vector<LogicalQubit> &args,
-                        int64_t t_ready)
+PhysQubit
+Allocator::chooseSiteLattice(const std::vector<PhysQubit> &anchor_sites,
+                             int64_t t_ready)
 {
-    std::vector<LogicalQubit> out;
+    const int w = lattice_->width();
+    const int h = lattice_->height();
+    PhysQubit start = anchor_sites.empty() ? center_order_.front()
+                                           : anchor_sites.front();
+
+    // Anchor centroid and coordinates, hoisted out of the sweep; the
+    // accumulation order matches the generic path bit-for-bit.
+    const size_t n_anchors = anchor_sites.size();
+    anchor_x_.clear();
+    anchor_y_.clear();
+    double cx = 0, cy = 0;
+    if (n_anchors > 0) {
+        for (PhysQubit a : anchor_sites) {
+            const int ax = a % w, ay = a / w;
+            anchor_x_.push_back(ax);
+            anchor_y_.push_back(ay);
+            cx += static_cast<double>(ax);
+            cy += static_cast<double>(ay);
+        }
+        cx /= static_cast<double>(n_anchors);
+        cy /= static_cast<double>(n_anchors);
+    } else {
+        cx = static_cast<double>(start % w);
+        cy = static_cast<double>(start / w);
+    }
+
+    ++visit_stamp_;
+    bfs_queue_.clear();
+    size_t q_head = 0;
+    const int64_t stamp = visit_stamp_;
+    auto visit = [&](PhysQubit s) {
+        if (visit_mark_[static_cast<size_t>(s)] != stamp) {
+            visit_mark_[static_cast<size_t>(s)] = stamp;
+            bfs_queue_.push_back(s);
+        }
+    };
+    visit(start);
+
+    int heap_seen = 0, fresh_seen = 0;
+    double best_score = std::numeric_limits<double>::infinity();
+    PhysQubit best_site = kNoQubit;
+    bool best_in_heap = false;
+
+    int visited = 0;
+    const int visit_budget = std::max(256, 32 * cfg_.candidateCap);
+    while (q_head < bfs_queue_.size() && visited < visit_budget &&
+           (heap_seen < cfg_.candidateCap ||
+            fresh_seen < cfg_.candidateCap)) {
+        PhysQubit s = bfs_queue_[q_head++];
+        ++visited;
+        const int x = s % w, y = s / w;
+        if (layout_.isFree(s)) {
+            bool in_heap = heap_.contains(s);
+            bool fresh = !layout_.everUsed(s);
+            if ((in_heap && heap_seen < cfg_.candidateCap) ||
+                (!in_heap && fresh && fresh_seen < cfg_.candidateCap)) {
+                double comm = 0.0;
+                if (n_anchors > 0) {
+                    for (size_t i = 0; i < n_anchors; ++i)
+                        comm += std::abs(x - anchor_x_[i]) +
+                                std::abs(y - anchor_y_[i]);
+                    comm /= static_cast<double>(n_anchors);
+                }
+                double sc = cfg_.commWeight * comm;
+                if (in_heap) {
+                    ++heap_seen;
+                    int64_t clk = sched_.siteClock(s);
+                    if (clk > t_ready) {
+                        double swap_time =
+                            std::max(1, machine_.times.swapGate);
+                        sc += cfg_.serializationWeight *
+                              static_cast<double>(clk - t_ready) /
+                              swap_time;
+                    }
+                    if (sc < best_score) {
+                        best_score = sc;
+                        best_site = s;
+                        best_in_heap = true;
+                    }
+                } else {
+                    ++fresh_seen;
+                    double dx = static_cast<double>(x) - cx;
+                    double dy = static_cast<double>(y) - cy;
+                    sc += cfg_.areaWeight * std::sqrt(dx * dx + dy * dy);
+                    if (sc < best_score) {
+                        best_score = sc;
+                        best_site = s;
+                        best_in_heap = false;
+                    }
+                }
+            }
+        }
+        // Same neighbor order as LatticeTopology::forEachNeighbor.
+        if (x > 0)
+            visit(s - 1);
+        if (x + 1 < w)
+            visit(s + 1);
+        if (y > 0)
+            visit(s - w);
+        if (y + 1 < h)
+            visit(s + w);
+    }
+
+    if (best_site == kNoQubit) {
+        // Anchor region exhausted: fall back to any reclaimed or fresh
+        // site anywhere on the machine.
+        if (!heap_.empty())
+            return heap_.popLifo();
+        return nextFreshSite();
+    }
+    if (best_in_heap) {
+        heap_.take(best_site);
+    } else {
+        ++fresh_cursor_used_;
+    }
+    return best_site;
+}
+
+void
+Allocator::allocAncillaInto(int n, const ModuleStats &st,
+                            const std::vector<LogicalQubit> &args,
+                            int64_t t_ready,
+                            std::vector<LogicalQubit> &out)
+{
+    out.clear();
     out.reserve(static_cast<size_t>(n));
     for (int i = 0; i < n; ++i) {
         // Anchor on the parameters this ancilla interacts with; when
         // the interaction analysis is empty, anchor on all args.
-        std::vector<PhysQubit> anchors;
+        std::vector<PhysQubit> &anchors = anchor_scratch_;
+        anchors.clear();
         if (i < static_cast<int>(st.ancillaParams.size())) {
             for (int p : st.ancillaParams[static_cast<size_t>(i)]) {
                 if (p < static_cast<int>(args.size()))
@@ -222,6 +349,15 @@ Allocator::allocAncilla(int n, const ModuleStats &st,
         PhysQubit site = chooseSite(anchors, t_ready);
         out.push_back(layout_.place(site));
     }
+}
+
+std::vector<LogicalQubit>
+Allocator::allocAncilla(int n, const ModuleStats &st,
+                        const std::vector<LogicalQubit> &args,
+                        int64_t t_ready)
+{
+    std::vector<LogicalQubit> out;
+    allocAncillaInto(n, st, args, t_ready, out);
     return out;
 }
 

@@ -18,6 +18,11 @@
  * closest_qubit_in_heap() and closest_qubit_new() are realized as a
  * bounded breadth-first sweep outward from an anchor site, scoring up to
  * candidateCap sites of each class and taking the minimum.
+ *
+ * chooseSite() runs once per allocated ancilla, so its BFS frontier and
+ * the per-ancilla anchor list are reused member buffers and the sweep
+ * uses the allocation-free Topology::forEachNeighbor form: steady-state
+ * allocation performs no heap allocation.
  */
 
 #ifndef SQUARE_CORE_ALLOCATOR_H
@@ -49,13 +54,20 @@ class Allocator
     std::vector<LogicalQubit> allocPrimaries(int n);
 
     /**
-     * Allocate the @p n ancilla of one module invocation.
+     * Allocate the @p n ancilla of one module invocation into @p out
+     * (replacing its contents); the caller may reuse one scratch
+     * vector across invocations to avoid per-call allocation.
      *
      * @param st      static analysis of the invoked module (interaction
      *                sets per ancilla)
      * @param args    logical qubits bound to the module's parameters
      * @param t_ready invocation ready time (max clock of the args)
      */
+    void allocAncillaInto(int n, const ModuleStats &st,
+                          const std::vector<LogicalQubit> &args,
+                          int64_t t_ready, std::vector<LogicalQubit> &out);
+
+    /** Allocating wrapper over allocAncillaInto. */
     std::vector<LogicalQubit> allocAncilla(int n, const ModuleStats &st,
                                            const std::vector<LogicalQubit> &args,
                                            int64_t t_ready);
@@ -71,6 +83,16 @@ class Allocator
     PhysQubit chooseSite(const std::vector<PhysQubit> &anchor_sites,
                          int64_t t_ready);
 
+    /**
+     * Lattice-specialized candidate sweep: identical decisions to the
+     * generic path (same visit order, same score arithmetic) computed
+     * with inline Manhattan distances instead of virtual topology
+     * calls.  The sweep dominates CER+LAA compile time, so this is the
+     * single hottest loop in the compiler.
+     */
+    PhysQubit chooseSiteLattice(const std::vector<PhysQubit> &anchor_sites,
+                                int64_t t_ready);
+
     double score(PhysQubit site, const std::vector<PhysQubit> &anchors,
                  double cx, double cy, bool fresh, int64_t t_ready) const;
 
@@ -80,14 +102,25 @@ class Allocator
     const GateScheduler &sched_;
     AncillaHeap &heap_;
 
+    /** Non-null when the machine topology is a lattice (fast path). */
+    const LatticeTopology *lattice_ = nullptr;
+
     /** All sites ordered by distance from the machine center. */
     std::vector<PhysQubit> center_order_;
     size_t fresh_cursor_ = 0;
     int fresh_cursor_used_ = 0;
 
-    // scratch for the BFS candidate sweep
+    // scratch for the BFS candidate sweep: visit stamps make the marks
+    // reusable without clearing, and the frontier is a flat vector
+    // consumed by cursor (each site enters at most once per sweep).
     mutable std::vector<int64_t> visit_mark_;
     mutable int64_t visit_stamp_ = 0;
+    std::vector<PhysQubit> bfs_queue_;
+    std::vector<PhysQubit> anchor_scratch_;
+    // anchor coordinates, precomputed once per lattice sweep so the
+    // per-candidate communication score is pure integer arithmetic
+    std::vector<int> anchor_x_;
+    std::vector<int> anchor_y_;
 };
 
 } // namespace square

@@ -26,6 +26,9 @@ Executor::Executor(const Program &prog, const Machine &machine,
         tee_.add(&recorder_);
     if (options_.extraSink)
         tee_.add(options_.extraSink);
+    // With no consumer, let the scheduler skip trace dispatch on the
+    // per-gate hot path entirely.
+    sched_.setSink(tee_.empty() ? nullptr : &tee_);
     layout_.setSwapObserver([this](PhysQubit a, PhysQubit b) {
         heap_.onSwap(a, b, layout_);
     });
@@ -40,17 +43,19 @@ Executor::readyTime(const std::vector<LogicalQubit> &args) const
     return t;
 }
 
-std::vector<LogicalQubit>
+void
 Executor::allocAncillaTracked(ModuleId id,
-                              const std::vector<LogicalQubit> &args)
+                              const std::vector<LogicalQubit> &args,
+                              std::vector<LogicalQubit> &out)
 {
     const Module &m = prog_.module(id);
+    out.clear();
     if (m.numAncilla == 0)
-        return {};
+        return;
     int64_t t_ready = readyTime(args);
-    std::vector<LogicalQubit> anc = alloc_.allocAncilla(
-        m.numAncilla, analysis_.stats(id), args, t_ready);
-    for (LogicalQubit q : anc) {
+    alloc_.allocAncillaInto(m.numAncilla, analysis_.stats(id), args,
+                            t_ready, out);
+    for (LogicalQubit q : out) {
         // Liveness cannot begin before the site's previous occupant was
         // reclaimed (the site clock covers the uncompute that grounded
         // it), nor before the invocation's inputs are ready.
@@ -58,7 +63,6 @@ Executor::allocAncillaTracked(ModuleId id,
                               sched_.siteClock(layout_.siteOf(q)));
         aqv_.onAlloc(q, t0);
     }
-    return anc;
 }
 
 void
@@ -104,7 +108,10 @@ Executor::runBlockForward(const std::vector<Stmt> &block, const Binding &b,
         if (s.isGate()) {
             execGate(s, b, false);
         } else {
-            std::vector<LogicalQubit> args;
+            // The callee frame (depth + 1) owns this argument buffer
+            // for the duration of the call; no deeper frame reuses it.
+            std::vector<LogicalQubit> &args =
+                depthScratch(args_scratch_, depth + 1);
             args.reserve(s.args.size());
             for (const QubitRef &r : s.args)
                 args.push_back(resolve(b, r));
@@ -130,7 +137,8 @@ Executor::invertBlock(const std::vector<Stmt> &block, const Binding &b,
             --kid_idx;
             Invocation &kid = *kids[kid_idx];
             SQ_ASSERT(kid.mod == s.callee, "record/statement mismatch");
-            std::vector<LogicalQubit> args;
+            std::vector<LogicalQubit> &args =
+                depthScratch(args_scratch_, depth + 1);
             args.reserve(s.args.size());
             for (const QubitRef &r : s.args)
                 args.push_back(resolve(b, r));
@@ -184,9 +192,9 @@ Executor::execCall(ModuleId id, const std::vector<LogicalQubit> &args,
     const Module &m = prog_.module(id);
     const ModuleStats &st = analysis_.stats(id);
 
-    auto inv = std::make_unique<Invocation>();
+    Invocation *inv = arena_.make<Invocation>();
     inv->mod = id;
-    inv->anc = allocAncillaTracked(id, args);
+    allocAncillaTracked(id, args, inv->anc);
     inv->ancLive = !inv->anc.empty();
 
     Binding b{&args, &inv->anc};
@@ -298,17 +306,21 @@ Executor::invertInvocation(Invocation &rec,
     if (rec.reclaimed) {
         // Recursive recomputation: the forward invocation realized
         // C;S;C^-1, so its inverse is C;S^-1;C^-1 with fresh ancilla.
-        Invocation replay;
-        replay.mod = rec.mod;
-        replay.anc = allocAncillaTracked(rec.mod, args);
-        Binding b{&args, &replay.anc};
+        // The replay's ancilla list and child records live only for
+        // this frame, so they come from the per-depth scratch pools.
+        std::vector<LogicalQubit> &replay_anc =
+            depthScratch(replay_anc_scratch_, depth);
+        allocAncillaTracked(rec.mod, args, replay_anc);
+        Binding b{&args, &replay_anc};
         const bool force_kids = m.hasExplicitUncompute();
-        runBlockForward(m.compute, b, replay.computeKids, depth,
+        std::vector<InvPtr> &replay_kids =
+            depthScratch(replay_kids_scratch_, depth);
+        runBlockForward(m.compute, b, replay_kids, depth,
                         st.suffixCompute, force_kids, /*inherited=*/0);
         invertBlock(m.store, b, rec.storeKids, depth);
-        invertBlock(m.compute, b, replay.computeKids, depth);
-        if (!replay.anc.empty())
-            freeAncilla(replay.anc);
+        invertBlock(m.compute, b, replay_kids, depth);
+        if (!replay_anc.empty())
+            freeAncilla(replay_anc);
     } else {
         // Garbage consumption: forward realized C;S, so the inverse
         // S^-1;C^-1 grounds the recorded ancillas.
@@ -353,6 +365,7 @@ Executor::run()
         r.primaryInitialSites.push_back(layout_.siteOf(q));
 
     InvPtr root = execCall(prog_.entry, primaries, 0, 0, false);
+    (void)root; // the tree lives in the arena until we return
 
     const int64_t makespan = sched_.makespan();
     aqv_.finish(makespan);

@@ -25,15 +25,23 @@
  * Explicit Uncompute{} blocks contain only gates (validated); when a
  * module with an explicit block has calls in its compute block, those
  * callees are forced to reclaim so the gate-level inverse is sound.
+ *
+ * Allocation discipline: the whole Invocation call tree lives until
+ * run() returns, so records come from a monotonic arena (one bump per
+ * call).  The per-call argument/ancilla temporaries are pooled in
+ * depth-indexed scratch stacks - execution is a single call stack, so
+ * at most one frame per depth is live and each depth's buffers can be
+ * reused across the millions of calls of a large workload.
  */
 
 #ifndef SQUARE_CORE_EXECUTOR_H
 #define SQUARE_CORE_EXECUTOR_H
 
-#include <memory>
+#include <deque>
 #include <vector>
 
 #include "arch/layout.h"
+#include "common/arena.h"
 #include "core/allocator.h"
 #include "core/cer.h"
 #include "core/compiler.h"
@@ -53,7 +61,7 @@ class Executor
     CompileResult run();
 
   private:
-    /** Record of one completed forward invocation. */
+    /** Record of one completed forward invocation (arena-allocated). */
     struct Invocation
     {
         ModuleId mod = kNoModule;
@@ -61,8 +69,8 @@ class Executor
         bool reclaimed = false;
         bool ancLive = false;
         /** Children per block, in forward execution order. */
-        std::vector<std::unique_ptr<Invocation>> computeKids;
-        std::vector<std::unique_ptr<Invocation>> storeKids;
+        std::vector<Invocation *> computeKids;
+        std::vector<Invocation *> storeKids;
         /** Estimated gates to undo this invocation's compute block. */
         int64_t uncompCost = 0;
         /** Estimated gates to invert the whole invocation later. */
@@ -71,7 +79,7 @@ class Executor
         int garbage = 0;
     };
 
-    using InvPtr = std::unique_ptr<Invocation>;
+    using InvPtr = Invocation *;
 
     /** Current virtual-register bindings for one executing frame. */
     struct Binding
@@ -86,6 +94,26 @@ class Executor
     {
         return q.isParam() ? (*b.params)[static_cast<size_t>(q.index)]
                            : (*b.anc)[static_cast<size_t>(q.index)];
+    }
+
+    /**
+     * Cleared scratch buffer for @p depth.  Execution is a single call
+     * stack, so one live buffer per depth suffices; the pools grow to
+     * the program's maximum call depth and are then reused without
+     * further allocation.  The pools are deques because Bindings hold
+     * pointers to the inner vectors across recursive calls that may
+     * grow the pool: deque end-growth never invalidates references to
+     * existing elements.
+     */
+    template <typename T>
+    static std::vector<T> &
+    depthScratch(std::deque<std::vector<T>> &pool, int depth)
+    {
+        while (static_cast<size_t>(depth) >= pool.size())
+            pool.emplace_back();
+        std::vector<T> &v = pool[static_cast<size_t>(depth)];
+        v.clear();
+        return v;
     }
 
     /** Forward call: allocate, compute, store, Free decision. */
@@ -116,9 +144,13 @@ class Executor
     bool shouldReclaim(const Invocation &inv, int depth,
                        int64_t gates_to_parent_uncompute);
 
-    /** Allocate and AQV-track the ancillas of one invocation. */
-    std::vector<LogicalQubit> allocAncillaTracked(
-        ModuleId id, const std::vector<LogicalQubit> &args);
+    /**
+     * Allocate and AQV-track the ancillas of one invocation into
+     * @p out (replacing its contents).
+     */
+    void allocAncillaTracked(ModuleId id,
+                             const std::vector<LogicalQubit> &args,
+                             std::vector<LogicalQubit> &out);
 
     /** Free a set of ancillas to the heap, closing AQV segments. */
     void freeAncilla(std::vector<LogicalQubit> &anc);
@@ -141,6 +173,15 @@ class Executor
     GateScheduler sched_;
     Allocator alloc_;
     AqvTracker aqv_;
+
+    /** Backing store for every Invocation record of the run. */
+    Arena arena_;
+    /** Per-depth pools for call-argument temporaries. */
+    std::deque<std::vector<LogicalQubit>> args_scratch_;
+    /** Per-depth pools for recursive-recomputation ancilla lists. */
+    std::deque<std::vector<LogicalQubit>> replay_anc_scratch_;
+    /** Per-depth pools for recursive-recomputation child records. */
+    std::deque<std::vector<InvPtr>> replay_kids_scratch_;
 
     int64_t uncompute_ir_gates_ = 0;
     int uncompute_depth_ = 0; ///< >0 while executing uncompute/inverse

@@ -8,8 +8,10 @@ void
 AncillaHeap::push(PhysQubit site)
 {
     SQ_ASSERT(!contains(site), "site already in ancilla heap");
+    if (static_cast<size_t>(site) >= pos_.size())
+        pos_.resize(static_cast<size_t>(site) + 1, kAbsent);
     stack_.push_back(site);
-    pos_[site] = stack_.size() - 1;
+    pos_[static_cast<size_t>(site)] = static_cast<int32_t>(stack_.size() - 1);
     ++live_count_;
 }
 
@@ -21,7 +23,7 @@ AncillaHeap::popLifo()
         stack_.pop_back();
         if (site == kTombstone)
             continue;
-        pos_.erase(site);
+        pos_[static_cast<size_t>(site)] = kAbsent;
         --live_count_;
         return site;
     }
@@ -31,10 +33,10 @@ AncillaHeap::popLifo()
 void
 AncillaHeap::take(PhysQubit site)
 {
-    auto it = pos_.find(site);
-    SQ_ASSERT(it != pos_.end(), "taking a site not in the heap");
-    stack_[it->second] = kTombstone;
-    pos_.erase(it);
+    SQ_ASSERT(contains(site), "taking a site not in the heap");
+    int32_t idx = pos_[static_cast<size_t>(site)];
+    stack_[static_cast<size_t>(idx)] = kTombstone;
+    pos_[static_cast<size_t>(site)] = kAbsent;
     --live_count_;
     if (static_cast<int>(stack_.size()) > 4 * live_count_ + 16)
         compact();
@@ -43,16 +45,16 @@ AncillaHeap::take(PhysQubit site)
 void
 AncillaHeap::compact()
 {
-    std::vector<PhysQubit> fresh;
-    fresh.reserve(static_cast<size_t>(live_count_));
-    for (PhysQubit s : stack_) {
-        if (s != kTombstone)
-            fresh.push_back(s);
+    size_t out = 0;
+    for (size_t i = 0; i < stack_.size(); ++i) {
+        PhysQubit s = stack_[i];
+        if (s == kTombstone)
+            continue;
+        stack_[out] = s;
+        pos_[static_cast<size_t>(s)] = static_cast<int32_t>(out);
+        ++out;
     }
-    stack_ = std::move(fresh);
-    pos_.clear();
-    for (size_t i = 0; i < stack_.size(); ++i)
-        pos_[stack_[i]] = i;
+    stack_.resize(out);
 }
 
 void

@@ -8,12 +8,16 @@
  * (swapping a live qubit with an empty site leaves the |0> behind on the
  * other side), so the heap listens to layout swap events to keep its
  * site ids current.
+ *
+ * contains() is queried once per site visited by the allocator's
+ * candidate sweep - millions of times per compilation - so membership
+ * is a direct-indexed position table (site -> stack slot), not a hash
+ * map.
  */
 
 #ifndef SQUARE_CORE_HEAP_H
 #define SQUARE_CORE_HEAP_H
 
-#include <unordered_map>
 #include <vector>
 
 #include "arch/layout.h"
@@ -30,7 +34,12 @@ class AncillaHeap
     bool empty() const { return live_count_ == 0; }
 
     /** True when @p site is in the heap. */
-    bool contains(PhysQubit site) const { return pos_.count(site) > 0; }
+    bool
+    contains(PhysQubit site) const
+    {
+        return static_cast<size_t>(site) < pos_.size() &&
+               pos_[static_cast<size_t>(site)] >= 0;
+    }
 
     /** Add a reclaimed site (must not already be present). */
     void push(PhysQubit site);
@@ -51,9 +60,11 @@ class AncillaHeap
     void compact();
 
     static constexpr PhysQubit kTombstone = -2;
+    static constexpr int32_t kAbsent = -1;
 
     std::vector<PhysQubit> stack_;
-    std::unordered_map<PhysQubit, size_t> pos_;
+    /** site -> index in stack_, kAbsent when not a member. */
+    std::vector<int32_t> pos_;
     int live_count_ = 0;
 };
 

@@ -1,7 +1,6 @@
 #include "route/braid_router.h"
 
 #include <algorithm>
-#include <deque>
 
 #include "common/logging.h"
 
@@ -29,20 +28,22 @@ BraidRouter::BraidRouter(const LatticeTopology &topo)
       bfs_mark_(cells_.size(), 0),
       bfs_parent_(cells_.size(), -1)
 {
+    bfs_queue_.reserve(cells_.size());
 }
 
-std::vector<int>
-BraidRouter::directPath(PhysQubit a, PhysQubit b, bool horizontal_first) const
+void
+BraidRouter::directPathInto(PhysQubit a, PhysQubit b, bool horizontal_first,
+                            std::vector<int> &out) const
 {
     const int ax = topo_.xOf(a), ay = topo_.yOf(a);
     const int bx = topo_.xOf(b), by = topo_.yOf(b);
-    std::vector<int> path;
+    out.clear();
 
     auto push_unique = [&](int cx, int cy) {
         SQ_ASSERT(isChannel(cx, cy), "direct path entered a site tile");
         int id = cellId(cx, cy);
-        if (path.empty() || path.back() != id)
-            path.push_back(id);
+        if (out.empty() || out.back() != id)
+            out.push_back(id);
     };
 
     if (horizontal_first) {
@@ -84,7 +85,6 @@ BraidRouter::directPath(PhysQubit a, PhysQubit b, bool horizontal_first) const
             push_unique(cx, row);
         }
     }
-    return path;
 }
 
 bool
@@ -99,8 +99,9 @@ BraidRouter::pathFree(const std::vector<int> &path, int64_t t, int dur,
     return !blocked;
 }
 
-std::vector<int>
-BraidRouter::searchPath(PhysQubit a, PhysQubit b, int64_t t, int dur)
+void
+BraidRouter::searchPathInto(PhysQubit a, PhysQubit b, int64_t t, int dur,
+                            std::vector<int> &out)
 {
     // BFS over free channel cells inside a bounding box around the
     // operands (congestion is local; a global detour is unrealistic
@@ -113,8 +114,10 @@ BraidRouter::searchPath(PhysQubit a, PhysQubit b, int64_t t, int dur)
     const int y_lo = std::max(0, std::min(ay, by) - 2 * margin);
     const int y_hi = std::min(cells_h_ - 1, std::max(ay, by) + 2 * margin);
 
+    out.clear();
     ++bfs_stamp_;
-    std::deque<int> queue;
+    bfs_queue_.clear();
+    size_t q_head = 0;
 
     auto try_visit = [&](int cx, int cy, int parent) -> bool {
         if (cx < x_lo || cx > x_hi || cy < y_lo || cy > y_hi)
@@ -129,7 +132,7 @@ BraidRouter::searchPath(PhysQubit a, PhysQubit b, int64_t t, int dur)
             return false;
         bfs_mark_[static_cast<size_t>(id)] = bfs_stamp_;
         bfs_parent_[static_cast<size_t>(id)] = parent;
-        queue.push_back(id);
+        bfs_queue_.push_back(id);
         return true;
     };
 
@@ -138,27 +141,24 @@ BraidRouter::searchPath(PhysQubit a, PhysQubit b, int64_t t, int dur)
         try_visit(ax + dx, ay + dy, -1);
     }
 
-    while (!queue.empty()) {
-        int id = queue.front();
-        queue.pop_front();
+    while (q_head < bfs_queue_.size()) {
+        int id = bfs_queue_[q_head++];
         int cx = id % cells_w_;
         int cy = id / cells_w_;
         // Goal: a channel cell bordering the target tile.
         if ((std::abs(cx - bx) == 1 && cy == by) ||
             (std::abs(cy - by) == 1 && cx == bx)) {
-            std::vector<int> path;
             for (int cur = id; cur != -1;
                  cur = bfs_parent_[static_cast<size_t>(cur)]) {
-                path.push_back(cur);
+                out.push_back(cur);
             }
-            std::reverse(path.begin(), path.end());
-            return path;
+            std::reverse(out.begin(), out.end());
+            return;
         }
         for (auto [dx, dy] : {std::pair{0, -1}, {0, 1}, {-1, 0}, {1, 0}}) {
             try_visit(cx + dx, cy + dy, id);
         }
     }
-    return {};
 }
 
 void
@@ -179,36 +179,33 @@ BraidRouter::reserve(PhysQubit a, PhysQubit b, int64_t ready, int dur)
     int64_t t = ready;
     constexpr int kMaxStalls = 4096;
 
+    // The two L-shaped candidates depend only on the endpoints; hoist
+    // them out of the stall loop (only their availability changes as t
+    // advances).
+    directPathInto(a, b, true, path_h_);
+    directPathInto(a, b, false, path_v_);
+
+    auto grant = [&](const std::vector<int> &path) {
+        claim(path, t, dur);
+        res.start = t;
+        res.pathCells = static_cast<int>(path.size());
+        ++total_braids_;
+        return res;
+    };
+
     for (int attempt = 0; attempt < kMaxStalls; ++attempt) {
         int64_t release = t + 1;
-        std::vector<int> path = directPath(a, b, true);
-        if (pathFree(path, t, dur, release)) {
-            claim(path, t, dur);
-            res.start = t;
-            res.pathCells = static_cast<int>(path.size());
-            ++total_braids_;
-            return res;
-        }
+        if (pathFree(path_h_, t, dur, release))
+            return grant(path_h_);
         ++res.conflicts;
         ++total_conflicts_;
 
-        path = directPath(a, b, false);
-        if (pathFree(path, t, dur, release)) {
-            claim(path, t, dur);
-            res.start = t;
-            res.pathCells = static_cast<int>(path.size());
-            ++total_braids_;
-            return res;
-        }
+        if (pathFree(path_v_, t, dur, release))
+            return grant(path_v_);
 
-        path = searchPath(a, b, t, dur);
-        if (!path.empty()) {
-            claim(path, t, dur);
-            res.start = t;
-            res.pathCells = static_cast<int>(path.size());
-            ++total_braids_;
-            return res;
-        }
+        searchPathInto(a, b, t, dur, path_scratch_);
+        if (!path_scratch_.empty())
+            return grant(path_scratch_);
 
         // Everything overlapping is busy: stall until the earliest
         // blocking braid releases its cells.

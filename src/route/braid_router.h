@@ -20,6 +20,9 @@
  * Geometry: a site (x, y) of a W x H lattice maps to cell
  * (2x+1, 2y+1) of a (2W+1) x (2H+1) cell grid; cells with an even
  * coordinate are channels.
+ *
+ * reserve() is on the per-gate hot path; the candidate-path and BFS
+ * buffers are reused members so steady-state routing is allocation-free.
  */
 
 #ifndef SQUARE_ROUTE_BRAID_ROUTER_H
@@ -92,13 +95,19 @@ class BraidRouter
     int cellId(int cx, int cy) const { return cy * cells_w_ + cx; }
     bool isChannel(int cx, int cy) const { return cx % 2 == 0 || cy % 2 == 0; }
 
-    /** L-shaped channel path, horizontal-first or vertical-first. */
-    std::vector<int> directPath(PhysQubit a, PhysQubit b,
-                                bool horizontal_first) const;
+    /**
+     * L-shaped channel path, horizontal-first or vertical-first,
+     * written into @p out (replacing its contents).
+     */
+    void directPathInto(PhysQubit a, PhysQubit b, bool horizontal_first,
+                        std::vector<int> &out) const;
 
-    /** BFS through channel cells free during [t, t+dur). */
-    std::vector<int> searchPath(PhysQubit a, PhysQubit b, int64_t t,
-                                int dur);
+    /**
+     * BFS through channel cells free during [t, t+dur), written into
+     * @p out; leaves @p out empty when no route exists.
+     */
+    void searchPathInto(PhysQubit a, PhysQubit b, int64_t t, int dur,
+                        std::vector<int> &out);
 
     /** True when every cell of @p path is free during [t, t+dur). */
     bool pathFree(const std::vector<int> &path, int64_t t, int dur,
@@ -110,8 +119,12 @@ class BraidRouter
     int cells_w_;
     int cells_h_;
     std::vector<CellOccupancy> cells_;
-    std::vector<int64_t> bfs_mark_; // visit stamps for searchPath
+    std::vector<int64_t> bfs_mark_; // visit stamps for searchPathInto
     std::vector<int> bfs_parent_;
+    std::vector<int> bfs_queue_;    // reused BFS frontier storage
+    std::vector<int> path_h_;       // reused horizontal-first L-path
+    std::vector<int> path_v_;       // reused vertical-first L-path
+    std::vector<int> path_scratch_; // reused BFS result path
     int64_t bfs_stamp_ = 0;
     int64_t total_conflicts_ = 0;
     int64_t total_braids_ = 0;

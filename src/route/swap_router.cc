@@ -5,39 +5,39 @@
 namespace square {
 
 int
-SwapRouter::makeAdjacent(PhysQubit &a, PhysQubit b, const SwapEmitter &emit)
+SwapRouter::makeAdjacent(PhysQubit &a, PhysQubit b, SwapEmitter emit)
 {
     SQ_ASSERT(a != b, "cannot route a qubit to itself");
     if (topo_.adjacent(a, b))
         return 0;
 
-    std::vector<PhysQubit> route = topo_.path(a, b);
-    SQ_ASSERT(route.size() >= 3, "non-adjacent sites with path < 3");
+    topo_.pathInto(a, b, route_);
+    SQ_ASSERT(route_.size() >= 3, "non-adjacent sites with path < 3");
 
     // Swap along the path, stopping one hop short of b.
     int swaps = 0;
-    for (size_t k = 0; k + 2 < route.size(); ++k) {
-        PhysQubit from = route[k];
-        PhysQubit to = route[k + 1];
+    for (size_t k = 0; k + 2 < route_.size(); ++k) {
+        PhysQubit from = route_[k];
+        PhysQubit to = route_[k + 1];
         emit(from, to);
         layout_.swapSites(from, to);
         ++swaps;
     }
     total_swaps_ += swaps;
-    a = route[route.size() - 2];
+    a = route_[route_.size() - 2];
     return swaps;
 }
 
 int
-SwapRouter::moveTo(PhysQubit &a, PhysQubit dest, const SwapEmitter &emit)
+SwapRouter::moveTo(PhysQubit &a, PhysQubit dest, SwapEmitter emit)
 {
     if (a == dest)
         return 0;
-    std::vector<PhysQubit> route = topo_.path(a, dest);
+    topo_.pathInto(a, dest, route_);
     int swaps = 0;
-    for (size_t k = 0; k + 1 < route.size(); ++k) {
-        emit(route[k], route[k + 1]);
-        layout_.swapSites(route[k], route[k + 1]);
+    for (size_t k = 0; k + 1 < route_.size(); ++k) {
+        emit(route_[k], route_[k + 1]);
+        layout_.swapSites(route_[k], route_[k + 1]);
         ++swaps;
     }
     total_swaps_ += swaps;

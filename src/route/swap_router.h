@@ -7,15 +7,20 @@
  * emitting one SWAP per hop (each SWAP = 3 CNOTs; Sec. II-C1).  Swaps
  * update the layout - qubits physically migrate, which is exactly why
  * reclaiming ancilla "in place" improves locality for later allocations.
+ *
+ * Routing is on the per-gate hot path, so the route scratch vector is a
+ * reused member and the emitter callback is a non-allocating
+ * FunctionRef: steady-state routing performs no heap allocation.
  */
 
 #ifndef SQUARE_ROUTE_SWAP_ROUTER_H
 #define SQUARE_ROUTE_SWAP_ROUTER_H
 
-#include <functional>
+#include <vector>
 
 #include "arch/layout.h"
 #include "arch/topology.h"
+#include "common/function_ref.h"
 
 namespace square {
 
@@ -24,7 +29,7 @@ class SwapRouter
 {
   public:
     /** Callback invoked once per emitted swap (site pair, pre-swap). */
-    using SwapEmitter = std::function<void(PhysQubit, PhysQubit)>;
+    using SwapEmitter = FunctionRef<void(PhysQubit, PhysQubit)>;
 
     SwapRouter(const Topology &topo, Layout &layout)
         : topo_(topo), layout_(layout)
@@ -39,7 +44,7 @@ class SwapRouter
      *
      * @return the number of swaps performed.
      */
-    int makeAdjacent(PhysQubit &a, PhysQubit b, const SwapEmitter &emit);
+    int makeAdjacent(PhysQubit &a, PhysQubit b, SwapEmitter emit);
 
     /**
      * Move the qubit at @p a all the way onto site @p dest (used to
@@ -48,7 +53,7 @@ class SwapRouter
      *
      * @return the number of swaps performed.
      */
-    int moveTo(PhysQubit &a, PhysQubit dest, const SwapEmitter &emit);
+    int moveTo(PhysQubit &a, PhysQubit dest, SwapEmitter emit);
 
     /** Total swaps emitted so far. */
     int64_t totalSwaps() const { return total_swaps_; }
@@ -57,6 +62,7 @@ class SwapRouter
     const Topology &topo_;
     Layout &layout_;
     int64_t total_swaps_ = 0;
+    std::vector<PhysQubit> route_; ///< reused pathInto scratch
 };
 
 } // namespace square

@@ -13,6 +13,8 @@ GateScheduler::GateScheduler(const Machine &machine, Layout &layout,
       sink_(sink),
       clock_(static_cast<size_t>(machine.numSites()), 0)
 {
+    for (size_t k = 0; k < static_cast<size_t>(GateKind::NumKinds); ++k)
+        dur_table_[k] = machine_.times.durationFor(static_cast<GateKind>(k));
     switch (machine_.comm) {
       case CommModel::Swap:
         swap_router_ =
@@ -73,14 +75,7 @@ void
 GateScheduler::issueAt(GateKind kind, const PhysQubit *sites, int arity,
                        int64_t start)
 {
-    const int dur = machine_.times.durationFor(kind);
-    TimedGate g;
-    g.kind = kind;
-    g.arity = static_cast<int8_t>(arity);
-    for (int i = 0; i < arity; ++i)
-        g.sites[static_cast<size_t>(i)] = sites[i];
-    g.start = start;
-    g.duration = dur;
+    const int dur = dur_table_[static_cast<size_t>(kind)];
     for (int i = 0; i < arity; ++i)
         clock_[static_cast<size_t>(sites[i])] = start + dur;
     makespan_ = std::max(makespan_, start + dur);
@@ -103,8 +98,16 @@ GateScheduler::issueAt(GateKind kind, const PhysQubit *sites, int arity,
             break;
         }
     }
-    if (sink_)
+    if (sink_) {
+        TimedGate g;
+        g.kind = kind;
+        g.arity = static_cast<int8_t>(arity);
+        for (int i = 0; i < arity; ++i)
+            g.sites[static_cast<size_t>(i)] = sites[i];
+        g.start = start;
+        g.duration = dur;
         sink_->onGate(g);
+    }
 }
 
 void
@@ -218,15 +221,15 @@ GateScheduler::gatherForMacro(LogicalQubit c0, LogicalQubit c1,
     // c1 and move c1 onto it.
     PhysQubit best = kNoQubit;
     int best_d = INT32_MAX;
-    for (PhysQubit nbr : machine_.topology->neighbors(st)) {
+    machine_.topology->forEachNeighbor(st, [&](PhysQubit nbr) {
         if (nbr == s0)
-            continue;
+            return;
         int d = machine_.topology->distance(s1, nbr);
         if (d < best_d) {
             best_d = d;
             best = nbr;
         }
-    }
+    });
     if (best == kNoQubit) {
         fatal("macro Toffoli cannot gather operands: target site ", st,
               " has no free neighbor (machine too small)");

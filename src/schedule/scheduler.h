@@ -52,6 +52,13 @@ class GateScheduler
      */
     GateScheduler(const Machine &machine, Layout &layout, TraceSink *sink);
 
+    /**
+     * Replace the trace sink.  Passing nullptr when no consumer is
+     * registered lets issueAt skip TimedGate construction and dispatch
+     * entirely on the per-gate hot path.
+     */
+    void setSink(TraceSink *sink) { sink_ = sink; }
+
     /** Schedule one logical gate (routing + decomposition as needed). */
     void apply(GateKind kind, std::span<const LogicalQubit> operands);
 
@@ -103,6 +110,8 @@ class GateScheduler
     const Machine &machine_;
     Layout &layout_;
     TraceSink *sink_;
+    /** Per-kind durations, precomputed so issueAt does no switch work. */
+    int dur_table_[static_cast<size_t>(GateKind::NumKinds)] = {};
     std::vector<int64_t> clock_;
     int64_t makespan_ = 0;
     SchedStats stats_;

@@ -78,6 +78,9 @@ class TeeTrace : public TraceSink
   public:
     void add(TraceSink *sink) { sinks_.push_back(sink); }
 
+    /** True when no consumer is registered (dispatch can be skipped). */
+    bool empty() const { return sinks_.empty(); }
+
     void
     onGate(const TimedGate &g) override
     {

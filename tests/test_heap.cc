@@ -77,6 +77,71 @@ TEST(Heap, SwapRenamesFreeSite)
     EXPECT_TRUE(h.contains(0)); // the |0> moved to site 0
 }
 
+TEST(Heap, CompactPreservesLifoOrder)
+{
+    // Mid-stack take() calls tombstone entries; compaction must keep
+    // the survivors in their original push order so popLifo still
+    // returns most-recently-reclaimed first.  The 50th take crosses
+    // the compaction threshold (60 slots > 4*live + 16 once live
+    // drops below 11), so compact() demonstrably runs.
+    AncillaHeap h;
+    for (int i = 0; i < 60; ++i)
+        h.push(i);
+    for (int i = 0; i < 50; ++i)
+        h.take(i);
+    EXPECT_EQ(h.size(), 10);
+    // A post-compaction take exercises the rebuilt position index.
+    h.take(51);
+    EXPECT_FALSE(h.contains(51));
+    EXPECT_EQ(h.size(), 9);
+    for (int i = 59; i >= 50; --i) {
+        if (i == 51)
+            continue;
+        EXPECT_TRUE(h.contains(i));
+        EXPECT_EQ(h.popLifo(), i);
+    }
+    EXPECT_TRUE(h.empty());
+}
+
+TEST(Heap, OnSwapRepairsMembershipBothDirections)
+{
+    Layout layout(6);
+    AncillaHeap h;
+    layout.setSwapObserver(
+        [&](PhysQubit a, PhysQubit b) { h.onSwap(a, b, layout); });
+
+    // Site 0 holds a live qubit; sites 1 and 2 are reclaimed |0>s.
+    LogicalQubit q = layout.place(0);
+    for (PhysQubit s : {1, 2}) {
+        LogicalQubit tmp = layout.place(s);
+        layout.remove(tmp);
+        h.push(s);
+    }
+
+    // Swapping two heap sites leaves membership unchanged.
+    layout.swapSites(1, 2);
+    EXPECT_TRUE(h.contains(1));
+    EXPECT_TRUE(h.contains(2));
+    EXPECT_EQ(h.size(), 2);
+
+    // A live qubit swapping onto a heap site: the |0> migrates to the
+    // qubit's old site, which must replace the claimed one in the heap.
+    layout.swapSites(0, 1);
+    EXPECT_EQ(layout.siteOf(q), 1);
+    EXPECT_FALSE(h.contains(1));
+    EXPECT_TRUE(h.contains(0));
+    EXPECT_EQ(h.size(), 2);
+
+    // Swapping a heap site with a never-used free site: the |0> is now
+    // on fresh ground, which stays out of the heap (fresh sites are a
+    // different allocation class), and the vacated ever-used site
+    // remains eligible.
+    layout.swapSites(2, 5);
+    EXPECT_TRUE(h.contains(2)); // still free + ever-used
+    EXPECT_FALSE(h.contains(5)); // never used: not heap material
+    EXPECT_EQ(h.size(), 2);
+}
+
 class AllocatorTest : public ::testing::Test
 {
   protected:
@@ -137,6 +202,29 @@ TEST_F(AllocatorTest, LocalityPrefersNearbyHeapSite)
     EXPECT_EQ(layout_.siteOf(anc[0]), near_site);
 }
 
+TEST_F(AllocatorTest, PrefersNearbyHeapSiteOverDistantFresh)
+{
+    SquareConfig cfg = SquareConfig::square();
+    Allocator alloc(cfg, machine_, layout_, sched_, heap_);
+    // Nine primaries fill the central 3x3 block, so every fresh
+    // candidate is at least two hops from the center anchor.
+    auto prim = alloc.allocPrimaries(9);
+    ASSERT_EQ(prim.size(), 9u);
+
+    // Reclaim one block-interior qubit: its site joins the heap at the
+    // same distance as the nearest fresh ring, and the fresh ring
+    // additionally pays the area-expansion penalty.
+    LogicalQubit victim = prim.back();
+    PhysQubit heap_site = layout_.siteOf(victim);
+    layout_.remove(victim);
+    heap_.push(heap_site);
+
+    ModuleStats st;
+    st.ancillaParams = {{0}}; // anchor on the central primary only
+    auto anc = alloc.allocAncilla(1, st, prim, 0);
+    EXPECT_EQ(layout_.siteOf(anc[0]), heap_site);
+}
+
 TEST_F(AllocatorTest, LifoIgnoresLocality)
 {
     SquareConfig cfg = SquareConfig::eager(); // LIFO allocation
@@ -191,6 +279,100 @@ TEST_F(AllocatorTest, SerializationPenaltySteersAway)
     st.ancillaParams = {{0}};
     auto anc = alloc.allocAncilla(1, st, prim, /*t_ready=*/0);
     EXPECT_EQ(layout_.siteOf(anc[0]), idle);
+}
+
+// -------------------------------------------------------------------
+// Fast-path / generic-sweep parity
+// -------------------------------------------------------------------
+
+/**
+ * Lattice geometry behind an opaque Topology subclass: the Allocator's
+ * dynamic_cast fails, forcing the generic virtual-dispatch sweep on
+ * geometry identical to a real LatticeTopology.
+ */
+class OpaqueLattice final : public Topology
+{
+  public:
+    OpaqueLattice(int w, int h) : inner_(w, h) {}
+
+    int numSites() const override { return inner_.numSites(); }
+    void
+    forEachNeighbor(PhysQubit site, NeighborFn fn) const override
+    {
+        inner_.forEachNeighbor(site, fn);
+    }
+    int
+    distance(PhysQubit a, PhysQubit b) const override
+    {
+        return inner_.distance(a, b);
+    }
+    void
+    pathInto(PhysQubit a, PhysQubit b,
+             std::vector<PhysQubit> &out) const override
+    {
+        inner_.pathInto(a, b, out);
+    }
+    std::pair<double, double>
+    coords(PhysQubit site) const override
+    {
+        return inner_.coords(site);
+    }
+    std::string name() const override { return "opaque-" + inner_.name(); }
+
+  private:
+    LatticeTopology inner_;
+};
+
+TEST(AllocatorParity, LatticeFastPathMatchesGenericSweep)
+{
+    // chooseSiteLattice must make bit-identical decisions to the
+    // generic chooseSite sweep; drive both through the same scripted
+    // allocate/free sequence and compare every placement.
+    const int kW = 8, kH = 8;
+    SquareConfig cfg = SquareConfig::square();
+
+    Machine fast = Machine::nisqLattice(kW, kH);
+    Machine generic = Machine::nisqLattice(kW, kH);
+    generic.topology = std::make_unique<OpaqueLattice>(kW, kH);
+
+    Layout lf(kW * kH), lg(kW * kH);
+    AncillaHeap hf, hg;
+    GateScheduler sf(fast, lf, nullptr), sg(generic, lg, nullptr);
+    Allocator af(cfg, fast, lf, sf, hf), ag(cfg, generic, lg, sg, hg);
+
+    auto pf = af.allocPrimaries(6);
+    auto pg = ag.allocPrimaries(6);
+    ASSERT_EQ(pf.size(), pg.size());
+    for (size_t i = 0; i < pf.size(); ++i)
+        ASSERT_EQ(lf.siteOf(pf[i]), lg.siteOf(pg[i]));
+
+    // Busy one primary's site so the serialization term is exercised.
+    LogicalQubit busy_f[1] = {pf[1]}, busy_g[1] = {pg[1]};
+    for (int i = 0; i < 20; ++i) {
+        sf.apply(GateKind::X, busy_f);
+        sg.apply(GateKind::X, busy_g);
+    }
+
+    ModuleStats st;
+    st.ancillaParams = {{0}, {1, 2}, {3}, {0, 5}, {2, 4}};
+    for (int round = 0; round < 8; ++round) {
+        auto ancf = af.allocAncilla(5, st, pf, 0);
+        auto ancg = ag.allocAncilla(5, st, pg, 0);
+        for (int i = 0; i < 5; ++i) {
+            ASSERT_EQ(lf.siteOf(ancf[i]), lg.siteOf(ancg[i]))
+                << "round " << round << " ancilla " << i;
+        }
+        // Return a prefix to the heap so later rounds score reclaimed
+        // sites against fresh ones.
+        for (int i = 0; i < 3; ++i) {
+            PhysQubit s = lf.siteOf(ancf[i]);
+            lf.remove(ancf[i]);
+            hf.push(s);
+            s = lg.siteOf(ancg[i]);
+            lg.remove(ancg[i]);
+            hg.push(s);
+        }
+    }
 }
 
 } // namespace
