@@ -10,7 +10,9 @@
 #ifndef SQUARE_BENCH_BENCH_COMMON_H
 #define SQUARE_BENCH_BENCH_COMMON_H
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -56,6 +58,122 @@ inline Machine
 ftMachine(const BenchmarkInfo &info)
 {
     return Machine::ftBraid(info.boundaryEdge, info.boundaryEdge);
+}
+
+// ---------------------------------------------------------------------
+// JSON baseline emission
+//
+// Every bench binary can write a compact BENCH_*.json with one row per
+// measured cell so results are diffable across PRs (the trajectory
+// started by compile_throughput).  Fields are pre-rendered key/value
+// cells; rows keep insertion order.
+// ---------------------------------------------------------------------
+
+/** One pre-rendered key/value cell of a JSON row. */
+struct JsonField
+{
+    std::string key;
+    std::string rendered; ///< value as it appears in the file
+};
+
+/** String field (escapes quotes and backslashes). */
+inline JsonField
+jsonStr(const std::string &key, const std::string &value)
+{
+    std::string out = "\"";
+    for (char c : value) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    out.push_back('"');
+    return {key, out};
+}
+
+/** Integer field. */
+inline JsonField
+jsonInt(const std::string &key, int64_t value)
+{
+    return {key, std::to_string(value)};
+}
+
+/** Fixed-decimal floating-point field. */
+inline JsonField
+jsonNum(const std::string &key, double value, int decimals = 3)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+    return {key, buf};
+}
+
+/** An orderly BENCH_*.json document: header fields plus result rows. */
+struct JsonReport
+{
+    std::string benchmark;
+    std::string unit;
+    /** Extra top-level fields (e.g. host parameters). */
+    std::vector<JsonField> header;
+    std::vector<std::vector<JsonField>> rows;
+
+    void
+    addRow(std::vector<JsonField> fields)
+    {
+        rows.push_back(std::move(fields));
+    }
+
+    /** Write the document; returns false (with a message) on failure. */
+    bool
+    writeTo(const std::string &path) const
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot open %s for writing\n",
+                         path.c_str());
+            return false;
+        }
+        std::fprintf(f, "{\n");
+        std::fprintf(f, "  \"benchmark\": \"%s\",\n", benchmark.c_str());
+        std::fprintf(f, "  \"unit\": \"%s\",\n", unit.c_str());
+        for (const JsonField &h : header)
+            std::fprintf(f, "  \"%s\": %s,\n", h.key.c_str(),
+                         h.rendered.c_str());
+        std::fprintf(f, "  \"results\": [\n");
+        for (size_t i = 0; i < rows.size(); ++i) {
+            std::fprintf(f, "    {");
+            for (size_t k = 0; k < rows[i].size(); ++k) {
+                std::fprintf(f, "%s\"%s\": %s", k ? ", " : "",
+                             rows[i][k].key.c_str(),
+                             rows[i][k].rendered.c_str());
+            }
+            std::fprintf(f, "}%s\n", i + 1 < rows.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::fprintf(stderr, "wrote %zu results to %s\n", rows.size(),
+                     path.c_str());
+        return true;
+    }
+};
+
+/**
+ * Extract a --square_json=PATH argument from argv (removing it so the
+ * remaining arguments can go to other parsers).  Returns the path, or
+ * "" when absent.
+ */
+inline std::string
+extractJsonPath(int &argc, char **argv)
+{
+    constexpr const char *kFlag = "--square_json=";
+    std::string path;
+    int out = 0;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0)
+            path = argv[i] + std::strlen(kFlag);
+        else
+            argv[out++] = argv[i];
+    }
+    argc = out;
+    return path;
 }
 
 /** Print a horizontal rule sized for @p width columns. */

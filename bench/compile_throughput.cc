@@ -33,8 +33,7 @@ runCompile(benchmark::State &state, const std::string &bench_name,
     Program prog = info.build();
     int64_t gates = 0;
     for (auto _ : state) {
-        Machine m = info.nisqScale ? nisqMachine()
-                                   : boundaryMachine(info);
+        Machine m = paperNisqMachine(info);
         CompileResult r = compile(prog, m, cfg, {});
         gates = r.gates + r.swaps;
         benchmark::DoNotOptimize(r.aqv);
@@ -133,29 +132,17 @@ writeJson(const std::string &path,
             rows.push_back(r);
     }
 
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f) {
-        std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
-        return;
+    JsonReport report;
+    report.benchmark = "compile_throughput";
+    report.unit = "gates_per_second";
+    for (const auto &r : rows) {
+        report.addRow({jsonStr("workload", r.workload),
+                       jsonStr("policy", r.policy),
+                       jsonNum("gates", r.gates, 0),
+                       jsonNum("gates_per_s", r.gates_per_s, 0),
+                       jsonNum("ms_per_compile", r.ms_per_compile, 3)});
     }
-    std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"benchmark\": \"compile_throughput\",\n");
-    std::fprintf(f, "  \"unit\": \"gates_per_second\",\n");
-    std::fprintf(f, "  \"results\": [\n");
-    for (size_t i = 0; i < rows.size(); ++i) {
-        const auto &r = rows[i];
-        std::fprintf(f,
-                     "    {\"workload\": \"%s\", \"policy\": \"%s\", "
-                     "\"gates\": %.0f, \"gates_per_s\": %.0f, "
-                     "\"ms_per_compile\": %.3f}%s\n",
-                     r.workload.c_str(), r.policy.c_str(), r.gates,
-                     r.gates_per_s, r.ms_per_compile,
-                     i + 1 < rows.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::fprintf(stderr, "wrote %zu results to %s\n", rows.size(),
-                 path.c_str());
+    report.writeTo(path);
 }
 
 } // namespace
@@ -164,20 +151,10 @@ int
 main(int argc, char **argv)
 {
     // Extract --square_json=PATH before google-benchmark sees argv.
-    std::string json_path;
-    std::vector<char *> args;
-    for (int i = 0; i < argc; ++i) {
-        constexpr const char *kFlag = "--square_json=";
-        if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
-            json_path = argv[i] + std::strlen(kFlag);
-        } else {
-            args.push_back(argv[i]);
-        }
-    }
-    int filtered_argc = static_cast<int>(args.size());
+    std::string json_path = extractJsonPath(argc, argv);
 
     registerAll();
-    benchmark::Initialize(&filtered_argc, args.data());
+    benchmark::Initialize(&argc, argv);
     JsonCaptureReporter reporter;
     benchmark::RunSpecifiedBenchmarks(&reporter);
     if (!json_path.empty())

@@ -3,6 +3,10 @@
  * Fig. 8a reproduction: active quantum volume of the NISQ benchmarks
  * under LAZY / EAGER / SQUARE(LAA only) / SQUARE on the 5x5 lattice.
  * Lower AQV is better.
+ *
+ * Pass --square_json=PATH to additionally emit the table as a compact
+ * JSON baseline (one row per workload x policy) suitable for
+ * committing as BENCH_fig8a_aqv.json and diffing across PRs.
  */
 
 #include <cstdio>
@@ -13,12 +17,18 @@ using namespace square;
 using namespace square::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string json_path = extractJsonPath(argc, argv);
+
     printHeader("Active quantum volume, NISQ benchmarks", "Fig. 8a");
     std::printf("%-10s %12s %12s %16s %12s  %s\n", "Benchmark", "LAZY",
                 "EAGER", "SQUARE(LAA)", "SQUARE", "best");
     printRule(80);
+
+    JsonReport report;
+    report.benchmark = "fig8a_aqv";
+    report.unit = "aqv";
 
     for (const BenchmarkInfo &info : benchmarkRegistry()) {
         if (!info.nisqScale)
@@ -29,6 +39,9 @@ main()
             Machine m = nisqMachine();
             CompileResult r = compile(prog, m, cfg, {});
             aqv.push_back(r.aqv);
+            report.addRow({jsonStr("workload", info.name),
+                           jsonStr("policy", cfg.name),
+                           jsonInt("aqv", r.aqv)});
         }
         const char *names[] = {"LAZY", "EAGER", "SQUARE(LAA)", "SQUARE"};
         size_t best = 0;
@@ -43,5 +56,8 @@ main()
                     static_cast<long long>(aqv[3]), names[best]);
     }
     printRule(80);
+
+    if (!json_path.empty())
+        report.writeTo(json_path);
     return 0;
 }

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Fleet-compilation throughput: the production-scale batch scenario.
+ *
+ * Compiles a mixed batch (SHA2 + SALSA20 + Belle under the SQUARE
+ * policy, each replicated --repeat times) on worker pools of increasing
+ * size and reports aggregate gates/s, per-job latency percentiles, and
+ * scaling versus one worker.  Compilations are independent and
+ * embarrassingly parallel, so on an N-core host the batch should scale
+ * close to linearly until workers exceed cores.
+ *
+ * Pass --square_json=PATH to emit a BENCH_fleet_throughput.json row per
+ * worker count (plus the host's hardware_concurrency, without which the
+ * scaling numbers cannot be interpreted).  --workers=1,2,4,8 overrides
+ * the pool sizes; --repeat=N the batch replication; --smoke shrinks the
+ * batch for CI.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "fleet/fleet.h"
+
+using namespace square;
+using namespace square::bench;
+
+namespace {
+
+FleetJob
+makeJob(const std::string &workload, const SquareConfig &cfg)
+{
+    // Registry entries have static storage; the builder may hold &info.
+    const BenchmarkInfo &info = findBenchmark(workload);
+    FleetJob job;
+    job.label = workload + "/" + cfg.name;
+    job.program = info.build;
+    job.machine = [&info] { return paperNisqMachine(info); };
+    job.cfg = cfg;
+    return job;
+}
+
+std::vector<FleetJob>
+mixedBatch(int repeat)
+{
+    std::vector<FleetJob> jobs;
+    for (int r = 0; r < repeat; ++r) {
+        for (const char *name : {"SHA2", "SALSA20", "Belle"})
+            jobs.push_back(makeJob(name, SquareConfig::square()));
+    }
+    return jobs;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path = extractJsonPath(argc, argv);
+    std::vector<int> worker_counts = {1, 2, 4, 8};
+    int repeat = 8;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+            worker_counts.clear();
+            for (const char *p = argv[i] + 10; *p;) {
+                worker_counts.push_back(std::atoi(p));
+                while (*p && *p != ',')
+                    ++p;
+                if (*p == ',')
+                    ++p;
+            }
+        } else if (std::strncmp(argv[i], "--repeat=", 9) == 0) {
+            repeat = std::atoi(argv[i] + 9);
+        } else if (std::strcmp(argv[i], "--smoke") == 0) {
+            repeat = 2;
+            worker_counts = {1, 4};
+        } else {
+            std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+            return 1;
+        }
+    }
+
+    const unsigned cpus = std::thread::hardware_concurrency();
+    printHeader("Fleet compile throughput, mixed batch",
+                "the production-scale batch scenario");
+    std::printf("batch: (SHA2 + SALSA20 + Belle) x SQUARE x %d = %d "
+                "jobs; host cpus: %u\n\n",
+                repeat, repeat * 3, cpus);
+    std::printf("%8s %10s %14s %10s %10s %10s %8s\n", "workers",
+                "wall ms", "fleet gates/s", "p50 ms", "p99 ms", "fail",
+                "speedup");
+    printRule(76);
+
+    std::vector<FleetJob> jobs = mixedBatch(repeat);
+    JsonReport report;
+    report.benchmark = "fleet_throughput";
+    report.unit = "gates_per_second";
+    report.header.push_back(jsonInt("cpus", cpus));
+    report.header.push_back(jsonInt("jobs", static_cast<int64_t>(jobs.size())));
+
+    // Run every pool size first; the speedup baseline is the 1-worker
+    // run when present, else the first run (so custom --workers lists
+    // still report meaningful scaling).
+    std::vector<FleetResult> results;
+    results.reserve(worker_counts.size());
+    for (int workers : worker_counts)
+        results.push_back(FleetCompiler(workers).run(jobs));
+    double base_gps =
+        results.empty() ? 0.0 : results.front().fleetGatesPerSec;
+    for (size_t i = 0; i < results.size(); ++i) {
+        if (worker_counts[i] == 1) {
+            base_gps = results[i].fleetGatesPerSec;
+            break;
+        }
+    }
+    for (size_t i = 0; i < results.size(); ++i) {
+        const FleetResult &r = results[i];
+        const int workers = worker_counts[i];
+        double speedup =
+            base_gps > 0 ? r.fleetGatesPerSec / base_gps : 0.0;
+        std::printf("%8d %10.1f %14.0f %10.2f %10.2f %10d %7.2fx\n",
+                    workers, r.wallMillis, r.fleetGatesPerSec,
+                    r.p50Millis, r.p99Millis, r.failures, speedup);
+        report.addRow({jsonInt("workers", workers),
+                       jsonNum("wall_ms", r.wallMillis, 1),
+                       jsonNum("fleet_gates_per_s", r.fleetGatesPerSec, 0),
+                       jsonNum("p50_ms", r.p50Millis, 2),
+                       jsonNum("p99_ms", r.p99Millis, 2),
+                       jsonInt("failures", r.failures),
+                       jsonNum("speedup_vs_1", speedup, 2)});
+    }
+    printRule(76);
+    std::printf("\nNote: speedup is aggregate gates/s versus the "
+                "1-worker run of the same batch;\nexpect ~min(workers, "
+                "cpus) on an otherwise idle host.\n");
+
+    if (!json_path.empty())
+        report.writeTo(json_path);
+    return 0;
+}

@@ -6,6 +6,10 @@
  * prints #gates (excluding swaps), #qubits (machine footprint),
  * circuit depth (makespan cycles), and #swaps, on a 5x5 NISQ lattice
  * with Clifford+T Toffoli decomposition.
+ *
+ * Pass --square_json=PATH to additionally emit the table as a compact
+ * JSON baseline (one row per workload x policy) suitable for
+ * committing as BENCH_table3_nisq.json and diffing across PRs.
  */
 
 #include <cstdio>
@@ -16,12 +20,18 @@ using namespace square;
 using namespace square::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string json_path = extractJsonPath(argc, argv);
+
     printHeader("NISQ benchmark compilation results", "Table III");
     std::printf("%-10s %-18s %10s %8s %8s %8s\n", "Benchmark", "Policy",
                 "#Gates", "#Qubits", "Depth", "#Swaps");
     printRule(72);
+
+    JsonReport report;
+    report.benchmark = "table3_nisq";
+    report.unit = "gate_and_qubit_counts";
 
     for (const BenchmarkInfo &info : benchmarkRegistry()) {
         if (!info.nisqScale)
@@ -35,11 +45,20 @@ main()
                         static_cast<long long>(r.gates), r.qubitsUsed,
                         static_cast<long long>(r.depth),
                         static_cast<long long>(r.swaps));
+            report.addRow({jsonStr("workload", info.name),
+                           jsonStr("policy", cfg.name),
+                           jsonInt("gates", r.gates),
+                           jsonInt("qubits", r.qubitsUsed),
+                           jsonInt("depth", r.depth),
+                           jsonInt("swaps", r.swaps)});
         }
         printRule(72);
     }
     std::printf("\nNote: gate counts are Clifford+T (Toffoli lowered to "
                 "the 15-gate circuit);\nswaps are counted separately as "
                 "in the paper.\n");
+
+    if (!json_path.empty())
+        report.writeTo(json_path);
     return 0;
 }

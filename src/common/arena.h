@@ -89,6 +89,21 @@ class Arena
         return obj;
     }
 
+    /**
+     * Uninitialized array of @p n trivially-destructible T; lives until
+     * reset() or destruction (no finalizer is registered).
+     */
+    template <typename T>
+    T *
+    makeArray(size_t n)
+    {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "arena arrays are never finalized");
+        if (n == 0)
+            return nullptr;
+        return static_cast<T *>(allocate(n * sizeof(T), alignof(T)));
+    }
+
     /** Destroy all arena objects and release the memory. */
     void
     reset()

@@ -8,6 +8,106 @@
 
 namespace square {
 
+namespace {
+
+/**
+ * Sweep geometry over the virtual Topology interface: works for any
+ * machine, pays a virtual call per distance/coordinate/neighbor query.
+ * Coordinates are doubles (whatever Topology::coords reports); on a
+ * true lattice they are exact small integers, so every comparison and
+ * sum matches LatticeGeom bit-for-bit.
+ */
+struct GenericGeom
+{
+    const Topology &topo;
+    const std::vector<PhysQubit> &anchors;
+    /** Neighbor coordinates are only needed for the box cutoff. */
+    bool need_coords;
+
+    using Coord = double;
+
+    std::pair<Coord, Coord>
+    coordsOf(PhysQubit s) const
+    {
+        return topo.coords(s);
+    }
+
+    /** Total distance to the anchors (only called when non-empty). */
+    int64_t
+    anchorDistSum(PhysQubit s, Coord, Coord) const
+    {
+        int64_t sum = 0;
+        for (PhysQubit a : anchors)
+            sum += topo.distance(s, a);
+        return sum;
+    }
+
+    template <typename F>
+    void
+    forEachNeighborAt(PhysQubit s, Coord, Coord, F &&fn) const
+    {
+        if (need_coords) {
+            topo.forEachNeighbor(s, [&](PhysQubit n) {
+                auto [nx, ny] = topo.coords(n);
+                fn(n, nx, ny);
+            });
+        } else {
+            topo.forEachNeighbor(s,
+                                 [&](PhysQubit n) { fn(n, 0.0, 0.0); });
+        }
+    }
+};
+
+/**
+ * Lattice fast path: integer coordinates computed once per dequeued
+ * site (neighbors derive theirs without a division), inline Manhattan
+ * distances against anchor coordinates hoisted out of the sweep, and
+ * neighbor expansion in the same order as
+ * LatticeTopology::forEachNeighbor.  All score arithmetic matches
+ * GenericGeom on lattice machines bit-for-bit.
+ */
+struct LatticeGeom
+{
+    int w;
+    int h;
+    const std::vector<int> &ax;
+    const std::vector<int> &ay;
+
+    using Coord = int;
+
+    std::pair<Coord, Coord>
+    coordsOf(PhysQubit s) const
+    {
+        return {s % w, s / w};
+    }
+
+    int64_t
+    anchorDistSum(PhysQubit, Coord x, Coord y) const
+    {
+        int64_t sum = 0;
+        for (size_t i = 0; i < ax.size(); ++i)
+            sum += std::abs(x - ax[i]) + std::abs(y - ay[i]);
+        return sum;
+    }
+
+    template <typename F>
+    void
+    forEachNeighborAt(PhysQubit s, Coord x, Coord y, F &&fn) const
+    {
+        if (x > 0)
+            fn(s - 1, x - 1, y);
+        if (x + 1 < w)
+            fn(s + 1, x + 1, y);
+        if (y > 0)
+            fn(s - w, x, y - 1);
+        if (y + 1 < h)
+            fn(s + w, x, y + 1);
+    }
+};
+
+
+} // namespace
+
 Allocator::Allocator(const SquareConfig &cfg, const Machine &machine,
                      Layout &layout, const GateScheduler &sched,
                      AncillaHeap &heap)
@@ -75,77 +175,74 @@ Allocator::allocPrimaries(int n)
     return out;
 }
 
-double
-Allocator::score(PhysQubit site, const std::vector<PhysQubit> &anchors,
-                 double cx, double cy, bool fresh, int64_t t_ready) const
-{
-    const Topology &topo = *machine_.topology;
-    double comm = 0.0;
-    if (!anchors.empty()) {
-        for (PhysQubit a : anchors)
-            comm += topo.distance(site, a);
-        comm /= static_cast<double>(anchors.size());
-    }
-    double s = cfg_.commWeight * comm;
-    if (fresh) {
-        auto [x, y] = topo.coords(site);
-        double dx = x - cx, dy = y - cy;
-        s += cfg_.areaWeight * std::sqrt(dx * dx + dy * dy);
-    } else {
-        int64_t clk = sched_.siteClock(site);
-        if (clk > t_ready) {
-            double swap_time =
-                std::max(1, machine_.times.swapGate);
-            s += cfg_.serializationWeight *
-                 static_cast<double>(clk - t_ready) / swap_time;
-        }
-    }
-    return s;
-}
-
+template <typename Geom>
 PhysQubit
-Allocator::chooseSite(const std::vector<PhysQubit> &anchor_sites,
-                      int64_t t_ready)
+Allocator::sweepChoose(const Geom &g,
+                       const std::vector<PhysQubit> &anchor_sites,
+                       int64_t t_ready)
 {
-    if (cfg_.alloc == AllocPolicy::Lifo) {
-        if (!heap_.empty())
-            return heap_.popLifo();
-        return nextFreshSite();
-    }
+    using Coord = typename Geom::Coord;
 
-    if (lattice_)
-        return chooseSiteLattice(anchor_sites, t_ready);
-
-    // Locality-aware: bounded BFS outward from the anchor, scoring up
-    // to candidateCap candidates of each class.
-    const Topology &topo = *machine_.topology;
     PhysQubit start = anchor_sites.empty() ? center_order_.front()
                                            : anchor_sites.front();
+
+    // Anchor centroid (the area-expansion reference point) and the
+    // anchor bounding box for the optional sweep cutoff.
+    const size_t n_anchors = anchor_sites.size();
     double cx = 0, cy = 0;
-    if (!anchor_sites.empty()) {
+    Coord bx0 = 0, by0 = 0, bx1 = 0, by1 = 0;
+    if (n_anchors > 0) {
+        bool first = true;
         for (PhysQubit a : anchor_sites) {
-            auto [x, y] = topo.coords(a);
-            cx += x;
-            cy += y;
+            auto [x, y] = g.coordsOf(a);
+            cx += static_cast<double>(x);
+            cy += static_cast<double>(y);
+            if (first) {
+                bx0 = bx1 = x;
+                by0 = by1 = y;
+                first = false;
+            } else {
+                bx0 = std::min(bx0, x);
+                bx1 = std::max(bx1, x);
+                by0 = std::min(by0, y);
+                by1 = std::max(by1, y);
+            }
         }
-        cx /= static_cast<double>(anchor_sites.size());
-        cy /= static_cast<double>(anchor_sites.size());
+        cx /= static_cast<double>(n_anchors);
+        cy /= static_cast<double>(n_anchors);
     } else {
-        auto [x, y] = topo.coords(start);
-        cx = x;
-        cy = y;
+        auto [x, y] = g.coordsOf(start);
+        cx = static_cast<double>(x);
+        cy = static_cast<double>(y);
+    }
+    const bool use_box = cfg_.anchorBoxCutoff && n_anchors > 0;
+    if (use_box) {
+        const Coord margin = static_cast<Coord>(cfg_.anchorBoxMargin);
+        bx0 -= margin;
+        by0 -= margin;
+        bx1 += margin;
+        by1 += margin;
     }
 
     ++visit_stamp_;
     bfs_queue_.clear();
     size_t q_head = 0;
-    auto visit = [&](PhysQubit s) {
-        if (visit_mark_[static_cast<size_t>(s)] != visit_stamp_) {
-            visit_mark_[static_cast<size_t>(s)] = visit_stamp_;
-            bfs_queue_.push_back(s);
-        }
+    const int64_t stamp = visit_stamp_;
+    auto visit = [&](PhysQubit s, Coord x, Coord y) {
+        if (visit_mark_[static_cast<size_t>(s)] == stamp)
+            return;
+        if (use_box && (x < bx0 || x > bx1 || y < by0 || y > by1))
+            return;
+        visit_mark_[static_cast<size_t>(s)] = stamp;
+        bfs_queue_.push_back(s);
     };
-    visit(start);
+    int64_t start_anchor_sum = 0;
+    {
+        auto [sx, sy] = g.coordsOf(start);
+        if (n_anchors > 0)
+            start_anchor_sum = g.anchorDistSum(start, sx, sy);
+        visit(start, sx, sy);
+    }
 
     int heap_seen = 0, fresh_seen = 0;
     double best_score = std::numeric_limits<double>::infinity();
@@ -156,117 +253,47 @@ Allocator::chooseSite(const std::vector<PhysQubit> &anchor_sites,
     // would otherwise flood the whole lattice on every allocation.
     int visited = 0;
     const int visit_budget = std::max(256, 32 * cfg_.candidateCap);
+    // BFS ring tracking for the admissible early exit: a site in ring d
+    // is d hops from the start, so by the triangle inequality its total
+    // anchor distance is at least n_anchors*d - start_anchor_sum.  Once
+    // the communication score of that lower bound reaches the best
+    // score seen, no remaining site can win and the sweep stops.  The
+    // bound goes through the same divide/multiply operations as a real
+    // candidate score, so float rounding cannot make it inadmissible -
+    // decisions are bit-identical to the unbounded sweep.
+    int64_t ring = 0;
+    size_t ring_end = 1; // the start site is ring 0
     while (q_head < bfs_queue_.size() && visited < visit_budget &&
            (heap_seen < cfg_.candidateCap ||
             fresh_seen < cfg_.candidateCap)) {
-        PhysQubit s = bfs_queue_[q_head++];
-        ++visited;
-        if (layout_.isFree(s)) {
-            bool in_heap = heap_.contains(s);
-            bool fresh = !layout_.everUsed(s);
-            if (in_heap && heap_seen < cfg_.candidateCap) {
-                ++heap_seen;
-                double sc = score(s, anchor_sites, cx, cy, false, t_ready);
-                if (sc < best_score) {
-                    best_score = sc;
-                    best_site = s;
-                    best_in_heap = true;
-                }
-            } else if (fresh && fresh_seen < cfg_.candidateCap) {
-                ++fresh_seen;
-                double sc = score(s, anchor_sites, cx, cy, true, t_ready);
-                if (sc < best_score) {
-                    best_score = sc;
-                    best_site = s;
-                    best_in_heap = false;
+        if (q_head == ring_end) {
+            ++ring;
+            ring_end = bfs_queue_.size();
+            if (best_site != kNoQubit && n_anchors > 0) {
+                int64_t lb_sum = static_cast<int64_t>(n_anchors) * ring -
+                                 start_anchor_sum;
+                if (lb_sum > 0) {
+                    double lb = cfg_.commWeight *
+                                (static_cast<double>(lb_sum) /
+                                 static_cast<double>(n_anchors));
+                    if (lb >= best_score)
+                        break;
                 }
             }
         }
-        topo.forEachNeighbor(s, [&](PhysQubit nbr) { visit(nbr); });
-    }
-
-    if (best_site == kNoQubit) {
-        // Anchor region exhausted: fall back to any reclaimed or fresh
-        // site anywhere on the machine.
-        if (!heap_.empty())
-            return heap_.popLifo();
-        return nextFreshSite();
-    }
-    if (best_in_heap) {
-        heap_.take(best_site);
-    } else {
-        ++fresh_cursor_used_;
-    }
-    return best_site;
-}
-
-PhysQubit
-Allocator::chooseSiteLattice(const std::vector<PhysQubit> &anchor_sites,
-                             int64_t t_ready)
-{
-    const int w = lattice_->width();
-    const int h = lattice_->height();
-    PhysQubit start = anchor_sites.empty() ? center_order_.front()
-                                           : anchor_sites.front();
-
-    // Anchor centroid and coordinates, hoisted out of the sweep; the
-    // accumulation order matches the generic path bit-for-bit.
-    const size_t n_anchors = anchor_sites.size();
-    anchor_x_.clear();
-    anchor_y_.clear();
-    double cx = 0, cy = 0;
-    if (n_anchors > 0) {
-        for (PhysQubit a : anchor_sites) {
-            const int ax = a % w, ay = a / w;
-            anchor_x_.push_back(ax);
-            anchor_y_.push_back(ay);
-            cx += static_cast<double>(ax);
-            cy += static_cast<double>(ay);
-        }
-        cx /= static_cast<double>(n_anchors);
-        cy /= static_cast<double>(n_anchors);
-    } else {
-        cx = static_cast<double>(start % w);
-        cy = static_cast<double>(start / w);
-    }
-
-    ++visit_stamp_;
-    bfs_queue_.clear();
-    size_t q_head = 0;
-    const int64_t stamp = visit_stamp_;
-    auto visit = [&](PhysQubit s) {
-        if (visit_mark_[static_cast<size_t>(s)] != stamp) {
-            visit_mark_[static_cast<size_t>(s)] = stamp;
-            bfs_queue_.push_back(s);
-        }
-    };
-    visit(start);
-
-    int heap_seen = 0, fresh_seen = 0;
-    double best_score = std::numeric_limits<double>::infinity();
-    PhysQubit best_site = kNoQubit;
-    bool best_in_heap = false;
-
-    int visited = 0;
-    const int visit_budget = std::max(256, 32 * cfg_.candidateCap);
-    while (q_head < bfs_queue_.size() && visited < visit_budget &&
-           (heap_seen < cfg_.candidateCap ||
-            fresh_seen < cfg_.candidateCap)) {
         PhysQubit s = bfs_queue_[q_head++];
         ++visited;
-        const int x = s % w, y = s / w;
+        auto [x, y] = g.coordsOf(s);
         if (layout_.isFree(s)) {
             bool in_heap = heap_.contains(s);
             bool fresh = !layout_.everUsed(s);
             if ((in_heap && heap_seen < cfg_.candidateCap) ||
                 (!in_heap && fresh && fresh_seen < cfg_.candidateCap)) {
-                double comm = 0.0;
-                if (n_anchors > 0) {
-                    for (size_t i = 0; i < n_anchors; ++i)
-                        comm += std::abs(x - anchor_x_[i]) +
-                                std::abs(y - anchor_y_[i]);
-                    comm /= static_cast<double>(n_anchors);
-                }
+                double comm =
+                    n_anchors > 0
+                        ? static_cast<double>(g.anchorDistSum(s, x, y)) /
+                              static_cast<double>(n_anchors)
+                        : 0.0;
                 double sc = cfg_.commWeight * comm;
                 if (in_heap) {
                     ++heap_seen;
@@ -296,15 +323,7 @@ Allocator::chooseSiteLattice(const std::vector<PhysQubit> &anchor_sites,
                 }
             }
         }
-        // Same neighbor order as LatticeTopology::forEachNeighbor.
-        if (x > 0)
-            visit(s - 1);
-        if (x + 1 < w)
-            visit(s + 1);
-        if (y > 0)
-            visit(s - w);
-        if (y + 1 < h)
-            visit(s + w);
+        g.forEachNeighborAt(s, x, y, visit);
     }
 
     if (best_site == kNoQubit) {
@@ -322,14 +341,40 @@ Allocator::chooseSiteLattice(const std::vector<PhysQubit> &anchor_sites,
     return best_site;
 }
 
+PhysQubit
+Allocator::chooseSite(const std::vector<PhysQubit> &anchor_sites,
+                      int64_t t_ready)
+{
+    if (cfg_.alloc == AllocPolicy::Lifo) {
+        if (!heap_.empty())
+            return heap_.popLifo();
+        return nextFreshSite();
+    }
+
+    if (lattice_) {
+        const int w = lattice_->width();
+        anchor_x_.clear();
+        anchor_y_.clear();
+        for (PhysQubit a : anchor_sites) {
+            anchor_x_.push_back(a % w);
+            anchor_y_.push_back(a / w);
+        }
+        return sweepChoose(LatticeGeom{w, lattice_->height(), anchor_x_,
+                                       anchor_y_},
+                           anchor_sites, t_ready);
+    }
+    const bool need_coords =
+        cfg_.anchorBoxCutoff && !anchor_sites.empty();
+    return sweepChoose(GenericGeom{*machine_.topology, anchor_sites,
+                                   need_coords},
+                       anchor_sites, t_ready);
+}
+
 void
 Allocator::allocAncillaInto(int n, const ModuleStats &st,
-                            const std::vector<LogicalQubit> &args,
-                            int64_t t_ready,
-                            std::vector<LogicalQubit> &out)
+                            std::span<const LogicalQubit> args,
+                            int64_t t_ready, LogicalQubit *out)
 {
-    out.clear();
-    out.reserve(static_cast<size_t>(n));
     for (int i = 0; i < n; ++i) {
         // Anchor on the parameters this ancilla interacts with; when
         // the interaction analysis is empty, anchor on all args.
@@ -347,17 +392,17 @@ Allocator::allocAncillaInto(int n, const ModuleStats &st,
                 anchors.push_back(layout_.siteOf(q));
         }
         PhysQubit site = chooseSite(anchors, t_ready);
-        out.push_back(layout_.place(site));
+        out[i] = layout_.place(site);
     }
 }
 
 std::vector<LogicalQubit>
 Allocator::allocAncilla(int n, const ModuleStats &st,
-                        const std::vector<LogicalQubit> &args,
+                        std::span<const LogicalQubit> args,
                         int64_t t_ready)
 {
-    std::vector<LogicalQubit> out;
-    allocAncillaInto(n, st, args, t_ready, out);
+    std::vector<LogicalQubit> out(static_cast<size_t>(n));
+    allocAncillaInto(n, st, args, t_ready, out.data());
     return out;
 }
 

@@ -17,17 +17,27 @@
  *
  * closest_qubit_in_heap() and closest_qubit_new() are realized as a
  * bounded breadth-first sweep outward from an anchor site, scoring up to
- * candidateCap sites of each class and taking the minimum.
+ * candidateCap sites of each class and taking the minimum.  One
+ * templated kernel (sweepChoose) carries the whole decision procedure -
+ * visit order, candidate classification, score arithmetic, fallback -
+ * and is instantiated twice: over the virtual Topology interface for
+ * arbitrary machines, and over an inline Manhattan-distance geometry
+ * for lattice machines (the single hottest loop in the compiler).  The
+ * AllocatorParity test pins the two instantiations to bit-identical
+ * decisions.
  *
  * chooseSite() runs once per allocated ancilla, so its BFS frontier and
- * the per-ancilla anchor list are reused member buffers and the sweep
- * uses the allocation-free Topology::forEachNeighbor form: steady-state
- * allocation performs no heap allocation.
+ * the per-ancilla anchor list are reused member buffers: steady-state
+ * allocation performs no heap allocation.  When cfg.anchorBoxCutoff is
+ * set, the sweep never leaves the anchor bounding box (inflated by
+ * cfg.anchorBoxMargin), which caps the per-allocation visit cost on
+ * workloads whose free sites are far from the anchors.
  */
 
 #ifndef SQUARE_CORE_ALLOCATOR_H
 #define SQUARE_CORE_ALLOCATOR_H
 
+#include <span>
 #include <vector>
 
 #include "arch/layout.h"
@@ -54,9 +64,9 @@ class Allocator
     std::vector<LogicalQubit> allocPrimaries(int n);
 
     /**
-     * Allocate the @p n ancilla of one module invocation into @p out
-     * (replacing its contents); the caller may reuse one scratch
-     * vector across invocations to avoid per-call allocation.
+     * Allocate the @p n ancilla of one module invocation into
+     * @p out[0..n), which the caller provides (an arena slice or a
+     * reused scratch buffer; no allocation happens here).
      *
      * @param st      static analysis of the invoked module (interaction
      *                sets per ancilla)
@@ -64,12 +74,12 @@ class Allocator
      * @param t_ready invocation ready time (max clock of the args)
      */
     void allocAncillaInto(int n, const ModuleStats &st,
-                          const std::vector<LogicalQubit> &args,
-                          int64_t t_ready, std::vector<LogicalQubit> &out);
+                          std::span<const LogicalQubit> args,
+                          int64_t t_ready, LogicalQubit *out);
 
-    /** Allocating wrapper over allocAncillaInto. */
+    /** Allocating wrapper over allocAncillaInto (tests/cold paths). */
     std::vector<LogicalQubit> allocAncilla(int n, const ModuleStats &st,
-                                           const std::vector<LogicalQubit> &args,
+                                           std::span<const LogicalQubit> args,
                                            int64_t t_ready);
 
     /** Fresh sites claimed so far (diagnostics). */
@@ -84,17 +94,15 @@ class Allocator
                          int64_t t_ready);
 
     /**
-     * Lattice-specialized candidate sweep: identical decisions to the
-     * generic path (same visit order, same score arithmetic) computed
-     * with inline Manhattan distances instead of virtual topology
-     * calls.  The sweep dominates CER+LAA compile time, so this is the
-     * single hottest loop in the compiler.
+     * The candidate sweep (Alg. 1), generic over a Geom providing
+     * coords/anchor-distance/neighbor iteration.  Instantiated for the
+     * virtual-Topology geometry and the lattice fast path; both make
+     * bit-identical decisions (AllocatorParity).
      */
-    PhysQubit chooseSiteLattice(const std::vector<PhysQubit> &anchor_sites,
-                                int64_t t_ready);
-
-    double score(PhysQubit site, const std::vector<PhysQubit> &anchors,
-                 double cx, double cy, bool fresh, int64_t t_ready) const;
+    template <typename Geom>
+    PhysQubit sweepChoose(const Geom &g,
+                          const std::vector<PhysQubit> &anchor_sites,
+                          int64_t t_ready);
 
     const SquareConfig &cfg_;
     const Machine &machine_;

@@ -1,5 +1,6 @@
 #include "core/compiler.h"
 
+#include "core/context.h"
 #include "core/executor.h"
 
 namespace square {
@@ -8,7 +9,8 @@ CompileResult
 compile(const Program &prog, const Machine &machine,
         const SquareConfig &cfg, const CompileOptions &options)
 {
-    Executor exec(prog, machine, cfg, options);
+    CompileContext ctx(machine, cfg, options);
+    Executor exec(prog, ctx);
     return exec.run();
 }
 

@@ -1,0 +1,31 @@
+#include "core/context.h"
+
+namespace square {
+
+CompileContext::CompileContext(const Machine &machine,
+                               const SquareConfig &cfg,
+                               const CompileOptions &options)
+    : machine(machine),
+      cfg(cfg),
+      options(options),
+      layout(machine.numSites()),
+      heap(),
+      tee(),
+      recorder(),
+      sched(machine, layout, nullptr),
+      alloc(cfg, machine, layout, sched, heap),
+      aqv()
+{
+    if (options.recordTrace)
+        tee.add(&recorder);
+    if (options.extraSink)
+        tee.add(options.extraSink);
+    // With no consumer, let the scheduler skip trace dispatch on the
+    // per-gate hot path entirely.
+    sched.setSink(tee.empty() ? nullptr : &tee);
+    layout.setSwapObserver([this](PhysQubit a, PhysQubit b) {
+        heap.onSwap(a, b, layout);
+    });
+}
+
+} // namespace square

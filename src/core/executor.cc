@@ -3,80 +3,59 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "core/cer.h"
 #include "ir/validate.h"
 
 namespace square {
 
-Executor::Executor(const Program &prog, const Machine &machine,
-                   const SquareConfig &cfg, const CompileOptions &options)
-    : prog_(prog),
-      machine_(machine),
-      cfg_(cfg),
-      options_(options),
-      analysis_(prog),
-      layout_(machine.numSites()),
-      heap_(),
-      tee_(),
-      recorder_(),
-      sched_(machine, layout_, &tee_),
-      alloc_(cfg, machine, layout_, sched_, heap_),
-      aqv_()
+Executor::Executor(const Program &prog, CompileContext &ctx)
+    : prog_(prog), ctx_(ctx), analysis_(prog)
 {
-    if (options_.recordTrace)
-        tee_.add(&recorder_);
-    if (options_.extraSink)
-        tee_.add(options_.extraSink);
-    // With no consumer, let the scheduler skip trace dispatch on the
-    // per-gate hot path entirely.
-    sched_.setSink(tee_.empty() ? nullptr : &tee_);
-    layout_.setSwapObserver([this](PhysQubit a, PhysQubit b) {
-        heap_.onSwap(a, b, layout_);
-    });
 }
 
 int64_t
-Executor::readyTime(const std::vector<LogicalQubit> &args) const
+Executor::readyTime(std::span<const LogicalQubit> args) const
 {
     int64_t t = 0;
     for (LogicalQubit q : args)
-        t = std::max(t, sched_.logicalClock(q));
+        t = std::max(t, ctx_.sched.logicalClock(q));
     return t;
 }
 
 void
 Executor::allocAncillaTracked(ModuleId id,
-                              const std::vector<LogicalQubit> &args,
-                              std::vector<LogicalQubit> &out)
+                              std::span<const LogicalQubit> args,
+                              LogicalQubit *out)
 {
     const Module &m = prog_.module(id);
-    out.clear();
     if (m.numAncilla == 0)
         return;
     int64_t t_ready = readyTime(args);
-    alloc_.allocAncillaInto(m.numAncilla, analysis_.stats(id), args,
-                            t_ready, out);
-    for (LogicalQubit q : out) {
+    ctx_.alloc.allocAncillaInto(m.numAncilla, analysis_.stats(id), args,
+                                t_ready, out);
+    for (int i = 0; i < m.numAncilla; ++i) {
+        LogicalQubit q = out[i];
         // Liveness cannot begin before the site's previous occupant was
         // reclaimed (the site clock covers the uncompute that grounded
         // it), nor before the invocation's inputs are ready.
         int64_t t0 = std::max(t_ready,
-                              sched_.siteClock(layout_.siteOf(q)));
-        aqv_.onAlloc(q, t0);
+                              ctx_.sched.siteClock(ctx_.layout.siteOf(q)));
+        ctx_.aqv.onAlloc(q, t0);
     }
 }
 
 void
-Executor::freeAncilla(std::vector<LogicalQubit> &anc)
+Executor::freeAncilla(std::span<const LogicalQubit> anc)
 {
     // Free in reverse allocation order so the LIFO heap hands the most
     // recently grounded sites out first.
-    for (auto it = anc.rbegin(); it != anc.rend(); ++it) {
-        LogicalQubit q = *it;
-        PhysQubit site = layout_.siteOf(q);
-        aqv_.onFree(q, sched_.siteClock(site));
-        layout_.remove(q);
-        heap_.push(site);
-        tee_.onReclaim(site);
+    for (size_t i = anc.size(); i-- > 0;) {
+        LogicalQubit q = anc[i];
+        PhysQubit site = ctx_.layout.siteOf(q);
+        ctx_.aqv.onFree(q, ctx_.sched.siteClock(site));
+        ctx_.layout.remove(q);
+        ctx_.heap.push(site);
+        ctx_.tee.onReclaim(site);
     }
 }
 
@@ -88,21 +67,20 @@ Executor::execGate(const Stmt &s, const Binding &b, bool inverse)
     const int arity = gateArity(kind);
     for (int i = 0; i < arity; ++i)
         ops[i] = resolve(b, s.operands[static_cast<size_t>(i)]);
-    sched_.apply(kind, std::span<const LogicalQubit>(ops,
-                                                     static_cast<size_t>(
-                                                         arity)));
+    ctx_.sched.apply(kind, std::span<const LogicalQubit>(
+                               ops, static_cast<size_t>(arity)));
     if (uncompute_depth_ > 0)
         ++uncompute_ir_gates_;
 }
 
 void
 Executor::runBlockForward(const std::vector<Stmt> &block, const Binding &b,
-                          std::vector<InvPtr> &kids, int depth,
+                          KidList &kids, int depth,
                           const std::vector<int64_t> &suffix,
                           bool force_kids, int64_t inherited_gates)
 {
     const int64_t carried = static_cast<int64_t>(
-        cfg_.holdHorizon * static_cast<double>(inherited_gates));
+        ctx_.cfg.holdHorizon * static_cast<double>(inherited_gates));
     for (size_t k = 0; k < block.size(); ++k) {
         const Stmt &s = block[k];
         if (s.isGate()) {
@@ -111,13 +89,13 @@ Executor::runBlockForward(const std::vector<Stmt> &block, const Binding &b,
             // The callee frame (depth + 1) owns this argument buffer
             // for the duration of the call; no deeper frame reuses it.
             std::vector<LogicalQubit> &args =
-                depthScratch(args_scratch_, depth + 1);
+                depthScratch(ctx_.argsScratch, depth + 1);
             args.reserve(s.args.size());
             for (const QubitRef &r : s.args)
                 args.push_back(resolve(b, r));
             int64_t g_parent =
                 (k + 1 < suffix.size() ? suffix[k + 1] : 0) + carried;
-            kids.push_back(
+            kids.push(
                 execCall(s.callee, args, depth + 1, g_parent, force_kids));
         }
     }
@@ -125,9 +103,9 @@ Executor::runBlockForward(const std::vector<Stmt> &block, const Binding &b,
 
 void
 Executor::invertBlock(const std::vector<Stmt> &block, const Binding &b,
-                      std::vector<InvPtr> &kids, int depth)
+                      const KidList &kids, int depth)
 {
-    size_t kid_idx = kids.size();
+    size_t kid_idx = kids.count;
     for (auto it = block.rbegin(); it != block.rend(); ++it) {
         const Stmt &s = *it;
         if (s.isGate()) {
@@ -138,7 +116,7 @@ Executor::invertBlock(const std::vector<Stmt> &block, const Binding &b,
             Invocation &kid = *kids[kid_idx];
             SQ_ASSERT(kid.mod == s.callee, "record/statement mismatch");
             std::vector<LogicalQubit> &args =
-                depthScratch(args_scratch_, depth + 1);
+                depthScratch(ctx_.argsScratch, depth + 1);
             args.reserve(s.args.size());
             for (const QubitRef &r : s.args)
                 args.push_back(resolve(b, r));
@@ -152,13 +130,13 @@ bool
 Executor::shouldReclaim(const Invocation &inv, int depth,
                         int64_t gates_to_parent_uncompute)
 {
-    switch (cfg_.reclaim) {
+    switch (ctx_.cfg.reclaim) {
       case ReclaimPolicy::Eager:
         return true;
       case ReclaimPolicy::Forced: {
         size_t idx = forced_idx_++;
-        return idx < cfg_.forcedDecisions.size() &&
-               cfg_.forcedDecisions[idx];
+        return idx < ctx_.cfg.forcedDecisions.size() &&
+               ctx_.cfg.forcedDecisions[idx];
       }
       case ReclaimPolicy::MeasureReset:
         // Handled before the decision point in execCall (resets do not
@@ -170,34 +148,38 @@ Executor::shouldReclaim(const Invocation &inv, int depth,
         return false;
       case ReclaimPolicy::Cer: {
         CerInputs in;
-        in.numActive = layout_.numLive();
+        in.numActive = ctx_.layout.numLive();
         in.numAncilla = inv.garbage;
         in.uncomputeGates = inv.uncompCost;
         in.gatesToParentUncompute = gates_to_parent_uncompute;
         in.depth = depth;
-        in.commFactor = sched_.commFactor();
-        in.hasLocality = machine_.comm != CommModel::None;
-        in.freeSites = layout_.numSites() - layout_.numLive();
-        return cerDecide(cfg_, in).reclaim;
+        in.commFactor = ctx_.sched.commFactor();
+        in.hasLocality = ctx_.machine.comm != CommModel::None;
+        in.freeSites = ctx_.layout.numSites() - ctx_.layout.numLive();
+        return cerDecide(ctx_.cfg, in).reclaim;
       }
     }
     panic("unknown reclaim policy");
 }
 
 Executor::InvPtr
-Executor::execCall(ModuleId id, const std::vector<LogicalQubit> &args,
+Executor::execCall(ModuleId id, std::span<const LogicalQubit> args,
                    int depth, int64_t gates_to_parent_uncompute,
                    bool force_reclaim)
 {
     const Module &m = prog_.module(id);
     const ModuleStats &st = analysis_.stats(id);
 
-    Invocation *inv = arena_.make<Invocation>();
+    Invocation *inv = ctx_.arena.make<Invocation>();
     inv->mod = id;
+    inv->numAnc = static_cast<uint32_t>(m.numAncilla);
+    inv->anc = ctx_.arena.makeArray<LogicalQubit>(inv->numAnc);
     allocAncillaTracked(id, args, inv->anc);
-    inv->ancLive = !inv->anc.empty();
+    inv->ancLive = inv->numAnc > 0;
+    inv->computeKids = makeKids(st.computeCalls);
+    inv->storeKids = makeKids(st.storeCalls);
 
-    Binding b{&args, &inv->anc};
+    Binding b{args, inv->ancillas()};
     const bool force_kids = m.hasExplicitUncompute();
     runBlockForward(m.compute, b, inv->computeKids, depth,
                     st.suffixCompute, force_kids,
@@ -221,7 +203,7 @@ Executor::execCall(ModuleId id, const std::vector<LogicalQubit> &args,
     }
 
     auto recompute_garbage = [&]() {
-        int g = inv->ancLive ? static_cast<int>(inv->anc.size()) : 0;
+        int g = inv->ancLive ? static_cast<int>(inv->numAnc) : 0;
         for (const InvPtr &k : inv->computeKids)
             g += k->garbage;
         for (const InvPtr &k : inv->storeKids)
@@ -233,17 +215,17 @@ Executor::execCall(ModuleId id, const std::vector<LogicalQubit> &args,
     // Measurement-and-reset reclamation (Sec. II-E): no uncompute;
     // each invocation resets its own ancilla, paying the reset
     // latency.  Only sound for classical-basis executions.
-    if (cfg_.reclaim == ReclaimPolicy::MeasureReset && !force_reclaim) {
+    if (ctx_.cfg.reclaim == ReclaimPolicy::MeasureReset &&
+        !force_reclaim) {
         if (inv->ancLive) {
-            for (auto it = inv->anc.rbegin(); it != inv->anc.rend();
-                 ++it) {
-                LogicalQubit q = *it;
-                PhysQubit site = layout_.siteOf(q);
-                sched_.occupy(site, cfg_.resetLatency);
-                aqv_.onFree(q, sched_.siteClock(site));
-                layout_.remove(q);
-                heap_.push(site);
-                tee_.onReset(site);
+            for (size_t i = inv->numAnc; i-- > 0;) {
+                LogicalQubit q = inv->anc[i];
+                PhysQubit site = ctx_.layout.siteOf(q);
+                ctx_.sched.occupy(site, ctx_.cfg.resetLatency);
+                ctx_.aqv.onFree(q, ctx_.sched.siteClock(site));
+                ctx_.layout.remove(q);
+                ctx_.heap.push(site);
+                ctx_.tee.onReset(site);
             }
             inv->ancLive = false;
             inv->reclaimed = true; // grounded; never invertible again
@@ -267,7 +249,7 @@ Executor::execCall(ModuleId id, const std::vector<LogicalQubit> &args,
     if (do_reclaim) {
         ++uncompute_depth_;
         if (m.hasExplicitUncompute()) {
-            std::vector<InvPtr> none;
+            KidList none = makeKids(0);
             runBlockForward(m.uncompute, b, none, depth,
                             st.suffixUncompute, true, 0);
             SQ_ASSERT(none.empty(), "explicit uncompute spawned calls");
@@ -276,7 +258,7 @@ Executor::execCall(ModuleId id, const std::vector<LogicalQubit> &args,
         }
         --uncompute_depth_;
         if (inv->ancLive) {
-            freeAncilla(inv->anc);
+            freeAncilla(inv->ancillas());
             inv->ancLive = false;
         }
         inv->reclaimed = true;
@@ -297,7 +279,7 @@ Executor::execCall(ModuleId id, const std::vector<LogicalQubit> &args,
 
 void
 Executor::invertInvocation(Invocation &rec,
-                           const std::vector<LogicalQubit> &args, int depth)
+                           std::span<const LogicalQubit> args, int depth)
 {
     const Module &m = prog_.module(rec.mod);
     const ModuleStats &st = analysis_.stats(rec.mod);
@@ -306,15 +288,16 @@ Executor::invertInvocation(Invocation &rec,
     if (rec.reclaimed) {
         // Recursive recomputation: the forward invocation realized
         // C;S;C^-1, so its inverse is C;S^-1;C^-1 with fresh ancilla.
-        // The replay's ancilla list and child records live only for
-        // this frame, so they come from the per-depth scratch pools.
+        // The replay's ancilla list lives only for this frame, so it
+        // comes from the per-depth scratch pool; the replayed child
+        // records are arena-allocated like any other invocation.
         std::vector<LogicalQubit> &replay_anc =
-            depthScratch(replay_anc_scratch_, depth);
-        allocAncillaTracked(rec.mod, args, replay_anc);
-        Binding b{&args, &replay_anc};
+            depthScratch(ctx_.replayAncScratch, depth);
+        replay_anc.resize(static_cast<size_t>(m.numAncilla));
+        allocAncillaTracked(rec.mod, args, replay_anc.data());
+        Binding b{args, replay_anc};
         const bool force_kids = m.hasExplicitUncompute();
-        std::vector<InvPtr> &replay_kids =
-            depthScratch(replay_kids_scratch_, depth);
+        KidList replay_kids = makeKids(st.computeCalls);
         runBlockForward(m.compute, b, replay_kids, depth,
                         st.suffixCompute, force_kids, /*inherited=*/0);
         invertBlock(m.store, b, rec.storeKids, depth);
@@ -324,17 +307,17 @@ Executor::invertInvocation(Invocation &rec,
     } else {
         // Garbage consumption: forward realized C;S, so the inverse
         // S^-1;C^-1 grounds the recorded ancillas.
-        Binding b{&args, &rec.anc};
+        Binding b{args, rec.ancillas()};
         invertBlock(m.store, b, rec.storeKids, depth);
         if (m.hasExplicitUncompute()) {
-            std::vector<InvPtr> none;
+            KidList none = makeKids(0);
             runBlockForward(m.uncompute, b, none, depth,
                             st.suffixUncompute, true, 0);
         } else {
             invertBlock(m.compute, b, rec.computeKids, depth);
         }
         if (rec.ancLive) {
-            freeAncilla(rec.anc);
+            freeAncilla(rec.ancillas());
             rec.ancLive = false;
         }
         rec.reclaimed = true; // consumed; must not be inverted again
@@ -354,40 +337,40 @@ Executor::run()
 {
     const Module &entry = prog_.entryModule();
     std::vector<LogicalQubit> primaries =
-        alloc_.allocPrimaries(entry.numParams);
+        ctx_.alloc.allocPrimaries(entry.numParams);
     for (LogicalQubit q : primaries)
-        aqv_.onAlloc(q, 0);
+        ctx_.aqv.onAlloc(q, 0);
 
     CompileResult r;
-    r.machineLabel = machine_.label;
-    r.policyLabel = cfg_.name;
+    r.machineLabel = ctx_.machine.label;
+    r.policyLabel = ctx_.cfg.name;
     for (LogicalQubit q : primaries)
-        r.primaryInitialSites.push_back(layout_.siteOf(q));
+        r.primaryInitialSites.push_back(ctx_.layout.siteOf(q));
 
     InvPtr root = execCall(prog_.entry, primaries, 0, 0, false);
     (void)root; // the tree lives in the arena until we return
 
-    const int64_t makespan = sched_.makespan();
-    aqv_.finish(makespan);
+    const int64_t makespan = ctx_.sched.makespan();
+    ctx_.aqv.finish(makespan);
 
     for (LogicalQubit q : primaries)
-        r.primaryFinalSites.push_back(layout_.siteOf(q));
+        r.primaryFinalSites.push_back(ctx_.layout.siteOf(q));
 
-    r.aqv = aqv_.aqv();
-    r.qubitsUsed = layout_.sitesTouched();
-    r.peakLive = layout_.peakLive();
-    r.sched = sched_.stats();
+    r.aqv = ctx_.aqv.aqv();
+    r.qubitsUsed = ctx_.layout.sitesTouched();
+    r.peakLive = ctx_.layout.peakLive();
+    r.sched = ctx_.sched.stats();
     r.gates = r.sched.totalGates;
     r.swaps = r.sched.swaps;
     r.depth = makespan;
     r.uncomputeIrGates = uncompute_ir_gates_;
     r.reclaimCount = reclaim_count_;
     r.skipCount = skip_count_;
-    r.commFactor = sched_.commFactor();
-    r.avgBraidLength = sched_.avgBraidLength();
-    r.usageCurve = aqv_.usageCurve();
-    if (options_.recordTrace)
-        r.trace = recorder_.take();
+    r.commFactor = ctx_.sched.commFactor();
+    r.avgBraidLength = ctx_.sched.avgBraidLength();
+    r.usageCurve = ctx_.aqv.usageCurve();
+    if (ctx_.options.recordTrace)
+        r.trace = ctx_.recorder.take();
     return r;
 }
 

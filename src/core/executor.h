@@ -26,9 +26,14 @@
  * module with an explicit block has calls in its compute block, those
  * callees are forced to reclaim so the gate-level inverse is sound.
  *
- * Allocation discipline: the whole Invocation call tree lives until
- * run() returns, so records come from a monotonic arena (one bump per
- * call).  The per-call argument/ancilla temporaries are pooled in
+ * Allocation discipline: all per-compilation state lives in a borrowed
+ * CompileContext; the Executor itself holds only the program view and
+ * walk counters.  The whole Invocation call tree lives until run()
+ * returns, so records - including their child-pointer and ancilla
+ * arrays, whose exact sizes are known from the static analysis - come
+ * from the context's monotonic arena (records are trivially
+ * destructible; steady-state execution performs no heap allocation).
+ * The per-call argument/ancilla temporaries are pooled in the context's
  * depth-indexed scratch stacks - execution is a single call stack, so
  * at most one frame per depth is live and each depth's buffers can be
  * reused across the millions of calls of a large workload.
@@ -38,45 +43,77 @@
 #define SQUARE_CORE_EXECUTOR_H
 
 #include <deque>
+#include <span>
 #include <vector>
 
-#include "arch/layout.h"
-#include "common/arena.h"
-#include "core/allocator.h"
-#include "core/cer.h"
-#include "core/compiler.h"
-#include "core/heap.h"
+#include "common/logging.h"
+#include "core/context.h"
 #include "ir/analysis.h"
 
 namespace square {
 
-/** One compilation run; single-use. */
+/** One compilation run over a borrowed context; single-use. */
 class Executor
 {
   public:
-    Executor(const Program &prog, const Machine &machine,
-             const SquareConfig &cfg, const CompileOptions &options);
+    Executor(const Program &prog, CompileContext &ctx);
 
     /** Execute the program and collect the result. */
     CompileResult run();
 
   private:
-    /** Record of one completed forward invocation (arena-allocated). */
+    struct Invocation;
+
+    /**
+     * Fixed-capacity child-record list backed by arena storage; the
+     * capacity (call statements in the block) comes from the static
+     * analysis, so push() never grows.  The capacity check guards the
+     * arena against any drift between the analysis counts and the
+     * statements actually executed (including calls in explicit
+     * uncompute blocks, which are validated to be gate-only).
+     */
+    struct KidList
+    {
+        Invocation **data = nullptr;
+        uint32_t count = 0;
+        uint32_t cap = 0;
+
+        void
+        push(Invocation *p)
+        {
+            SQ_ASSERT(count < cap, "invocation child list overflow");
+            data[count++] = p;
+        }
+        Invocation *operator[](size_t i) const { return data[i]; }
+        Invocation **begin() const { return data; }
+        Invocation **end() const { return data + count; }
+        bool empty() const { return count == 0; }
+    };
+
+    /**
+     * Record of one completed forward invocation.  Trivially
+     * destructible by design: the anc/kid arrays are arena slices, so
+     * the arena never registers finalizers for records.
+     */
     struct Invocation
     {
         ModuleId mod = kNoModule;
-        std::vector<LogicalQubit> anc;
+        /** Arena-backed ancilla list (numAncilla of the module). */
+        LogicalQubit *anc = nullptr;
+        uint32_t numAnc = 0;
         bool reclaimed = false;
         bool ancLive = false;
         /** Children per block, in forward execution order. */
-        std::vector<Invocation *> computeKids;
-        std::vector<Invocation *> storeKids;
+        KidList computeKids;
+        KidList storeKids;
         /** Estimated gates to undo this invocation's compute block. */
         int64_t uncompCost = 0;
         /** Estimated gates to invert the whole invocation later. */
         int64_t invertCost = 0;
         /** Garbage qubits this invocation hands to its parent. */
         int garbage = 0;
+
+        std::span<LogicalQubit> ancillas() const { return {anc, numAnc}; }
     };
 
     using InvPtr = Invocation *;
@@ -84,26 +121,23 @@ class Executor
     /** Current virtual-register bindings for one executing frame. */
     struct Binding
     {
-        const std::vector<LogicalQubit> *params;
-        const std::vector<LogicalQubit> *anc;
+        std::span<const LogicalQubit> params;
+        std::span<const LogicalQubit> anc;
     };
 
     /** Resolve a virtual qubit ref against a frame's bindings. */
     LogicalQubit
     resolve(const Binding &b, const QubitRef &q) const
     {
-        return q.isParam() ? (*b.params)[static_cast<size_t>(q.index)]
-                           : (*b.anc)[static_cast<size_t>(q.index)];
+        return q.isParam() ? b.params[static_cast<size_t>(q.index)]
+                           : b.anc[static_cast<size_t>(q.index)];
     }
 
     /**
      * Cleared scratch buffer for @p depth.  Execution is a single call
      * stack, so one live buffer per depth suffices; the pools grow to
      * the program's maximum call depth and are then reused without
-     * further allocation.  The pools are deques because Bindings hold
-     * pointers to the inner vectors across recursive calls that may
-     * grow the pool: deque end-growth never invalidates references to
-     * existing elements.
+     * further allocation.
      */
     template <typename T>
     static std::vector<T> &
@@ -116,29 +150,38 @@ class Executor
         return v;
     }
 
+    /** Arena-backed child list sized for @p calls call statements. */
+    KidList
+    makeKids(int calls)
+    {
+        return KidList{ctx_.arena.makeArray<InvPtr>(
+                           static_cast<size_t>(calls)),
+                       0, static_cast<uint32_t>(calls)};
+    }
+
     /** Forward call: allocate, compute, store, Free decision. */
-    InvPtr execCall(ModuleId id, const std::vector<LogicalQubit> &args,
+    InvPtr execCall(ModuleId id, std::span<const LogicalQubit> args,
                     int depth, int64_t gates_to_parent_uncompute,
                     bool force_reclaim);
 
     /**
-     * Execute a block forward, recording call children into @p kids.
-     * @p inherited_gates is the enclosing frame's own
-     * gates-to-reclamation estimate, folded into each child's G_p
-     * (scaled by cfg.holdHorizon).
+     * Execute a block forward, recording call children into @p kids
+     * (preallocated to the block's call count).  @p inherited_gates is
+     * the enclosing frame's own gates-to-reclamation estimate, folded
+     * into each child's G_p (scaled by cfg.holdHorizon).
      */
     void runBlockForward(const std::vector<Stmt> &block, const Binding &b,
-                         std::vector<InvPtr> &kids, int depth,
+                         KidList &kids, int depth,
                          const std::vector<int64_t> &suffix,
                          bool force_kids, int64_t inherited_gates);
 
     /** Execute the inverse of a block, consuming @p kids in reverse. */
     void invertBlock(const std::vector<Stmt> &block, const Binding &b,
-                     std::vector<InvPtr> &kids, int depth);
+                     const KidList &kids, int depth);
 
     /** Undo a completed invocation per its record (see file header). */
     void invertInvocation(Invocation &rec,
-                          const std::vector<LogicalQubit> &args, int depth);
+                          std::span<const LogicalQubit> args, int depth);
 
     /** The Free decision for @p inv at @p depth. */
     bool shouldReclaim(const Invocation &inv, int depth,
@@ -146,42 +189,24 @@ class Executor
 
     /**
      * Allocate and AQV-track the ancillas of one invocation into
-     * @p out (replacing its contents).
+     * @p out, which must hold the module's numAncilla slots.
      */
     void allocAncillaTracked(ModuleId id,
-                             const std::vector<LogicalQubit> &args,
-                             std::vector<LogicalQubit> &out);
+                             std::span<const LogicalQubit> args,
+                             LogicalQubit *out);
 
     /** Free a set of ancillas to the heap, closing AQV segments. */
-    void freeAncilla(std::vector<LogicalQubit> &anc);
+    void freeAncilla(std::span<const LogicalQubit> anc);
 
     /** Apply one gate statement (possibly inverted). */
     void execGate(const Stmt &s, const Binding &b, bool inverse);
 
     /** Invocation ready time: max clock over its argument qubits. */
-    int64_t readyTime(const std::vector<LogicalQubit> &args) const;
+    int64_t readyTime(std::span<const LogicalQubit> args) const;
 
     const Program &prog_;
-    const Machine &machine_;
-    const SquareConfig &cfg_;
-    const CompileOptions &options_;
+    CompileContext &ctx_;
     ProgramAnalysis analysis_;
-    Layout layout_;
-    AncillaHeap heap_;
-    TeeTrace tee_;
-    VectorTrace recorder_;
-    GateScheduler sched_;
-    Allocator alloc_;
-    AqvTracker aqv_;
-
-    /** Backing store for every Invocation record of the run. */
-    Arena arena_;
-    /** Per-depth pools for call-argument temporaries. */
-    std::deque<std::vector<LogicalQubit>> args_scratch_;
-    /** Per-depth pools for recursive-recomputation ancilla lists. */
-    std::deque<std::vector<LogicalQubit>> replay_anc_scratch_;
-    /** Per-depth pools for recursive-recomputation child records. */
-    std::deque<std::vector<InvPtr>> replay_kids_scratch_;
 
     int64_t uncompute_ir_gates_ = 0;
     int uncompute_depth_ = 0; ///< >0 while executing uncompute/inverse

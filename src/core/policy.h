@@ -61,6 +61,21 @@ struct SquareConfig
     /** Candidate sites examined per class (heap / fresh) by LAA. */
     int candidateCap = 16;
 
+    /**
+     * Confine the LAA candidate sweep to the bounding box of the
+     * anchor sites, inflated by anchorBoxMargin in each direction.
+     * Far-flung candidates score poorly on the communication term
+     * anyway, so pruning them rarely changes decisions, but it stops
+     * the BFS from flooding (and burning its whole visit budget on)
+     * regions it will never pick from - the deeply-nested Belle
+     * workload's sweep cost drops by an order of magnitude.  Turn off
+     * to recover the unbounded sweep.
+     */
+    bool anchorBoxCutoff = true;
+
+    /** Sites the anchor bounding box is inflated by on each side. */
+    int anchorBoxMargin = 16;
+
     // -- CER cost-model toggles (Sec. IV-D; ablations) ----------------
     bool useLevelFactor = true;   ///< 2^l recomputation factor in C1
     bool useAreaExpansion = true; ///< sqrt((Na+Nn)/Na) factor in C0

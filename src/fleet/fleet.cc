@@ -1,0 +1,116 @@
+#include "fleet/fleet.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <exception>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace square {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+millisSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+}
+
+/** Nearest-rank percentile of a sorted sample (p in [0, 100]). */
+double
+percentile(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    size_t rank = static_cast<size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+    rank = std::min(std::max<size_t>(rank, 1), sorted.size());
+    return sorted[rank - 1];
+}
+
+void
+runOneJob(const FleetJob &job, FleetJobResult &out)
+{
+    out.label = job.label;
+    Clock::time_point t0 = Clock::now();
+    try {
+        Program prog = job.program();
+        Machine machine = job.machine();
+        out.result = compile(prog, machine, job.cfg, {});
+        out.issued = out.result.gates + out.result.swaps;
+    } catch (const std::exception &e) {
+        out.error = e.what();
+    }
+    out.millis = millisSince(t0);
+}
+
+} // namespace
+
+FleetCompiler::FleetCompiler(int workers)
+    : workers_(std::max(1, workers))
+{
+}
+
+FleetResult
+FleetCompiler::run(const std::vector<FleetJob> &jobs) const
+{
+    FleetResult fleet;
+    fleet.workers = workers_;
+    fleet.jobs.resize(jobs.size());
+
+    Clock::time_point t0 = Clock::now();
+    const int n_workers =
+        std::min<int>(workers_, static_cast<int>(jobs.size()));
+    if (n_workers <= 1) {
+        for (size_t i = 0; i < jobs.size(); ++i)
+            runOneJob(jobs[i], fleet.jobs[i]);
+    } else {
+        // Work-stealing by atomic cursor: results land at the job's
+        // submission index, so the output order (and every per-job
+        // result) is independent of scheduling.
+        std::atomic<size_t> next{0};
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<size_t>(n_workers));
+        for (int w = 0; w < n_workers; ++w) {
+            pool.emplace_back([&]() {
+                for (;;) {
+                    size_t i =
+                        next.fetch_add(1, std::memory_order_relaxed);
+                    if (i >= jobs.size())
+                        return;
+                    runOneJob(jobs[i], fleet.jobs[i]);
+                }
+            });
+        }
+        for (std::thread &t : pool)
+            t.join();
+    }
+    fleet.wallMillis = millisSince(t0);
+
+    std::vector<double> latencies;
+    latencies.reserve(fleet.jobs.size());
+    for (const FleetJobResult &j : fleet.jobs) {
+        if (!j.error.empty()) {
+            ++fleet.failures;
+            continue;
+        }
+        fleet.totalIssued += j.issued;
+        latencies.push_back(j.millis);
+    }
+    std::sort(latencies.begin(), latencies.end());
+    fleet.p50Millis = percentile(latencies, 50.0);
+    fleet.p99Millis = percentile(latencies, 99.0);
+    if (fleet.wallMillis > 0) {
+        fleet.fleetGatesPerSec = static_cast<double>(fleet.totalIssued) /
+                                 (fleet.wallMillis / 1000.0);
+    }
+    return fleet;
+}
+
+} // namespace square

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Batch compilation on a worker pool (the production-scale driver).
+ *
+ * A FleetCompiler runs a batch of heterogeneous compilation jobs
+ * (workload x machine x policy) across N worker threads, one
+ * compilation per thread at a time.  Compilations are embarrassingly
+ * parallel: each job builds its own Program and Machine and compiles
+ * inside its own CompileContext, so workers share no mutable state and
+ * every job's CompileResult is bit-identical to a serial run of the
+ * same job (tests/test_fleet.cc pins this).
+ *
+ * Job programs/machines are described by builder callables rather than
+ * values so the (non-copyable) Machine and the potentially large
+ * Program are constructed inside the worker that compiles them; a
+ * batch description is therefore cheap to copy and replicate.
+ */
+
+#ifndef SQUARE_FLEET_FLEET_H
+#define SQUARE_FLEET_FLEET_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "arch/machine.h"
+#include "core/compiler.h"
+#include "core/policy.h"
+
+namespace square {
+
+/** One compilation request: program x machine x policy. */
+struct FleetJob
+{
+    /** Display label, e.g. "SHA2/SQUARE". */
+    std::string label;
+    /** Builds the program to compile (run on the worker thread). */
+    std::function<Program()> program;
+    /** Builds the target machine (run on the worker thread). */
+    std::function<Machine()> machine;
+    /** Policy configuration for this job. */
+    SquareConfig cfg;
+};
+
+/** Outcome of one fleet job. */
+struct FleetJobResult
+{
+    std::string label;
+    /** Valid when error is empty. */
+    CompileResult result;
+    /** Non-empty when the compilation failed (fatal/panic message). */
+    std::string error;
+    /** Wall time of the compile call (build + compile), milliseconds. */
+    double millis = 0;
+    /** Issued instructions: gates + swaps. */
+    int64_t issued = 0;
+};
+
+/** Aggregate outcome of a batch. */
+struct FleetResult
+{
+    /** Per-job results, in submission order (independent of timing). */
+    std::vector<FleetJobResult> jobs;
+    int workers = 0;
+    /** Batch wall time, submission to last completion. */
+    double wallMillis = 0;
+    /** Total issued instructions over all successful jobs. */
+    int64_t totalIssued = 0;
+    /** Aggregate throughput: totalIssued / wall time. */
+    double fleetGatesPerSec = 0;
+    /** Per-job compile-latency percentiles (nearest-rank), ms. */
+    double p50Millis = 0;
+    double p99Millis = 0;
+    /** Jobs that failed (error non-empty). */
+    int failures = 0;
+};
+
+/**
+ * Thread-per-compilation batch compiler.  Stateless between run()
+ * calls; safe to reuse or to run from several threads.
+ */
+class FleetCompiler
+{
+  public:
+    /** @param workers worker threads (clamped to at least 1). */
+    explicit FleetCompiler(int workers);
+
+    /** Compile every job; blocks until the batch completes. */
+    FleetResult run(const std::vector<FleetJob> &jobs) const;
+
+    int workers() const { return workers_; }
+
+  private:
+    int workers_;
+};
+
+} // namespace square
+
+#endif // SQUARE_FLEET_FLEET_H

@@ -64,6 +64,7 @@ ProgramAnalysis::computeCounts(const Program &prog)
             if (s.isGate()) {
                 ++st.directGates;
             } else {
+                ++st.computeCalls;
                 lazy_anc += stats_[s.callee].lazyAncilla;
                 height = std::max(height, stats_[s.callee].height + 1);
             }
@@ -74,6 +75,7 @@ ProgramAnalysis::computeCounts(const Program &prog)
             if (s.isGate()) {
                 ++st.directGates;
             } else {
+                ++st.storeCalls;
                 lazy_anc += stats_[s.callee].lazyAncilla;
                 height = std::max(height, stats_[s.callee].height + 1);
             }

@@ -49,6 +49,12 @@ struct ModuleStats
      */
     int64_t lazyAncilla = 0;
 
+    /** Call statements directly in the compute block. */
+    int computeCalls = 0;
+
+    /** Call statements directly in the store block. */
+    int storeCalls = 0;
+
     /** Call-graph level: entry module is 0; max over call chains. */
     int level = 0;
 

@@ -70,4 +70,13 @@ makeBenchmark(const std::string &name)
     return findBenchmark(name).build();
 }
 
+Machine
+paperNisqMachine(const BenchmarkInfo &info)
+{
+    return info.nisqScale
+               ? Machine::nisqLattice(5, 5)
+               : Machine::nisqLattice(info.boundaryEdge,
+                                      info.boundaryEdge);
+}
+
 } // namespace square

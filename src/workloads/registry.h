@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "arch/machine.h"
 #include "ir/module.h"
 
 namespace square {
@@ -39,6 +40,12 @@ const BenchmarkInfo &findBenchmark(const std::string &name);
 
 /** Build a benchmark program by name (fatal on unknown name). */
 Program makeBenchmark(const std::string &name);
+
+/**
+ * The paper-scale NISQ machine for @p info: the 5x5 lattice for the
+ * Sec. V-C NISQ benchmarks, the boundaryEdge^2 lattice otherwise.
+ */
+Machine paperNisqMachine(const BenchmarkInfo &info);
 
 } // namespace square
 

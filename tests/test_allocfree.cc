@@ -4,17 +4,19 @@
  *
  * Steady-state compilation must not heap-allocate per gate: topology
  * iteration, routing, scheduling, and the LAA candidate sweep all run
- * on reused member buffers, and Invocation records come from a
- * monotonic arena.  The allocations that remain are per-invocation
- * (child-record vectors, arena chunk growth, AQV segments), so the
- * total count stays far below the issued-gate count.
+ * on reused member buffers, and Invocation records — including their
+ * child-record and ancilla arrays — are trivially-destructible arena
+ * slices.  What remains is one-time per-compilation setup (dominated
+ * by ProgramAnalysis building the interaction sets, ~86% of the count
+ * on SHA2, plus arena chunk growth and AQV event-vector doubling), so
+ * the total is bound by program structure, not by issued gates.
  *
  * For scale: the pre-refactor seed performed ~4.8 heap allocations per
- * issued gate on SHA2 (321k total); the current hot path performs
- * ~0.15 (9.8k).  The asserted bound of issued/4 sits between the two
- * with a wide margin on each side — any reintroduced per-gate
- * allocation (one vector per routed gate pushes the ratio above 1.0)
- * trips it immediately.
+ * issued gate on SHA2 (321k total); with the arena-backed executor and
+ * arena kid/ancilla lists the whole compile performs ~0.15 (9.7k).
+ * The asserted bound of issued/5 keeps margin for stdlib growth-policy
+ * differences while tripping immediately on any reintroduced per-gate
+ * allocation (one vector per routed gate pushes the ratio above 1.0).
  *
  * This file replaces the global operator new/delete to count, so it
  * must not be linked into any other test binary.
@@ -100,8 +102,8 @@ TEST(AllocationFreedom, CompileAllocationsDoNotScaleWithGates)
         auto [allocs, issued] = countCompile(workload);
         ASSERT_GT(issued, 0);
         // Per-gate allocation would push allocs past issued (ratio >= 1);
-        // the per-invocation remainder sits well under issued / 4.
-        EXPECT_LT(allocs, issued / 4)
+        // the per-compilation setup remainder sits under issued / 5.
+        EXPECT_LT(allocs, issued / 5)
             << allocs << " heap allocations for " << issued
             << " issued gates";
     }
