@@ -185,6 +185,30 @@ printRule(int width)
     std::putchar('\n');
 }
 
+/**
+ * Prominent warning when the host exposes a single core: parallel
+ * throughput numbers measured here are serialization baselines, not
+ * scaling results, and must not be compared against multi-core runs.
+ * The emitting benches also record "cpus" in their JSON so committed
+ * baselines stay interpretable.
+ */
+inline void
+warnIfSingleCore(unsigned cpus)
+{
+    if (cpus > 1)
+        return;
+    std::printf("\n");
+    printRule(72);
+    std::printf("*** WARNING: hardware_concurrency() == %u ***\n"
+                "*** Worker pools serialize on this host: the numbers "
+                "below are a\n*** 1-core baseline, NOT scaling results. "
+                "Rerun on a multi-core host\n*** before quoting speedups "
+                "(the JSON records \"cpus\" for this reason).\n",
+                cpus);
+    printRule(72);
+    std::printf("\n");
+}
+
 /** Print the standard bench header. */
 inline void
 printHeader(const std::string &title, const std::string &paper_ref)

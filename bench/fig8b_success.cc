@@ -3,6 +3,11 @@
  * Fig. 8b reproduction: worst-case analytical success rates of the
  * NISQ benchmarks under Lazy / Eager / SQUARE, plus the Table IV
  * device-parameter summary the model uses.
+ *
+ * Pass --square_json=PATH to emit a BENCH_fig8b_success.json row per
+ * benchmark (success rate per policy plus the winner) through the
+ * shared emitter, so the figure joins the diffable baseline
+ * trajectory.
  */
 
 #include <cmath>
@@ -15,8 +20,9 @@ using namespace square;
 using namespace square::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string json_path = extractJsonPath(argc, argv);
     printHeader("Worst-case analytical success rate", "Fig. 8b (and "
                 "Table IV parameters)");
 
@@ -30,6 +36,10 @@ main()
     std::printf("%-10s %10s %10s %10s   %s\n", "Benchmark", "LAZY",
                 "EAGER", "SQUARE", "best");
     printRule(64);
+
+    JsonReport report;
+    report.benchmark = "fig8b_success";
+    report.unit = "success_probability";
 
     double geo[3] = {1.0, 1.0, 1.0};
     int count = 0;
@@ -56,6 +66,11 @@ main()
         std::printf("%-10s %10.4f %10.4f %10.4f   %s\n",
                     info.name.c_str(), rate[0], rate[1], rate[2],
                     names[best]);
+        report.addRow({jsonStr("workload", info.name),
+                       jsonNum("lazy", rate[0], 4),
+                       jsonNum("eager", rate[1], 4),
+                       jsonNum("square", rate[2], 4),
+                       jsonStr("best", names[best])});
     }
     printRule(64);
     for (double &g : geo)
@@ -67,5 +82,16 @@ main()
                 geo[2] / geo[1], geo[2] / geo[0]);
     std::printf("(paper reports 1.47x vs Eager and 1.07x vs Lazy on "
                 "its instances)\n");
+
+    if (!json_path.empty()) {
+        report.header.push_back(jsonNum("geomean_lazy", geo[0], 4));
+        report.header.push_back(jsonNum("geomean_eager", geo[1], 4));
+        report.header.push_back(jsonNum("geomean_square", geo[2], 4));
+        report.header.push_back(
+            jsonNum("square_vs_eager", geo[2] / geo[1], 2));
+        report.header.push_back(
+            jsonNum("square_vs_lazy", geo[2] / geo[0], 2));
+        report.writeTo(json_path);
+    }
     return 0;
 }

@@ -32,13 +32,14 @@ using namespace square::bench;
 namespace {
 
 FleetJob
-makeJob(const std::string &workload, const SquareConfig &cfg)
+makeJob(const std::string &workload,
+        std::shared_ptr<const Program> program, const SquareConfig &cfg)
 {
     // Registry entries have static storage; the builder may hold &info.
     const BenchmarkInfo &info = findBenchmark(workload);
     FleetJob job;
     job.label = workload + "/" + cfg.name;
-    job.program = info.build;
+    job.program = std::move(program);
     job.machine = [&info] { return paperNisqMachine(info); };
     job.cfg = cfg;
     return job;
@@ -47,10 +48,13 @@ makeJob(const std::string &workload, const SquareConfig &cfg)
 std::vector<FleetJob>
 mixedBatch(int repeat)
 {
+    // One immutable Program per unique workload, shared by replicas.
     std::vector<FleetJob> jobs;
-    for (int r = 0; r < repeat; ++r) {
-        for (const char *name : {"SHA2", "SALSA20", "Belle"})
-            jobs.push_back(makeJob(name, SquareConfig::square()));
+    for (const char *name : {"SHA2", "SALSA20", "Belle"}) {
+        std::shared_ptr<const Program> prog =
+            shareProgram(makeBenchmark(name));
+        for (int r = 0; r < repeat; ++r)
+            jobs.push_back(makeJob(name, prog, SquareConfig::square()));
     }
     return jobs;
 }
@@ -87,6 +91,7 @@ main(int argc, char **argv)
     const unsigned cpus = std::thread::hardware_concurrency();
     printHeader("Fleet compile throughput, mixed batch",
                 "the production-scale batch scenario");
+    warnIfSingleCore(cpus);
     std::printf("batch: (SHA2 + SALSA20 + Belle) x SQUARE x %d = %d "
                 "jobs; host cpus: %u\n\n",
                 repeat, repeat * 3, cpus);

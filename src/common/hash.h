@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Stable content hashing (64-bit FNV-1a).
+ *
+ * The service layer's content-addressed cache keys (program
+ * fingerprints, machine specs, canonicalized policy configurations)
+ * must be stable across processes and runs: they identify *content*,
+ * never addresses.  Fnv1a feeds raw bytes in a defined order, so two
+ * structurally equal values always hash equal and the fingerprints can
+ * be persisted, compared across replicas, or logged.
+ */
+
+#ifndef SQUARE_COMMON_HASH_H
+#define SQUARE_COMMON_HASH_H
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+namespace square {
+
+/** Incremental 64-bit FNV-1a hasher. */
+class Fnv1a
+{
+  public:
+    void
+    byte(uint8_t b)
+    {
+        h_ ^= b;
+        h_ *= 1099511628211ull;
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            byte(static_cast<uint8_t>(v >> (8 * i)));
+    }
+
+    void i64(int64_t v) { u64(static_cast<uint64_t>(v)); }
+    void u32(uint32_t v) { u64(v); }
+    void i32(int32_t v) { u64(static_cast<uint64_t>(static_cast<int64_t>(v))); }
+    void boolean(bool v) { byte(v ? 1 : 0); }
+
+    /** Doubles hash by bit pattern (canonical for non-NaN values). */
+    void dbl(double v) { u64(std::bit_cast<uint64_t>(v)); }
+
+    /** Length-prefixed so "ab","c" and "a","bc" differ. */
+    void
+    str(std::string_view s)
+    {
+        u64(s.size());
+        for (char c : s)
+            byte(static_cast<uint8_t>(c));
+    }
+
+    uint64_t value() const { return h_; }
+
+  private:
+    uint64_t h_ = 1469598103934665603ull;
+};
+
+/** Mix two 64-bit hashes (for composing fingerprint tuples). */
+inline uint64_t
+hashCombine(uint64_t a, uint64_t b)
+{
+    Fnv1a h;
+    h.u64(a);
+    h.u64(b);
+    return h.value();
+}
+
+} // namespace square
+
+#endif // SQUARE_COMMON_HASH_H

@@ -25,6 +25,8 @@
 
 namespace square {
 
+class ProgramAnalysis;
+
 /** Optional knobs for one compilation. */
 struct CompileOptions
 {
@@ -36,6 +38,17 @@ struct CompileOptions
      * the integration tests to verify reclaimed qubits are |0>).
      */
     TraceSink *extraSink = nullptr;
+
+    /**
+     * Borrowed precomputed analysis of the program being compiled
+     * (must be the analysis of exactly that program; nullptr means
+     * "compute internally").  The fleet and service layers share one
+     * const ProgramAnalysis per unique program fingerprint across jobs
+     * (see ir/analysis_cache.h); the analysis is read-only during
+     * compilation, so any number of concurrent compilations may borrow
+     * the same instance.
+     */
+    const ProgramAnalysis *analysis = nullptr;
 };
 
 /** Everything measured during one compilation. */

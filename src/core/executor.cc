@@ -9,7 +9,13 @@
 namespace square {
 
 Executor::Executor(const Program &prog, CompileContext &ctx)
-    : prog_(prog), ctx_(ctx), analysis_(prog)
+    : prog_(prog), ctx_(ctx),
+      owned_analysis_(ctx.options.analysis
+                          ? std::optional<ProgramAnalysis>()
+                          : std::optional<ProgramAnalysis>(
+                                std::in_place, prog)),
+      analysis_(ctx.options.analysis ? *ctx.options.analysis
+                                     : *owned_analysis_)
 {
 }
 

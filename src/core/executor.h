@@ -43,6 +43,7 @@
 #define SQUARE_CORE_EXECUTOR_H
 
 #include <deque>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -206,7 +207,10 @@ class Executor
 
     const Program &prog_;
     CompileContext &ctx_;
-    ProgramAnalysis analysis_;
+    /** Engaged only when the context options carry no shared analysis. */
+    std::optional<ProgramAnalysis> owned_analysis_;
+    /** The analysis in use: borrowed from the options, or owned. */
+    const ProgramAnalysis &analysis_;
 
     int64_t uncompute_ir_gates_ = 0;
     int uncompute_depth_ = 0; ///< >0 while executing uncompute/inverse

@@ -6,8 +6,10 @@
 #include <cmath>
 #include <exception>
 #include <thread>
+#include <unordered_map>
 
 #include "common/logging.h"
+#include "common/stats.h"
 
 namespace square {
 
@@ -15,34 +17,19 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-double
-millisSince(Clock::time_point t0)
-{
-    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
-        .count();
-}
-
-/** Nearest-rank percentile of a sorted sample (p in [0, 100]). */
-double
-percentile(const std::vector<double> &sorted, double p)
-{
-    if (sorted.empty())
-        return 0.0;
-    size_t rank = static_cast<size_t>(
-        std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
-    rank = std::min(std::max<size_t>(rank, 1), sorted.size());
-    return sorted[rank - 1];
-}
-
 void
-runOneJob(const FleetJob &job, FleetJobResult &out)
+runOneJob(const FleetJob &job, FleetJobResult &out,
+          AnalysisCache &analysis, uint64_t fingerprint)
 {
     out.label = job.label;
     Clock::time_point t0 = Clock::now();
     try {
-        Program prog = job.program();
+        std::shared_ptr<const ProgramAnalysis> shared =
+            analysis.get(*job.program, fingerprint);
         Machine machine = job.machine();
-        out.result = compile(prog, machine, job.cfg, {});
+        CompileOptions options;
+        options.analysis = shared.get();
+        out.result = compile(*job.program, machine, job.cfg, options);
         out.issued = out.result.gates + out.result.swaps;
     } catch (const std::exception &e) {
         out.error = e.what();
@@ -58,18 +45,34 @@ FleetCompiler::FleetCompiler(int workers)
 }
 
 FleetResult
-FleetCompiler::run(const std::vector<FleetJob> &jobs) const
+FleetCompiler::run(const std::vector<FleetJob> &jobs,
+                   AnalysisCache *analysis) const
 {
     FleetResult fleet;
     fleet.workers = workers_;
     fleet.jobs.resize(jobs.size());
+
+    // Fingerprint each distinct Program once (replicas share pointers,
+    // so the common case is one hash per unique workload).
+    AnalysisCache local_cache;
+    AnalysisCache &cache = analysis ? *analysis : local_cache;
+    std::unordered_map<const Program *, uint64_t> fp_by_program;
+    std::vector<uint64_t> fingerprints(jobs.size(), 0);
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        const Program *p = jobs[i].program.get();
+        SQ_ASSERT(p != nullptr, "FleetJob with null program");
+        auto [it, inserted] = fp_by_program.try_emplace(p, 0);
+        if (inserted)
+            it->second = p->fingerprint();
+        fingerprints[i] = it->second;
+    }
 
     Clock::time_point t0 = Clock::now();
     const int n_workers =
         std::min<int>(workers_, static_cast<int>(jobs.size()));
     if (n_workers <= 1) {
         for (size_t i = 0; i < jobs.size(); ++i)
-            runOneJob(jobs[i], fleet.jobs[i]);
+            runOneJob(jobs[i], fleet.jobs[i], cache, fingerprints[i]);
     } else {
         // Work-stealing by atomic cursor: results land at the job's
         // submission index, so the output order (and every per-job
@@ -84,7 +87,8 @@ FleetCompiler::run(const std::vector<FleetJob> &jobs) const
                         next.fetch_add(1, std::memory_order_relaxed);
                     if (i >= jobs.size())
                         return;
-                    runOneJob(jobs[i], fleet.jobs[i]);
+                    runOneJob(jobs[i], fleet.jobs[i], cache,
+                              fingerprints[i]);
                 }
             });
         }
@@ -104,8 +108,8 @@ FleetCompiler::run(const std::vector<FleetJob> &jobs) const
         latencies.push_back(j.millis);
     }
     std::sort(latencies.begin(), latencies.end());
-    fleet.p50Millis = percentile(latencies, 50.0);
-    fleet.p99Millis = percentile(latencies, 99.0);
+    fleet.p50Millis = percentileNearestRank(latencies, 50.0);
+    fleet.p99Millis = percentileNearestRank(latencies, 99.0);
     if (fleet.wallMillis > 0) {
         fleet.fleetGatesPerSec = static_cast<double>(fleet.totalIssued) /
                                  (fleet.wallMillis / 1000.0);

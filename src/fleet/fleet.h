@@ -10,22 +10,29 @@
  * every job's CompileResult is bit-identical to a serial run of the
  * same job (tests/test_fleet.cc pins this).
  *
- * Job programs/machines are described by builder callables rather than
- * values so the (non-copyable) Machine and the potentially large
- * Program are constructed inside the worker that compiles them; a
- * batch description is therefore cheap to copy and replicate.
+ * Jobs reference one immutable Program by shared pointer — built once
+ * per unique workload and shared by every replica compiling it (the
+ * library never mutates a Program, so concurrent compilations may read
+ * the same instance).  Machines stay builder callables because Machine
+ * is non-copyable; each worker builds its own.  run() additionally
+ * shares one const ProgramAnalysis per unique program fingerprint
+ * across the batch (see ir/analysis_cache.h), so the dominant
+ * per-compilation setup cost is paid once per workload rather than
+ * once per job.
  */
 
 #ifndef SQUARE_FLEET_FLEET_H
 #define SQUARE_FLEET_FLEET_H
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "arch/machine.h"
 #include "core/compiler.h"
 #include "core/policy.h"
+#include "ir/analysis_cache.h"
 
 namespace square {
 
@@ -34,13 +41,23 @@ struct FleetJob
 {
     /** Display label, e.g. "SHA2/SQUARE". */
     std::string label;
-    /** Builds the program to compile (run on the worker thread). */
-    std::function<Program()> program;
+    /**
+     * The (immutable) program to compile, shared across every job and
+     * replica that compiles the same workload.
+     */
+    std::shared_ptr<const Program> program;
     /** Builds the target machine (run on the worker thread). */
     std::function<Machine()> machine;
     /** Policy configuration for this job. */
     SquareConfig cfg;
 };
+
+/** Share one immutable Program across the jobs that compile it. */
+inline std::shared_ptr<const Program>
+shareProgram(Program prog)
+{
+    return std::make_shared<const Program>(std::move(prog));
+}
 
 /** Outcome of one fleet job. */
 struct FleetJobResult
@@ -85,8 +102,16 @@ class FleetCompiler
     /** @param workers worker threads (clamped to at least 1). */
     explicit FleetCompiler(int workers);
 
-    /** Compile every job; blocks until the batch completes. */
-    FleetResult run(const std::vector<FleetJob> &jobs) const;
+    /**
+     * Compile every job; blocks until the batch completes.
+     *
+     * @param analysis shared ProgramAnalysis store; pass a caller-owned
+     * cache to amortize analyses across batches (the compile service
+     * does).  nullptr uses a batch-local cache — either way each unique
+     * program fingerprint in the batch is analyzed exactly once.
+     */
+    FleetResult run(const std::vector<FleetJob> &jobs,
+                    AnalysisCache *analysis = nullptr) const;
 
     int workers() const { return workers_; }
 

@@ -1,6 +1,7 @@
 #include "ir/analysis.h"
 
 #include <algorithm>
+#include <atomic>
 #include <functional>
 #include <set>
 
@@ -8,8 +9,19 @@
 
 namespace square {
 
+namespace {
+std::atomic<int64_t> construction_count{0};
+} // namespace
+
+int64_t
+ProgramAnalysis::constructionCount()
+{
+    return construction_count.load(std::memory_order_relaxed);
+}
+
 ProgramAnalysis::ProgramAnalysis(const Program &prog)
 {
+    construction_count.fetch_add(1, std::memory_order_relaxed);
     stats_.resize(prog.modules.size());
     computeTopoOrder(prog);
     computeCounts(prog);

@@ -90,11 +90,24 @@ struct ModuleStats
     std::vector<std::vector<int>> ancillaParams;
 };
 
-/** Whole-program static analysis (computed once per compile). */
+/**
+ * Whole-program static analysis: a pure function of the Program.
+ * Computed once per compilation by default; the service and fleet
+ * layers share one const instance per unique program fingerprint
+ * instead (see ir/analysis_cache.h), passed in via
+ * CompileOptions::analysis.
+ */
 class ProgramAnalysis
 {
   public:
     explicit ProgramAnalysis(const Program &prog);
+
+    /**
+     * Process-wide count of from-Program constructions (moves/copies
+     * excluded).  Lets tests assert the sharing contract: one analysis
+     * compute per unique program fingerprint across a batch.
+     */
+    static int64_t constructionCount();
 
     const ModuleStats &
     stats(ModuleId id) const

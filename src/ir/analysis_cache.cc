@@ -1,0 +1,49 @@
+#include "ir/analysis_cache.h"
+
+namespace square {
+
+std::shared_ptr<const ProgramAnalysis>
+AnalysisCache::get(const Program &prog, uint64_t fingerprint)
+{
+    std::packaged_task<std::shared_ptr<const ProgramAnalysis>()> task;
+    Future fut;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = entries_.find(fingerprint);
+        if (it == entries_.end()) {
+            // First requester: install the future under the lock, run
+            // the (potentially expensive) analysis outside it.  Later
+            // requesters — concurrent or not — block on the future.
+            task = std::packaged_task<
+                std::shared_ptr<const ProgramAnalysis>()>([&prog] {
+                return std::make_shared<const ProgramAnalysis>(prog);
+            });
+            fut = task.get_future().share();
+            entries_.emplace(fingerprint, fut);
+            ++computes_;
+            owner = true;
+        } else {
+            fut = it->second;
+        }
+    }
+    if (owner)
+        task();
+    return fut.get();
+}
+
+int64_t
+AnalysisCache::computeCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return computes_;
+}
+
+size_t
+AnalysisCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+}
+
+} // namespace square

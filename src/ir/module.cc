@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/hash.h"
+
 namespace square {
 
 ModuleId
@@ -12,6 +14,55 @@ Program::findModule(std::string_view name) const
             return static_cast<ModuleId>(i);
     }
     return kNoModule;
+}
+
+namespace {
+
+void
+hashStmt(Fnv1a &h, const Stmt &s)
+{
+    h.byte(static_cast<uint8_t>(s.kind));
+    if (s.isGate()) {
+        h.byte(static_cast<uint8_t>(s.gate));
+        for (const QubitRef &q : s.operands) {
+            h.byte(static_cast<uint8_t>(q.space));
+            h.i32(q.index);
+        }
+    } else {
+        h.i32(s.callee);
+        h.u64(s.args.size());
+        for (const QubitRef &q : s.args) {
+            h.byte(static_cast<uint8_t>(q.space));
+            h.i32(q.index);
+        }
+    }
+}
+
+void
+hashBlock(Fnv1a &h, const std::vector<Stmt> &block)
+{
+    h.u64(block.size());
+    for (const Stmt &s : block)
+        hashStmt(h, s);
+}
+
+} // namespace
+
+uint64_t
+Program::fingerprint() const
+{
+    Fnv1a h;
+    h.u64(modules.size());
+    for (const Module &m : modules) {
+        h.str(m.name);
+        h.i32(m.numParams);
+        h.i32(m.numAncilla);
+        hashBlock(h, m.compute);
+        hashBlock(h, m.store);
+        hashBlock(h, m.uncompute);
+    }
+    h.i32(entry);
+    return h.value();
 }
 
 std::vector<Stmt>

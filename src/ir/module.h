@@ -138,6 +138,17 @@ struct Program
 
     /** Number of primary (entry-parameter) qubits. */
     int numPrimary() const { return entryModule().numParams; }
+
+    /**
+     * Stable 64-bit content fingerprint of the whole program: every
+     * module (name, arities, all three blocks statement by statement)
+     * plus the entry id, hashed in a defined order with FNV-1a.  Two
+     * structurally equal programs fingerprint equal across processes
+     * and runs, so the fingerprint content-addresses compilation
+     * artifacts (shared ProgramAnalysis, cached CompileResults) in the
+     * service layer.
+     */
+    uint64_t fingerprint() const;
 };
 
 /**

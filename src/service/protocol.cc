@@ -1,0 +1,381 @@
+#include "service/protocol.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace square {
+
+namespace {
+
+void
+skipSpace(const std::string &s, size_t &pos)
+{
+    while (pos < s.size() &&
+           std::isspace(static_cast<unsigned char>(s[pos])))
+        ++pos;
+}
+
+/** Parse a JSON string literal starting at the opening quote. */
+bool
+parseString(const std::string &s, size_t &pos, std::string &out,
+            std::string &error)
+{
+    if (pos >= s.size() || s[pos] != '"') {
+        error = "expected '\"' at position " + std::to_string(pos);
+        return false;
+    }
+    ++pos;
+    out.clear();
+    while (pos < s.size() && s[pos] != '"') {
+        char c = s[pos];
+        if (c == '\\') {
+            ++pos;
+            if (pos >= s.size()) {
+                error = "dangling escape";
+                return false;
+            }
+            switch (s[pos]) {
+              case '"': c = '"'; break;
+              case '\\': c = '\\'; break;
+              case '/': c = '/'; break;
+              case 'n': c = '\n'; break;
+              case 't': c = '\t'; break;
+              case 'r': c = '\r'; break;
+              default:
+                error = std::string("unsupported escape '\\") + s[pos] +
+                        "'";
+                return false;
+            }
+        }
+        out.push_back(c);
+        ++pos;
+    }
+    if (pos >= s.size()) {
+        error = "unterminated string";
+        return false;
+    }
+    ++pos; // closing quote
+    return true;
+}
+
+/** Parse a number / true / false token. */
+bool
+parseScalar(const std::string &s, size_t &pos, std::string &out,
+            std::string &error)
+{
+    size_t start = pos;
+    while (pos < s.size()) {
+        char c = s[pos];
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            std::isalpha(static_cast<unsigned char>(c)) || c == '-' ||
+            c == '+' || c == '.') {
+            ++pos;
+        } else {
+            break;
+        }
+    }
+    if (pos == start) {
+        error = "expected a value at position " + std::to_string(pos);
+        return false;
+    }
+    out = s.substr(start, pos - start);
+    if (out != "true" && out != "false") {
+        char *end = nullptr;
+        std::strtod(out.c_str(), &end);
+        if (end == out.c_str() || *end != '\0') {
+            error = "malformed value '" + out + "'";
+            return false;
+        }
+    }
+    return true;
+}
+
+/** JSON-escape for output. */
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default: out.push_back(c);
+        }
+    }
+    return out;
+}
+
+bool
+parsePositiveInt(const std::string &text, int &out)
+{
+    char *end = nullptr;
+    long v = std::strtol(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || v <= 0 || v > 1000000)
+        return false;
+    out = static_cast<int>(v);
+    return true;
+}
+
+bool
+parseNumber(const std::string &text, double &out)
+{
+    char *end = nullptr;
+    out = std::strtod(text.c_str(), &end);
+    return end != text.c_str() && *end == '\0';
+}
+
+/**
+ * The id field rendered for replies ("id": N, or nothing).  The parsed
+ * token lost its original quoting, so re-derive it: numeric and
+ * boolean tokens echo raw, anything else is re-quoted and re-escaped
+ * (a string id must not be able to break — or inject fields into —
+ * the reply object).
+ */
+std::string
+idPrefix(const JsonRequest &json)
+{
+    if (!json.has("id"))
+        return "";
+    const std::string id = json.get("id");
+    double ignored = 0;
+    if (id == "true" || id == "false" || parseNumber(id, ignored))
+        return "\"id\": " + id + ", ";
+    return "\"id\": \"" + escape(id) + "\", ";
+}
+
+} // namespace
+
+bool
+parseJsonLine(const std::string &line, JsonRequest &out,
+              std::string &error)
+{
+    out.fields.clear();
+    size_t pos = 0;
+    skipSpace(line, pos);
+    if (pos >= line.size() || line[pos] != '{') {
+        error = "request must be a JSON object";
+        return false;
+    }
+    ++pos;
+    skipSpace(line, pos);
+    if (pos < line.size() && line[pos] == '}') {
+        ++pos;
+    } else {
+        for (;;) {
+            skipSpace(line, pos);
+            std::string key;
+            if (!parseString(line, pos, key, error))
+                return false;
+            skipSpace(line, pos);
+            if (pos >= line.size() || line[pos] != ':') {
+                error = "expected ':' after key \"" + key + "\"";
+                return false;
+            }
+            ++pos;
+            skipSpace(line, pos);
+            std::string value;
+            if (pos < line.size() && line[pos] == '"') {
+                if (!parseString(line, pos, value, error))
+                    return false;
+            } else if (pos < line.size() &&
+                       (line[pos] == '{' || line[pos] == '[')) {
+                error = "nested values are not part of the protocol "
+                        "(key \"" + key + "\")";
+                return false;
+            } else {
+                if (!parseScalar(line, pos, value, error))
+                    return false;
+            }
+            if (out.fields.count(key)) {
+                error = "duplicate key \"" + key + "\"";
+                return false;
+            }
+            out.fields[key] = value;
+            skipSpace(line, pos);
+            if (pos < line.size() && line[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            break;
+        }
+        if (pos >= line.size() || line[pos] != '}') {
+            error = "expected '}' or ','";
+            return false;
+        }
+        ++pos;
+    }
+    skipSpace(line, pos);
+    if (pos != line.size()) {
+        error = "trailing characters after object";
+        return false;
+    }
+    return true;
+}
+
+bool
+buildRequest(const JsonRequest &json, CompileRequest &out,
+             std::string &error)
+{
+    static const char *known[] = {
+        "id",          "workload",        "machine",
+        "policy",      "anchor_box_margin", "candidate_cap",
+        "comm_weight", "serialization_weight", "area_weight",
+        "hold_horizon"};
+    for (const auto &[key, value] : json.fields) {
+        bool ok = false;
+        for (const char *k : known)
+            ok = ok || key == k;
+        if (!ok) {
+            error = "unknown field \"" + key + "\"";
+            return false;
+        }
+    }
+    if (!json.has("workload")) {
+        error = "missing required field \"workload\"";
+        return false;
+    }
+    out = CompileRequest{};
+    out.workload = json.get("workload");
+    out.label = out.workload;
+
+    // Machine: explicit spec, or the paper machine for the workload.
+    if (json.has("machine")) {
+        if (!MachineSpec::parse(json.get("machine"), out.machine, error))
+            return false;
+    } else {
+        // Unknown workloads fail later, at resolve time, with a
+        // clearer message; default the machine only when we can.
+        for (const BenchmarkInfo &info : benchmarkRegistry()) {
+            if (info.name == out.workload) {
+                out.machine = MachineSpec::paperFor(info);
+                break;
+            }
+        }
+    }
+
+    const std::string policy = json.get("policy", "square");
+    if (policy == "square") {
+        out.cfg = SquareConfig::square();
+    } else if (policy == "eager") {
+        out.cfg = SquareConfig::eager();
+    } else if (policy == "lazy") {
+        out.cfg = SquareConfig::lazy();
+    } else if (policy == "laa") {
+        out.cfg = SquareConfig::squareLaaOnly();
+    } else if (policy.rfind("mr:", 0) == 0) {
+        int latency = 0;
+        if (!parsePositiveInt(policy.substr(3), latency)) {
+            error = "bad measure-reset latency in \"" + policy + "\"";
+            return false;
+        }
+        out.cfg = SquareConfig::measureReset(latency);
+    } else {
+        error = "unknown policy \"" + policy +
+                "\" (square|eager|lazy|laa|mr:<latency>)";
+        return false;
+    }
+    out.label += "/" + out.cfg.name;
+
+    // Optional config overrides.
+    if (json.has("anchor_box_margin")) {
+        if (!parsePositiveInt(json.get("anchor_box_margin"),
+                              out.cfg.anchorBoxMargin)) {
+            error = "bad anchor_box_margin";
+            return false;
+        }
+    }
+    if (json.has("candidate_cap")) {
+        if (!parsePositiveInt(json.get("candidate_cap"),
+                              out.cfg.candidateCap)) {
+            error = "bad candidate_cap";
+            return false;
+        }
+    }
+    struct NumField
+    {
+        const char *key;
+        double *dst;
+    } const numeric[] = {
+        {"comm_weight", &out.cfg.commWeight},
+        {"serialization_weight", &out.cfg.serializationWeight},
+        {"area_weight", &out.cfg.areaWeight},
+        {"hold_horizon", &out.cfg.holdHorizon},
+    };
+    for (const NumField &f : numeric) {
+        if (!json.has(f.key))
+            continue;
+        if (!parseNumber(json.get(f.key), *f.dst)) {
+            error = std::string("bad ") + f.key;
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string
+formatReply(const JsonRequest &json, const ServiceReply &reply)
+{
+    if (!reply.error.empty())
+        return formatError(json, reply.error);
+    const CompileResult &r = *reply.result;
+    char key_hex[64];
+    std::snprintf(key_hex, sizeof key_hex, "%016llx-%016llx-%016llx",
+                  static_cast<unsigned long long>(reply.key.program),
+                  static_cast<unsigned long long>(reply.key.machine),
+                  static_cast<unsigned long long>(reply.key.config));
+    // The label (and id) are client-supplied and unbounded: compose
+    // them as strings; only the bounded numeric tail uses snprintf.
+    char buf[384];
+    std::snprintf(
+        buf, sizeof buf,
+        "\"gates\": %lld, \"swaps\": %lld, \"depth\": %lld, "
+        "\"aqv\": %lld, \"qubits_used\": %d, \"peak_live\": %d, "
+        "\"reclaims\": %d, \"skips\": %d, \"millis\": %.3f, "
+        "\"key\": \"%s\"}",
+        static_cast<long long>(r.gates), static_cast<long long>(r.swaps),
+        static_cast<long long>(r.depth), static_cast<long long>(r.aqv),
+        r.qubitsUsed, r.peakLive, r.reclaimCount, r.skipCount,
+        reply.millis, key_hex);
+    return "{" + idPrefix(json) + "\"ok\": true, \"label\": \"" +
+           escape(reply.label) + "\", \"cache\": \"" +
+           (reply.hit ? "hit" : "miss") + "\", " + buf;
+}
+
+std::string
+formatStats(const ServiceStats &stats)
+{
+    double hit_rate =
+        stats.requests > 0
+            ? static_cast<double>(stats.hits) /
+                  static_cast<double>(stats.requests)
+            : 0.0;
+    char buf[512];
+    std::snprintf(
+        buf, sizeof buf,
+        "{\"ok\": true, \"requests\": %lld, \"hits\": %lld, "
+        "\"misses\": %lld, \"compiles\": %lld, \"failures\": %lld, "
+        "\"analysis_computes\": %lld, \"cached_results\": %zu, "
+        "\"cached_programs\": %zu, \"hit_rate\": %.4f}",
+        static_cast<long long>(stats.requests),
+        static_cast<long long>(stats.hits),
+        static_cast<long long>(stats.misses),
+        static_cast<long long>(stats.compiles),
+        static_cast<long long>(stats.failures),
+        static_cast<long long>(stats.analysisComputes),
+        stats.cachedResults, stats.cachedPrograms, hit_rate);
+    return buf;
+}
+
+std::string
+formatError(const JsonRequest &json, const std::string &error)
+{
+    return "{" + idPrefix(json) + "\"ok\": false, \"error\": \"" +
+           escape(error) + "\"}";
+}
+
+} // namespace square

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Newline-delimited JSON protocol for the square_serve binary.
+ *
+ * One request per input line, one JSON reply per output line; the
+ * transport is stdin/stdout so the server is scriptable with no
+ * network dependency (pipe a file of requests through it, or drive it
+ * interactively).  Blank lines and lines starting with '#' are
+ * skipped.
+ *
+ * Request object (flat; unknown fields are rejected):
+ *
+ *   {"workload": "SHA2"}                          minimal
+ *   {"id": 7,
+ *    "workload": "SHA2",                          registry name
+ *    "machine": "nisq:32x32",                     MachineSpec text
+ *                                                 (default: the paper
+ *                                                  machine for the
+ *                                                  workload)
+ *    "policy": "square",                          square | eager |
+ *                                                 lazy | laa | mr:<N>
+ *    "anchor_box_margin": 16,                     optional SquareConfig
+ *    "candidate_cap": 16,                          overrides
+ *    "comm_weight": 1.0,
+ *    "serialization_weight": 0.5,
+ *    "area_weight": 0.3,
+ *    "hold_horizon": 1.0}
+ *
+ *   {"cmd": "stats"}                              service counters
+ *
+ * Reply line for a compile request:
+ *
+ *   {"id": 7, "ok": true, "cache": "hit",
+ *    "gates": N, "swaps": N, "depth": N, "aqv": N, "qubits_used": N,
+ *    "peak_live": N, "reclaims": N, "skips": N, "millis": T,
+ *    "key": "<hex>"}
+ *
+ * and for stats:
+ *
+ *   {"ok": true, "requests": N, "hits": N, "misses": N,
+ *    "compiles": N, "failures": N, "analysis_computes": N,
+ *    "cached_results": N, "hit_rate": R}
+ *
+ * Errors reply {"id": ..., "ok": false, "error": "..."} and never kill
+ * the server.
+ */
+
+#ifndef SQUARE_SERVICE_PROTOCOL_H
+#define SQUARE_SERVICE_PROTOCOL_H
+
+#include <map>
+#include <string>
+
+#include "service/service.h"
+
+namespace square {
+
+/**
+ * A parsed flat JSON object: key -> raw value token (strings
+ * unescaped, numbers/booleans as their literal text).  The protocol
+ * never nests, so this is all square_serve needs.
+ */
+struct JsonRequest
+{
+    std::map<std::string, std::string> fields;
+
+    bool has(const std::string &key) const { return fields.count(key) > 0; }
+
+    std::string
+    get(const std::string &key, const std::string &fallback = "") const
+    {
+        auto it = fields.find(key);
+        return it == fields.end() ? fallback : it->second;
+    }
+};
+
+/**
+ * Parse one request line.  Accepts a flat JSON object with string,
+ * number, and boolean values; rejects nesting, arrays, and malformed
+ * input with a message in @p error.
+ */
+bool parseJsonLine(const std::string &line, JsonRequest &out,
+                   std::string &error);
+
+/**
+ * Turn a parsed request into a CompileRequest.  Returns false with a
+ * message when the request is malformed (unknown field, bad machine
+ * spec, bad policy, unknown workload names are caught later by the
+ * service).
+ */
+bool buildRequest(const JsonRequest &json, CompileRequest &out,
+                  std::string &error);
+
+/** Render one reply line (no trailing newline). */
+std::string formatReply(const JsonRequest &json, const ServiceReply &reply);
+
+/** Render the stats reply line (no trailing newline). */
+std::string formatStats(const ServiceStats &stats);
+
+/** Render an error reply line (no trailing newline). */
+std::string formatError(const JsonRequest &json, const std::string &error);
+
+} // namespace square
+
+#endif // SQUARE_SERVICE_PROTOCOL_H

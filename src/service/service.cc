@@ -1,0 +1,280 @@
+#include "service/service.h"
+
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace square {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+} // namespace
+
+CompileService::CompileService(int workers) : fleet_(workers) {}
+
+CompileService::Resolved
+CompileService::resolve(const CompileRequest &req)
+{
+    Resolved res;
+    try {
+        if (req.program) {
+            res.program = req.program;
+            res.programFp = req.program->fingerprint();
+        } else {
+            bool cached = false;
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                auto it = programs_.find(req.workload);
+                if (it != programs_.end()) {
+                    res.program = it->second.first;
+                    res.programFp = it->second.second;
+                    cached = true;
+                }
+            }
+            if (!cached) {
+                // Build outside the lock (program construction is the
+                // expensive part and must not serialize unrelated
+                // requests).  Two concurrent first requests may both
+                // build; the emplace loser adopts the winner's
+                // instance, so the cache still holds one program per
+                // name.
+                std::shared_ptr<const Program> prog =
+                    std::make_shared<const Program>(
+                        makeBenchmark(req.workload));
+                uint64_t fp = prog->fingerprint();
+                std::lock_guard<std::mutex> lock(mu_);
+                auto [it, inserted] = programs_.try_emplace(
+                    req.workload, std::make_pair(std::move(prog), fp));
+                res.program = it->second.first;
+                res.programFp = it->second.second;
+            }
+        }
+        res.key = makeCacheKey(res.programFp, req.machine, req.cfg);
+    } catch (const std::exception &e) {
+        res.error = e.what();
+    }
+    return res;
+}
+
+void
+CompileService::uncache(const CacheKey &key,
+                        const std::shared_ptr<Entry> &entry)
+{
+    // Drop a failed entry so the key can retry: failures may be
+    // environmental (e.g. resource exhaustion), so replaying a stored
+    // error forever would poison the key for the process lifetime.
+    // Waiters already attached to the entry still observe its error.
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end() && it->second == entry)
+        cache_.erase(it);
+}
+
+void
+CompileService::publish(Entry &entry,
+                        std::shared_ptr<const CompileResult> result,
+                        std::string error)
+{
+    {
+        std::lock_guard<std::mutex> lock(entry.m);
+        entry.result = std::move(result);
+        entry.error = std::move(error);
+        entry.ready = true;
+    }
+    entry.cv.notify_all();
+}
+
+void
+CompileService::fillFromEntry(Entry &entry, ServiceReply &reply)
+{
+    std::unique_lock<std::mutex> lock(entry.m);
+    entry.cv.wait(lock, [&entry] { return entry.ready; });
+    reply.result = entry.result;
+    reply.error = entry.error;
+}
+
+void
+CompileService::compileAndPublish(const CompileRequest &req,
+                                  const Resolved &res, Entry &entry)
+{
+    std::shared_ptr<const CompileResult> result;
+    std::string error;
+    try {
+        std::shared_ptr<const ProgramAnalysis> analysis =
+            analysis_.get(*res.program, res.programFp);
+        Machine machine = req.machine.build();
+        CompileOptions options;
+        options.analysis = analysis.get();
+        result = std::make_shared<const CompileResult>(
+            compile(*res.program, machine, req.cfg, options));
+    } catch (const std::exception &e) {
+        error = e.what();
+    }
+    publish(entry, std::move(result), std::move(error));
+}
+
+ServiceReply
+CompileService::submit(const CompileRequest &req)
+{
+    Clock::time_point t0 = Clock::now();
+    ServiceReply reply;
+    reply.label = req.label;
+
+    Resolved res = resolve(req);
+    if (!res.error.empty()) {
+        reply.error = res.error;
+        reply.millis = millisSince(t0);
+        std::lock_guard<std::mutex> lock(mu_);
+        ++requests_;
+        ++failures_;
+        return reply;
+    }
+    reply.key = res.key;
+
+    std::shared_ptr<Entry> entry;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++requests_;
+        auto [it, inserted] =
+            cache_.try_emplace(res.key, nullptr);
+        if (inserted) {
+            it->second = std::make_shared<Entry>();
+            owner = true;
+            ++misses_;
+        } else {
+            ++hits_;
+        }
+        entry = it->second;
+    }
+
+    if (owner)
+        compileAndPublish(req, res, *entry);
+    else
+        reply.hit = true;
+    fillFromEntry(*entry, reply);
+    if (!reply.error.empty()) {
+        if (owner)
+            uncache(res.key, entry);
+        std::lock_guard<std::mutex> lock(mu_);
+        ++failures_;
+    }
+    reply.millis = millisSince(t0);
+    return reply;
+}
+
+std::vector<ServiceReply>
+CompileService::submitBatch(const std::vector<CompileRequest> &reqs)
+{
+    std::vector<ServiceReply> replies(reqs.size());
+
+    // Phase 1: resolve every request and claim ownership of the keys
+    // this batch sees first.  Duplicates inside the batch (and keys
+    // already cached or in flight) become hits.
+    struct Claim
+    {
+        size_t reqIndex;
+        Resolved res;
+        std::shared_ptr<Entry> entry;
+    };
+    std::vector<Claim> owned;
+    std::vector<std::shared_ptr<Entry>> entries(reqs.size());
+    std::vector<bool> is_owner(reqs.size(), false);
+    for (size_t i = 0; i < reqs.size(); ++i) {
+        ServiceReply &reply = replies[i];
+        reply.label = reqs[i].label;
+        Resolved res = resolve(reqs[i]);
+        if (!res.error.empty()) {
+            reply.error = res.error;
+            std::lock_guard<std::mutex> lock(mu_);
+            ++requests_;
+            ++failures_;
+            continue;
+        }
+        reply.key = res.key;
+        std::lock_guard<std::mutex> lock(mu_);
+        ++requests_;
+        auto [it, inserted] = cache_.try_emplace(res.key, nullptr);
+        if (inserted) {
+            it->second = std::make_shared<Entry>();
+            ++misses_;
+            is_owner[i] = true;
+            owned.push_back(Claim{i, std::move(res), it->second});
+        } else {
+            ++hits_;
+            replies[i].hit = true;
+        }
+        entries[i] = it->second;
+    }
+
+    // Phase 2: dispatch the unique misses onto the fleet worker pool,
+    // sharing the service's analysis cache across the batch.
+    if (!owned.empty()) {
+        std::vector<FleetJob> jobs;
+        jobs.reserve(owned.size());
+        for (const Claim &c : owned) {
+            const CompileRequest &req = reqs[c.reqIndex];
+            FleetJob job;
+            job.label = req.label;
+            job.program = c.res.program;
+            MachineSpec spec = req.machine;
+            job.machine = [spec] { return spec.build(); };
+            job.cfg = req.cfg;
+            jobs.push_back(std::move(job));
+        }
+        FleetResult fleet = fleet_.run(jobs, &analysis_);
+        for (size_t k = 0; k < owned.size(); ++k) {
+            FleetJobResult &jr = fleet.jobs[k];
+            std::shared_ptr<const CompileResult> result;
+            if (jr.error.empty())
+                result = std::make_shared<const CompileResult>(
+                    std::move(jr.result));
+            else
+                uncache(owned[k].res.key, owned[k].entry);
+            publish(*owned[k].entry, std::move(result), jr.error);
+            // The miss's service time is its compile time on the pool.
+            replies[owned[k].reqIndex].millis = jr.millis;
+        }
+    }
+
+    // Phase 3: collect every reply (hits may wait on another thread's
+    // in-flight compile; the batch's own misses are ready).
+    for (size_t i = 0; i < reqs.size(); ++i) {
+        if (!entries[i])
+            continue; // resolve error, reply already filled
+        Clock::time_point t0 = Clock::now();
+        fillFromEntry(*entries[i], replies[i]);
+        if (!is_owner[i])
+            replies[i].millis = millisSince(t0);
+        if (!replies[i].error.empty()) {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++failures_;
+        }
+    }
+    return replies;
+}
+
+ServiceStats
+CompileService::stats() const
+{
+    ServiceStats s;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        s.requests = requests_;
+        s.hits = hits_;
+        s.misses = misses_;
+        s.failures = failures_;
+        s.cachedResults = cache_.size();
+        s.cachedPrograms = programs_.size();
+    }
+    s.compiles = s.misses;
+    s.analysisComputes = analysis_.computeCount();
+    return s;
+}
+
+} // namespace square

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Compile-as-a-service: content-addressed result caching over the
+ * fleet compiler.
+ *
+ * SQUARE's production shape is many clients compiling the *same*
+ * modular programs under many policy/machine configurations.  Because
+ * a compilation is a pure function of (Program, Machine, SquareConfig)
+ * — the re-entrancy contract of core/context.h — its result can be
+ * served by content address instead of recomputed:
+ *
+ *   CacheKey = Program::fingerprint()
+ *            x MachineSpec::fingerprint()
+ *            x configFingerprint()   (canonicalized; see cache_key.h)
+ *
+ * Request lifecycle:
+ *
+ *   1. resolve the program: an explicit shared Program, or a registry
+ *      workload name (programs built from names are themselves cached
+ *      by name, so replicas share one immutable instance);
+ *   2. compute the cache key;
+ *   3. hit        -> return the shared const CompileResult, no work;
+ *      in flight  -> block until the owning request publishes, then
+ *                    share its result (concurrent duplicates compile
+ *                    exactly once);
+ *      miss       -> compile and publish.  submit() compiles on the
+ *                    caller's thread; submitBatch() collects the
+ *                    batch's unique misses and dispatches them onto
+ *                    the FleetCompiler worker pool.
+ *
+ * Compilations triggered by misses share one const ProgramAnalysis per
+ * unique program fingerprint through the service's AnalysisCache,
+ * which persists across requests and batches.
+ *
+ * Results are shared immutable artifacts (shared_ptr<const
+ * CompileResult>): hits are pointer-equal to the first computation,
+ * which tests exploit to prove no recompilation happened.  The cache
+ * is unbounded for now — eviction, sharding, and network transport
+ * layer on top of this subsystem (see ROADMAP.md).
+ */
+
+#ifndef SQUARE_SERVICE_SERVICE_H
+#define SQUARE_SERVICE_SERVICE_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/compiler.h"
+#include "core/policy.h"
+#include "fleet/fleet.h"
+#include "ir/analysis_cache.h"
+#include "service/cache_key.h"
+#include "service/machine_spec.h"
+
+namespace square {
+
+/** One service request: program (by value or name) x machine x config. */
+struct CompileRequest
+{
+    /** Echoed in replies/logs; not part of the cache key. */
+    std::string label;
+
+    /**
+     * The program to compile.  When null, @p workload names a registry
+     * benchmark; the service builds it once and shares it across every
+     * request for that name.
+     */
+    std::shared_ptr<const Program> program;
+
+    /** Registry benchmark name (used when program is null). */
+    std::string workload;
+
+    /** Compilation target. */
+    MachineSpec machine;
+
+    /** Policy configuration. */
+    SquareConfig cfg;
+};
+
+/** Outcome of one service request. */
+struct ServiceReply
+{
+    std::string label;
+    /** Shared immutable result; null when error is non-empty. */
+    std::shared_ptr<const CompileResult> result;
+    /** True when served from cache (including in-flight duplicates). */
+    bool hit = false;
+    /** Non-empty when the compilation (or request) failed. */
+    std::string error;
+    /** Request service time (cache lookup or compile), milliseconds. */
+    double millis = 0;
+    /** The content address this request resolved to. */
+    CacheKey key;
+};
+
+/** Monotonic service counters. */
+struct ServiceStats
+{
+    int64_t requests = 0;
+    int64_t hits = 0;     ///< served from cache or an in-flight compile
+    int64_t misses = 0;   ///< required a compilation
+    int64_t compiles = 0; ///< compilations actually run (== misses)
+    int64_t failures = 0; ///< requests that returned an error
+    int64_t analysisComputes = 0; ///< unique program analyses built
+    size_t cachedResults = 0;     ///< resident cache entries
+    size_t cachedPrograms = 0;    ///< resident workload programs
+};
+
+/**
+ * The batching, deduplicating compile server.  Thread-safe: submit()
+ * may be called from any number of threads concurrently (the
+ * square_serve binary and the TSan-covered tests do).
+ */
+class CompileService
+{
+  public:
+    /** @param workers fleet worker threads for submitBatch misses. */
+    explicit CompileService(int workers);
+
+    /**
+     * Serve one request.  Misses compile on the calling thread;
+     * concurrent duplicates of an in-flight key block and share the
+     * one result.
+     */
+    ServiceReply submit(const CompileRequest &req);
+
+    /**
+     * Serve a batch: replies in request order.  The batch's unique
+     * misses run on the fleet worker pool; duplicates inside the batch
+     * (and keys already cached) are hits.
+     */
+    std::vector<ServiceReply> submitBatch(
+        const std::vector<CompileRequest> &reqs);
+
+    ServiceStats stats() const;
+
+    int workers() const { return fleet_.workers(); }
+
+  private:
+    /** One cache slot; published exactly once under its own monitor. */
+    struct Entry
+    {
+        std::mutex m;
+        std::condition_variable cv;
+        bool ready = false;
+        std::shared_ptr<const CompileResult> result;
+        std::string error;
+    };
+
+    /** A request resolved to its key and shared program. */
+    struct Resolved
+    {
+        std::shared_ptr<const Program> program;
+        uint64_t programFp = 0;
+        CacheKey key;
+        std::string error;
+    };
+
+    /** Resolve program + key (building/caching by name as needed). */
+    Resolved resolve(const CompileRequest &req);
+
+    /** Wait for @p entry and turn it into a reply (counted a hit). */
+    static void fillFromEntry(Entry &entry, ServiceReply &reply);
+
+    /** Compile one miss on the calling thread and publish it. */
+    void compileAndPublish(const CompileRequest &req,
+                           const Resolved &res, Entry &entry);
+
+    /** Publish a finished result (or error) and wake waiters. */
+    static void publish(Entry &entry,
+                        std::shared_ptr<const CompileResult> result,
+                        std::string error);
+
+    /**
+     * Drop a failed entry (if @p key still maps to it) so later
+     * requests for the key retry instead of replaying the error.
+     */
+    void uncache(const CacheKey &key,
+                 const std::shared_ptr<Entry> &entry);
+
+    FleetCompiler fleet_;
+    AnalysisCache analysis_;
+
+    mutable std::mutex mu_;
+    std::unordered_map<CacheKey, std::shared_ptr<Entry>, CacheKeyHash>
+        cache_;
+    /** name -> (program, fingerprint); programs built once per name. */
+    std::unordered_map<std::string,
+                       std::pair<std::shared_ptr<const Program>, uint64_t>>
+        programs_;
+    int64_t requests_ = 0;
+    int64_t hits_ = 0;
+    int64_t misses_ = 0;
+    int64_t failures_ = 0;
+};
+
+} // namespace square
+
+#endif // SQUARE_SERVICE_SERVICE_H

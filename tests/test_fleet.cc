@@ -14,15 +14,28 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <string>
 
 #include "core/compiler.h"
 #include "core/policy.h"
 #include "fleet/fleet.h"
+#include "ir/analysis.h"
 #include "workloads/registry.h"
 
 namespace square {
 namespace {
+
+/** One shared immutable Program per unique workload name. */
+std::shared_ptr<const Program>
+sharedWorkload(const std::string &workload)
+{
+    static std::map<std::string, std::shared_ptr<const Program>> cache;
+    auto [it, inserted] = cache.try_emplace(workload, nullptr);
+    if (inserted)
+        it->second = shareProgram(makeBenchmark(workload));
+    return it->second;
+}
 
 FleetJob
 registryJob(const std::string &workload, const SquareConfig &cfg)
@@ -31,7 +44,7 @@ registryJob(const std::string &workload, const SquareConfig &cfg)
     const BenchmarkInfo &info = findBenchmark(workload);
     FleetJob job;
     job.label = workload + "/" + cfg.name;
-    job.program = info.build;
+    job.program = sharedWorkload(workload);
     job.machine = [&info] { return paperNisqMachine(info); };
     job.cfg = cfg;
     return job;
@@ -104,15 +117,72 @@ TEST(Fleet, ParallelMatchesDirectCompile)
     ASSERT_EQ(fleet.jobs.size(), 2u);
     for (size_t i = 0; i < jobs.size(); ++i) {
         SCOPED_TRACE(jobs[i].label);
-        Program prog = jobs[i].program();
         Machine m = jobs[i].machine();
-        CompileResult direct = compile(prog, m, jobs[i].cfg, {});
+        CompileResult direct = compile(*jobs[i].program, m, jobs[i].cfg, {});
         EXPECT_EQ(fleet.jobs[i].result.gates, direct.gates);
         EXPECT_EQ(fleet.jobs[i].result.swaps, direct.swaps);
         EXPECT_EQ(fleet.jobs[i].result.depth, direct.depth);
         EXPECT_EQ(fleet.jobs[i].result.aqv, direct.aqv);
         EXPECT_EQ(fleet.jobs[i].result.qubitsUsed, direct.qubitsUsed);
     }
+}
+
+TEST(Fleet, SharedProgramMatchesRebuildPathBitIdentically)
+{
+    // Sharing one immutable Program (and one ProgramAnalysis) across
+    // replicas must change nothing observable: every job's result is
+    // bit-identical to rebuilding the program from scratch and running
+    // a plain compile() with an internally computed analysis.
+    std::vector<FleetJob> jobs;
+    for (int r = 0; r < 3; ++r) {
+        jobs.push_back(registryJob("SALSA20", SquareConfig::square()));
+        jobs.push_back(registryJob("ADDER32", SquareConfig::eager()));
+    }
+    FleetResult shared = FleetCompiler(4).run(jobs);
+    ASSERT_EQ(shared.jobs.size(), jobs.size());
+    EXPECT_EQ(shared.failures, 0);
+
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        SCOPED_TRACE(jobs[i].label + " (job " + std::to_string(i) + ")");
+        const std::string workload =
+            jobs[i].label.substr(0, jobs[i].label.find('/'));
+        Program rebuilt = makeBenchmark(workload);
+        Machine m = jobs[i].machine();
+        FleetJobResult direct;
+        direct.label = jobs[i].label;
+        direct.result = compile(rebuilt, m, jobs[i].cfg, {});
+        direct.issued = direct.result.gates + direct.result.swaps;
+        expectIdentical(shared.jobs[i], direct);
+    }
+}
+
+TEST(Fleet, AnalysisComputedOncePerUniqueProgram)
+{
+    // 4 replicas x 3 policies per workload, 2 unique workloads: the
+    // batch must analyze each unique program fingerprint exactly once.
+    std::vector<FleetJob> jobs;
+    for (int r = 0; r < 4; ++r) {
+        for (const char *name : {"SALSA20", "Belle-s"}) {
+            jobs.push_back(registryJob(name, SquareConfig::square()));
+            jobs.push_back(registryJob(name, SquareConfig::eager()));
+            jobs.push_back(registryJob(name, SquareConfig::lazy()));
+        }
+    }
+    int64_t before = ProgramAnalysis::constructionCount();
+    FleetResult r = FleetCompiler(8).run(jobs);
+    int64_t after = ProgramAnalysis::constructionCount();
+    EXPECT_EQ(r.failures, 0);
+    EXPECT_EQ(after - before, 2);
+
+    // An external cache carries the artifacts across batches: a second
+    // batch of the same workloads recomputes nothing.
+    AnalysisCache cache;
+    FleetCompiler(4).run(jobs, &cache);
+    EXPECT_EQ(cache.computeCount(), 2);
+    int64_t third = ProgramAnalysis::constructionCount();
+    FleetCompiler(4).run(jobs, &cache);
+    EXPECT_EQ(cache.computeCount(), 2);
+    EXPECT_EQ(ProgramAnalysis::constructionCount(), third);
 }
 
 TEST(Fleet, FailedJobsAreReportedNotFatal)

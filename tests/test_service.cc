@@ -1,0 +1,448 @@
+/**
+ * @file
+ * Compile-service correctness: the content-addressed cache must be
+ * sound (hits bit-identical to fresh compilations, keys distinct
+ * whenever any semantic config field differs, canonicalization
+ * deduping display-only differences) and concurrent duplicate
+ * requests must compile exactly once (this binary runs under the CI
+ * ThreadSanitizer job).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/compiler.h"
+#include "ir/analysis.h"
+#include "service/cache_key.h"
+#include "service/protocol.h"
+#include "service/service.h"
+#include "workloads/registry.h"
+
+namespace square {
+namespace {
+
+CompileRequest
+namedRequest(const std::string &workload, const SquareConfig &cfg)
+{
+    CompileRequest req;
+    req.label = workload + "/" + cfg.name;
+    req.workload = workload;
+    req.machine = MachineSpec::paperFor(findBenchmark(workload));
+    req.cfg = cfg;
+    return req;
+}
+
+// -------------------------------------------------------------------
+// Program fingerprints
+// -------------------------------------------------------------------
+
+TEST(Fingerprint, StableAcrossRebuilds)
+{
+    Program a = makeBenchmark("ADDER4");
+    Program b = makeBenchmark("ADDER4");
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(Fingerprint, SensitiveToContent)
+{
+    Program base = makeBenchmark("ADDER4");
+    const uint64_t fp = base.fingerprint();
+
+    // Different workloads differ.
+    EXPECT_NE(fp, makeBenchmark("RD53").fingerprint());
+
+    // A one-gate change anywhere changes the fingerprint.
+    Program mutated = makeBenchmark("ADDER4");
+    bool flipped = false;
+    for (Module &m : mutated.modules) {
+        for (Stmt &s : m.compute) {
+            if (s.isGate()) {
+                s.gate = s.gate == GateKind::X ? GateKind::Z
+                                               : GateKind::X;
+                flipped = true;
+                break;
+            }
+        }
+        if (flipped)
+            break;
+    }
+    ASSERT_TRUE(flipped);
+    EXPECT_NE(fp, mutated.fingerprint());
+
+    // So does a pure arity change.
+    Program widened = makeBenchmark("ADDER4");
+    widened.modules[0].numAncilla += 1;
+    EXPECT_NE(fp, widened.fingerprint());
+}
+
+// -------------------------------------------------------------------
+// Cache-key canonicalization
+// -------------------------------------------------------------------
+
+TEST(CacheKey, SemanticFieldsProduceDistinctKeys)
+{
+    const uint64_t fp = makeBenchmark("ADDER4").fingerprint();
+    const MachineSpec machine = MachineSpec::nisqLattice(5, 5);
+    const CacheKey base =
+        makeCacheKey(fp, machine, SquareConfig::square());
+
+    // Policy changes the key.
+    EXPECT_FALSE(base ==
+                 makeCacheKey(fp, machine, SquareConfig::eager()));
+    EXPECT_FALSE(base ==
+                 makeCacheKey(fp, machine, SquareConfig::lazy()));
+
+    // Anchor-box margin changes the key.
+    SquareConfig margin = SquareConfig::square();
+    margin.anchorBoxMargin = 8;
+    EXPECT_FALSE(base == makeCacheKey(fp, machine, margin));
+
+    // LAA scoring thresholds change the key.
+    SquareConfig weights = SquareConfig::square();
+    weights.serializationWeight = 0.75;
+    EXPECT_FALSE(base == makeCacheKey(fp, machine, weights));
+    SquareConfig cap = SquareConfig::square();
+    cap.candidateCap = 8;
+    EXPECT_FALSE(base == makeCacheKey(fp, machine, cap));
+
+    // CER cost-model toggles change the key.
+    SquareConfig horizon = SquareConfig::square();
+    horizon.holdHorizon = 0.0;
+    EXPECT_FALSE(base == makeCacheKey(fp, machine, horizon));
+
+    // The machine changes the key; the program changes the key.
+    EXPECT_FALSE(base == makeCacheKey(fp, MachineSpec::nisqLattice(6, 6),
+                                      SquareConfig::square()));
+    EXPECT_FALSE(base ==
+                 makeCacheKey(makeBenchmark("RD53").fingerprint(),
+                              machine, SquareConfig::square()));
+}
+
+TEST(CacheKey, CanonicalizationIgnoresInertFields)
+{
+    const uint64_t fp = makeBenchmark("ADDER4").fingerprint();
+    const MachineSpec machine = MachineSpec::nisqLattice(5, 5);
+    const CacheKey base =
+        makeCacheKey(fp, machine, SquareConfig::square());
+
+    // The display name is not semantic.
+    SquareConfig renamed = SquareConfig::square();
+    renamed.name = "SQUARE(prod)";
+    EXPECT_TRUE(base == makeCacheKey(fp, machine, renamed));
+
+    // resetLatency only matters under MeasureReset.
+    SquareConfig latency = SquareConfig::square();
+    latency.resetLatency = 1;
+    EXPECT_TRUE(base == makeCacheKey(fp, machine, latency));
+    EXPECT_FALSE(makeCacheKey(fp, machine,
+                              SquareConfig::measureReset(1)) ==
+                 makeCacheKey(fp, machine,
+                              SquareConfig::measureReset(2)));
+
+    // LAA knobs only matter under locality-aware allocation (eager
+    // uses the LIFO allocator).
+    SquareConfig eager_a = SquareConfig::eager();
+    SquareConfig eager_b = SquareConfig::eager();
+    eager_b.anchorBoxMargin = 4;
+    eager_b.commWeight = 9.0;
+    EXPECT_TRUE(makeCacheKey(fp, machine, eager_a) ==
+                makeCacheKey(fp, machine, eager_b));
+
+    // CER toggles only matter under CER reclamation.
+    SquareConfig laa_a = SquareConfig::squareLaaOnly();
+    SquareConfig laa_b = SquareConfig::squareLaaOnly();
+    laa_b.holdHorizon = 0.25;
+    laa_b.usePressure = false;
+    EXPECT_TRUE(makeCacheKey(fp, machine, laa_a) ==
+                makeCacheKey(fp, machine, laa_b));
+}
+
+// -------------------------------------------------------------------
+// Service cache behaviour
+// -------------------------------------------------------------------
+
+TEST(Service, RepeatedRequestSharesOneResult)
+{
+    CompileService service(2);
+    CompileRequest req =
+        namedRequest("ADDER4", SquareConfig::square());
+
+    ServiceReply first = service.submit(req);
+    ASSERT_TRUE(first.error.empty());
+    EXPECT_FALSE(first.hit);
+
+    ServiceReply second = service.submit(req);
+    ASSERT_TRUE(second.error.empty());
+    EXPECT_TRUE(second.hit);
+
+    // Pointer equality: the hit *is* the first computation's artifact.
+    EXPECT_EQ(first.result.get(), second.result.get());
+
+    ServiceStats s = service.stats();
+    EXPECT_EQ(s.requests, 2);
+    EXPECT_EQ(s.hits, 1);
+    EXPECT_EQ(s.misses, 1);
+    EXPECT_EQ(s.compiles, 1);
+    EXPECT_EQ(s.cachedPrograms, 1u);
+}
+
+TEST(Service, HitsAreBitIdenticalToFreshCompile)
+{
+    CompileService service(2);
+    for (const SquareConfig &cfg :
+         {SquareConfig::square(), SquareConfig::eager(),
+          SquareConfig::lazy()}) {
+        SCOPED_TRACE(cfg.name);
+        CompileRequest req = namedRequest("ADDER4", cfg);
+        service.submit(req);
+        ServiceReply hit = service.submit(req);
+        ASSERT_TRUE(hit.error.empty());
+        ASSERT_TRUE(hit.hit);
+
+        Program prog = makeBenchmark("ADDER4");
+        Machine machine = req.machine.build();
+        CompileResult fresh = compile(prog, machine, cfg, {});
+        EXPECT_EQ(hit.result->gates, fresh.gates);
+        EXPECT_EQ(hit.result->swaps, fresh.swaps);
+        EXPECT_EQ(hit.result->depth, fresh.depth);
+        EXPECT_EQ(hit.result->aqv, fresh.aqv);
+        EXPECT_EQ(hit.result->qubitsUsed, fresh.qubitsUsed);
+        EXPECT_EQ(hit.result->peakLive, fresh.peakLive);
+        EXPECT_EQ(hit.result->reclaimCount, fresh.reclaimCount);
+        EXPECT_EQ(hit.result->skipCount, fresh.skipCount);
+        EXPECT_EQ(hit.result->commFactor, fresh.commFactor);
+        EXPECT_EQ(hit.result->primaryFinalSites,
+                  fresh.primaryFinalSites);
+    }
+}
+
+TEST(Service, DifferingConfigFieldsMissSeparately)
+{
+    CompileService service(2);
+    CompileRequest base = namedRequest("ADDER4", SquareConfig::square());
+    ServiceReply r1 = service.submit(base);
+
+    CompileRequest margin = base;
+    margin.cfg.anchorBoxMargin = 8;
+    ServiceReply r2 = service.submit(margin);
+    EXPECT_FALSE(r2.hit);
+    EXPECT_FALSE(r1.key == r2.key);
+
+    CompileRequest policy = namedRequest("ADDER4", SquareConfig::eager());
+    ServiceReply r3 = service.submit(policy);
+    EXPECT_FALSE(r3.hit);
+    EXPECT_FALSE(r1.key == r3.key);
+
+    // A display-name-only difference is the same computation.
+    CompileRequest renamed = base;
+    renamed.cfg.name = "SQUARE(prod)";
+    ServiceReply r4 = service.submit(renamed);
+    EXPECT_TRUE(r4.hit);
+    EXPECT_TRUE(r1.key == r4.key);
+    EXPECT_EQ(r1.result.get(), r4.result.get());
+}
+
+TEST(Service, ExplicitProgramAndWorkloadNameShareKeys)
+{
+    CompileService service(2);
+    ServiceReply by_name =
+        service.submit(namedRequest("ADDER4", SquareConfig::square()));
+
+    CompileRequest explicit_req;
+    explicit_req.label = "explicit";
+    explicit_req.program =
+        std::make_shared<const Program>(makeBenchmark("ADDER4"));
+    explicit_req.machine = MachineSpec::nisqLattice(5, 5);
+    explicit_req.cfg = SquareConfig::square();
+    ServiceReply by_program = service.submit(explicit_req);
+
+    // Same content, same key: the explicit program is a hit.
+    EXPECT_TRUE(by_program.hit);
+    EXPECT_TRUE(by_name.key == by_program.key);
+    EXPECT_EQ(by_name.result.get(), by_program.result.get());
+}
+
+TEST(Service, FailuresAreRepliesNotCrashes)
+{
+    CompileService service(2);
+    CompileRequest req = namedRequest("SHA2", SquareConfig::lazy());
+    req.machine = MachineSpec::nisqLattice(2, 2); // cannot fit
+    ServiceReply r = service.submit(req);
+    EXPECT_FALSE(r.error.empty());
+    EXPECT_EQ(r.result, nullptr);
+    EXPECT_EQ(service.stats().failures, 1);
+
+    // Failed keys are not cached: the retry is a fresh miss, not a
+    // replayed error (failures may be environmental).
+    ServiceReply again = service.submit(req);
+    EXPECT_FALSE(again.hit);
+    EXPECT_FALSE(again.error.empty());
+    EXPECT_EQ(service.stats().misses, 2);
+
+    CompileRequest bogus;
+    bogus.label = "bogus";
+    bogus.workload = "NO-SUCH";
+    bogus.cfg = SquareConfig::square();
+    ServiceReply unknown = service.submit(bogus);
+    EXPECT_FALSE(unknown.error.empty());
+    EXPECT_EQ(unknown.result, nullptr);
+}
+
+TEST(Service, ConcurrentDuplicatesCompileExactlyOnce)
+{
+    CompileService service(4);
+    CompileRequest req =
+        namedRequest("SALSA20", SquareConfig::square());
+
+    const int n_threads = 8;
+    std::vector<ServiceReply> replies(n_threads);
+    int64_t analyses_before = ProgramAnalysis::constructionCount();
+    {
+        std::vector<std::thread> pool;
+        pool.reserve(n_threads);
+        for (int t = 0; t < n_threads; ++t) {
+            pool.emplace_back([&service, &req, &replies, t] {
+                replies[static_cast<size_t>(t)] = service.submit(req);
+            });
+        }
+        for (std::thread &th : pool)
+            th.join();
+    }
+
+    // Exactly one compile, one analysis; every thread shares the one
+    // immutable result.
+    ServiceStats s = service.stats();
+    EXPECT_EQ(s.requests, n_threads);
+    EXPECT_EQ(s.compiles, 1);
+    EXPECT_EQ(s.hits, n_threads - 1);
+    EXPECT_EQ(s.analysisComputes, 1);
+    EXPECT_EQ(ProgramAnalysis::constructionCount() - analyses_before, 1);
+    const CompileResult *shared = replies[0].result.get();
+    ASSERT_NE(shared, nullptr);
+    for (const ServiceReply &r : replies) {
+        EXPECT_TRUE(r.error.empty());
+        EXPECT_EQ(r.result.get(), shared);
+    }
+}
+
+TEST(Service, BatchDeduplicatesAndDispatchesMissesOnce)
+{
+    CompileService service(4);
+    std::vector<CompileRequest> batch;
+    for (int r = 0; r < 5; ++r) {
+        batch.push_back(namedRequest("ADDER4", SquareConfig::square()));
+        batch.push_back(namedRequest("ADDER4", SquareConfig::eager()));
+        batch.push_back(namedRequest("RD53", SquareConfig::square()));
+    }
+    std::vector<ServiceReply> replies = service.submitBatch(batch);
+    ASSERT_EQ(replies.size(), batch.size());
+
+    int misses = 0;
+    for (size_t i = 0; i < replies.size(); ++i) {
+        SCOPED_TRACE(batch[i].label + " (request " + std::to_string(i) +
+                     ")");
+        EXPECT_TRUE(replies[i].error.empty());
+        ASSERT_NE(replies[i].result, nullptr);
+        misses += replies[i].hit ? 0 : 1;
+    }
+    EXPECT_EQ(misses, 3); // 3 unique keys
+    ServiceStats s = service.stats();
+    EXPECT_EQ(s.compiles, 3);
+    EXPECT_EQ(s.hits, static_cast<int64_t>(batch.size()) - 3);
+    EXPECT_EQ(s.analysisComputes, 2); // 2 unique programs
+
+    // Replicas of one key share one artifact pointer.
+    EXPECT_EQ(replies[0].result.get(), replies[3].result.get());
+    EXPECT_EQ(replies[2].result.get(), replies[5].result.get());
+}
+
+// -------------------------------------------------------------------
+// MachineSpec and protocol round trips
+// -------------------------------------------------------------------
+
+TEST(MachineSpec, ParseBuildRoundTrip)
+{
+    struct Case
+    {
+        const char *text;
+        int sites;
+    } const cases[] = {
+        {"nisq:5x5", 25},
+        {"nisq-macro:4x6", 24},
+        {"full:30", 30},
+        {"ft:8x8@25", 64},
+        {"ft-macro:8x8", 64},
+    };
+    for (const Case &c : cases) {
+        SCOPED_TRACE(c.text);
+        MachineSpec spec;
+        std::string error;
+        ASSERT_TRUE(MachineSpec::parse(c.text, spec, error)) << error;
+        EXPECT_EQ(spec.build().numSites(), c.sites);
+        // str() round-trips to an equal spec (modulo default latency
+        // rendering).
+        MachineSpec again;
+        ASSERT_TRUE(MachineSpec::parse(spec.str(), again, error));
+        EXPECT_EQ(spec.fingerprint(), again.fingerprint());
+    }
+
+    MachineSpec spec;
+    std::string error;
+    EXPECT_FALSE(MachineSpec::parse("nisq:5", spec, error));
+    EXPECT_FALSE(MachineSpec::parse("warp:3x3", spec, error));
+    EXPECT_FALSE(MachineSpec::parse("nisq:0x5", spec, error));
+    EXPECT_FALSE(MachineSpec::parse("full:-2", spec, error));
+}
+
+TEST(Protocol, ParseAndBuildRequest)
+{
+    JsonRequest json;
+    std::string error;
+    ASSERT_TRUE(parseJsonLine(
+        R"({"id": 3, "workload": "SHA2", "machine": "nisq:32x32",)"
+        R"( "policy": "eager", "anchor_box_margin": 8})",
+        json, error))
+        << error;
+    CompileRequest req;
+    ASSERT_TRUE(buildRequest(json, req, error)) << error;
+    EXPECT_EQ(req.workload, "SHA2");
+    EXPECT_EQ(req.machine.width, 32);
+    EXPECT_EQ(req.cfg.reclaim, ReclaimPolicy::Eager);
+    EXPECT_EQ(req.cfg.anchorBoxMargin, 8);
+
+    // Defaulted machine: the paper machine for the workload.
+    JsonRequest small;
+    ASSERT_TRUE(
+        parseJsonLine(R"({"workload": "ADDER4"})", small, error));
+    CompileRequest dreq;
+    ASSERT_TRUE(buildRequest(small, dreq, error));
+    EXPECT_EQ(dreq.machine.build().numSites(), 25);
+
+    // Reply id echoing: numeric ids echo raw, string ids (whose
+    // quoting the parser stripped) are re-quoted and re-escaped so a
+    // hostile id cannot break or inject into the reply object.
+    JsonRequest num_id;
+    ASSERT_TRUE(parseJsonLine(R"({"id": 42})", num_id, error));
+    EXPECT_EQ(formatError(num_id, "x"),
+              R"({"id": 42, "ok": false, "error": "x"})");
+    JsonRequest str_id;
+    ASSERT_TRUE(parseJsonLine(R"({"id": "req-\"1\""})", str_id, error));
+    EXPECT_EQ(formatError(str_id, "x"),
+              R"({"id": "req-\"1\"", "ok": false, "error": "x"})");
+
+    // Malformed inputs are rejected with messages, never crashes.
+    EXPECT_FALSE(parseJsonLine("[1,2]", json, error));
+    EXPECT_FALSE(parseJsonLine(R"({"a": {"b": 1}})", json, error));
+    EXPECT_FALSE(parseJsonLine(R"({"a": 1)", json, error));
+    ASSERT_TRUE(parseJsonLine(R"({"workload": "X", "oops": 1})", json,
+                              error));
+    EXPECT_FALSE(buildRequest(json, req, error));
+    ASSERT_TRUE(parseJsonLine(R"({"policy": "square"})", json, error));
+    EXPECT_FALSE(buildRequest(json, req, error)); // missing workload
+}
+
+} // namespace
+} // namespace square
