@@ -8,10 +8,16 @@
  * basis-state trajectories are exact; swap/locality behaviour is
  * identical to the decomposed machine) and replayed under the
  * depolarizing + T1 damping model of Table IV's "Our Simulation" row.
+ *
+ * Pass --square_json=PATH for a BENCH_fig8c_noise.json row per
+ * benchmark x policy (the shared emitter trajectory of
+ * bench_common.h); --shots=N (or a bare count as argv[1]) overrides
+ * the per-point shot budget.
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "bench_common.h"
 #include "noise/trajectory.h"
@@ -22,17 +28,31 @@ using namespace square::bench;
 int
 main(int argc, char **argv)
 {
+    std::string json_path = extractJsonPath(argc, argv);
     int shots = 4096;
-    if (argc > 1)
-        shots = std::atoi(argv[1]);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--shots=", 8) == 0)
+            shots = std::atoi(argv[i] + 8);
+        else
+            shots = std::atoi(argv[i]);
+    }
+    if (shots < 1) {
+        std::fprintf(stderr, "bad shot count\n");
+        return 1;
+    }
 
     printHeader("Noise simulation: total variation distance", "Fig. 8c");
-    std::printf("shots per point: %d (paper: 8192; pass a count as "
-                "argv[1])\n\n",
+    std::printf("shots per point: %d (paper: 8192; override with "
+                "--shots=N)\n\n",
                 shots);
     std::printf("%-10s %10s %10s %10s   %s\n", "Benchmark", "LAZY",
                 "EAGER", "SQUARE", "best");
     printRule(64);
+
+    JsonReport report;
+    report.benchmark = "fig8c_noise";
+    report.unit = "total_variation_distance";
+    report.header.push_back(jsonInt("shots", shots));
 
     for (const BenchmarkInfo &info : benchmarkRegistry()) {
         if (!info.nisqScale)
@@ -63,9 +83,18 @@ main(int argc, char **argv)
         std::printf("%-10s %10.4f %10.4f %10.4f   %s\n",
                     info.name.c_str(), tvd[0], tvd[1], tvd[2],
                     names[best]);
+        for (int k = 0; k < 3; ++k) {
+            report.addRow({jsonStr("workload", info.name),
+                           jsonStr("policy", names[k]),
+                           jsonNum("tvd", tvd[k], 4),
+                           jsonInt("best", k == best)});
+        }
     }
     printRule(64);
     std::printf("\nLower d_TV is better; the paper finds SQUARE lowest "
                 "on almost all benchmarks.\n");
+
+    if (!json_path.empty())
+        report.writeTo(json_path);
     return 0;
 }

@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Networked-server throughput: a multi-connection client load
+ * generator against the sharded TCP compile server.
+ *
+ * This is the end-to-end serving measurement for the tier built in
+ * src/server/: an in-process CompileServer (real loopback sockets, the
+ * production code path) is driven by C concurrent client connections,
+ * each issuing the repeated-request traffic shape the service tier
+ * targets.  Three things are measured and one is proven:
+ *
+ *   - warm requests/s across all connections (every request after the
+ *     cold phase is a content-addressed cache hit on its home shard);
+ *   - per-request latency p50/p99 (client-observed round trip:
+ *     request line out, reply line in);
+ *   - per-shard balance (requests served by each key-affine shard);
+ *   - golden check: the metric payload of a cached reply is
+ *     bit-identical to a fresh in-process compile() of the same
+ *     request (process exits non-zero on any mismatch).
+ *
+ * Pass --square_json=PATH for BENCH_server_throughput.json.  Flags:
+ * --clients=N connections, --repeat=N batch repeats per client,
+ * --shards=N, --workers=N fleet workers per shard, --smoke shrinks
+ * for CI.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/stats.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "service/protocol.h"
+
+using namespace square;
+using namespace square::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** One client connection's view of the load phase. */
+struct ClientResult
+{
+    std::vector<double> latencies;
+    int64_t hits = 0;
+    int64_t requests = 0;
+    std::string error;
+};
+
+std::string
+requestLine(const std::string &workload)
+{
+    return "{\"workload\": \"" + workload +
+           "\", \"policy\": \"square\"}";
+}
+
+/** Parse one reply line into (ok, cache-hit) plus the raw object. */
+bool
+parseReply(const std::string &line, JsonRequest &json, bool &hit,
+           std::string &error)
+{
+    if (!parseJsonLine(line, json, error))
+        return false;
+    if (json.get("ok") != "true") {
+        error = "server error: " + json.get("error");
+        return false;
+    }
+    hit = json.get("cache") == "hit";
+    return true;
+}
+
+/** Golden check: a served reply's metrics == a fresh compile(). */
+bool
+identicalToFresh(const std::string &workload, const JsonRequest &reply)
+{
+    Program prog = makeBenchmark(workload);
+    MachineSpec spec = MachineSpec::paperFor(findBenchmark(workload));
+    Machine machine = spec.build();
+    CompileResult fresh =
+        compile(prog, machine, SquareConfig::square(), {});
+    struct Field
+    {
+        const char *key;
+        long long expect;
+    } const fields[] = {
+        {"gates", fresh.gates},
+        {"swaps", fresh.swaps},
+        {"depth", fresh.depth},
+        {"aqv", fresh.aqv},
+        {"qubits_used", fresh.qubitsUsed},
+        {"peak_live", fresh.peakLive},
+        {"reclaims", fresh.reclaimCount},
+        {"skips", fresh.skipCount},
+    };
+    for (const Field &f : fields) {
+        if (std::atoll(reply.get(f.key).c_str()) != f.expect) {
+            std::fprintf(stderr,
+                         "GOLDEN MISMATCH: %s.%s served %s, fresh "
+                         "compile() says %lld\n",
+                         workload.c_str(), f.key,
+                         reply.get(f.key).c_str(), f.expect);
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+runClient(uint16_t port, const std::vector<std::string> &workloads,
+          int repeat, int offset, ClientResult &out)
+{
+    LineClient client;
+    std::string error;
+    if (!client.connect("127.0.0.1", port, error)) {
+        out.error = error;
+        return;
+    }
+    const size_t n = workloads.size();
+    for (int r = 0; r < repeat; ++r) {
+        for (size_t k = 0; k < n; ++k) {
+            // Per-client offset staggers the request order so shards
+            // see interleaved, not lock-step, traffic.
+            const std::string &w =
+                workloads[(k + static_cast<size_t>(offset)) % n];
+            Clock::time_point t0 = Clock::now();
+            std::string reply;
+            if (!client.sendLine(requestLine(w)) ||
+                !client.recvLine(reply)) {
+                out.error = "connection dropped mid-load";
+                return;
+            }
+            out.latencies.push_back(millisSince(t0));
+            JsonRequest json;
+            bool hit = false;
+            if (!parseReply(reply, json, hit, error)) {
+                out.error = error;
+                return;
+            }
+            out.hits += hit ? 1 : 0;
+            ++out.requests;
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path = extractJsonPath(argc, argv);
+    int clients = 4;
+    int repeat = 16;
+    int shards = 2;
+    int workers = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--clients=", 10) == 0) {
+            clients = std::atoi(argv[i] + 10);
+        } else if (std::strncmp(argv[i], "--repeat=", 9) == 0) {
+            repeat = std::atoi(argv[i] + 9);
+        } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+            shards = std::atoi(argv[i] + 9);
+        } else if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+            workers = std::atoi(argv[i] + 10);
+        } else if (std::strcmp(argv[i], "--smoke") == 0) {
+            clients = 2;
+            repeat = 2;
+        } else {
+            std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+            return 1;
+        }
+    }
+    if (clients < 1 || repeat < 1 || shards < 1 || workers < 1) {
+        std::fprintf(stderr, "all knobs must be >= 1\n");
+        return 1;
+    }
+
+    const unsigned cpus = std::thread::hardware_concurrency();
+    printHeader("Networked-server throughput (TCP, sharded, LRU cache)",
+                "the multi-client serving scenario");
+    warnIfSingleCore(cpus);
+
+    ServerConfig cfg;
+    cfg.shards = shards;
+    cfg.workersPerShard = workers;
+    CompileServer server(cfg);
+    std::string error;
+    if (!server.start(error)) {
+        std::fprintf(stderr, "server start failed: %s\n", error.c_str());
+        return 1;
+    }
+
+    const std::vector<std::string> workloads = {"SHA2", "SALSA20",
+                                                "Belle"};
+    std::printf("server: 127.0.0.1:%u, %d shards x %d workers\n"
+                "load: %d connections x %d x %zu requests (unique keys: "
+                "%zu); host cpus: %u\n\n",
+                server.port(), shards, workers, clients, repeat,
+                workloads.size(), workloads.size(), cpus);
+
+    // -- cold phase: one connection compiles each unique key -----------
+    Clock::time_point t0 = Clock::now();
+    {
+        LineClient warmup;
+        if (!warmup.connect("127.0.0.1", server.port(), error)) {
+            std::fprintf(stderr, "connect failed: %s\n", error.c_str());
+            return 1;
+        }
+        for (const std::string &w : workloads) {
+            std::string reply;
+            JsonRequest json;
+            bool hit = false;
+            if (!warmup.sendLine(requestLine(w)) ||
+                !warmup.recvLine(reply) ||
+                !parseReply(reply, json, hit, error)) {
+                std::fprintf(stderr, "cold request failed: %s\n",
+                             error.c_str());
+                return 1;
+            }
+            if (hit) {
+                std::fprintf(stderr, "cold request unexpectedly hit\n");
+                return 1;
+            }
+        }
+    }
+    const double cold_ms = millisSince(t0);
+
+    // -- load phase: C concurrent connections, all warm ----------------
+    std::vector<ClientResult> results(
+        static_cast<size_t>(clients));
+    t0 = Clock::now();
+    {
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<size_t>(clients));
+        for (int c = 0; c < clients; ++c) {
+            pool.emplace_back(runClient, server.port(),
+                              std::cref(workloads), repeat, c,
+                              std::ref(results[static_cast<size_t>(c)]));
+        }
+        for (std::thread &th : pool)
+            th.join();
+    }
+    const double load_ms = millisSince(t0);
+
+    std::vector<double> latencies;
+    int64_t total = 0, hits = 0;
+    for (const ClientResult &r : results) {
+        if (!r.error.empty()) {
+            std::fprintf(stderr, "client failed: %s\n", r.error.c_str());
+            return 1;
+        }
+        latencies.insert(latencies.end(), r.latencies.begin(),
+                         r.latencies.end());
+        total += r.requests;
+        hits += r.hits;
+    }
+    // Every load-phase request follows the cold compiles with no
+    // eviction bound configured, so anything short of a 100% hit rate
+    // is a serving regression (sharding or dedup bug), not noise.
+    if (hits != total) {
+        std::fprintf(stderr,
+                     "HIT-RATE REGRESSION: %lld/%lld warm requests hit "
+                     "the cache\n",
+                     static_cast<long long>(hits),
+                     static_cast<long long>(total));
+        return 1;
+    }
+    std::sort(latencies.begin(), latencies.end());
+    const double p50 = percentileNearestRank(latencies, 50.0);
+    const double p99 = percentileNearestRank(latencies, 99.0);
+    const double rps =
+        load_ms > 0 ? static_cast<double>(total) / (load_ms / 1000.0)
+                    : 0.0;
+    const double hit_rate =
+        total > 0
+            ? static_cast<double>(hits) / static_cast<double>(total)
+            : 0.0;
+
+    // -- golden check: cached replies == fresh compiles ----------------
+    bool golden = true;
+    {
+        LineClient checker;
+        if (!checker.connect("127.0.0.1", server.port(), error)) {
+            std::fprintf(stderr, "connect failed: %s\n", error.c_str());
+            return 1;
+        }
+        for (const std::string &w : workloads) {
+            std::string reply;
+            JsonRequest json;
+            bool hit = false;
+            if (!checker.sendLine(requestLine(w)) ||
+                !checker.recvLine(reply) ||
+                !parseReply(reply, json, hit, error) || !hit) {
+                std::fprintf(stderr, "golden request failed: %s\n",
+                             error.c_str());
+                return 1;
+            }
+            golden = golden && identicalToFresh(w, json);
+        }
+    }
+
+    RouterStats rs = server.router().stats();
+    server.stop();
+
+    std::printf("%8s %10s %12s %14s %10s %10s\n", "phase", "requests",
+                "wall ms", "requests/s", "p50 ms", "p99 ms");
+    printRule(72);
+    std::printf("%8s %10zu %12.1f %14s %10s %10s\n", "cold",
+                workloads.size(), cold_ms, "-", "-", "-");
+    std::printf("%8s %10lld %12.1f %14.0f %10.3f %10.3f\n", "warm",
+                static_cast<long long>(total), load_ms, rps, p50, p99);
+    printRule(72);
+    std::printf("\nhit rate (load phase): %.3f\nper-shard balance "
+                "(key-affine):\n",
+                hit_rate);
+    for (size_t s = 0; s < rs.shards.size(); ++s) {
+        std::printf("  shard %zu: %lld requests, %lld hits, %lld "
+                    "compiles, %zu cached (%zu bytes)\n",
+                    s, static_cast<long long>(rs.shards[s].requests),
+                    static_cast<long long>(rs.shards[s].hits),
+                    static_cast<long long>(rs.shards[s].compiles),
+                    rs.shards[s].cachedResults,
+                    rs.shards[s].cachedBytes);
+    }
+    std::printf("cached replies golden-checked bit-identical to fresh "
+                "compile(): %s\n",
+                golden ? "yes" : "NO");
+    if (!golden)
+        return 1;
+
+    if (!json_path.empty()) {
+        JsonReport report;
+        report.benchmark = "server_throughput";
+        report.unit = "requests_per_second";
+        report.header.push_back(jsonInt("cpus", cpus));
+        report.header.push_back(jsonInt("clients", clients));
+        report.header.push_back(jsonInt("shards", shards));
+        report.header.push_back(jsonInt("workers_per_shard", workers));
+        report.header.push_back(
+            jsonInt("unique_requests",
+                    static_cast<int64_t>(workloads.size())));
+        report.header.push_back(jsonInt("warm_requests", total));
+        report.header.push_back(jsonNum("cold_wall_ms", cold_ms, 1));
+        report.header.push_back(jsonNum("warm_wall_ms", load_ms, 1));
+        report.header.push_back(jsonNum("requests_per_s", rps, 0));
+        report.header.push_back(jsonNum("hit_rate", hit_rate, 3));
+        report.header.push_back(jsonNum("p50_ms", p50, 3));
+        report.header.push_back(jsonNum("p99_ms", p99, 3));
+        report.header.push_back(
+            jsonInt("evictions", rs.global.evictions));
+        report.header.push_back(jsonInt("golden_identical", golden));
+        for (size_t s = 0; s < rs.shards.size(); ++s) {
+            report.addRow(
+                {jsonInt("shard", static_cast<int64_t>(s)),
+                 jsonInt("requests", rs.shards[s].requests),
+                 jsonInt("hits", rs.shards[s].hits),
+                 jsonInt("compiles", rs.shards[s].compiles),
+                 jsonInt("cached_results",
+                         static_cast<int64_t>(
+                             rs.shards[s].cachedResults)),
+                 jsonInt("cached_bytes",
+                         static_cast<int64_t>(
+                             rs.shards[s].cachedBytes))});
+        }
+        report.writeTo(json_path);
+    }
+    return 0;
+}

@@ -1,0 +1,60 @@
+#include "server/client.h"
+
+#include <sys/socket.h>
+
+namespace square {
+
+bool
+LineClient::connect(const std::string &host, uint16_t port,
+                    std::string &error)
+{
+    close();
+    fd_ = net::connectTcp(host, port, error);
+    if (fd_ < 0)
+        return false;
+    reader_ = std::make_unique<net::LineReader>(fd_);
+    return true;
+}
+
+bool
+LineClient::sendLine(const std::string &line)
+{
+    return fd_ >= 0 && net::sendLine(fd_, line);
+}
+
+bool
+LineClient::sendRaw(const std::string &bytes)
+{
+    return fd_ >= 0 && net::sendAll(fd_, bytes.data(), bytes.size());
+}
+
+void
+LineClient::shutdownWrite()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_WR);
+}
+
+bool
+LineClient::recvLine(std::string &out)
+{
+    if (fd_ < 0)
+        return false;
+    // A Partial tail is still a reply to the caller (the server sends
+    // complete lines, so this only fires on a torn-down server).
+    net::LineReader::Status st = reader_->next(out);
+    return st == net::LineReader::Status::Line ||
+           st == net::LineReader::Status::Partial;
+}
+
+void
+LineClient::close()
+{
+    if (fd_ >= 0) {
+        net::closeFd(fd_);
+        fd_ = -1;
+        reader_.reset();
+    }
+}
+
+} // namespace square

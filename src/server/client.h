@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Blocking NDJSON line client for the compile server.
+ *
+ * One persistent TCP connection: sendLine() writes a framed request,
+ * recvLine() blocks for the next reply line.  Used by the tests, the
+ * server-throughput load generator, and the square_client tool; it is
+ * deliberately synchronous — the serving tier's concurrency comes from
+ * many connections, not from pipelining on one.
+ */
+
+#ifndef SQUARE_SERVER_CLIENT_H
+#define SQUARE_SERVER_CLIENT_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "server/net.h"
+
+namespace square {
+
+class LineClient
+{
+  public:
+    LineClient() = default;
+    ~LineClient() { close(); }
+
+    LineClient(const LineClient &) = delete;
+    LineClient &operator=(const LineClient &) = delete;
+
+    /** Connect; false with a message on failure. */
+    bool connect(const std::string &host, uint16_t port,
+                 std::string &error);
+
+    bool connected() const { return fd_ >= 0; }
+
+    /** Send one request line (newline appended). */
+    bool sendLine(const std::string &line);
+
+    /**
+     * Send raw bytes with no framing — for driving the server with a
+     * truncated (newline-less) request in tests.
+     */
+    bool sendRaw(const std::string &bytes);
+
+    /** Close the write half (signals end-of-requests to the server). */
+    void shutdownWrite();
+
+    /** Block for the next reply line; false on EOF or error. */
+    bool recvLine(std::string &out);
+
+    void close();
+
+  private:
+    int fd_ = -1;
+    std::unique_ptr<net::LineReader> reader_;
+};
+
+} // namespace square
+
+#endif // SQUARE_SERVER_CLIENT_H

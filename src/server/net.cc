@@ -1,0 +1,165 @@
+#include "server/net.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace square::net {
+
+namespace {
+
+std::string
+errnoMessage(const char *what)
+{
+    return std::string(what) + ": " + std::strerror(errno);
+}
+
+bool
+fillAddress(const std::string &host, uint16_t port, sockaddr_in &addr,
+            std::string &error)
+{
+    std::memset(&addr, 0, sizeof addr);
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        error = "bad IPv4 address '" + host + "'";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+listenTcp(const std::string &host, uint16_t port, int backlog,
+          uint16_t &bound_port, std::string &error)
+{
+    sockaddr_in addr;
+    if (!fillAddress(host, port, addr, error))
+        return -1;
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        error = errnoMessage("socket");
+        return -1;
+    }
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof addr) != 0) {
+        error = errnoMessage("bind");
+        closeFd(fd);
+        return -1;
+    }
+    if (::listen(fd, backlog) != 0) {
+        error = errnoMessage("listen");
+        closeFd(fd);
+        return -1;
+    }
+    sockaddr_in actual;
+    socklen_t len = sizeof actual;
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&actual), &len) !=
+        0) {
+        error = errnoMessage("getsockname");
+        closeFd(fd);
+        return -1;
+    }
+    bound_port = ntohs(actual.sin_port);
+    return fd;
+}
+
+int
+connectTcp(const std::string &host, uint16_t port, std::string &error)
+{
+    sockaddr_in addr;
+    if (!fillAddress(host, port, addr, error))
+        return -1;
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        error = errnoMessage("socket");
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        error = errnoMessage("connect");
+        closeFd(fd);
+        return -1;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    return fd;
+}
+
+bool
+sendAll(int fd, const char *data, size_t len)
+{
+    size_t sent = 0;
+    while (sent < len) {
+        ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+void
+shutdownFd(int fd)
+{
+    if (fd >= 0)
+        ::shutdown(fd, SHUT_RDWR);
+}
+
+void
+closeFd(int fd)
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+LineReader::Status
+LineReader::next(std::string &out)
+{
+    for (;;) {
+        size_t nl = buf_.find('\n');
+        if (nl != std::string::npos) {
+            out.assign(buf_, 0, nl);
+            if (!out.empty() && out.back() == '\r')
+                out.pop_back();
+            buf_.erase(0, nl + 1);
+            return Status::Line;
+        }
+        if (eof_) {
+            if (buf_.empty())
+                return Status::Eof;
+            out = std::move(buf_);
+            buf_.clear();
+            return Status::Partial;
+        }
+        if (buf_.size() > maxLine_) {
+            // Keep a short prefix so the serving layer can render a
+            // diagnostic reply; drop the rest of the hoarded bytes.
+            out.assign(buf_, 0, 200);
+            buf_.clear();
+            buf_.shrink_to_fit();
+            return Status::Overflow;
+        }
+        char chunk[4096];
+        ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+        if (n > 0) {
+            buf_.append(chunk, static_cast<size_t>(n));
+        } else if (n == 0) {
+            eof_ = true;
+        } else if (errno != EINTR) {
+            return Status::Error;
+        }
+    }
+}
+
+} // namespace square::net

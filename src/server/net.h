@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Minimal POSIX TCP helpers shared by the server tier's transport and
+ * client (no third-party networking dependency; plain sockets).
+ *
+ * Everything here is loopback-grade plumbing: open/connect/close,
+ * full-buffer sends, and a buffered newline-framed reader.  Error
+ * reporting is by message string — the server tier's contract is that
+ * transport failures become structured replies or dropped connections,
+ * never aborts.
+ */
+
+#ifndef SQUARE_SERVER_NET_H
+#define SQUARE_SERVER_NET_H
+
+#include <cstdint>
+#include <string>
+
+namespace square::net {
+
+/**
+ * Open a TCP listener bound to @p host:@p port (port 0 picks an
+ * ephemeral port; @p bound_port receives the actual one).  Returns the
+ * listening fd, or -1 with a message in @p error.
+ */
+int listenTcp(const std::string &host, uint16_t port, int backlog,
+              uint16_t &bound_port, std::string &error);
+
+/** Blocking connect; returns the fd, or -1 with a message. */
+int connectTcp(const std::string &host, uint16_t port,
+               std::string &error);
+
+/** Send the whole buffer (SIGPIPE suppressed); false on any failure. */
+bool sendAll(int fd, const char *data, size_t len);
+
+/** Send @p line plus the terminating newline (pass an rvalue on hot
+    paths: the newline is appended in place, no copy). */
+inline bool
+sendLine(int fd, std::string line)
+{
+    line.push_back('\n');
+    return sendAll(fd, line.data(), line.size());
+}
+
+/** Best-effort full-duplex shutdown (wakes blocked reads). */
+void shutdownFd(int fd);
+
+/** Close, ignoring errors. */
+void closeFd(int fd);
+
+/**
+ * Buffered newline-framed reader over a connected socket.
+ *
+ * A "line" is bytes up to (and excluding) '\n', with a trailing '\r'
+ * stripped.  A connection that closes mid-line yields that truncated
+ * tail as Status::Partial — the server replies to it (typically with a
+ * structured parse error) instead of dropping it silently.
+ *
+ * Lines are capped at @p max_line bytes: a peer that streams bytes
+ * without ever sending a newline must not grow server memory without
+ * bound.  On overflow the buffer is discarded and a short prefix is
+ * handed back as Status::Overflow — the serving layer answers it
+ * (with a parse error, for the NDJSON protocol) and drops the
+ * connection.
+ */
+class LineReader
+{
+  public:
+    enum class Status {
+        Line,     ///< @p out holds one complete line
+        Partial,  ///< EOF hit mid-line; @p out holds the truncated tail
+        Eof,      ///< clean EOF, no pending bytes
+        Error,    ///< read error (connection reset, etc.)
+        Overflow  ///< line exceeded max_line; @p out holds a prefix
+    };
+
+    /** Default line cap: far above any legitimate protocol line. */
+    static constexpr size_t kDefaultMaxLine = 1u << 20;
+
+    explicit LineReader(int fd, size_t max_line = kDefaultMaxLine)
+        : fd_(fd), maxLine_(max_line)
+    {
+    }
+
+    /** Read the next line (blocking). */
+    Status next(std::string &out);
+
+  private:
+    int fd_;
+    size_t maxLine_;
+    std::string buf_;
+    bool eof_ = false;
+};
+
+} // namespace square::net
+
+#endif // SQUARE_SERVER_NET_H

@@ -1,0 +1,90 @@
+#include "server/server.h"
+
+#include <cstdio>
+
+#include "service/protocol.h"
+
+namespace square {
+
+namespace {
+
+/**
+ * The stats reply for the sharded server: the service-layer stats line
+ * (global = summed shard counters) extended with the router fields.
+ * Stays a flat JSON object so protocol.h's parser can read it back.
+ */
+std::string
+formatServerStats(const RouterStats &stats, int shards)
+{
+    // Shards receive pre-resolved programs and cache none themselves;
+    // fold the router's name cache into the operator-facing counter so
+    // "cached_programs" reports the programs actually resident.
+    ServiceStats global = stats.global;
+    global.cachedPrograms += stats.routerPrograms;
+    std::string line = formatStats(global);
+    char extra[128];
+    std::snprintf(extra, sizeof extra,
+                  ", \"shards\": %d, \"resolve_failures\": %lld}",
+                  shards,
+                  static_cast<long long>(stats.resolveFailures));
+    line.pop_back(); // replace the closing '}' with the extension
+    return line + extra;
+}
+
+} // namespace
+
+CompileServer::CompileServer(const ServerConfig &cfg)
+    : router_(cfg.shards, cfg.workersPerShard, cfg.limits), cfg_(cfg)
+{
+}
+
+CompileServer::~CompileServer() { stop(); }
+
+bool
+CompileServer::start(std::string &error)
+{
+    return transport_.start(
+        cfg_.host, cfg_.port,
+        [this](const std::string &line, bool &close_conn) {
+            return handleLine(line, close_conn);
+        },
+        error);
+}
+
+void
+CompileServer::stop()
+{
+    transport_.stop();
+}
+
+std::string
+CompileServer::handleLine(const std::string &line, bool &close_conn)
+{
+    if (isProtocolNoOp(line))
+        return "";
+
+    JsonRequest json;
+    std::string error;
+    if (!parseJsonLine(line, json, error))
+        return formatError(json, error);
+
+    if (json.has("cmd")) {
+        const std::string cmd = json.get("cmd");
+        if (cmd == "stats")
+            return formatServerStats(router_.stats(), router_.shards());
+        if (cmd == "shutdown") {
+            shutdownRequested_.store(true);
+            close_conn = true;
+            return "{\"ok\": true, \"cmd\": \"shutdown\"}";
+        }
+        return formatError(json, "unknown cmd \"" + cmd + "\"");
+    }
+
+    CompileRequest req;
+    if (!buildRequest(json, req, error))
+        return formatError(json, error);
+    ServiceReply reply = router_.submit(req);
+    return formatReply(json, reply);
+}
+
+} // namespace square

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The networked compile server: TcpTransport x ShardRouter x the
+ * NDJSON protocol.
+ *
+ * CompileServer binds a loopback (or configured) address, frames the
+ * existing src/service/protocol.h request/reply grammar over
+ * persistent TCP connections, and serves every compile request through
+ * a key-affine shard router (see shard_router.h for the affinity
+ * rules).  On top of the pipe protocol it adds two commands:
+ *
+ *   {"cmd": "stats"}     the global (summed) counters, plus "shards"
+ *                        and "resolve_failures";
+ *   {"cmd": "shutdown"}  acknowledge, then ask the owning thread to
+ *                        stop the server.
+ *
+ * Shutdown discipline: connection threads must not join themselves, so
+ * an in-protocol shutdown only *requests* it — the thread that owns
+ * the server (square_served's main, a test, the bench harness)
+ * observes shutdownRequested() and calls stop().  stop() closes the
+ * listener and every connection and joins all transport threads.
+ *
+ * Malformed input never kills a connection prematurely: unparseable
+ * lines, unknown fields, bad machine specs, and unknown workloads all
+ * get {"ok": false, "error": ...} replies, and a truncated trailing
+ * line (client died mid-request) is answered with a structured parse
+ * error before the connection closes.
+ */
+
+#ifndef SQUARE_SERVER_SERVER_H
+#define SQUARE_SERVER_SERVER_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "server/shard_router.h"
+#include "server/tcp_transport.h"
+
+namespace square {
+
+/** Configuration for one CompileServer. */
+struct ServerConfig
+{
+    std::string host = "127.0.0.1";
+    /** 0 picks an ephemeral port (read it back with port()). */
+    uint16_t port = 0;
+    int shards = 2;
+    int workersPerShard = 1;
+    /** Per-shard LRU result-cache bound (zero = unbounded). */
+    CacheLimits limits;
+};
+
+class CompileServer
+{
+  public:
+    explicit CompileServer(const ServerConfig &cfg);
+    ~CompileServer();
+
+    /** Bind and start serving; false with a message on failure. */
+    bool start(std::string &error);
+
+    /** The actual bound port (after start()). */
+    uint16_t port() const { return transport_.port(); }
+
+    /** Stop the transport (not callable from a connection thread). */
+    void stop();
+
+    /** True once a {"cmd":"shutdown"} request was served. */
+    bool shutdownRequested() const { return shutdownRequested_.load(); }
+
+    ShardRouter &router() { return router_; }
+    const TcpTransport &transport() const { return transport_; }
+
+    /**
+     * Serve one protocol line and return the reply line.  Public so
+     * the protocol can be exercised without sockets (tests) — the
+     * transport calls exactly this.
+     */
+    std::string handleLine(const std::string &line, bool &close_conn);
+
+  private:
+    ShardRouter router_;
+    TcpTransport transport_;
+    ServerConfig cfg_;
+    std::atomic<bool> shutdownRequested_{false};
+};
+
+} // namespace square
+
+#endif // SQUARE_SERVER_SERVER_H

@@ -1,0 +1,183 @@
+#include "server/tcp_transport.h"
+
+#include <cerrno>
+#include <chrono>
+#include <sys/socket.h>
+#include <system_error>
+#include <utility>
+
+#include "server/net.h"
+
+namespace square {
+
+TcpTransport::~TcpTransport() { stop(); }
+
+bool
+TcpTransport::start(const std::string &host, uint16_t port,
+                    LineHandler handler, std::string &error)
+{
+    if (running_.load()) {
+        error = "transport already running";
+        return false;
+    }
+    uint16_t bound = 0;
+    int fd = net::listenTcp(host, port, /*backlog=*/64, bound, error);
+    if (fd < 0)
+        return false;
+    handler_ = std::move(handler);
+    host_ = host;
+    port_ = bound;
+    listenFd_ = fd;
+    running_.store(true);
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+void
+TcpTransport::stop()
+{
+    if (!running_.exchange(false)) {
+        // Never started (or already stopped); still reap any leftovers
+        // from a start() that failed between steps.
+        std::lock_guard<std::mutex> lock(mu_);
+        reapFinishedLocked();
+        return;
+    }
+    // Wake the accept loop: shutdown makes a blocked accept() return on
+    // Linux; the no-op connect below covers platforms where it doesn't.
+    net::shutdownFd(listenFd_);
+    {
+        std::string ignored;
+        int fd = net::connectTcp(host_, port_, ignored);
+        net::closeFd(fd);
+    }
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    net::closeFd(listenFd_);
+    listenFd_ = -1;
+
+    // Shut every live connection (wakes blocked reads), then join.
+    std::vector<std::unique_ptr<Conn>> conns;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        conns.swap(conns_);
+    }
+    for (const std::unique_ptr<Conn> &c : conns)
+        net::shutdownFd(c->fd);
+    for (const std::unique_ptr<Conn> &c : conns) {
+        if (c->th.joinable())
+            c->th.join();
+        net::closeFd(c->fd);
+    }
+}
+
+void
+TcpTransport::reapFinishedLocked()
+{
+    size_t out = 0;
+    for (size_t i = 0; i < conns_.size(); ++i) {
+        if (conns_[i]->done.load()) {
+            if (conns_[i]->th.joinable())
+                conns_[i]->th.join();
+            net::closeFd(conns_[i]->fd);
+        } else {
+            conns_[out++] = std::move(conns_[i]);
+        }
+    }
+    conns_.resize(out);
+}
+
+void
+TcpTransport::acceptLoop()
+{
+    while (running_.load()) {
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (!running_.load())
+                break;
+            // Reap finished connections even while accept is failing:
+            // under fd exhaustion (EMFILE) the only way to recover is
+            // to release the descriptors of connections that already
+            // ended.  Back off briefly on persistent errors so a
+            // failing accept cannot busy-spin the thread; EINTR and
+            // aborted handshakes retry immediately.
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                reapFinishedLocked();
+            }
+            if (errno != EINTR && errno != ECONNABORTED)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(5));
+            continue;
+        }
+        if (!running_.load()) {
+            net::closeFd(fd);
+            break;
+        }
+        std::lock_guard<std::mutex> lock(mu_);
+        reapFinishedLocked();
+        if (conns_.size() >= kMaxConnections) {
+            // At the thread-per-connection cap: shed the newcomer
+            // instead of letting a flood exhaust threads/fds.
+            ++rejected_;
+            net::closeFd(fd);
+            continue;
+        }
+        conns_.push_back(std::make_unique<Conn>());
+        Conn *conn = conns_.back().get();
+        conn->fd = fd;
+        try {
+            conn->th = std::thread([this, conn] { serveConn(conn); });
+        } catch (const std::system_error &) {
+            // Thread creation failed (resource exhaustion): shed this
+            // connection rather than killing the accept loop.
+            conns_.pop_back();
+            ++rejected_;
+            net::closeFd(fd);
+            continue;
+        }
+        ++accepted_;
+    }
+}
+
+void
+TcpTransport::serveConn(Conn *conn)
+{
+    net::LineReader reader(conn->fd);
+    std::string line;
+    for (;;) {
+        net::LineReader::Status st = reader.next(line);
+        if (st == net::LineReader::Status::Eof ||
+            st == net::LineReader::Status::Error)
+            break;
+        // Partial (truncated trailing request) and Overflow (line cap
+        // exceeded) still reach the handler: the client gets its
+        // structured error reply before the connection winds down.
+        const bool terminal = st != net::LineReader::Status::Line;
+        lines_.fetch_add(1, std::memory_order_relaxed);
+        bool close_conn = terminal;
+        std::string reply = handler_(line, close_conn);
+        if (!reply.empty() &&
+            !net::sendLine(conn->fd, std::move(reply)))
+            break;
+        if (close_conn || terminal)
+            break;
+    }
+    net::shutdownFd(conn->fd);
+    conn->done.store(true);
+}
+
+TransportStats
+TcpTransport::stats() const
+{
+    TransportStats s;
+    std::lock_guard<std::mutex> lock(mu_);
+    s.accepted = accepted_;
+    s.rejected = rejected_;
+    s.lines = lines_.load(std::memory_order_relaxed);
+    for (const std::unique_ptr<Conn> &c : conns_)
+        s.active += c->done.load() ? 0 : 1;
+    return s;
+}
+
+} // namespace square

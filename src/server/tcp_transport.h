@@ -1,0 +1,132 @@
+/**
+ * @file
+ * TCP transport for the serving tier: persistent connections speaking
+ * the NDJSON protocol of src/service/protocol.h, one reply line per
+ * request line.
+ *
+ * Concurrency model (mirrors the fleet's thread-per-compilation):
+ *
+ *  - one accept thread owns the listening socket;
+ *  - each accepted connection gets its own thread running a
+ *    read-line / handle / write-line loop until the peer closes (or
+ *    the handler asks to close);
+ *  - stop() shuts the listener and every live connection down, then
+ *    joins all threads — after stop() returns no transport thread is
+ *    running and every fd is closed.
+ *
+ * The transport is protocol-agnostic: it frames lines and delegates
+ * each to a LineHandler.  A connection that closes mid-line has its
+ * truncated tail delivered to the handler too (the serving layer turns
+ * it into a structured parse-error reply), so clients that die mid-
+ * request still get an answer for the bytes that arrived when their
+ * write half closed first.  Request lines are capped (LineReader's
+ * overflow bound): a peer streaming newline-less bytes gets a
+ * diagnostic reply for a short prefix and is disconnected, instead of
+ * growing server memory without bound.
+ */
+
+#ifndef SQUARE_SERVER_TCP_TRANSPORT_H
+#define SQUARE_SERVER_TCP_TRANSPORT_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace square {
+
+/** Monotonic transport counters. */
+struct TransportStats
+{
+    int64_t accepted = 0; ///< connections accepted since start()
+    int64_t rejected = 0; ///< connections refused at the cap
+    int64_t lines = 0;    ///< request lines handled
+    int64_t active = 0;   ///< connections currently open
+};
+
+class TcpTransport
+{
+  public:
+    /**
+     * Handler for one request line; returns the reply line (without
+     * the trailing newline).  Set @p close_conn to drop the connection
+     * after the reply is written.  Called concurrently from every
+     * connection thread — the serving layer behind it must be
+     * thread-safe (CompileService/ShardRouter are).
+     */
+    using LineHandler =
+        std::function<std::string(const std::string &line,
+                                  bool &close_conn)>;
+
+    /**
+     * Concurrent-connection cap: one thread per connection means an
+     * unbounded flood would exhaust threads and fds (and a failed
+     * std::thread constructor throws).  Connections past the cap are
+     * accepted and immediately closed (counted in stats().rejected);
+     * slots free as soon as a connection ends.
+     */
+    static constexpr size_t kMaxConnections = 256;
+
+    TcpTransport() = default;
+    ~TcpTransport();
+
+    TcpTransport(const TcpTransport &) = delete;
+    TcpTransport &operator=(const TcpTransport &) = delete;
+
+    /**
+     * Bind @p host:@p port (port 0 picks an ephemeral port) and start
+     * the accept loop.  Returns false with a message on failure.
+     */
+    bool start(const std::string &host, uint16_t port,
+               LineHandler handler, std::string &error);
+
+    /** The actual bound port (after start()). */
+    uint16_t port() const { return port_; }
+
+    /** True between a successful start() and stop(). */
+    bool running() const { return running_.load(); }
+
+    /**
+     * Shut down: close the listener, shut every live connection, join
+     * all threads.  Idempotent.  Must not be called from a connection
+     * thread (it joins them) — in-protocol shutdown requests set a
+     * flag that the owning thread acts on (see server.h).
+     */
+    void stop();
+
+    TransportStats stats() const;
+
+  private:
+    struct Conn
+    {
+        int fd = -1;
+        std::thread th;
+        std::atomic<bool> done{false};
+    };
+
+    void acceptLoop();
+    void serveConn(Conn *conn);
+    /** Join + close finished connections (accept-loop housekeeping). */
+    void reapFinishedLocked();
+
+    LineHandler handler_;
+    std::string host_;
+    uint16_t port_ = 0;
+    int listenFd_ = -1;
+    std::thread acceptThread_;
+    std::atomic<bool> running_{false};
+
+    mutable std::mutex mu_;
+    std::vector<std::unique_ptr<Conn>> conns_;
+    int64_t accepted_ = 0;
+    int64_t rejected_ = 0;
+    std::atomic<int64_t> lines_{0};
+};
+
+} // namespace square
+
+#endif // SQUARE_SERVER_TCP_TRANSPORT_H

@@ -1,0 +1,34 @@
+#include "service/program_cache.h"
+
+#include <mutex>
+
+namespace square {
+
+ProgramNameCache::Shared
+ProgramNameCache::get(const std::string &name)
+{
+    {
+        std::shared_lock<std::shared_mutex> lock(mu_);
+        auto it = programs_.find(name);
+        if (it != programs_.end())
+            return it->second;
+    }
+    // Build outside any lock; the emplace loser adopts the winner's
+    // instance (see file header).
+    std::shared_ptr<const Program> built =
+        std::make_shared<const Program>(makeBenchmark(name));
+    uint64_t fp = built->fingerprint();
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    auto [it, inserted] =
+        programs_.try_emplace(name, std::move(built), fp);
+    return it->second;
+}
+
+size_t
+ProgramNameCache::size() const
+{
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return programs_.size();
+}
+
+} // namespace square

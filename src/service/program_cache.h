@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared name -> immutable Program cache.
+ *
+ * Both the compile service and the shard router resolve registry
+ * workload names to shared immutable Programs; this is the one
+ * implementation of that discipline:
+ *
+ *  - programs build *outside* the lock (construction is the expensive
+ *    part and must not serialize unrelated requests);
+ *  - two concurrent first requests may both build, and the emplace
+ *    loser adopts the winner's instance, so the cache holds exactly
+ *    one program per name;
+ *  - steady-state lookups take only a shared lock, so name resolution
+ *    never serializes concurrent requests once a name is resident
+ *    (the exclusive lock is first-build-only).
+ */
+
+#ifndef SQUARE_SERVICE_PROGRAM_CACHE_H
+#define SQUARE_SERVICE_PROGRAM_CACHE_H
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "workloads/registry.h"
+
+namespace square {
+
+class ProgramNameCache
+{
+  public:
+    /** A resolved program and its stable structural fingerprint. */
+    using Shared = std::pair<std::shared_ptr<const Program>, uint64_t>;
+
+    /**
+     * The shared program for a registry benchmark name, built on
+     * first use.  Throws (std::exception from the registry) on
+     * unknown names — callers turn that into a structured error.
+     */
+    Shared get(const std::string &name);
+
+    /** Resident programs. */
+    size_t size() const;
+
+  private:
+    mutable std::shared_mutex mu_;
+    std::unordered_map<std::string, Shared> programs_;
+};
+
+} // namespace square
+
+#endif // SQUARE_SERVICE_PROGRAM_CACHE_H

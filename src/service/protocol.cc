@@ -354,20 +354,23 @@ formatStats(const ServiceStats &stats)
             ? static_cast<double>(stats.hits) /
                   static_cast<double>(stats.requests)
             : 0.0;
-    char buf[512];
+    char buf[640];
     std::snprintf(
         buf, sizeof buf,
         "{\"ok\": true, \"requests\": %lld, \"hits\": %lld, "
         "\"misses\": %lld, \"compiles\": %lld, \"failures\": %lld, "
-        "\"analysis_computes\": %lld, \"cached_results\": %zu, "
+        "\"evictions\": %lld, \"analysis_computes\": %lld, "
+        "\"cached_results\": %zu, \"cached_bytes\": %zu, "
         "\"cached_programs\": %zu, \"hit_rate\": %.4f}",
         static_cast<long long>(stats.requests),
         static_cast<long long>(stats.hits),
         static_cast<long long>(stats.misses),
         static_cast<long long>(stats.compiles),
         static_cast<long long>(stats.failures),
+        static_cast<long long>(stats.evictions),
         static_cast<long long>(stats.analysisComputes),
-        stats.cachedResults, stats.cachedPrograms, hit_rate);
+        stats.cachedResults, stats.cachedBytes, stats.cachedPrograms,
+        hit_rate);
     return buf;
 }
 

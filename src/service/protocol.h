@@ -56,6 +56,18 @@
 namespace square {
 
 /**
+ * True for lines the protocol ignores: blanks and '#' comments, so
+ * annotated request files pipe through every frontend (square_serve,
+ * square_client, the TCP server) identically.
+ */
+inline bool
+isProtocolNoOp(const std::string &line)
+{
+    size_t first = line.find_first_not_of(" \t\r");
+    return first == std::string::npos || line[first] == '#';
+}
+
+/**
  * A parsed flat JSON object: key -> raw value token (strings
  * unescaped, numbers/booleans as their literal text).  The protocol
  * never nests, so this is all square_serve needs.

@@ -15,7 +15,87 @@ using Clock = std::chrono::steady_clock;
 
 } // namespace
 
-CompileService::CompileService(int workers) : fleet_(workers) {}
+ServiceStats &
+ServiceStats::operator+=(const ServiceStats &o)
+{
+    requests += o.requests;
+    hits += o.hits;
+    misses += o.misses;
+    compiles += o.compiles;
+    failures += o.failures;
+    evictions += o.evictions;
+    analysisComputes += o.analysisComputes;
+    cachedResults += o.cachedResults;
+    cachedBytes += o.cachedBytes;
+    cachedPrograms += o.cachedPrograms;
+    return *this;
+}
+
+CompileService::CompileService(int workers, CacheLimits limits)
+    : fleet_(workers), limits_(limits)
+{
+}
+
+size_t
+CompileService::resultBytes(const CompileResult &result)
+{
+    // Approximate resident footprint: the struct plus the capacities of
+    // its heap artifacts.  SchedStats is flat (counters only).
+    return sizeof(CompileResult) +
+           result.usageCurve.capacity() * sizeof(UsagePoint) +
+           result.trace.capacity() * sizeof(TimedGate) +
+           (result.primaryInitialSites.capacity() +
+            result.primaryFinalSites.capacity()) *
+               sizeof(PhysQubit) +
+           result.machineLabel.capacity() + result.policyLabel.capacity();
+}
+
+void
+CompileService::touchLocked(Slot &slot)
+{
+    if (slot.inLru && slot.lruIt != lru_.begin())
+        lru_.splice(lru_.begin(), lru_, slot.lruIt);
+}
+
+void
+CompileService::evictOverLimitLocked()
+{
+    // Only published entries are in lru_, so eviction can never tear
+    // down an in-flight compilation.  Evicting erases the cache *index*
+    // slot; the Entry (and its result) stay alive through every
+    // shared_ptr already handed to waiters or callers.
+    while (!lru_.empty() &&
+           ((limits_.maxEntries > 0 && lru_.size() > limits_.maxEntries) ||
+            (limits_.maxBytes > 0 && cachedBytes_ > limits_.maxBytes))) {
+        const CacheKey victim = lru_.back();
+        auto it = cache_.find(victim);
+        cachedBytes_ -= it->second.bytes;
+        lru_.pop_back();
+        cache_.erase(it);
+        ++evictions_;
+    }
+}
+
+void
+CompileService::noteReady(const CacheKey &key,
+                          const std::shared_ptr<Entry> &entry)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it == cache_.end() || it->second.entry != entry)
+        return; // dropped (failure) or replaced; nothing to account
+    Slot &slot = it->second;
+    if (slot.inLru)
+        return;
+    // The publisher calls noteReady after publish() on the same thread,
+    // so reading entry->result without entry->m is ordered.
+    slot.bytes = resultBytes(*entry->result);
+    cachedBytes_ += slot.bytes;
+    lru_.push_front(key);
+    slot.lruIt = lru_.begin();
+    slot.inLru = true;
+    evictOverLimitLocked();
+}
 
 CompileService::Resolved
 CompileService::resolve(const CompileRequest &req)
@@ -26,33 +106,9 @@ CompileService::resolve(const CompileRequest &req)
             res.program = req.program;
             res.programFp = req.program->fingerprint();
         } else {
-            bool cached = false;
-            {
-                std::lock_guard<std::mutex> lock(mu_);
-                auto it = programs_.find(req.workload);
-                if (it != programs_.end()) {
-                    res.program = it->second.first;
-                    res.programFp = it->second.second;
-                    cached = true;
-                }
-            }
-            if (!cached) {
-                // Build outside the lock (program construction is the
-                // expensive part and must not serialize unrelated
-                // requests).  Two concurrent first requests may both
-                // build; the emplace loser adopts the winner's
-                // instance, so the cache still holds one program per
-                // name.
-                std::shared_ptr<const Program> prog =
-                    std::make_shared<const Program>(
-                        makeBenchmark(req.workload));
-                uint64_t fp = prog->fingerprint();
-                std::lock_guard<std::mutex> lock(mu_);
-                auto [it, inserted] = programs_.try_emplace(
-                    req.workload, std::make_pair(std::move(prog), fp));
-                res.program = it->second.first;
-                res.programFp = it->second.second;
-            }
+            auto [program, fp] = programs_.get(req.workload);
+            res.program = std::move(program);
+            res.programFp = fp;
         }
         res.key = makeCacheKey(res.programFp, req.machine, req.cfg);
     } catch (const std::exception &e) {
@@ -71,8 +127,13 @@ CompileService::uncache(const CacheKey &key,
     // Waiters already attached to the entry still observe its error.
     std::lock_guard<std::mutex> lock(mu_);
     auto it = cache_.find(key);
-    if (it != cache_.end() && it->second == entry)
-        cache_.erase(it);
+    if (it == cache_.end() || it->second.entry != entry)
+        return;
+    if (it->second.inLru) {
+        cachedBytes_ -= it->second.bytes;
+        lru_.erase(it->second.lruIt);
+    }
+    cache_.erase(it);
 }
 
 void
@@ -141,16 +202,16 @@ CompileService::submit(const CompileRequest &req)
     {
         std::lock_guard<std::mutex> lock(mu_);
         ++requests_;
-        auto [it, inserted] =
-            cache_.try_emplace(res.key, nullptr);
+        auto [it, inserted] = cache_.try_emplace(res.key);
         if (inserted) {
-            it->second = std::make_shared<Entry>();
+            it->second.entry = std::make_shared<Entry>();
             owner = true;
             ++misses_;
         } else {
             ++hits_;
+            touchLocked(it->second);
         }
-        entry = it->second;
+        entry = it->second.entry;
     }
 
     if (owner)
@@ -163,6 +224,8 @@ CompileService::submit(const CompileRequest &req)
             uncache(res.key, entry);
         std::lock_guard<std::mutex> lock(mu_);
         ++failures_;
+    } else if (owner) {
+        noteReady(res.key, entry);
     }
     reply.millis = millisSince(t0);
     return reply;
@@ -199,17 +262,18 @@ CompileService::submitBatch(const std::vector<CompileRequest> &reqs)
         reply.key = res.key;
         std::lock_guard<std::mutex> lock(mu_);
         ++requests_;
-        auto [it, inserted] = cache_.try_emplace(res.key, nullptr);
+        auto [it, inserted] = cache_.try_emplace(res.key);
         if (inserted) {
-            it->second = std::make_shared<Entry>();
+            it->second.entry = std::make_shared<Entry>();
             ++misses_;
             is_owner[i] = true;
-            owned.push_back(Claim{i, std::move(res), it->second});
+            owned.push_back(Claim{i, std::move(res), it->second.entry});
         } else {
             ++hits_;
+            touchLocked(it->second);
             replies[i].hit = true;
         }
-        entries[i] = it->second;
+        entries[i] = it->second.entry;
     }
 
     // Phase 2: dispatch the unique misses onto the fleet worker pool,
@@ -236,7 +300,10 @@ CompileService::submitBatch(const std::vector<CompileRequest> &reqs)
                     std::move(jr.result));
             else
                 uncache(owned[k].res.key, owned[k].entry);
+            const bool ok = jr.error.empty();
             publish(*owned[k].entry, std::move(result), jr.error);
+            if (ok)
+                noteReady(owned[k].res.key, owned[k].entry);
             // The miss's service time is its compile time on the pool.
             replies[owned[k].reqIndex].millis = jr.millis;
         }
@@ -269,9 +336,11 @@ CompileService::stats() const
         s.hits = hits_;
         s.misses = misses_;
         s.failures = failures_;
+        s.evictions = evictions_;
         s.cachedResults = cache_.size();
-        s.cachedPrograms = programs_.size();
+        s.cachedBytes = cachedBytes_;
     }
+    s.cachedPrograms = programs_.size();
     s.compiles = s.misses;
     s.analysisComputes = analysis_.computeCount();
     return s;

@@ -34,9 +34,17 @@
  *
  * Results are shared immutable artifacts (shared_ptr<const
  * CompileResult>): hits are pointer-equal to the first computation,
- * which tests exploit to prove no recompilation happened.  The cache
- * is unbounded for now — eviction, sharding, and network transport
- * layer on top of this subsystem (see ROADMAP.md).
+ * which tests exploit to prove no recompilation happened.
+ *
+ * The cache is LRU-bounded by CacheLimits (entries and/or approximate
+ * bytes; zero means unbounded, the PR-3 behaviour).  Eviction removes
+ * an artifact from the *cache index* only: results are shared_ptrs, so
+ * a reply already handed out — or an in-flight submit() about to
+ * return — keeps its artifact alive regardless of eviction (pinning is
+ * structural, not a lock).  In-flight entries are never evicted; they
+ * join the LRU order when their result is published.  The server tier
+ * (src/server/) shards this service by CacheKey hash and puts a TCP
+ * transport in front of the pipe protocol (see ROADMAP.md).
  */
 
 #ifndef SQUARE_SERVICE_SERVICE_H
@@ -44,6 +52,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -56,6 +65,7 @@
 #include "ir/analysis_cache.h"
 #include "service/cache_key.h"
 #include "service/machine_spec.h"
+#include "service/program_cache.h"
 
 namespace square {
 
@@ -98,6 +108,20 @@ struct ServiceReply
     CacheKey key;
 };
 
+/**
+ * LRU bound on the result cache.  A limit of zero means "unbounded" on
+ * that axis.  Bytes are the approximate resident footprint of the
+ * cached CompileResults (struct + vector/string capacities); in-flight
+ * compilations are not counted — they are pinned by their waiters and
+ * become accountable (and evictable) when published.  An artifact
+ * larger than maxBytes is still served, just not retained.
+ */
+struct CacheLimits
+{
+    size_t maxEntries = 0; ///< max resident (published) results
+    size_t maxBytes = 0;   ///< max approximate resident result bytes
+};
+
 /** Monotonic service counters. */
 struct ServiceStats
 {
@@ -106,9 +130,14 @@ struct ServiceStats
     int64_t misses = 0;   ///< required a compilation
     int64_t compiles = 0; ///< compilations actually run (== misses)
     int64_t failures = 0; ///< requests that returned an error
+    int64_t evictions = 0; ///< results dropped by the LRU bound
     int64_t analysisComputes = 0; ///< unique program analyses built
     size_t cachedResults = 0;     ///< resident cache entries
+    size_t cachedBytes = 0;       ///< approx. bytes of published results
     size_t cachedPrograms = 0;    ///< resident workload programs
+
+    /** Element-wise sum (used by the shard router's global view). */
+    ServiceStats &operator+=(const ServiceStats &o);
 };
 
 /**
@@ -119,8 +148,11 @@ struct ServiceStats
 class CompileService
 {
   public:
-    /** @param workers fleet worker threads for submitBatch misses. */
-    explicit CompileService(int workers);
+    /**
+     * @param workers fleet worker threads for submitBatch misses.
+     * @param limits  LRU bound on the result cache (default unbounded).
+     */
+    explicit CompileService(int workers, CacheLimits limits = {});
 
     /**
      * Serve one request.  Misses compile on the calling thread;
@@ -141,8 +173,13 @@ class CompileService
 
     int workers() const { return fleet_.workers(); }
 
+    const CacheLimits &limits() const { return limits_; }
+
+    /** Approximate resident bytes of one result (for the byte bound). */
+    static size_t resultBytes(const CompileResult &result);
+
   private:
-    /** One cache slot; published exactly once under its own monitor. */
+    /** One cache entry; published exactly once under its own monitor. */
     struct Entry
     {
         std::mutex m;
@@ -150,6 +187,16 @@ class CompileService
         bool ready = false;
         std::shared_ptr<const CompileResult> result;
         std::string error;
+    };
+
+    /** The cache index slot for one key (entry + LRU bookkeeping). */
+    struct Slot
+    {
+        std::shared_ptr<Entry> entry;
+        /** Valid only when inLru; front of lru_ is most recent. */
+        std::list<CacheKey>::iterator lruIt;
+        bool inLru = false;
+        size_t bytes = 0;
     };
 
     /** A request resolved to its key and shared program. */
@@ -183,20 +230,36 @@ class CompileService
     void uncache(const CacheKey &key,
                  const std::shared_ptr<Entry> &entry);
 
+    /**
+     * Account a freshly published result: enter it into the LRU order,
+     * add its bytes, and evict over-limit entries.  No-op if the key
+     * was dropped (failed) or replaced meanwhile.
+     */
+    void noteReady(const CacheKey &key,
+                   const std::shared_ptr<Entry> &entry);
+
+    /** Move an already-published slot to the front of the LRU order. */
+    void touchLocked(Slot &slot);
+
+    /** Evict LRU published entries until within limits_. */
+    void evictOverLimitLocked();
+
     FleetCompiler fleet_;
     AnalysisCache analysis_;
+    const CacheLimits limits_;
 
     mutable std::mutex mu_;
-    std::unordered_map<CacheKey, std::shared_ptr<Entry>, CacheKeyHash>
-        cache_;
-    /** name -> (program, fingerprint); programs built once per name. */
-    std::unordered_map<std::string,
-                       std::pair<std::shared_ptr<const Program>, uint64_t>>
-        programs_;
+    std::unordered_map<CacheKey, Slot, CacheKeyHash> cache_;
+    /** Published keys, most recently used first. */
+    std::list<CacheKey> lru_;
+    size_t cachedBytes_ = 0;
+    /** Workload names resolved once to shared immutable programs. */
+    ProgramNameCache programs_;
     int64_t requests_ = 0;
     int64_t hits_ = 0;
     int64_t misses_ = 0;
     int64_t failures_ = 0;
+    int64_t evictions_ = 0;
 };
 
 } // namespace square

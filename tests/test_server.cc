@@ -1,0 +1,422 @@
+/**
+ * @file
+ * Server-tier correctness: the TCP transport must frame the NDJSON
+ * protocol faithfully (including truncated trailing lines) and shut
+ * down cleanly; the shard router must be key-affine (a given
+ * program x machine x config always lands on the same shard) with
+ * per-shard stats that sum exactly to the global view.  This binary
+ * runs under the CI ThreadSanitizer job.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.h"
+#include "server/server.h"
+#include "server/shard_router.h"
+#include "server/tcp_transport.h"
+#include "service/service.h"
+#include "workloads/registry.h"
+
+namespace square {
+namespace {
+
+CompileRequest
+namedRequest(const std::string &workload, const SquareConfig &cfg)
+{
+    CompileRequest req;
+    req.label = workload + "/" + cfg.name;
+    req.workload = workload;
+    req.machine = MachineSpec::paperFor(findBenchmark(workload));
+    req.cfg = cfg;
+    return req;
+}
+
+// -------------------------------------------------------------------
+// TcpTransport framing and shutdown
+// -------------------------------------------------------------------
+
+TEST(Transport, LinesRoundTripOnPersistentConnections)
+{
+    TcpTransport transport;
+    std::string error;
+    ASSERT_TRUE(transport.start(
+        "127.0.0.1", 0,
+        [](const std::string &line, bool &) { return "echo:" + line; },
+        error))
+        << error;
+    ASSERT_GT(transport.port(), 0);
+
+    LineClient a, b;
+    ASSERT_TRUE(a.connect("127.0.0.1", transport.port(), error)) << error;
+    ASSERT_TRUE(b.connect("127.0.0.1", transport.port(), error)) << error;
+
+    // Interleaved requests on two persistent connections.
+    std::string reply;
+    for (int round = 0; round < 3; ++round) {
+        const std::string msg = "round-" + std::to_string(round);
+        ASSERT_TRUE(a.sendLine(msg + "-a"));
+        ASSERT_TRUE(b.sendLine(msg + "-b"));
+        ASSERT_TRUE(a.recvLine(reply));
+        EXPECT_EQ(reply, "echo:" + msg + "-a");
+        ASSERT_TRUE(b.recvLine(reply));
+        EXPECT_EQ(reply, "echo:" + msg + "-b");
+    }
+    TransportStats stats = transport.stats();
+    EXPECT_EQ(stats.accepted, 2);
+    EXPECT_EQ(stats.lines, 6);
+
+    // stop() drains everything: subsequent reads see EOF, further
+    // connects are refused, and a second stop() is a no-op.
+    transport.stop();
+    EXPECT_FALSE(a.recvLine(reply));
+    LineClient late;
+    EXPECT_FALSE(late.connect("127.0.0.1", transport.port(), error));
+    transport.stop();
+}
+
+TEST(Transport, TruncatedTrailingLineStillGetsAReply)
+{
+    TcpTransport transport;
+    std::string error;
+    ASSERT_TRUE(transport.start(
+        "127.0.0.1", 0,
+        [](const std::string &line, bool &) { return "got:" + line; },
+        error))
+        << error;
+
+    // The client dies mid-request: bytes but no newline, then the
+    // write half closes.  The transport must deliver the tail to the
+    // handler and write the reply before winding the connection down.
+    LineClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", transport.port(), error))
+        << error;
+    ASSERT_TRUE(client.sendRaw("truncated-request"));
+    client.shutdownWrite();
+    std::string reply;
+    ASSERT_TRUE(client.recvLine(reply));
+    EXPECT_EQ(reply, "got:truncated-request");
+    EXPECT_FALSE(client.recvLine(reply)); // connection closed after
+    transport.stop();
+}
+
+TEST(Transport, NewlinelessFloodIsBoundedAndDisconnected)
+{
+    // A peer streaming bytes with no newline must not grow server
+    // memory without bound: past the line cap it gets a reply for a
+    // short prefix and is disconnected.
+    TcpTransport transport;
+    std::string error;
+    std::atomic<size_t> seen_len{0};
+    ASSERT_TRUE(transport.start(
+        "127.0.0.1", 0,
+        [&seen_len](const std::string &line, bool &) {
+            seen_len.store(line.size());
+            return std::string("len:") + std::to_string(line.size());
+        },
+        error))
+        << error;
+
+    LineClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", transport.port(), error))
+        << error;
+    // Push well past the 1 MB cap without ever sending '\n'.
+    const std::string chunk(64 * 1024, 'x');
+    for (int i = 0; i < 20 && client.sendRaw(chunk); ++i) {
+    }
+    std::string reply;
+    ASSERT_TRUE(client.recvLine(reply));
+    EXPECT_EQ(reply.substr(0, 4), "len:");
+    EXPECT_LE(seen_len.load(), 200u); // a prefix reached the handler,
+                                      // not the whole 1.3 MB flood
+    EXPECT_FALSE(client.recvLine(reply)); // disconnected after
+    transport.stop();
+}
+
+// -------------------------------------------------------------------
+// ShardRouter key affinity and stats
+// -------------------------------------------------------------------
+
+TEST(ShardRouter, SameKeyAlwaysLandsOnSameShard)
+{
+    ShardRouter router(4, 1);
+    CompileRequest req = namedRequest("ADDER4", SquareConfig::square());
+
+    std::shared_ptr<const Program> program;
+    CacheKey key;
+    std::string error;
+    ASSERT_TRUE(router.resolve(req, program, key, error)) << error;
+    const int home = router.shardFor(key);
+    ASSERT_GE(home, 0);
+    ASSERT_LT(home, router.shards());
+
+    const int repeats = 5;
+    for (int i = 0; i < repeats; ++i) {
+        ServiceReply r = router.submit(req);
+        ASSERT_TRUE(r.error.empty());
+        EXPECT_TRUE(r.key == key);
+        EXPECT_EQ(r.hit, i > 0); // one miss, then affine hits
+    }
+
+    // Every request hit exactly the home shard; the others are idle.
+    RouterStats stats = router.stats();
+    for (int s = 0; s < router.shards(); ++s) {
+        SCOPED_TRACE("shard " + std::to_string(s));
+        EXPECT_EQ(stats.shards[static_cast<size_t>(s)].requests,
+                  s == home ? repeats : 0);
+    }
+    EXPECT_EQ(stats.shards[static_cast<size_t>(home)].compiles, 1);
+}
+
+TEST(ShardRouter, ShardStatsSumToGlobalStats)
+{
+    ShardRouter router(3, 1);
+    // A mix of keys (two workloads x two policies), each repeated.
+    std::vector<CompileRequest> reqs;
+    for (const char *w : {"ADDER4", "RD53"}) {
+        reqs.push_back(namedRequest(w, SquareConfig::square()));
+        reqs.push_back(namedRequest(w, SquareConfig::eager()));
+    }
+    for (int round = 0; round < 3; ++round)
+        for (const CompileRequest &req : reqs)
+            ASSERT_TRUE(router.submit(req).error.empty());
+
+    RouterStats stats = router.stats();
+    ServiceStats sum;
+    for (const ServiceStats &shard : stats.shards)
+        sum += shard;
+    EXPECT_EQ(sum.requests, stats.global.requests);
+    EXPECT_EQ(sum.hits, stats.global.hits);
+    EXPECT_EQ(sum.misses, stats.global.misses);
+    EXPECT_EQ(sum.compiles, stats.global.compiles);
+    EXPECT_EQ(sum.failures, stats.global.failures);
+    EXPECT_EQ(sum.evictions, stats.global.evictions);
+    EXPECT_EQ(sum.cachedResults, stats.global.cachedResults);
+    EXPECT_EQ(sum.cachedBytes, stats.global.cachedBytes);
+
+    EXPECT_EQ(stats.global.requests, 12);
+    EXPECT_EQ(stats.global.compiles, 4); // 4 unique keys
+    EXPECT_EQ(stats.global.hits, 8);
+    // The router resolved both programs once, in its own cache; the
+    // shards received explicit programs and built none themselves.
+    EXPECT_EQ(stats.routerPrograms, 2u);
+    EXPECT_EQ(sum.cachedPrograms, 0u);
+}
+
+TEST(ShardRouter, ResolveFailuresAnsweredBeforeRouting)
+{
+    ShardRouter router(2, 1);
+    CompileRequest bogus;
+    bogus.label = "bogus";
+    bogus.workload = "NO-SUCH-WORKLOAD";
+    bogus.cfg = SquareConfig::square();
+    ServiceReply r = router.submit(bogus);
+    EXPECT_FALSE(r.error.empty());
+    EXPECT_EQ(r.result, nullptr);
+
+    RouterStats stats = router.stats();
+    EXPECT_EQ(stats.resolveFailures, 1);
+    EXPECT_EQ(stats.global.requests, 0); // never reached a shard
+}
+
+TEST(ShardRouter, ConcurrentDuplicatesAcrossConnectionsCompileOnce)
+{
+    // Key affinity is what preserves in-flight dedup under sharding:
+    // concurrent duplicates meet on the owning shard.  TSan-covered.
+    ShardRouter router(2, 2);
+    CompileRequest req = namedRequest("RD53", SquareConfig::square());
+
+    const int n_threads = 8;
+    std::vector<ServiceReply> replies(n_threads);
+    {
+        std::vector<std::thread> pool;
+        pool.reserve(n_threads);
+        for (int t = 0; t < n_threads; ++t) {
+            pool.emplace_back([&router, &req, &replies, t] {
+                replies[static_cast<size_t>(t)] = router.submit(req);
+            });
+        }
+        for (std::thread &th : pool)
+            th.join();
+    }
+    const CompileResult *shared = replies[0].result.get();
+    ASSERT_NE(shared, nullptr);
+    for (const ServiceReply &r : replies) {
+        EXPECT_TRUE(r.error.empty());
+        EXPECT_EQ(r.result.get(), shared);
+    }
+    RouterStats stats = router.stats();
+    EXPECT_EQ(stats.global.requests, n_threads);
+    EXPECT_EQ(stats.global.compiles, 1);
+}
+
+// -------------------------------------------------------------------
+// CompileServer: the protocol over real sockets
+// -------------------------------------------------------------------
+
+TEST(Server, DuplicateRequestIsAHitOverTcp)
+{
+    ServerConfig cfg;
+    cfg.shards = 2;
+    CompileServer server(cfg);
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    LineClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port(), error))
+        << error;
+    std::string reply;
+
+    ASSERT_TRUE(client.sendLine(
+        R"({"id":1,"workload":"ADDER4","policy":"square"})"));
+    ASSERT_TRUE(client.recvLine(reply));
+    EXPECT_NE(reply.find("\"ok\": true"), std::string::npos);
+    EXPECT_NE(reply.find("\"cache\": \"miss\""), std::string::npos);
+
+    ASSERT_TRUE(client.sendLine(
+        R"({"id":2,"workload":"ADDER4","policy":"square"})"));
+    ASSERT_TRUE(client.recvLine(reply));
+    EXPECT_NE(reply.find("\"cache\": \"hit\""), std::string::npos);
+
+    ASSERT_TRUE(client.sendLine(R"({"cmd":"stats"})"));
+    ASSERT_TRUE(client.recvLine(reply));
+    EXPECT_NE(reply.find("\"requests\": 2"), std::string::npos);
+    EXPECT_NE(reply.find("\"hits\": 1"), std::string::npos);
+    EXPECT_NE(reply.find("\"shards\": 2"), std::string::npos);
+
+    // In-protocol shutdown: acknowledged, then the owning thread stops.
+    ASSERT_TRUE(client.sendLine(R"({"cmd":"shutdown"})"));
+    ASSERT_TRUE(client.recvLine(reply));
+    EXPECT_NE(reply.find("\"cmd\": \"shutdown\""), std::string::npos);
+    EXPECT_TRUE(server.shutdownRequested());
+    server.stop();
+}
+
+TEST(Server, MalformedInputIsAStructuredReplyNotAClosedConnection)
+{
+    CompileServer server(ServerConfig{});
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    LineClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port(), error))
+        << error;
+    std::string reply;
+
+    // Malformed machine specs: structured errors, connection lives on.
+    for (const char *bad :
+         {R"({"workload":"ADDER4","machine":"nisq:0x5"})",
+          R"({"workload":"ADDER4","machine":"ft:16x16@"})",
+          R"({"workload":"ADDER4","machine":"warp:3x3"})",
+          R"({"workload":"ADDER4","oops":1})", R"(not json)",
+          R"({"a": {"b": 1}})"}) {
+        SCOPED_TRACE(bad);
+        ASSERT_TRUE(client.sendLine(bad));
+        ASSERT_TRUE(client.recvLine(reply));
+        EXPECT_NE(reply.find("\"ok\": false"), std::string::npos);
+        EXPECT_NE(reply.find("\"error\""), std::string::npos);
+    }
+
+    // The same connection still serves a good request afterwards.
+    ASSERT_TRUE(client.sendLine(R"({"workload":"ADDER4"})"));
+    ASSERT_TRUE(client.recvLine(reply));
+    EXPECT_NE(reply.find("\"ok\": true"), std::string::npos);
+    server.stop();
+}
+
+TEST(Server, TruncatedNdjsonLineGetsAStructuredError)
+{
+    CompileServer server(ServerConfig{});
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    // A request torn mid-string by the client dying: the reply is a
+    // parse error object, not silence or an aborted connection.
+    LineClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port(), error))
+        << error;
+    ASSERT_TRUE(client.sendRaw(R"({"workload": "ADD)"));
+    client.shutdownWrite();
+    std::string reply;
+    ASSERT_TRUE(client.recvLine(reply));
+    EXPECT_NE(reply.find("\"ok\": false"), std::string::npos);
+
+    // The server survives; a fresh connection compiles fine.
+    LineClient next;
+    ASSERT_TRUE(next.connect("127.0.0.1", server.port(), error)) << error;
+    ASSERT_TRUE(next.sendLine(R"({"workload":"ADDER4"})"));
+    ASSERT_TRUE(next.recvLine(reply));
+    EXPECT_NE(reply.find("\"ok\": true"), std::string::npos);
+    server.stop();
+}
+
+TEST(Server, HandleLineDispatchWithoutSockets)
+{
+    CompileServer server(ServerConfig{});
+    bool close_conn = false;
+
+    // Blank lines and comments are protocol no-ops.
+    EXPECT_EQ(server.handleLine("", close_conn), "");
+    EXPECT_EQ(server.handleLine("   # comment", close_conn), "");
+
+    std::string reply =
+        server.handleLine(R"({"cmd":"nope"})", close_conn);
+    EXPECT_NE(reply.find("unknown cmd"), std::string::npos);
+    EXPECT_FALSE(close_conn);
+
+    reply = server.handleLine(R"({"cmd":"shutdown"})", close_conn);
+    EXPECT_NE(reply.find("\"ok\": true"), std::string::npos);
+    EXPECT_TRUE(close_conn);
+    EXPECT_TRUE(server.shutdownRequested());
+}
+
+TEST(Server, CachedResponsesAreBitIdenticalAcrossConnections)
+{
+    // The network path must not perturb results: the same request over
+    // two different connections (miss, then cross-connection hit)
+    // renders byte-identical metric payloads.
+    ServerConfig cfg;
+    cfg.shards = 2;
+    CompileServer server(cfg);
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    auto metricsOf = [](const std::string &reply) {
+        // Strip the fields that legitimately differ between serves
+        // (id, cache tag, service time); keep the metric tail.
+        size_t gates = reply.find("\"gates\"");
+        size_t millis = reply.find("\"millis\"");
+        EXPECT_NE(gates, std::string::npos);
+        EXPECT_NE(millis, std::string::npos);
+        size_t key = reply.find("\"key\"");
+        EXPECT_NE(key, std::string::npos);
+        return reply.substr(gates, millis - gates) + reply.substr(key);
+    };
+
+    std::string first, second;
+    {
+        LineClient client;
+        ASSERT_TRUE(client.connect("127.0.0.1", server.port(), error));
+        ASSERT_TRUE(client.sendLine(
+            R"({"workload":"RD53","policy":"square"})"));
+        ASSERT_TRUE(client.recvLine(first));
+        EXPECT_NE(first.find("\"cache\": \"miss\""), std::string::npos);
+    }
+    {
+        LineClient client;
+        ASSERT_TRUE(client.connect("127.0.0.1", server.port(), error));
+        ASSERT_TRUE(client.sendLine(
+            R"({"workload":"RD53","policy":"square"})"));
+        ASSERT_TRUE(client.recvLine(second));
+        EXPECT_NE(second.find("\"cache\": \"hit\""), std::string::npos);
+    }
+    EXPECT_EQ(metricsOf(first), metricsOf(second));
+    server.stop();
+}
+
+} // namespace
+} // namespace square

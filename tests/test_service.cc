@@ -360,6 +360,188 @@ TEST(Service, BatchDeduplicatesAndDispatchesMissesOnce)
 }
 
 // -------------------------------------------------------------------
+// LRU cache bound (CacheLimits)
+// -------------------------------------------------------------------
+
+TEST(Lru, EntryBoundEvictsLeastRecentlyUsed)
+{
+    CacheLimits limits;
+    limits.maxEntries = 2;
+    CompileService service(1, limits);
+
+    ServiceReply a =
+        service.submit(namedRequest("ADDER4", SquareConfig::square()));
+    ServiceReply b =
+        service.submit(namedRequest("ADDER4", SquareConfig::eager()));
+    ASSERT_TRUE(a.error.empty());
+    ASSERT_TRUE(b.error.empty());
+    EXPECT_EQ(service.stats().evictions, 0);
+
+    // Third unique key: the oldest (a) is evicted, b and c stay.
+    ServiceReply c =
+        service.submit(namedRequest("ADDER4", SquareConfig::lazy()));
+    ASSERT_TRUE(c.error.empty());
+    ServiceStats s = service.stats();
+    EXPECT_EQ(s.evictions, 1);
+    EXPECT_EQ(s.cachedResults, 2u);
+    EXPECT_GT(s.cachedBytes, 0u);
+
+    // The evicted key recompiles; the resident ones still hit.
+    EXPECT_TRUE(service
+                    .submit(namedRequest("ADDER4", SquareConfig::lazy()))
+                    .hit);
+    ServiceReply a2 =
+        service.submit(namedRequest("ADDER4", SquareConfig::square()));
+    EXPECT_FALSE(a2.hit);
+    ASSERT_TRUE(a2.error.empty());
+    // The evicted artifact was recomputed, and identically.
+    EXPECT_EQ(a2.result->gates, a.result->gates);
+    EXPECT_EQ(a2.result->depth, a.result->depth);
+}
+
+TEST(Lru, HitsRefreshRecency)
+{
+    CacheLimits limits;
+    limits.maxEntries = 2;
+    CompileService service(1, limits);
+
+    CompileRequest a = namedRequest("ADDER4", SquareConfig::square());
+    CompileRequest b = namedRequest("ADDER4", SquareConfig::eager());
+    CompileRequest c = namedRequest("ADDER4", SquareConfig::lazy());
+    service.submit(a);
+    service.submit(b);
+    EXPECT_TRUE(service.submit(a).hit); // touch: a is now most recent
+
+    // Inserting c evicts b (the least recently used), not a.
+    service.submit(c);
+    EXPECT_TRUE(service.submit(a).hit);
+    EXPECT_FALSE(service.submit(b).hit);
+    EXPECT_EQ(service.stats().evictions, 2); // b, then c on b's return
+}
+
+TEST(Lru, OversizedArtifactIsServedButNotRetained)
+{
+    CacheLimits limits;
+    limits.maxBytes = 1; // every result exceeds this
+    CompileService service(1, limits);
+    CompileRequest req = namedRequest("ADDER4", SquareConfig::square());
+
+    ServiceReply first = service.submit(req);
+    ASSERT_TRUE(first.error.empty());
+    ASSERT_NE(first.result, nullptr);
+    EXPECT_GT(first.result->gates, 0);
+
+    ServiceStats s = service.stats();
+    EXPECT_EQ(s.evictions, 1);
+    EXPECT_EQ(s.cachedResults, 0u);
+    EXPECT_EQ(s.cachedBytes, 0u);
+
+    // Still correct on the recompile path, just never a hit.
+    ServiceReply second = service.submit(req);
+    EXPECT_FALSE(second.hit);
+    ASSERT_TRUE(second.error.empty());
+    EXPECT_EQ(second.result->gates, first.result->gates);
+    // The caller's shared_ptr outlives the eviction of its cache slot.
+    EXPECT_EQ(first.result->depth, second.result->depth);
+}
+
+TEST(Lru, UnderBoundWorkloadBehavesAsUnbounded)
+{
+    // A bound the workload never reaches must not change hit behaviour
+    // vs the unbounded (PR 3) cache: same hits, pointer-equal results,
+    // zero evictions.
+    CacheLimits limits;
+    limits.maxEntries = 100;
+    CompileService service(2, limits);
+    CompileRequest req = namedRequest("ADDER4", SquareConfig::square());
+
+    ServiceReply first = service.submit(req);
+    ServiceReply second = service.submit(req);
+    EXPECT_FALSE(first.hit);
+    EXPECT_TRUE(second.hit);
+    EXPECT_EQ(first.result.get(), second.result.get());
+    ServiceStats s = service.stats();
+    EXPECT_EQ(s.evictions, 0);
+    EXPECT_EQ(s.cachedResults, 1u);
+}
+
+TEST(Lru, SubmitBatchAccountsAndEvicts)
+{
+    CacheLimits limits;
+    limits.maxEntries = 1;
+    CompileService service(2, limits);
+    std::vector<CompileRequest> batch = {
+        namedRequest("ADDER4", SquareConfig::square()),
+        namedRequest("ADDER4", SquareConfig::eager()),
+        namedRequest("ADDER4", SquareConfig::square()), // in-batch dup
+    };
+    std::vector<ServiceReply> replies = service.submitBatch(batch);
+    ASSERT_EQ(replies.size(), 3u);
+    for (const ServiceReply &r : replies) {
+        EXPECT_TRUE(r.error.empty());
+        ASSERT_NE(r.result, nullptr);
+    }
+    EXPECT_TRUE(replies[2].hit); // dedup is pre-eviction (in flight)
+    ServiceStats s = service.stats();
+    EXPECT_EQ(s.compiles, 2);
+    EXPECT_EQ(s.evictions, 1);
+    EXPECT_EQ(s.cachedResults, 1u);
+}
+
+TEST(Lru, EvictionNeverInvalidatesInFlightResults)
+{
+    // The eviction edge case: a key being evicted while concurrent
+    // submits hold (or are about to return) its shared result must not
+    // leave any thread with a dangling artifact.  With maxEntries = 1
+    // and two alternating keys, every submit races an eviction of the
+    // other key.  TSan-covered via the CI job that runs this binary.
+    CacheLimits limits;
+    limits.maxEntries = 1;
+    CompileService service(2, limits);
+
+    const CompileRequest reqs[2] = {
+        namedRequest("ADDER4", SquareConfig::square()),
+        namedRequest("ADDER4", SquareConfig::eager()),
+    };
+    // Expected metrics, computed before the churn.
+    int64_t expected_gates[2];
+    for (int k = 0; k < 2; ++k) {
+        Program prog = makeBenchmark(reqs[k].workload);
+        Machine machine = reqs[k].machine.build();
+        expected_gates[k] =
+            compile(prog, machine, reqs[k].cfg, {}).gates;
+    }
+
+    const int n_threads = 4;
+    const int iterations = 12;
+    std::atomic<int> bad{0};
+    {
+        std::vector<std::thread> pool;
+        pool.reserve(n_threads);
+        for (int t = 0; t < n_threads; ++t) {
+            pool.emplace_back([&, t] {
+                for (int i = 0; i < iterations; ++i) {
+                    const int k = (t + i) % 2;
+                    ServiceReply r = service.submit(reqs[k]);
+                    // The returned artifact must be alive and correct
+                    // no matter what the LRU did meanwhile.
+                    if (!r.error.empty() || !r.result ||
+                        r.result->gates != expected_gates[k])
+                        bad.fetch_add(1);
+                }
+            });
+        }
+        for (std::thread &th : pool)
+            th.join();
+    }
+    EXPECT_EQ(bad.load(), 0);
+    ServiceStats s = service.stats();
+    EXPECT_EQ(s.requests, n_threads * iterations);
+    EXPECT_GT(s.evictions, 0);
+    EXPECT_LE(s.cachedResults, 1u);
+}
+
+// -------------------------------------------------------------------
 // MachineSpec and protocol round trips
 // -------------------------------------------------------------------
 
@@ -395,6 +577,67 @@ TEST(MachineSpec, ParseBuildRoundTrip)
     EXPECT_FALSE(MachineSpec::parse("warp:3x3", spec, error));
     EXPECT_FALSE(MachineSpec::parse("nisq:0x5", spec, error));
     EXPECT_FALSE(MachineSpec::parse("full:-2", spec, error));
+}
+
+TEST(MachineSpec, MalformedSpecsRejectWithMessages)
+{
+    // Every malformed form must fail with a diagnostic, never abort —
+    // these reach parse() straight off the wire via buildRequest.
+    const char *bad[] = {
+        "",          "nisq",      "nisq:",      ":5x5",
+        "nisq:5x",   "nisq:x5",   "nisq:5x5x5", "nisq:5x5@10",
+        "ft:16x16@", "ft:16x16@0", "ft:16x@8",  "ft:@",
+        "full:",     "full:0",    "full:2x2",   "nisq-macro:7",
+    };
+    for (const char *text : bad) {
+        SCOPED_TRACE(std::string("spec '") + text + "'");
+        MachineSpec spec;
+        std::string error;
+        EXPECT_FALSE(MachineSpec::parse(text, spec, error));
+        EXPECT_FALSE(error.empty());
+    }
+
+    // And through the protocol: a structured buildRequest failure.
+    for (const char *machine : {"nisq:0x5", "ft:16x16@"}) {
+        SCOPED_TRACE(machine);
+        JsonRequest json;
+        std::string error;
+        ASSERT_TRUE(parseJsonLine(std::string(R"({"workload": "ADDER4",)") +
+                                      R"( "machine": ")" + machine +
+                                      R"("})",
+                                  json, error))
+            << error;
+        CompileRequest req;
+        EXPECT_FALSE(buildRequest(json, req, error));
+        EXPECT_FALSE(error.empty());
+        // The error renders as a well-formed reply line.
+        std::string reply = formatError(json, error);
+        EXPECT_NE(reply.find("\"ok\": false"), std::string::npos);
+    }
+}
+
+TEST(Protocol, TruncatedLinesAreStructuredErrors)
+{
+    // Truncation points a dying client can tear a request at: all must
+    // produce a parse error (and therefore an {"ok": false} reply),
+    // never a crash or a silently dropped request.
+    const char *truncated[] = {
+        R"({"workload": "ADD)",   // torn inside a string
+        R"({"workload": )",       // torn before a value
+        R"({"workload")",         // torn before the colon
+        R"({"workload": "A", )",  // torn after a comma
+        R"({)",                   // torn after the brace
+    };
+    for (const char *line : truncated) {
+        SCOPED_TRACE(std::string("line '") + line + "'");
+        JsonRequest json;
+        std::string error;
+        EXPECT_FALSE(parseJsonLine(line, json, error));
+        EXPECT_FALSE(error.empty());
+        std::string reply = formatError(json, error);
+        EXPECT_NE(reply.find("\"ok\": false"), std::string::npos);
+        EXPECT_NE(reply.find("\"error\""), std::string::npos);
+    }
 }
 
 TEST(Protocol, ParseAndBuildRequest)

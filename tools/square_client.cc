@@ -1,0 +1,84 @@
+/**
+ * @file
+ * square_client: stdin -> square_served -> stdout.
+ *
+ * Reads newline-delimited JSON requests from stdin, sends each over
+ * one persistent TCP connection, and prints the server's reply lines
+ * to stdout — the pipe-protocol ergonomics of square_serve, pointed at
+ * the networked server.  Blank lines and '#' comments are skipped
+ * locally, so annotated request files work unchanged.
+ *
+ *   square_client --port=7801 < requests.jsonl
+ *
+ * Flags:
+ *   --host=A   server address (default 127.0.0.1)
+ *   --port=N   server port (required)
+ *
+ * Exits non-zero if the connection cannot be established or drops
+ * before every request is answered (a {"cmd":"shutdown"} request is
+ * answered before the server closes the connection, so scripted
+ * shutdown still exits 0).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "server/client.h"
+#include "service/protocol.h"
+
+using namespace square;
+
+int
+main(int argc, char **argv)
+{
+    std::string host = "127.0.0.1";
+    long port = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--host=", 7) == 0) {
+            host = argv[i] + 7;
+        } else if (std::strncmp(argv[i], "--port=", 7) == 0) {
+            char *end = nullptr;
+            port = std::strtol(argv[i] + 7, &end, 10);
+            if (end == argv[i] + 7 || *end != '\0')
+                port = 0; // falls through to the range error below
+        } else {
+            std::fprintf(stderr,
+                         "usage: square_client [--host=A] --port=N\n");
+            return 1;
+        }
+    }
+    if (port <= 0 || port > 65535) {
+        std::fprintf(stderr, "square_client: --port=N is required\n");
+        return 1;
+    }
+
+    LineClient client;
+    std::string error;
+    if (!client.connect(host, static_cast<uint16_t>(port), error)) {
+        std::fprintf(stderr, "square_client: %s\n", error.c_str());
+        return 1;
+    }
+
+    std::string line;
+    while (std::getline(std::cin, line)) {
+        if (isProtocolNoOp(line))
+            continue;
+        if (!client.sendLine(line)) {
+            std::fprintf(stderr, "square_client: send failed\n");
+            return 1;
+        }
+        std::string reply;
+        if (!client.recvLine(reply)) {
+            std::fprintf(stderr,
+                         "square_client: connection closed before "
+                         "reply\n");
+            return 1;
+        }
+        std::puts(reply.c_str());
+        std::fflush(stdout);
+    }
+    return 0;
+}

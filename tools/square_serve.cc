@@ -64,10 +64,7 @@ main(int argc, char **argv)
 
     std::string line;
     while (std::getline(std::cin, line)) {
-        // Skip blanks and '#' comments so request files can be
-        // annotated.
-        size_t first = line.find_first_not_of(" \t\r");
-        if (first == std::string::npos || line[first] == '#')
+        if (isProtocolNoOp(line))
             continue;
 
         JsonRequest json;

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * square_served: the sharded compile service on a TCP port.
+ *
+ * The network face of the serving tier: square_serve's NDJSON protocol
+ * (one JSON request per line, one JSON reply per line; see
+ * src/service/protocol.h) over persistent loopback TCP connections,
+ * served by a key-affine shard router with an LRU-bounded result cache
+ * per shard (src/server/server.h).
+ *
+ *   square_served --port=7801 --shards=2 &
+ *   printf '%s\n' \
+ *     '{"id":1,"workload":"ADDER4","policy":"square"}' \
+ *     '{"id":2,"workload":"ADDER4","policy":"square"}' \
+ *     '{"cmd":"stats"}' '{"cmd":"shutdown"}' \
+ *     | square_client --port=7801
+ *
+ * Flags:
+ *   --port=N           listen port (default 0 = ephemeral; the bound
+ *                      port is announced on stderr and in --port-file)
+ *   --host=A           IPv4 bind address (default 127.0.0.1)
+ *   --shards=N         CompileService shards (default 2)
+ *   --workers=N        fleet workers per shard (default 1)
+ *   --cache-entries=N  per-shard LRU bound, results (default unbounded)
+ *   --cache-bytes=N    per-shard LRU bound, bytes (default unbounded)
+ *   --port-file=PATH   write the bound port (decimal, newline) once
+ *                      listening — for scripts that pass --port=0
+ *   --quiet            suppress the stderr banner and final counters
+ *
+ * The server runs until {"cmd":"shutdown"} arrives on any connection
+ * or SIGINT/SIGTERM; either way it drains cleanly (listener closed,
+ * every connection shut down and joined) before exiting 0.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "server/server.h"
+
+using namespace square;
+
+namespace {
+
+std::atomic<bool> g_signal{false};
+
+void
+onSignal(int)
+{
+    g_signal.store(true);
+}
+
+bool
+parseSize(const char *text, size_t &out)
+{
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0')
+        return false;
+    out = static_cast<size_t>(v);
+    return true;
+}
+
+/** Strict bounded integer parse (no atoi: trailing garbage rejects). */
+bool
+parseInt(const char *text, long min, long max, int &out)
+{
+    char *end = nullptr;
+    long v = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || v < min || v > max)
+        return false;
+    out = static_cast<int>(v);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ServerConfig cfg;
+    std::string port_file;
+    bool quiet = false;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        size_t size_value = 0;
+        int int_value = 0;
+        if (std::strncmp(arg, "--port=", 7) == 0) {
+            if (!parseInt(arg + 7, 0, 65535, int_value)) {
+                std::fprintf(stderr, "bad --port value\n");
+                return 1;
+            }
+            cfg.port = static_cast<uint16_t>(int_value);
+        } else if (std::strncmp(arg, "--host=", 7) == 0) {
+            cfg.host = arg + 7;
+        } else if (std::strncmp(arg, "--shards=", 9) == 0) {
+            if (!parseInt(arg + 9, 1, 4096, int_value)) {
+                std::fprintf(stderr, "bad --shards value\n");
+                return 1;
+            }
+            cfg.shards = int_value;
+        } else if (std::strncmp(arg, "--workers=", 10) == 0) {
+            if (!parseInt(arg + 10, 1, 4096, int_value)) {
+                std::fprintf(stderr, "bad --workers value\n");
+                return 1;
+            }
+            cfg.workersPerShard = int_value;
+        } else if (std::strncmp(arg, "--cache-entries=", 16) == 0 &&
+                   parseSize(arg + 16, size_value)) {
+            cfg.limits.maxEntries = size_value;
+        } else if (std::strncmp(arg, "--cache-bytes=", 14) == 0 &&
+                   parseSize(arg + 14, size_value)) {
+            cfg.limits.maxBytes = size_value;
+        } else if (std::strncmp(arg, "--port-file=", 12) == 0) {
+            port_file = arg + 12;
+        } else if (std::strcmp(arg, "--quiet") == 0) {
+            quiet = true;
+        } else {
+            std::fprintf(
+                stderr,
+                "usage: square_served [--port=N] [--host=A] "
+                "[--shards=N] [--workers=N] [--cache-entries=N] "
+                "[--cache-bytes=N] [--port-file=PATH] [--quiet]\n");
+            return 1;
+        }
+    }
+
+    CompileServer server(cfg);
+    std::string error;
+    if (!server.start(error)) {
+        std::fprintf(stderr, "square_served: %s\n", error.c_str());
+        return 1;
+    }
+    if (!quiet) {
+        std::fprintf(stderr,
+                     "square_served: listening on %s:%u (%d shards x %d "
+                     "workers; cache bound: %zu entries, %zu bytes; 0 = "
+                     "unbounded)\n",
+                     cfg.host.c_str(), server.port(), cfg.shards,
+                     cfg.workersPerShard, cfg.limits.maxEntries,
+                     cfg.limits.maxBytes);
+    }
+    if (!port_file.empty()) {
+        std::FILE *f = std::fopen(port_file.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "square_served: cannot write %s\n",
+                         port_file.c_str());
+            return 1;
+        }
+        std::fprintf(f, "%u\n", server.port());
+        std::fclose(f);
+    }
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    // The owning thread observes the shutdown request (in-protocol or
+    // signal) and performs the stop itself — connection threads must
+    // not join themselves (see server.h).
+    while (!server.shutdownRequested() && !g_signal.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    server.stop();
+
+    if (!quiet) {
+        RouterStats s = server.router().stats();
+        std::fprintf(
+            stderr,
+            "square_served: served %lld requests (%lld hits, %lld "
+            "compiles, %lld failures, %lld evictions) across %d "
+            "shards\n",
+            static_cast<long long>(s.global.requests),
+            static_cast<long long>(s.global.hits),
+            static_cast<long long>(s.global.compiles),
+            static_cast<long long>(s.global.failures +
+                                   s.resolveFailures),
+            static_cast<long long>(s.global.evictions),
+            server.router().shards());
+    }
+    return 0;
+}
