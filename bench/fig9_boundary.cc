@@ -6,6 +6,10 @@
  * For each large benchmark, AQV of the four policies normalized to
  * LAZY (the paper's chart normalizes the same way and annotates the
  * SQUARE bar).
+ *
+ * Pass --square_json=PATH for a BENCH_fig9_boundary.json row per
+ * benchmark x policy (the shared emitter trajectory of
+ * bench_common.h).
  */
 
 #include <cmath>
@@ -17,14 +21,25 @@ using namespace square;
 using namespace square::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string json_path = extractJsonPath(argc, argv);
+    if (argc > 1) {
+        std::fprintf(stderr, "unknown argument: %s\n", argv[1]);
+        return 1;
+    }
+
     printHeader("Normalized AQV, NISQ-FT boundary machines (swaps)",
                 "Fig. 9");
     std::printf("%-10s %8s %8s %8s %12s %8s %14s\n", "Benchmark",
                 "sites", "LAZY", "EAGER", "SQUARE(LAA)", "SQUARE",
                 "LAZY/SQUARE");
     printRule(78);
+
+    JsonReport report;
+    report.benchmark = "fig9_boundary";
+    report.unit = "aqv";
+    const char *names[] = {"LAZY", "EAGER", "SQUARE-LAA", "SQUARE"};
 
     double geo = 1.0;
     int count = 0;
@@ -45,13 +60,28 @@ main()
                     info.boundaryEdge * info.boundaryEdge, 1.0,
                     aqv[1] / lazy, aqv[2] / lazy, aqv[3] / lazy,
                     lazy / aqv[3]);
+        for (int k = 0; k < 4; ++k) {
+            report.addRow(
+                {jsonStr("workload", info.name),
+                 jsonInt("sites", info.boundaryEdge * info.boundaryEdge),
+                 jsonStr("policy", names[k]),
+                 jsonNum("aqv", aqv[k], 0),
+                 jsonNum("aqv_norm_lazy", aqv[k] / lazy, 4)});
+        }
         geo *= lazy / aqv[3];
         ++count;
     }
     printRule(78);
+    const double geomean = std::pow(geo, 1.0 / count);
     std::printf("geomean AQV reduction of SQUARE vs LAZY: %.2fx\n",
-                std::pow(geo, 1.0 / count));
+                geomean);
     std::printf("(paper reports 6.9x average on its larger instances; "
                 "see EXPERIMENTS.md)\n");
+
+    if (!json_path.empty()) {
+        report.header.push_back(
+            jsonNum("geomean_lazy_over_square", geomean, 2));
+        report.writeTo(json_path);
+    }
     return 0;
 }

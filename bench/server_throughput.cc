@@ -1,27 +1,37 @@
 /**
  * @file
  * Networked-server throughput: a multi-connection client load
- * generator against the sharded TCP compile server.
+ * generator against the sharded TCP compile server, head-to-head
+ * across both transports.
  *
  * This is the end-to-end serving measurement for the tier built in
  * src/server/: an in-process CompileServer (real loopback sockets, the
- * production code path) is driven by C concurrent client connections,
- * each issuing the repeated-request traffic shape the service tier
- * targets.  Three things are measured and one is proven:
+ * production code path) is driven by C concurrent client connections
+ * issuing the repeated-request traffic the service tier targets.  Each
+ * transport ("threads" = thread-per-connection, "epoll" = event-loop
+ * multiplexing with the preserialized reply cache behind it) is
+ * measured at pipeline depth 1 (pure request/reply round trips) and at
+ * the configured pipeline depth (B requests per write, B replies per
+ * round trip), in one run — so the committed baseline records the
+ * head-to-head, not two incomparable files.  Measured per row:
  *
  *   - warm requests/s across all connections (every request after the
- *     cold phase is a content-addressed cache hit on its home shard);
- *   - per-request latency p50/p99 (client-observed round trip:
- *     request line out, reply line in);
- *   - per-shard balance (requests served by each key-affine shard);
- *   - golden check: the metric payload of a cached reply is
- *     bit-identical to a fresh in-process compile() of the same
- *     request (process exits non-zero on any mismatch).
+ *     cold phase is a content-addressed cache hit on its home shard;
+ *     the bench exits non-zero on ANY warm miss);
+ *   - batch round-trip latency p50/p99/p99.9 (client-observed: batch
+ *     out, all B replies in; depth 1 = per-request latency);
+ *   - server-side syscalls per request and mean/max replies per
+ *     gathered write (the transport's flush-batch stats);
+ *   - golden check: the metric payload of a cached reply, parsed from
+ *     the wire, equals a fresh in-process compile() field-by-field —
+ *     the deserialized comparison the preserialized reply path cannot
+ *     drift past (process exits non-zero on mismatch).
  *
  * Pass --square_json=PATH for BENCH_server_throughput.json.  Flags:
- * --clients=N connections, --repeat=N batch repeats per client,
- * --shards=N, --workers=N fleet workers per shard, --smoke shrinks
- * for CI.
+ * --clients=N connections, --batches=N pipelined batches per client,
+ * --pipeline-depth=B, --transport=threads|epoll|both, --shards=N,
+ * --workers=N fleet workers per shard, --event-threads=N epoll loops,
+ * --smoke shrinks for CI.
  */
 
 #include <algorithm>
@@ -30,6 +40,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -46,13 +57,31 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+const std::vector<std::string> kWorkloads = {"SHA2", "SALSA20",
+                                             "Belle"};
+
 /** One client connection's view of the load phase. */
 struct ClientResult
 {
-    std::vector<double> latencies;
+    std::vector<double> latencies; ///< per-batch round trips, ms
     int64_t hits = 0;
     int64_t requests = 0;
     std::string error;
+};
+
+/** One measured (transport x depth) row. */
+struct PhaseRow
+{
+    std::string transport;
+    int depth = 0;
+    int64_t requests = 0;
+    double wallMs = 0;
+    double rps = 0;
+    double p50 = 0, p99 = 0, p999 = 0;
+    double hitRate = 0;
+    double syscallsPerReq = 0;
+    double meanFlushBatch = 0;
+    int64_t maxFlushBatch = 0;
 };
 
 std::string
@@ -64,7 +93,7 @@ requestLine(const std::string &workload)
 
 /** Parse one reply line into (ok, cache-hit) plus the raw object. */
 bool
-parseReply(const std::string &line, JsonRequest &json, bool &hit,
+parseReply(std::string_view line, JsonRequest &json, bool &hit,
            std::string &error)
 {
     if (!parseJsonLine(line, json, error))
@@ -77,7 +106,12 @@ parseReply(const std::string &line, JsonRequest &json, bool &hit,
     return true;
 }
 
-/** Golden check: a served reply's metrics == a fresh compile(). */
+/**
+ * Golden check on the DESERIALIZED payload: a served reply's metric
+ * fields, parsed back from the wire, must equal a fresh compile() —
+ * so a preserialized reply that drifted from the artifact (or a
+ * framing bug corrupting bytes) cannot pass.
+ */
 bool
 identicalToFresh(const std::string &workload, const JsonRequest &reply)
 {
@@ -114,8 +148,8 @@ identicalToFresh(const std::string &workload, const JsonRequest &reply)
 }
 
 void
-runClient(uint16_t port, const std::vector<std::string> &workloads,
-          int repeat, int offset, ClientResult &out)
+runClient(uint16_t port, int batches, int depth, int offset,
+          ClientResult &out)
 {
     LineClient client;
     std::string error;
@@ -123,138 +157,103 @@ runClient(uint16_t port, const std::vector<std::string> &workloads,
         out.error = error;
         return;
     }
-    const size_t n = workloads.size();
-    for (int r = 0; r < repeat; ++r) {
-        for (size_t k = 0; k < n; ++k) {
-            // Per-client offset staggers the request order so shards
-            // see interleaved, not lock-step, traffic.
-            const std::string &w =
-                workloads[(k + static_cast<size_t>(offset)) % n];
-            Clock::time_point t0 = Clock::now();
-            std::string reply;
-            if (!client.sendLine(requestLine(w)) ||
-                !client.recvLine(reply)) {
+    // Pre-render the request batch once: per-client offset staggers
+    // the workload order so shards see interleaved traffic.
+    const size_t n = kWorkloads.size();
+    std::string batch;
+    for (int d = 0; d < depth; ++d) {
+        batch += requestLine(
+            kWorkloads[(static_cast<size_t>(offset + d)) % n]);
+        batch += '\n';
+    }
+    std::string_view reply;
+    for (int r = 0; r < batches; ++r) {
+        Clock::time_point t0 = Clock::now();
+        if (!client.sendRaw(batch)) {
+            out.error = "send failed mid-load";
+            return;
+        }
+        for (int d = 0; d < depth; ++d) {
+            if (!client.recvLineView(reply)) {
                 out.error = "connection dropped mid-load";
                 return;
             }
-            out.latencies.push_back(millisSince(t0));
-            JsonRequest json;
-            bool hit = false;
-            if (!parseReply(reply, json, hit, error)) {
-                out.error = error;
+            // Hot-loop validation is substring-cheap so the load
+            // generator measures the server, not its own JSON parser;
+            // the golden phase does the full deserialized comparison.
+            if (reply.find("\"ok\": true") == std::string_view::npos) {
+                out.error = "server error: " + std::string(reply);
                 return;
             }
-            out.hits += hit ? 1 : 0;
+            if (reply.find("\"cache\": \"hit\"") !=
+                std::string_view::npos)
+                ++out.hits;
             ++out.requests;
         }
+        out.latencies.push_back(millisSince(t0));
     }
 }
 
-} // namespace
-
-int
-main(int argc, char **argv)
+/** Cold phase: one connection compiles each unique key (all misses). */
+bool
+coldPhase(uint16_t port, double &cold_ms)
 {
-    std::string json_path = extractJsonPath(argc, argv);
-    int clients = 4;
-    int repeat = 16;
-    int shards = 2;
-    int workers = 1;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strncmp(argv[i], "--clients=", 10) == 0) {
-            clients = std::atoi(argv[i] + 10);
-        } else if (std::strncmp(argv[i], "--repeat=", 9) == 0) {
-            repeat = std::atoi(argv[i] + 9);
-        } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
-            shards = std::atoi(argv[i] + 9);
-        } else if (std::strncmp(argv[i], "--workers=", 10) == 0) {
-            workers = std::atoi(argv[i] + 10);
-        } else if (std::strcmp(argv[i], "--smoke") == 0) {
-            clients = 2;
-            repeat = 2;
-        } else {
-            std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
-            return 1;
-        }
-    }
-    if (clients < 1 || repeat < 1 || shards < 1 || workers < 1) {
-        std::fprintf(stderr, "all knobs must be >= 1\n");
-        return 1;
-    }
-
-    const unsigned cpus = std::thread::hardware_concurrency();
-    printHeader("Networked-server throughput (TCP, sharded, LRU cache)",
-                "the multi-client serving scenario");
-    warnIfSingleCore(cpus);
-
-    ServerConfig cfg;
-    cfg.shards = shards;
-    cfg.workersPerShard = workers;
-    CompileServer server(cfg);
-    std::string error;
-    if (!server.start(error)) {
-        std::fprintf(stderr, "server start failed: %s\n", error.c_str());
-        return 1;
-    }
-
-    const std::vector<std::string> workloads = {"SHA2", "SALSA20",
-                                                "Belle"};
-    std::printf("server: 127.0.0.1:%u, %d shards x %d workers\n"
-                "load: %d connections x %d x %zu requests (unique keys: "
-                "%zu); host cpus: %u\n\n",
-                server.port(), shards, workers, clients, repeat,
-                workloads.size(), workloads.size(), cpus);
-
-    // -- cold phase: one connection compiles each unique key -----------
     Clock::time_point t0 = Clock::now();
-    {
-        LineClient warmup;
-        if (!warmup.connect("127.0.0.1", server.port(), error)) {
-            std::fprintf(stderr, "connect failed: %s\n", error.c_str());
-            return 1;
+    LineClient warmup;
+    std::string error;
+    if (!warmup.connect("127.0.0.1", port, error)) {
+        std::fprintf(stderr, "connect failed: %s\n", error.c_str());
+        return false;
+    }
+    for (const std::string &w : kWorkloads) {
+        std::string_view reply;
+        JsonRequest json;
+        bool hit = false;
+        if (!warmup.sendLine(requestLine(w)) ||
+            !warmup.recvLineView(reply) ||
+            !parseReply(reply, json, hit, error)) {
+            std::fprintf(stderr, "cold request failed: %s\n",
+                         error.c_str());
+            return false;
         }
-        for (const std::string &w : workloads) {
-            std::string reply;
-            JsonRequest json;
-            bool hit = false;
-            if (!warmup.sendLine(requestLine(w)) ||
-                !warmup.recvLine(reply) ||
-                !parseReply(reply, json, hit, error)) {
-                std::fprintf(stderr, "cold request failed: %s\n",
-                             error.c_str());
-                return 1;
-            }
-            if (hit) {
-                std::fprintf(stderr, "cold request unexpectedly hit\n");
-                return 1;
-            }
+        if (hit) {
+            std::fprintf(stderr, "cold request unexpectedly hit\n");
+            return false;
         }
     }
-    const double cold_ms = millisSince(t0);
+    cold_ms = millisSince(t0);
+    return true;
+}
 
-    // -- load phase: C concurrent connections, all warm ----------------
-    std::vector<ClientResult> results(
-        static_cast<size_t>(clients));
-    t0 = Clock::now();
+/** One measured load phase: C clients x B batches at one depth. */
+bool
+loadPhase(CompileServer &server, const std::string &transport,
+          int clients, int batches, int depth, PhaseRow &row)
+{
+    const TransportStats before = server.transport()->stats();
+    std::vector<ClientResult> results(static_cast<size_t>(clients));
+    Clock::time_point t0 = Clock::now();
     {
         std::vector<std::thread> pool;
         pool.reserve(static_cast<size_t>(clients));
         for (int c = 0; c < clients; ++c) {
-            pool.emplace_back(runClient, server.port(),
-                              std::cref(workloads), repeat, c,
+            pool.emplace_back(runClient, server.port(), batches, depth,
+                              c,
                               std::ref(results[static_cast<size_t>(c)]));
         }
         for (std::thread &th : pool)
             th.join();
     }
     const double load_ms = millisSince(t0);
+    const TransportStats after = server.transport()->stats();
 
     std::vector<double> latencies;
     int64_t total = 0, hits = 0;
     for (const ClientResult &r : results) {
         if (!r.error.empty()) {
-            std::fprintf(stderr, "client failed: %s\n", r.error.c_str());
-            return 1;
+            std::fprintf(stderr, "client failed: %s\n",
+                         r.error.c_str());
+            return false;
         }
         latencies.insert(latencies.end(), r.latencies.begin(),
                          r.latencies.end());
@@ -270,69 +269,206 @@ main(int argc, char **argv)
                      "the cache\n",
                      static_cast<long long>(hits),
                      static_cast<long long>(total));
-        return 1;
+        return false;
     }
     std::sort(latencies.begin(), latencies.end());
-    const double p50 = percentileNearestRank(latencies, 50.0);
-    const double p99 = percentileNearestRank(latencies, 99.0);
-    const double rps =
-        load_ms > 0 ? static_cast<double>(total) / (load_ms / 1000.0)
-                    : 0.0;
-    const double hit_rate =
-        total > 0
-            ? static_cast<double>(hits) / static_cast<double>(total)
-            : 0.0;
 
-    // -- golden check: cached replies == fresh compiles ----------------
+    row.transport = transport;
+    row.depth = depth;
+    row.requests = total;
+    row.wallMs = load_ms;
+    row.rps = load_ms > 0
+                  ? static_cast<double>(total) / (load_ms / 1000.0)
+                  : 0.0;
+    row.p50 = percentileNearestRank(latencies, 50.0);
+    row.p99 = percentileNearestRank(latencies, 99.0);
+    row.p999 = percentileNearestRank(latencies, 99.9);
+    row.hitRate = total > 0 ? static_cast<double>(hits) /
+                                  static_cast<double>(total)
+                            : 0.0;
+    const int64_t d_lines = after.lines - before.lines;
+    const int64_t d_sys = (after.readCalls - before.readCalls) +
+                          (after.writeCalls - before.writeCalls);
+    const int64_t d_flushes = after.flushes - before.flushes;
+    const int64_t d_batched =
+        after.batchedReplies - before.batchedReplies;
+    row.syscallsPerReq =
+        d_lines > 0 ? static_cast<double>(d_sys) /
+                          static_cast<double>(d_lines)
+                    : 0.0;
+    row.meanFlushBatch =
+        d_flushes > 0 ? static_cast<double>(d_batched) /
+                            static_cast<double>(d_flushes)
+                      : 0.0;
+    // The transport's max-batch counter is cumulative since server
+    // start and cannot be delta'd; phases MUST run shallow-to-deep on
+    // a fresh server per transport (they do: depths = {1, B}) so the
+    // cumulative value at the end of each phase equals that phase's
+    // own max.
+    row.maxFlushBatch = after.maxFlushBatch;
+    return true;
+}
+
+/** Golden phase: every workload re-requested, parsed, and compared. */
+bool
+goldenPhase(uint16_t port)
+{
+    LineClient checker;
+    std::string error;
+    if (!checker.connect("127.0.0.1", port, error)) {
+        std::fprintf(stderr, "connect failed: %s\n", error.c_str());
+        return false;
+    }
     bool golden = true;
-    {
-        LineClient checker;
-        if (!checker.connect("127.0.0.1", server.port(), error)) {
-            std::fprintf(stderr, "connect failed: %s\n", error.c_str());
+    for (const std::string &w : kWorkloads) {
+        std::string_view reply;
+        JsonRequest json;
+        bool hit = false;
+        if (!checker.sendLine(requestLine(w)) ||
+            !checker.recvLineView(reply) ||
+            !parseReply(reply, json, hit, error) || !hit) {
+            std::fprintf(stderr, "golden request failed: %s\n",
+                         error.c_str());
+            return false;
+        }
+        golden = golden && identicalToFresh(w, json);
+    }
+    return golden;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path = extractJsonPath(argc, argv);
+    int clients = 4;
+    int batches = 48;
+    int depth = 8;
+    int shards = 2;
+    int workers = 1;
+    int event_threads = 1;
+    std::string transport = "both";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--clients=", 10) == 0) {
+            clients = std::atoi(argv[i] + 10);
+        } else if (std::strncmp(argv[i], "--batches=", 10) == 0) {
+            batches = std::atoi(argv[i] + 10);
+        } else if (std::strncmp(argv[i], "--pipeline-depth=", 17) == 0) {
+            depth = std::atoi(argv[i] + 17);
+        } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+            shards = std::atoi(argv[i] + 9);
+        } else if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+            workers = std::atoi(argv[i] + 10);
+        } else if (std::strncmp(argv[i], "--event-threads=", 16) == 0) {
+            event_threads = std::atoi(argv[i] + 16);
+        } else if (std::strncmp(argv[i], "--transport=", 12) == 0) {
+            transport = argv[i] + 12;
+        } else if (std::strcmp(argv[i], "--smoke") == 0) {
+            clients = 2;
+            batches = 4;
+            depth = 4;
+        } else {
+            std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
             return 1;
         }
-        for (const std::string &w : workloads) {
-            std::string reply;
-            JsonRequest json;
-            bool hit = false;
-            if (!checker.sendLine(requestLine(w)) ||
-                !checker.recvLine(reply) ||
-                !parseReply(reply, json, hit, error) || !hit) {
-                std::fprintf(stderr, "golden request failed: %s\n",
-                             error.c_str());
-                return 1;
-            }
-            golden = golden && identicalToFresh(w, json);
+    }
+    if (clients < 1 || batches < 1 || depth < 1 || shards < 1 ||
+        workers < 1 || event_threads < 1) {
+        std::fprintf(stderr, "all knobs must be >= 1\n");
+        return 1;
+    }
+    std::vector<std::string> transports;
+    if (transport == "both")
+        transports = {"threads", "epoll"};
+    else if (transport == "threads" || transport == "epoll")
+        transports = {transport};
+    else {
+        std::fprintf(stderr,
+                     "--transport must be threads|epoll|both\n");
+        return 1;
+    }
+    std::vector<int> depths = {1};
+    if (depth > 1)
+        depths.push_back(depth);
+
+    const unsigned cpus = std::thread::hardware_concurrency();
+    printHeader("Networked-server throughput (TCP, sharded, LRU + "
+                "preserialized reply cache)",
+                "the multi-client serving scenario");
+    warnIfSingleCore(cpus);
+    std::printf("load: %d connections x %d batches, pipeline depths "
+                "{1, %d}; %d shards x %d workers; unique keys: %zu; "
+                "host cpus: %u\n\n",
+                clients, batches, depth, shards, workers,
+                kWorkloads.size(), cpus);
+
+    std::vector<PhaseRow> rows;
+    double cold_ms_first = 0;
+    bool golden_all = true;
+    for (const std::string &t : transports) {
+        ServerConfig cfg;
+        cfg.shards = shards;
+        cfg.workersPerShard = workers;
+        cfg.transport = t;
+        cfg.eventThreads = event_threads;
+        CompileServer server(cfg);
+        std::string error;
+        if (!server.start(error)) {
+            std::fprintf(stderr, "server start failed (%s): %s\n",
+                         t.c_str(), error.c_str());
+            return 1;
         }
+
+        double cold_ms = 0;
+        if (!coldPhase(server.port(), cold_ms))
+            return 1;
+        if (cold_ms_first == 0)
+            cold_ms_first = cold_ms;
+
+        for (int d : depths) {
+            PhaseRow row;
+            if (!loadPhase(server, t, clients, batches, d, row))
+                return 1;
+            rows.push_back(row);
+        }
+
+        const bool golden = goldenPhase(server.port());
+        golden_all = golden_all && golden;
+
+        // Per-shard balance (key-affine routing) for this transport.
+        RouterStats rs = server.router().stats();
+        std::printf("[%s] per-shard balance:", t.c_str());
+        for (size_t s = 0; s < rs.shards.size(); ++s)
+            std::printf("  shard %zu: %lld reqs / %lld compiles", s,
+                        static_cast<long long>(rs.shards[s].requests),
+                        static_cast<long long>(rs.shards[s].compiles));
+        std::printf("  golden: %s\n", golden ? "yes" : "NO");
+        server.stop();
     }
 
-    RouterStats rs = server.router().stats();
-    server.stop();
-
-    std::printf("%8s %10s %12s %14s %10s %10s\n", "phase", "requests",
-                "wall ms", "requests/s", "p50 ms", "p99 ms");
-    printRule(72);
-    std::printf("%8s %10zu %12.1f %14s %10s %10s\n", "cold",
-                workloads.size(), cold_ms, "-", "-", "-");
-    std::printf("%8s %10lld %12.1f %14.0f %10.3f %10.3f\n", "warm",
-                static_cast<long long>(total), load_ms, rps, p50, p99);
-    printRule(72);
-    std::printf("\nhit rate (load phase): %.3f\nper-shard balance "
-                "(key-affine):\n",
-                hit_rate);
-    for (size_t s = 0; s < rs.shards.size(); ++s) {
-        std::printf("  shard %zu: %lld requests, %lld hits, %lld "
-                    "compiles, %zu cached (%zu bytes)\n",
-                    s, static_cast<long long>(rs.shards[s].requests),
-                    static_cast<long long>(rs.shards[s].hits),
-                    static_cast<long long>(rs.shards[s].compiles),
-                    rs.shards[s].cachedResults,
-                    rs.shards[s].cachedBytes);
+    std::printf("\n%9s %6s %9s %10s %12s %9s %9s %9s %8s %7s\n",
+                "transport", "depth", "requests", "wall ms",
+                "requests/s", "p50 ms", "p99 ms", "p99.9 ms",
+                "sys/req", "batch");
+    printRule(100);
+    for (const PhaseRow &r : rows) {
+        std::printf(
+            "%9s %6d %9lld %10.1f %12.0f %9.3f %9.3f %9.3f %8.2f "
+            "%7.1f\n",
+            r.transport.c_str(), r.depth,
+            static_cast<long long>(r.requests), r.wallMs, r.rps, r.p50,
+            r.p99, r.p999, r.syscallsPerReq, r.meanFlushBatch);
     }
-    std::printf("cached replies golden-checked bit-identical to fresh "
-                "compile(): %s\n",
-                golden ? "yes" : "NO");
-    if (!golden)
+    printRule(100);
+    std::printf("(latency = client-observed batch round trip; sys/req "
+                "= server-side (recv+send)/requests;\n batch = mean "
+                "replies per gathered write)\n");
+    std::printf("cold compile phase: %.1f ms; cached replies "
+                "golden-checked (deserialized) vs fresh compile(): "
+                "%s\n",
+                cold_ms_first, golden_all ? "yes" : "NO");
+    if (!golden_all)
         return 1;
 
     if (!json_path.empty()) {
@@ -341,33 +477,32 @@ main(int argc, char **argv)
         report.unit = "requests_per_second";
         report.header.push_back(jsonInt("cpus", cpus));
         report.header.push_back(jsonInt("clients", clients));
+        report.header.push_back(jsonInt("batches", batches));
         report.header.push_back(jsonInt("shards", shards));
         report.header.push_back(jsonInt("workers_per_shard", workers));
         report.header.push_back(
-            jsonInt("unique_requests",
-                    static_cast<int64_t>(workloads.size())));
-        report.header.push_back(jsonInt("warm_requests", total));
-        report.header.push_back(jsonNum("cold_wall_ms", cold_ms, 1));
-        report.header.push_back(jsonNum("warm_wall_ms", load_ms, 1));
-        report.header.push_back(jsonNum("requests_per_s", rps, 0));
-        report.header.push_back(jsonNum("hit_rate", hit_rate, 3));
-        report.header.push_back(jsonNum("p50_ms", p50, 3));
-        report.header.push_back(jsonNum("p99_ms", p99, 3));
+            jsonInt("event_threads", event_threads));
         report.header.push_back(
-            jsonInt("evictions", rs.global.evictions));
-        report.header.push_back(jsonInt("golden_identical", golden));
-        for (size_t s = 0; s < rs.shards.size(); ++s) {
+            jsonInt("unique_requests",
+                    static_cast<int64_t>(kWorkloads.size())));
+        report.header.push_back(
+            jsonNum("cold_wall_ms", cold_ms_first, 1));
+        report.header.push_back(
+            jsonInt("golden_identical", golden_all));
+        for (const PhaseRow &r : rows) {
             report.addRow(
-                {jsonInt("shard", static_cast<int64_t>(s)),
-                 jsonInt("requests", rs.shards[s].requests),
-                 jsonInt("hits", rs.shards[s].hits),
-                 jsonInt("compiles", rs.shards[s].compiles),
-                 jsonInt("cached_results",
-                         static_cast<int64_t>(
-                             rs.shards[s].cachedResults)),
-                 jsonInt("cached_bytes",
-                         static_cast<int64_t>(
-                             rs.shards[s].cachedBytes))});
+                {jsonStr("transport", r.transport),
+                 jsonInt("pipeline_depth", r.depth),
+                 jsonInt("requests", r.requests),
+                 jsonNum("wall_ms", r.wallMs, 1),
+                 jsonNum("requests_per_s", r.rps, 0),
+                 jsonNum("hit_rate", r.hitRate, 3),
+                 jsonNum("p50_ms", r.p50, 3),
+                 jsonNum("p99_ms", r.p99, 3),
+                 jsonNum("p999_ms", r.p999, 3),
+                 jsonNum("syscalls_per_req", r.syscallsPerReq, 2),
+                 jsonNum("mean_flush_batch", r.meanFlushBatch, 1),
+                 jsonInt("max_flush_batch", r.maxFlushBatch)});
         }
         report.writeTo(json_path);
     }

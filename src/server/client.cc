@@ -47,6 +47,16 @@ LineClient::recvLine(std::string &out)
            st == net::LineReader::Status::Partial;
 }
 
+bool
+LineClient::recvLineView(std::string_view &out)
+{
+    if (fd_ < 0)
+        return false;
+    net::LineReader::Status st = reader_->nextView(out);
+    return st == net::LineReader::Status::Line ||
+           st == net::LineReader::Status::Partial;
+}
+
 void
 LineClient::close()
 {

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "server/net.h"
 
@@ -49,6 +50,15 @@ class LineClient
 
     /** Block for the next reply line; false on EOF or error. */
     bool recvLine(std::string &out);
+
+    /**
+     * Block for the next reply line without copying it: the view
+     * borrows the connection's (growable, reused) receive buffer and
+     * is invalidated by the next recv call.  The warm-hit fast path —
+     * one buffer per connection, zero per-reply allocations — mirrors
+     * the server-side ReadBuffer.
+     */
+    bool recvLineView(std::string_view &out);
 
     void close();
 

@@ -1,0 +1,462 @@
+#include "server/epoll_transport.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+#include <utility>
+
+#include "server/net.h"
+
+namespace square {
+
+namespace {
+
+/** epoll_data tags for the two non-connection event sources. */
+constexpr uint64_t kWakeTag = 1;
+constexpr uint64_t kListenTag = 2;
+
+bool
+setNonBlocking(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+} // namespace
+
+EpollTransport::EpollTransport(int event_threads,
+                               size_t max_connections)
+    : eventThreads_(event_threads < 1 ? 1 : event_threads),
+      maxConnections_(max_connections == 0 ? kDefaultMaxConnections
+                                           : max_connections)
+{
+}
+
+EpollTransport::~EpollTransport() { stop(); }
+
+bool
+EpollTransport::start(const std::string &host, uint16_t port,
+                      LineHandler handler, std::string &error)
+{
+    if (running_.load()) {
+        error = "transport already running";
+        return false;
+    }
+    uint16_t bound = 0;
+    int fd = net::listenTcp(host, port, /*backlog=*/128, bound, error);
+    if (fd < 0)
+        return false;
+    if (!setNonBlocking(fd)) {
+        error = "cannot make listener non-blocking";
+        net::closeFd(fd);
+        return false;
+    }
+
+    loops_.clear();
+    for (int i = 0; i < eventThreads_; ++i) {
+        auto loop = std::make_unique<Loop>();
+        loop->epfd = ::epoll_create1(0);
+        loop->wakeFd = ::eventfd(0, EFD_NONBLOCK);
+        if (loop->epfd < 0 || loop->wakeFd < 0) {
+            error = "epoll/eventfd creation failed";
+            net::closeFd(loop->epfd);
+            net::closeFd(loop->wakeFd);
+            for (const std::unique_ptr<Loop> &l : loops_) {
+                net::closeFd(l->epfd);
+                net::closeFd(l->wakeFd);
+            }
+            loops_.clear();
+            net::closeFd(fd);
+            return false;
+        }
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.u64 = kWakeTag;
+        ::epoll_ctl(loop->epfd, EPOLL_CTL_ADD, loop->wakeFd, &ev);
+        loops_.push_back(std::move(loop));
+    }
+    // The listener lives on loop 0; it dispatches accepted fds to
+    // every loop round-robin.
+    {
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.u64 = kListenTag;
+        ::epoll_ctl(loops_[0]->epfd, EPOLL_CTL_ADD, fd, &ev);
+    }
+
+    handler_ = std::move(handler);
+    port_ = bound;
+    listenFd_ = fd;
+    nextLoop_ = 0;
+    running_.store(true);
+    for (const std::unique_ptr<Loop> &loop : loops_) {
+        Loop *l = loop.get();
+        l->th = std::thread([this, l] { runLoop(*l); });
+    }
+    return true;
+}
+
+void
+EpollTransport::stop()
+{
+    if (!running_.exchange(false))
+        return;
+    for (const std::unique_ptr<Loop> &loop : loops_)
+        ::eventfd_write(loop->wakeFd, 1);
+    for (const std::unique_ptr<Loop> &loop : loops_) {
+        if (loop->th.joinable())
+            loop->th.join();
+    }
+    net::closeFd(listenFd_);
+    listenFd_ = -1;
+    for (const std::unique_ptr<Loop> &loop : loops_) {
+        for (const auto &[fd, conn] : loop->conns) {
+            net::shutdownFd(fd);
+            net::closeFd(fd);
+            activeConns_.fetch_sub(1, std::memory_order_relaxed);
+        }
+        loop->conns.clear();
+        {
+            std::lock_guard<std::mutex> lock(loop->inboxMu);
+            for (int fd : loop->inbox) {
+                // Handed off by the acceptor but never adopted: these
+                // were counted active at accept time.
+                net::closeFd(fd);
+                activeConns_.fetch_sub(1, std::memory_order_relaxed);
+            }
+            loop->inbox.clear();
+        }
+        net::closeFd(loop->epfd);
+        net::closeFd(loop->wakeFd);
+    }
+}
+
+void
+EpollTransport::runLoop(Loop &loop)
+{
+    epoll_event events[128];
+    while (running_.load(std::memory_order_acquire)) {
+        int n = ::epoll_wait(loop.epfd, events,
+                             static_cast<int>(std::size(events)), -1);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        for (int i = 0; i < n; ++i) {
+            const uint64_t tag = events[i].data.u64;
+            if (tag == kWakeTag) {
+                eventfd_t ignored = 0;
+                ::eventfd_read(loop.wakeFd, &ignored);
+                drainInbox(loop);
+                continue;
+            }
+            if (tag == kListenTag) {
+                acceptReady(loop);
+                continue;
+            }
+            // epoll merges all readiness for one fd into one event
+            // entry, so a destroyed Conn can never have a second,
+            // dangling entry later in this batch.
+            Conn &conn = *static_cast<Conn *>(events[i].data.ptr);
+            const uint32_t ev = events[i].events;
+            if ((ev & EPOLLOUT) != 0) {
+                if (!serviceConn(loop, conn))
+                    continue;
+            }
+            if ((ev & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0)
+                onReadable(loop, conn);
+        }
+    }
+}
+
+void
+EpollTransport::acceptReady(Loop &loop)
+{
+    for (;;) {
+        int fd = ::accept4(listenFd_, nullptr, nullptr, SOCK_NONBLOCK);
+        if (fd < 0) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            if (errno != EAGAIN && errno != EWOULDBLOCK &&
+                running_.load(std::memory_order_acquire)) {
+                // Persistent accept failure (EMFILE under fd
+                // exhaustion, typically): the level-triggered
+                // listener would re-fire immediately, busy-spinning
+                // this loop.  Back off briefly, like the threaded
+                // transport's accept loop.
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(5));
+            }
+            break;
+        }
+        if (!running_.load(std::memory_order_acquire)) {
+            net::closeFd(fd);
+            break;
+        }
+        if (static_cast<size_t>(activeConns_.load(
+                std::memory_order_relaxed)) >= maxConnections_) {
+            rejected_.fetch_add(1, std::memory_order_relaxed);
+            net::closeFd(fd);
+            continue;
+        }
+        net::setNoDelay(fd);
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        activeConns_.fetch_add(1, std::memory_order_relaxed);
+        Loop &target = *loops_[nextLoop_++ % loops_.size()];
+        if (&target == &loop) {
+            adoptConn(loop, fd);
+        } else {
+            {
+                std::lock_guard<std::mutex> lock(target.inboxMu);
+                target.inbox.push_back(fd);
+            }
+            ::eventfd_write(target.wakeFd, 1);
+        }
+    }
+}
+
+void
+EpollTransport::drainInbox(Loop &loop)
+{
+    std::vector<int> fds;
+    {
+        std::lock_guard<std::mutex> lock(loop.inboxMu);
+        fds.swap(loop.inbox);
+    }
+    for (int fd : fds)
+        adoptConn(loop, fd);
+}
+
+void
+EpollTransport::adoptConn(Loop &loop, int fd)
+{
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conn->armed = EPOLLIN;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = conn.get();
+    if (::epoll_ctl(loop.epfd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+        // Shed, matching the threaded transport's accounting: a
+        // connection that never became serviceable counts as
+        // rejected, not accepted.
+        accepted_.fetch_sub(1, std::memory_order_relaxed);
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        activeConns_.fetch_sub(1, std::memory_order_relaxed);
+        net::closeFd(fd);
+        return;
+    }
+    loop.conns.emplace(fd, std::move(conn));
+}
+
+bool
+EpollTransport::onReadable(Loop &loop, Conn &conn)
+{
+    if (conn.draining) {
+        // FIN already sent; discard inbound bytes until the peer
+        // closes, so its kernel never RSTs an unread reply away.
+        char scratch[4096];
+        for (;;) {
+            ssize_t n = ::recv(conn.fd, scratch, sizeof scratch, 0);
+            readCalls_.fetch_add(1, std::memory_order_relaxed);
+            if (n > 0)
+                continue;
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+                return true;
+            destroyConn(loop, conn); // EOF or error: fully closed now
+            return false;
+        }
+    }
+    // Slurp until EAGAIN, bounded per wakeup so one firehose peer
+    // cannot starve the loop's other connections.
+    const size_t read_budget = 16 * kReadChunk;
+    size_t read_now = 0;
+    for (;;) {
+        char *dst = conn.rbuf.prepare(kReadChunk);
+        ssize_t n = ::recv(conn.fd, dst, kReadChunk, 0);
+        readCalls_.fetch_add(1, std::memory_order_relaxed);
+        if (n > 0) {
+            conn.rbuf.commit(static_cast<size_t>(n));
+            read_now += static_cast<size_t>(n);
+            if (conn.rbuf.atLimit() || read_now >= read_budget)
+                break; // overflow pending, or budget spent: parse now
+            continue;
+        }
+        conn.rbuf.commit(0);
+        if (n == 0) {
+            conn.sawEof = true;
+            break;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        destroyConn(loop, conn);
+        return false;
+    }
+    return serviceConn(loop, conn);
+}
+
+void
+EpollTransport::processLines(Conn &conn)
+{
+    while (!conn.closing && !conn.paused) {
+        if (conn.wbuf.pending() > kWriteHighWater) {
+            // Backpressure: stop parsing (and reading) until the peer
+            // drains what it already owes us.
+            conn.paused = true;
+            backpressured_.fetch_add(1, std::memory_order_relaxed);
+            break;
+        }
+        std::string_view line;
+        net::ReadBuffer::LineStatus st = conn.rbuf.nextLine(line);
+        if (st == net::ReadBuffer::LineStatus::None)
+            break;
+        bool close_conn = st == net::ReadBuffer::LineStatus::Overflow;
+        lines_.fetch_add(1, std::memory_order_relaxed);
+        const size_t before = conn.wbuf.bytes().size();
+        handler_(line, conn.wbuf.bytes(), close_conn);
+        if (conn.wbuf.bytes().size() != before)
+            ++conn.batch;
+        if (close_conn)
+            conn.closing = true;
+    }
+    if (conn.sawEof && !conn.closing && !conn.paused) {
+        if (conn.rbuf.hasTail()) {
+            // Truncated trailing request: the handler still answers it
+            // (structured parse error) before the wind-down.
+            std::string_view tail = conn.rbuf.takeTail();
+            bool close_conn = true;
+            lines_.fetch_add(1, std::memory_order_relaxed);
+            const size_t before = conn.wbuf.bytes().size();
+            handler_(tail, conn.wbuf.bytes(), close_conn);
+            if (conn.wbuf.bytes().size() != before)
+                ++conn.batch;
+        }
+        conn.closing = true;
+    }
+    conn.rbuf.compact();
+}
+
+void
+EpollTransport::noteFlushBatch(int batch)
+{
+    flushes_.fetch_add(1, std::memory_order_relaxed);
+    batchedReplies_.fetch_add(batch, std::memory_order_relaxed);
+    int64_t seen = maxFlushBatch_.load(std::memory_order_relaxed);
+    while (batch > seen &&
+           !maxFlushBatch_.compare_exchange_weak(
+               seen, batch, std::memory_order_relaxed)) {
+    }
+}
+
+bool
+EpollTransport::flushConn(Loop &loop, Conn &conn)
+{
+    if (!conn.wbuf.empty()) {
+        int64_t sends = 0;
+        const int batch = std::exchange(conn.batch, 0);
+        // Account the batch before send(): a peer that reads the
+        // reply and immediately queries stats() must see it counted.
+        if (batch > 0)
+            noteFlushBatch(batch);
+        net::WriteBuffer::FlushStatus st =
+            conn.wbuf.flush(conn.fd, sends);
+        writeCalls_.fetch_add(sends, std::memory_order_relaxed);
+        if (st == net::WriteBuffer::FlushStatus::Error) {
+            destroyConn(loop, conn);
+            return false;
+        }
+    }
+    if (conn.closing && conn.wbuf.empty()) {
+        if (conn.sawEof) {
+            // Peer's write half is already closed: nothing left to
+            // drain, tear down now.
+            destroyConn(loop, conn);
+            return false;
+        }
+        if (!conn.draining) {
+            ::shutdown(conn.fd, SHUT_WR);
+            conn.draining = true;
+        }
+    }
+    return true;
+}
+
+bool
+EpollTransport::serviceConn(Loop &loop, Conn &conn)
+{
+    for (;;) {
+        processLines(conn);
+        if (!flushConn(loop, conn))
+            return false;
+        if (conn.paused && !conn.closing &&
+            conn.wbuf.pending() <= kWriteLowWater) {
+            // Drained below the low-water mark: resume parsing the
+            // lines still buffered (and reading new ones).
+            conn.paused = false;
+            continue;
+        }
+        break;
+    }
+    updateInterest(loop, conn);
+    return true;
+}
+
+void
+EpollTransport::updateInterest(Loop &loop, Conn &conn)
+{
+    uint32_t want = 0;
+    // After EOF there is nothing left to read, and a level-triggered
+    // EPOLLIN would fire forever while a blocked reply waits.
+    if (!conn.paused && !conn.sawEof)
+        want |= EPOLLIN;
+    if (conn.wbuf.pending() > 0)
+        want |= EPOLLOUT;
+    if (want == conn.armed)
+        return;
+    epoll_event ev{};
+    ev.events = want;
+    ev.data.ptr = &conn;
+    ::epoll_ctl(loop.epfd, EPOLL_CTL_MOD, conn.fd, &ev);
+    conn.armed = want;
+}
+
+void
+EpollTransport::destroyConn(Loop &loop, Conn &conn)
+{
+    ::epoll_ctl(loop.epfd, EPOLL_CTL_DEL, conn.fd, nullptr);
+    net::shutdownFd(conn.fd);
+    net::closeFd(conn.fd);
+    activeConns_.fetch_sub(1, std::memory_order_relaxed);
+    loop.conns.erase(conn.fd); // frees conn — last use
+}
+
+TransportStats
+EpollTransport::stats() const
+{
+    TransportStats s;
+    s.accepted = accepted_.load(std::memory_order_relaxed);
+    s.rejected = rejected_.load(std::memory_order_relaxed);
+    s.lines = lines_.load(std::memory_order_relaxed);
+    s.active = activeConns_.load(std::memory_order_relaxed);
+    s.readCalls = readCalls_.load(std::memory_order_relaxed);
+    s.writeCalls = writeCalls_.load(std::memory_order_relaxed);
+    s.flushes = flushes_.load(std::memory_order_relaxed);
+    s.batchedReplies =
+        batchedReplies_.load(std::memory_order_relaxed);
+    s.maxFlushBatch = maxFlushBatch_.load(std::memory_order_relaxed);
+    s.backpressured = backpressured_.load(std::memory_order_relaxed);
+    return s;
+}
+
+} // namespace square

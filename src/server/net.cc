@@ -88,17 +88,25 @@ connectTcp(const std::string &host, uint16_t port, std::string &error)
         closeFd(fd);
         return -1;
     }
-    int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    setNoDelay(fd);
     return fd;
 }
 
+void
+setNoDelay(int fd)
+{
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
 bool
-sendAll(int fd, const char *data, size_t len)
+sendAll(int fd, const char *data, size_t len, int64_t *sys_calls)
 {
     size_t sent = 0;
     while (sent < len) {
         ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+        if (sys_calls != nullptr)
+            ++*sys_calls;
         if (n < 0) {
             if (errno == EINTR)
                 continue;
@@ -124,42 +132,49 @@ closeFd(int fd)
 }
 
 LineReader::Status
-LineReader::next(std::string &out)
+LineReader::nextView(std::string_view &out)
 {
     for (;;) {
-        size_t nl = buf_.find('\n');
-        if (nl != std::string::npos) {
-            out.assign(buf_, 0, nl);
-            if (!out.empty() && out.back() == '\r')
-                out.pop_back();
-            buf_.erase(0, nl + 1);
+        switch (buf_.nextLine(out)) {
+          case ReadBuffer::LineStatus::Line:
             return Status::Line;
+          case ReadBuffer::LineStatus::Overflow:
+            return Status::Overflow;
+          case ReadBuffer::LineStatus::None:
+            break;
         }
         if (eof_) {
-            if (buf_.empty())
-                return Status::Eof;
-            out = std::move(buf_);
-            buf_.clear();
-            return Status::Partial;
+            if (buf_.hasTail()) {
+                out = buf_.takeTail();
+                return Status::Partial;
+            }
+            return Status::Eof;
         }
-        if (buf_.size() > maxLine_) {
-            // Keep a short prefix so the serving layer can render a
-            // diagnostic reply; drop the rest of the hoarded bytes.
-            out.assign(buf_, 0, 200);
-            buf_.clear();
-            buf_.shrink_to_fit();
-            return Status::Overflow;
-        }
-        char chunk[4096];
-        ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+        buf_.compact();
+        char *dst = buf_.prepare(4096);
+        ssize_t n = ::recv(fd_, dst, 4096, 0);
+        ++recvCalls_;
         if (n > 0) {
-            buf_.append(chunk, static_cast<size_t>(n));
-        } else if (n == 0) {
-            eof_ = true;
-        } else if (errno != EINTR) {
-            return Status::Error;
+            buf_.commit(static_cast<size_t>(n));
+        } else {
+            buf_.commit(0);
+            if (n == 0)
+                eof_ = true;
+            else if (errno != EINTR)
+                return Status::Error;
         }
     }
+}
+
+LineReader::Status
+LineReader::next(std::string &out)
+{
+    std::string_view view;
+    Status st = nextView(view);
+    if (st == Status::Line || st == Status::Partial ||
+        st == Status::Overflow)
+        out.assign(view);
+    return st;
 }
 
 } // namespace square::net

@@ -15,6 +15,9 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
+
+#include "server/conn_buffer.h"
 
 namespace square::net {
 
@@ -30,8 +33,12 @@ int listenTcp(const std::string &host, uint16_t port, int backlog,
 int connectTcp(const std::string &host, uint16_t port,
                std::string &error);
 
-/** Send the whole buffer (SIGPIPE suppressed); false on any failure. */
-bool sendAll(int fd, const char *data, size_t len);
+/**
+ * Send the whole buffer (SIGPIPE suppressed); false on any failure.
+ * When @p sys_calls is non-null it is incremented per send() issued.
+ */
+bool sendAll(int fd, const char *data, size_t len,
+             int64_t *sys_calls = nullptr);
 
 /** Send @p line plus the terminating newline (pass an rvalue on hot
     paths: the newline is appended in place, no copy). */
@@ -41,6 +48,14 @@ sendLine(int fd, std::string line)
     line.push_back('\n');
     return sendAll(fd, line.data(), line.size());
 }
+
+/**
+ * Disable Nagle on a connected socket.  Protocol replies are small
+ * and latency-bound: without NODELAY a pipelined peer pays Nagle +
+ * delayed-ACK stalls (~40 ms).  Both transports and the client call
+ * this on every connection.
+ */
+void setNoDelay(int fd);
 
 /** Best-effort full-duplex shutdown (wakes blocked reads). */
 void shutdownFd(int fd);
@@ -62,6 +77,12 @@ void closeFd(int fd);
  * handed back as Status::Overflow — the serving layer answers it
  * (with a parse error, for the NDJSON protocol) and drops the
  * connection.
+ *
+ * Framing is delegated to ReadBuffer (conn_buffer.h) — the same
+ * implementation the epoll transport multiplexes — so nextView() hands
+ * out lines with zero copies: the view stays valid until the next
+ * call.  next() keeps the copying contract for callers that store the
+ * line.
  */
 class LineReader
 {
@@ -75,21 +96,30 @@ class LineReader
     };
 
     /** Default line cap: far above any legitimate protocol line. */
-    static constexpr size_t kDefaultMaxLine = 1u << 20;
+    static constexpr size_t kDefaultMaxLine = ReadBuffer::kDefaultMaxLine;
 
     explicit LineReader(int fd, size_t max_line = kDefaultMaxLine)
-        : fd_(fd), maxLine_(max_line)
+        : fd_(fd), buf_(max_line)
     {
     }
 
-    /** Read the next line (blocking). */
+    /** Read the next line (blocking); copies into @p out. */
     Status next(std::string &out);
+
+    /**
+     * Read the next line (blocking) without copying: the view borrows
+     * the reader's buffer and is invalidated by the next call.
+     */
+    Status nextView(std::string_view &out);
+
+    /** recv() syscalls issued so far (transport stats). */
+    int64_t recvCalls() const { return recvCalls_; }
 
   private:
     int fd_;
-    size_t maxLine_;
-    std::string buf_;
+    ReadBuffer buf_;
     bool eof_ = false;
+    int64_t recvCalls_ = 0;
 };
 
 } // namespace square::net

@@ -43,10 +43,16 @@ CompileServer::~CompileServer() { stop(); }
 bool
 CompileServer::start(std::string &error)
 {
-    return transport_.start(
+    TransportOptions opts;
+    opts.eventThreads = cfg_.eventThreads;
+    transport_ = makeTransport(cfg_.transport, opts, error);
+    if (transport_ == nullptr)
+        return false;
+    return transport_->start(
         cfg_.host, cfg_.port,
-        [this](const std::string &line, bool &close_conn) {
-            return handleLine(line, close_conn);
+        [this](std::string_view line, std::string &out,
+               bool &close_conn) {
+            handleLineTo(line, out, close_conn);
         },
         error);
 }
@@ -54,37 +60,62 @@ CompileServer::start(std::string &error)
 void
 CompileServer::stop()
 {
-    transport_.stop();
+    if (transport_ != nullptr)
+        transport_->stop();
+}
+
+void
+CompileServer::handleLineTo(std::string_view line, std::string &out,
+                            bool &close_conn)
+{
+    if (isProtocolNoOp(line))
+        return;
+
+    // Reused per transport thread: request parsing amortizes to zero
+    // allocations on the warm path (the fields vector keeps its
+    // capacity; the short key/value strings are SSO).
+    thread_local JsonRequest json;
+    std::string error;
+    if (!parseJsonLine(line, json, error)) {
+        out += formatError(json, error);
+        out += '\n';
+        return;
+    }
+
+    if (json.has("cmd")) {
+        const std::string cmd = json.get("cmd");
+        if (cmd == "stats") {
+            out += formatServerStats(router_.stats(), router_.shards());
+        } else if (cmd == "shutdown") {
+            shutdownRequested_.store(true);
+            close_conn = true;
+            out += "{\"ok\": true, \"cmd\": \"shutdown\"}";
+        } else {
+            out += formatError(json, "unknown cmd \"" + cmd + "\"");
+        }
+        out += '\n';
+        return;
+    }
+
+    CompileRequest req;
+    if (!buildRequest(json, req, error)) {
+        out += formatError(json, error);
+        out += '\n';
+        return;
+    }
+    ServiceReply reply = router_.submit(req);
+    formatReplyTo(out, json, reply);
+    out += '\n';
 }
 
 std::string
 CompileServer::handleLine(const std::string &line, bool &close_conn)
 {
-    if (isProtocolNoOp(line))
-        return "";
-
-    JsonRequest json;
-    std::string error;
-    if (!parseJsonLine(line, json, error))
-        return formatError(json, error);
-
-    if (json.has("cmd")) {
-        const std::string cmd = json.get("cmd");
-        if (cmd == "stats")
-            return formatServerStats(router_.stats(), router_.shards());
-        if (cmd == "shutdown") {
-            shutdownRequested_.store(true);
-            close_conn = true;
-            return "{\"ok\": true, \"cmd\": \"shutdown\"}";
-        }
-        return formatError(json, "unknown cmd \"" + cmd + "\"");
-    }
-
-    CompileRequest req;
-    if (!buildRequest(json, req, error))
-        return formatError(json, error);
-    ServiceReply reply = router_.submit(req);
-    return formatReply(json, reply);
+    std::string out;
+    handleLineTo(line, out, close_conn);
+    if (!out.empty() && out.back() == '\n')
+        out.pop_back();
+    return out;
 }
 
 } // namespace square

@@ -32,10 +32,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <string_view>
 
 #include "server/shard_router.h"
-#include "server/tcp_transport.h"
+#include "server/transport.h"
 
 namespace square {
 
@@ -47,6 +49,14 @@ struct ServerConfig
     uint16_t port = 0;
     int shards = 2;
     int workersPerShard = 1;
+    /**
+     * Transport kind (see transport.h): "epoll" (event-loop
+     * multiplexing, the wire-speed default) or "threads"
+     * (thread-per-connection).
+     */
+    std::string transport = "epoll";
+    /** Event-loop threads for the epoll transport. */
+    int eventThreads = 1;
     /** Per-shard LRU result-cache bound (zero = unbounded). */
     CacheLimits limits;
 };
@@ -61,7 +71,10 @@ class CompileServer
     bool start(std::string &error);
 
     /** The actual bound port (after start()). */
-    uint16_t port() const { return transport_.port(); }
+    uint16_t port() const
+    {
+        return transport_ ? transport_->port() : 0;
+    }
 
     /** Stop the transport (not callable from a connection thread). */
     void stop();
@@ -70,18 +83,28 @@ class CompileServer
     bool shutdownRequested() const { return shutdownRequested_.load(); }
 
     ShardRouter &router() { return router_; }
-    const TcpTransport &transport() const { return transport_; }
+    /** The live transport (null before start()). */
+    const Transport *transport() const { return transport_.get(); }
 
     /**
-     * Serve one protocol line and return the reply line.  Public so
-     * the protocol can be exercised without sockets (tests) — the
-     * transport calls exactly this.
+     * Serve one protocol line, appending the framed reply (with its
+     * newline) to @p out — nothing for protocol no-ops.  This is the
+     * transport's LineHandler: warm hits append the preserialized
+     * reply bytes straight into the connection's write buffer.
+     */
+    void handleLineTo(std::string_view line, std::string &out,
+                      bool &close_conn);
+
+    /**
+     * Serve one protocol line and return the reply line (without the
+     * newline).  Convenience wrapper over handleLineTo() so the
+     * protocol can be exercised without sockets (tests).
      */
     std::string handleLine(const std::string &line, bool &close_conn);
 
   private:
     ShardRouter router_;
-    TcpTransport transport_;
+    std::unique_ptr<Transport> transport_;
     ServerConfig cfg_;
     std::atomic<bool> shutdownRequested_{false};
 };

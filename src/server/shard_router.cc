@@ -22,24 +22,33 @@ ShardRouter::ShardRouter(int shards, int workers_per_shard,
 bool
 ShardRouter::resolve(const CompileRequest &req,
                      std::shared_ptr<const Program> &program,
-                     CacheKey &key, std::string &error)
+                     uint64_t &program_fp, CacheKey &key,
+                     std::string &error)
 {
     try {
-        uint64_t fp = 0;
         if (req.program) {
             program = req.program;
-            fp = req.program->fingerprint();
+            program_fp = req.program->fingerprint();
         } else {
             auto [shared, shared_fp] = programs_.get(req.workload);
             program = std::move(shared);
-            fp = shared_fp;
+            program_fp = shared_fp;
         }
-        key = makeCacheKey(fp, req.machine, req.cfg);
+        key = makeCacheKey(program_fp, req.machine, req.cfg);
         return true;
     } catch (const std::exception &e) {
         error = e.what();
         return false;
     }
+}
+
+bool
+ShardRouter::resolve(const CompileRequest &req,
+                     std::shared_ptr<const Program> &program,
+                     CacheKey &key, std::string &error)
+{
+    uint64_t ignored_fp = 0;
+    return resolve(req, program, ignored_fp, key, error);
 }
 
 int
@@ -52,20 +61,23 @@ ServiceReply
 ShardRouter::submit(const CompileRequest &req)
 {
     std::shared_ptr<const Program> program;
+    uint64_t program_fp = 0;
     CacheKey key;
     std::string error;
-    if (!resolve(req, program, key, error)) {
+    if (!resolve(req, program, program_fp, key, error)) {
         resolveFailures_.fetch_add(1, std::memory_order_relaxed);
         ServiceReply reply;
         reply.label = req.label;
         reply.error = error;
         return reply;
     }
-    // Hand the shard the resolved program: the shard skips its own
-    // name lookup and every shard shares one immutable instance.
-    CompileRequest routed = req;
-    routed.program = std::move(program);
-    return shards_[static_cast<size_t>(shardFor(key))]->submit(routed);
+    // Hand the shard the already-resolved program, fingerprint, and
+    // key: the shard neither re-fingerprints the program (a full
+    // content hash per request would dominate the warm hit) nor
+    // copies the request, and every shard shares one immutable
+    // Program instance.
+    return shards_[static_cast<size_t>(shardFor(key))]->submitPrepared(
+        req, std::move(program), program_fp, key);
 }
 
 RouterStats

@@ -68,10 +68,18 @@ class ShardRouter
     ServiceReply submit(const CompileRequest &req);
 
     /**
-     * Resolve a request to its shared program and cache key without
-     * serving it (the routing prefix of submit(); public so tests can
-     * pin key affinity).  Returns false with a message on failure.
+     * Resolve a request to its shared program, program fingerprint,
+     * and cache key without serving it (the routing prefix of
+     * submit()).  The fingerprint comes from the name cache — never a
+     * per-request content hash.  Returns false with a message on
+     * failure.
      */
+    bool resolve(const CompileRequest &req,
+                 std::shared_ptr<const Program> &program,
+                 uint64_t &program_fp, CacheKey &key,
+                 std::string &error);
+
+    /** Convenience overload (tests pin key affinity with it). */
     bool resolve(const CompileRequest &req,
                  std::shared_ptr<const Program> &program, CacheKey &key,
                  std::string &error);

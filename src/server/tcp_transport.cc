@@ -114,9 +114,10 @@ TcpTransport::acceptLoop()
             net::closeFd(fd);
             break;
         }
+        net::setNoDelay(fd);
         std::lock_guard<std::mutex> lock(mu_);
         reapFinishedLocked();
-        if (conns_.size() >= kMaxConnections) {
+        if (conns_.size() >= maxConnections_) {
             // At the thread-per-connection cap: shed the newcomer
             // instead of letting a flood exhaust threads/fds.
             ++rejected_;
@@ -144,9 +145,14 @@ void
 TcpTransport::serveConn(Conn *conn)
 {
     net::LineReader reader(conn->fd);
-    std::string line;
+    std::string_view line;
+    std::string reply;
+    int64_t recv_seen = 0;
     for (;;) {
-        net::LineReader::Status st = reader.next(line);
+        net::LineReader::Status st = reader.nextView(line);
+        readCalls_.fetch_add(reader.recvCalls() - recv_seen,
+                             std::memory_order_relaxed);
+        recv_seen = reader.recvCalls();
         if (st == net::LineReader::Status::Eof ||
             st == net::LineReader::Status::Error)
             break;
@@ -156,10 +162,20 @@ TcpTransport::serveConn(Conn *conn)
         const bool terminal = st != net::LineReader::Status::Line;
         lines_.fetch_add(1, std::memory_order_relaxed);
         bool close_conn = terminal;
-        std::string reply = handler_(line, close_conn);
-        if (!reply.empty() &&
-            !net::sendLine(conn->fd, std::move(reply)))
-            break;
+        reply.clear();
+        handler_(line, reply, close_conn);
+        if (!reply.empty()) {
+            // Count the flush before send(): a peer that reads the
+            // reply and immediately queries stats() must see it.
+            flushes_.fetch_add(1, std::memory_order_relaxed);
+            int64_t sends = 0;
+            const bool ok =
+                net::sendAll(conn->fd, reply.data(), reply.size(),
+                             &sends);
+            writeCalls_.fetch_add(sends, std::memory_order_relaxed);
+            if (!ok)
+                break;
+        }
         if (close_conn || terminal)
             break;
     }
@@ -175,6 +191,12 @@ TcpTransport::stats() const
     s.accepted = accepted_;
     s.rejected = rejected_;
     s.lines = lines_.load(std::memory_order_relaxed);
+    s.readCalls = readCalls_.load(std::memory_order_relaxed);
+    s.writeCalls = writeCalls_.load(std::memory_order_relaxed);
+    s.flushes = flushes_.load(std::memory_order_relaxed);
+    // One reply per flush: this transport answers request-by-request.
+    s.batchedReplies = s.flushes;
+    s.maxFlushBatch = s.flushes > 0 ? 1 : 0;
     for (const std::unique_ptr<Conn> &c : conns_)
         s.active += c->done.load() ? 0 : 1;
     return s;

@@ -1,28 +1,34 @@
 /**
  * @file
- * TCP transport for the serving tier: persistent connections speaking
- * the NDJSON protocol of src/service/protocol.h, one reply line per
- * request line.
+ * Thread-per-connection TCP transport for the serving tier:
+ * persistent connections speaking newline-framed requests, one reply
+ * batch per request line.
  *
  * Concurrency model (mirrors the fleet's thread-per-compilation):
  *
  *  - one accept thread owns the listening socket;
  *  - each accepted connection gets its own thread running a
- *    read-line / handle / write-line loop until the peer closes (or
- *    the handler asks to close);
+ *    read-line / handle / write loop until the peer closes (or the
+ *    handler asks to close);
  *  - stop() shuts the listener and every live connection down, then
  *    joins all threads — after stop() returns no transport thread is
  *    running and every fd is closed.
  *
  * The transport is protocol-agnostic: it frames lines and delegates
- * each to a LineHandler.  A connection that closes mid-line has its
- * truncated tail delivered to the handler too (the serving layer turns
- * it into a structured parse-error reply), so clients that die mid-
- * request still get an answer for the bytes that arrived when their
- * write half closed first.  Request lines are capped (LineReader's
- * overflow bound): a peer streaming newline-less bytes gets a
- * diagnostic reply for a short prefix and is disconnected, instead of
- * growing server memory without bound.
+ * each to the shared Transport::LineHandler (transport.h).  A
+ * connection that closes mid-line has its truncated tail delivered to
+ * the handler too (the serving layer turns it into a structured
+ * parse-error reply), so clients that die mid-request still get an
+ * answer for the bytes that arrived when their write half closed
+ * first.  Request lines are capped (LineReader's overflow bound): a
+ * peer streaming newline-less bytes gets a diagnostic reply for a
+ * short prefix and is disconnected, instead of growing server memory
+ * without bound.
+ *
+ * This is the "threads" kind of makeTransport(); its event-loop
+ * sibling is EpollTransport (epoll_transport.h), which multiplexes
+ * connections past the thread-per-connection cap and batches pipelined
+ * replies.
  */
 
 #ifndef SQUARE_SERVER_TCP_TRANSPORT_H
@@ -30,38 +36,19 @@
 
 #include <atomic>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "server/transport.h"
+
 namespace square {
 
-/** Monotonic transport counters. */
-struct TransportStats
-{
-    int64_t accepted = 0; ///< connections accepted since start()
-    int64_t rejected = 0; ///< connections refused at the cap
-    int64_t lines = 0;    ///< request lines handled
-    int64_t active = 0;   ///< connections currently open
-};
-
-class TcpTransport
+class TcpTransport final : public Transport
 {
   public:
-    /**
-     * Handler for one request line; returns the reply line (without
-     * the trailing newline).  Set @p close_conn to drop the connection
-     * after the reply is written.  Called concurrently from every
-     * connection thread — the serving layer behind it must be
-     * thread-safe (CompileService/ShardRouter are).
-     */
-    using LineHandler =
-        std::function<std::string(const std::string &line,
-                                  bool &close_conn)>;
-
     /**
      * Concurrent-connection cap: one thread per connection means an
      * unbounded flood would exhaust threads and fds (and a failed
@@ -71,24 +58,21 @@ class TcpTransport
      */
     static constexpr size_t kMaxConnections = 256;
 
-    TcpTransport() = default;
-    ~TcpTransport();
+    explicit TcpTransport(size_t max_connections = kMaxConnections)
+        : maxConnections_(max_connections)
+    {
+    }
+    ~TcpTransport() override;
 
     TcpTransport(const TcpTransport &) = delete;
     TcpTransport &operator=(const TcpTransport &) = delete;
 
-    /**
-     * Bind @p host:@p port (port 0 picks an ephemeral port) and start
-     * the accept loop.  Returns false with a message on failure.
-     */
     bool start(const std::string &host, uint16_t port,
-               LineHandler handler, std::string &error);
+               LineHandler handler, std::string &error) override;
 
-    /** The actual bound port (after start()). */
-    uint16_t port() const { return port_; }
+    uint16_t port() const override { return port_; }
 
-    /** True between a successful start() and stop(). */
-    bool running() const { return running_.load(); }
+    bool running() const override { return running_.load(); }
 
     /**
      * Shut down: close the listener, shut every live connection, join
@@ -96,9 +80,9 @@ class TcpTransport
      * thread (it joins them) — in-protocol shutdown requests set a
      * flag that the owning thread acts on (see server.h).
      */
-    void stop();
+    void stop() override;
 
-    TransportStats stats() const;
+    TransportStats stats() const override;
 
   private:
     struct Conn
@@ -117,6 +101,7 @@ class TcpTransport
     std::string host_;
     uint16_t port_ = 0;
     int listenFd_ = -1;
+    size_t maxConnections_;
     std::thread acceptThread_;
     std::atomic<bool> running_{false};
 
@@ -125,6 +110,9 @@ class TcpTransport
     int64_t accepted_ = 0;
     int64_t rejected_ = 0;
     std::atomic<int64_t> lines_{0};
+    std::atomic<int64_t> readCalls_{0};
+    std::atomic<int64_t> writeCalls_{0};
+    std::atomic<int64_t> flushes_{0};
 };
 
 } // namespace square

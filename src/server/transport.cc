@@ -1,0 +1,25 @@
+#include "server/transport.h"
+
+#include "server/epoll_transport.h"
+#include "server/tcp_transport.h"
+
+namespace square {
+
+std::unique_ptr<Transport>
+makeTransport(const std::string &kind, const TransportOptions &opts,
+              std::string &error)
+{
+    if (kind == "threads") {
+        return std::make_unique<TcpTransport>(
+            opts.maxConnections == 0 ? TcpTransport::kMaxConnections
+                                     : opts.maxConnections);
+    }
+    if (kind == "epoll") {
+        return std::make_unique<EpollTransport>(opts.eventThreads,
+                                                opts.maxConnections);
+    }
+    error = "unknown transport \"" + kind + "\" (threads|epoll)";
+    return nullptr;
+}
+
+} // namespace square

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The transport interface of the serving tier.
+ *
+ * A Transport owns a listening socket and delivers newline-framed
+ * request lines to a LineHandler, writing whatever the handler appends
+ * back to the peer.  Two implementations exist behind this interface:
+ *
+ *  - "threads": TcpTransport (tcp_transport.h) — one blocking thread
+ *    per connection, the PR-4 shape.  Simple, and fine while
+ *    connection counts stay below a few hundred.
+ *  - "epoll": EpollTransport (epoll_transport.h) — N event-loop
+ *    threads multiplexing non-blocking connections, with pipelined
+ *    request parsing and corked batch writes.  The wire-speed warm
+ *    path.
+ *
+ * Handler contract (same for both): called with one request line
+ * (without the newline); the handler appends the complete framed reply
+ * — including the trailing '\n' — to @p out, or appends nothing for
+ * protocol no-ops.  Setting @p close_conn winds the connection down
+ * after the pending replies are written.  Handlers are called
+ * concurrently from transport threads and must be thread-safe.  A
+ * handler that blocks (a cold compile) stalls only its own connection
+ * on "threads", but stalls every connection mapped to the same event
+ * loop on "epoll" — the epoll transport is built for warm,
+ * cache-served traffic (see docs/ARCHITECTURE.md).
+ */
+
+#ifndef SQUARE_SERVER_TRANSPORT_H
+#define SQUARE_SERVER_TRANSPORT_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace square {
+
+/** Monotonic transport counters (syscall and batch accounting). */
+struct TransportStats
+{
+    int64_t accepted = 0; ///< connections accepted since start()
+    int64_t rejected = 0; ///< connections refused at the cap
+    int64_t lines = 0;    ///< request lines handled
+    int64_t active = 0;   ///< connections currently open
+    int64_t readCalls = 0;  ///< recv() syscalls issued
+    int64_t writeCalls = 0; ///< send() syscalls issued
+    int64_t flushes = 0;    ///< reply batches written
+    int64_t batchedReplies = 0; ///< replies coalesced into flushes
+    int64_t maxFlushBatch = 0;  ///< largest reply batch in one flush
+    int64_t backpressured = 0;  ///< read pauses under write pressure
+};
+
+class Transport
+{
+  public:
+    /**
+     * Handler for one request line: append the framed reply (with the
+     * trailing newline) to @p out, or nothing for a no-op line.  Set
+     * @p close_conn to drop the connection once replies are written.
+     */
+    using LineHandler = std::function<void(
+        std::string_view line, std::string &out, bool &close_conn)>;
+
+    virtual ~Transport() = default;
+
+    /**
+     * Bind @p host:@p port (port 0 picks an ephemeral port) and start
+     * serving.  Returns false with a message on failure.
+     */
+    virtual bool start(const std::string &host, uint16_t port,
+                       LineHandler handler, std::string &error) = 0;
+
+    /** The actual bound port (after start()). */
+    virtual uint16_t port() const = 0;
+
+    /** True between a successful start() and stop(). */
+    virtual bool running() const = 0;
+
+    /**
+     * Shut down: close the listener and every live connection, join
+     * all transport threads.  Idempotent; must not be called from a
+     * transport thread.
+     */
+    virtual void stop() = 0;
+
+    virtual TransportStats stats() const = 0;
+};
+
+/** Construction knobs shared by the transport implementations. */
+struct TransportOptions
+{
+    /** Event-loop threads ("epoll" only; >= 1). */
+    int eventThreads = 1;
+    /** Concurrent-connection cap; 0 = the implementation's default. */
+    size_t maxConnections = 0;
+};
+
+/**
+ * Build a transport by kind: "threads" (thread-per-connection) or
+ * "epoll" (event-loop multiplexing).  Returns null with a message for
+ * an unknown kind.
+ */
+std::unique_ptr<Transport> makeTransport(const std::string &kind,
+                                         const TransportOptions &opts,
+                                         std::string &error);
+
+} // namespace square
+
+#endif // SQUARE_SERVER_TRANSPORT_H

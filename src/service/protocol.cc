@@ -3,13 +3,14 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <string_view>
 
 namespace square {
 
 namespace {
 
 void
-skipSpace(const std::string &s, size_t &pos)
+skipSpace(std::string_view s, size_t &pos)
 {
     while (pos < s.size() &&
            std::isspace(static_cast<unsigned char>(s[pos])))
@@ -18,7 +19,7 @@ skipSpace(const std::string &s, size_t &pos)
 
 /** Parse a JSON string literal starting at the opening quote. */
 bool
-parseString(const std::string &s, size_t &pos, std::string &out,
+parseString(std::string_view s, size_t &pos, std::string &out,
             std::string &error)
 {
     if (pos >= s.size() || s[pos] != '"') {
@@ -61,7 +62,7 @@ parseString(const std::string &s, size_t &pos, std::string &out,
 
 /** Parse a number / true / false token. */
 bool
-parseScalar(const std::string &s, size_t &pos, std::string &out,
+parseScalar(std::string_view s, size_t &pos, std::string &out,
             std::string &error)
 {
     size_t start = pos;
@@ -79,7 +80,7 @@ parseScalar(const std::string &s, size_t &pos, std::string &out,
         error = "expected a value at position " + std::to_string(pos);
         return false;
     }
-    out = s.substr(start, pos - start);
+    out = std::string(s.substr(start, pos - start));
     if (out != "true" && out != "false") {
         char *end = nullptr;
         std::strtod(out.c_str(), &end);
@@ -151,7 +152,7 @@ idPrefix(const JsonRequest &json)
 } // namespace
 
 bool
-parseJsonLine(const std::string &line, JsonRequest &out,
+parseJsonLine(std::string_view line, JsonRequest &out,
               std::string &error)
 {
     out.fields.clear();
@@ -191,11 +192,11 @@ parseJsonLine(const std::string &line, JsonRequest &out,
                 if (!parseScalar(line, pos, value, error))
                     return false;
             }
-            if (out.fields.count(key)) {
+            if (out.has(key)) {
                 error = "duplicate key \"" + key + "\"";
                 return false;
             }
-            out.fields[key] = value;
+            out.fields.emplace_back(std::move(key), std::move(value));
             skipSpace(line, pos);
             if (pos < line.size() && line[pos] == ',') {
                 ++pos;
@@ -318,32 +319,58 @@ buildRequest(const JsonRequest &json, CompileRequest &out,
 }
 
 std::string
-formatReply(const JsonRequest &json, const ServiceReply &reply)
+formatReplyTail(const CompileResult &r, const CacheKey &key)
 {
-    if (!reply.error.empty())
-        return formatError(json, reply.error);
-    const CompileResult &r = *reply.result;
     char key_hex[64];
     std::snprintf(key_hex, sizeof key_hex, "%016llx-%016llx-%016llx",
-                  static_cast<unsigned long long>(reply.key.program),
-                  static_cast<unsigned long long>(reply.key.machine),
-                  static_cast<unsigned long long>(reply.key.config));
-    // The label (and id) are client-supplied and unbounded: compose
-    // them as strings; only the bounded numeric tail uses snprintf.
+                  static_cast<unsigned long long>(key.program),
+                  static_cast<unsigned long long>(key.machine),
+                  static_cast<unsigned long long>(key.config));
     char buf[384];
     std::snprintf(
         buf, sizeof buf,
         "\"gates\": %lld, \"swaps\": %lld, \"depth\": %lld, "
         "\"aqv\": %lld, \"qubits_used\": %d, \"peak_live\": %d, "
-        "\"reclaims\": %d, \"skips\": %d, \"millis\": %.3f, "
-        "\"key\": \"%s\"}",
+        "\"reclaims\": %d, \"skips\": %d, \"key\": \"%s\"}",
         static_cast<long long>(r.gates), static_cast<long long>(r.swaps),
         static_cast<long long>(r.depth), static_cast<long long>(r.aqv),
-        r.qubitsUsed, r.peakLive, r.reclaimCount, r.skipCount,
-        reply.millis, key_hex);
-    return "{" + idPrefix(json) + "\"ok\": true, \"label\": \"" +
-           escape(reply.label) + "\", \"cache\": \"" +
-           (reply.hit ? "hit" : "miss") + "\", " + buf;
+        r.qubitsUsed, r.peakLive, r.reclaimCount, r.skipCount, key_hex);
+    return buf;
+}
+
+void
+formatReplyTo(std::string &out, const JsonRequest &json,
+              const ServiceReply &reply)
+{
+    if (!reply.error.empty()) {
+        out += formatError(json, reply.error);
+        return;
+    }
+    // The label (and id) are client-supplied and unbounded: compose
+    // them as strings; only the bounded numeric piece uses snprintf.
+    char millis[48];
+    std::snprintf(millis, sizeof millis, "%.3f", reply.millis);
+    out += '{';
+    out += idPrefix(json);
+    out += "\"ok\": true, \"label\": \"";
+    out += escape(reply.label);
+    out += "\", \"cache\": \"";
+    out += reply.hit ? "hit" : "miss";
+    out += "\", \"millis\": ";
+    out += millis;
+    out += ", ";
+    if (reply.replyTail != nullptr)
+        out += *reply.replyTail; // zero JSON encoding on the hit path
+    else
+        out += formatReplyTail(*reply.result, reply.key);
+}
+
+std::string
+formatReply(const JsonRequest &json, const ServiceReply &reply)
+{
+    std::string out;
+    formatReplyTo(out, json, reply);
+    return out;
 }
 
 std::string
@@ -377,8 +404,12 @@ formatStats(const ServiceStats &stats)
 std::string
 formatError(const JsonRequest &json, const std::string &error)
 {
-    return "{" + idPrefix(json) + "\"ok\": false, \"error\": \"" +
-           escape(error) + "\"}";
+    std::string out = "{";
+    out += idPrefix(json);
+    out += "\"ok\": false, \"error\": \"";
+    out += escape(error);
+    out += "\"}";
+    return out;
 }
 
 } // namespace square

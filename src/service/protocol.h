@@ -28,11 +28,13 @@
  *
  *   {"cmd": "stats"}                              service counters
  *
- * Reply line for a compile request:
+ * Reply line for a compile request (volatile fields — id, label,
+ * cache tag, service time — lead; the immutable metric tail is
+ * serialized once per cache key and reused byte-for-byte on hits):
  *
- *   {"id": 7, "ok": true, "cache": "hit",
- *    "gates": N, "swaps": N, "depth": N, "aqv": N, "qubits_used": N,
- *    "peak_live": N, "reclaims": N, "skips": N, "millis": T,
+ *   {"id": 7, "ok": true, "label": "...", "cache": "hit",
+ *    "millis": T, "gates": N, "swaps": N, "depth": N, "aqv": N,
+ *    "qubits_used": N, "peak_live": N, "reclaims": N, "skips": N,
  *    "key": "<hex>"}
  *
  * and for stats:
@@ -48,8 +50,10 @@
 #ifndef SQUARE_SERVICE_PROTOCOL_H
 #define SQUARE_SERVICE_PROTOCOL_H
 
-#include <map>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "service/service.h"
 
@@ -61,28 +65,44 @@ namespace square {
  * square_client, the TCP server) identically.
  */
 inline bool
-isProtocolNoOp(const std::string &line)
+isProtocolNoOp(std::string_view line)
 {
     size_t first = line.find_first_not_of(" \t\r");
-    return first == std::string::npos || line[first] == '#';
+    return first == std::string_view::npos || line[first] == '#';
 }
 
 /**
  * A parsed flat JSON object: key -> raw value token (strings
  * unescaped, numbers/booleans as their literal text).  The protocol
- * never nests, so this is all square_serve needs.
+ * never nests and requests carry ~10 fields at most, so a flat vector
+ * with linear lookup beats a node-per-field map on the warm serving
+ * path (reused across requests, it amortizes to zero allocations).
  */
 struct JsonRequest
 {
-    std::map<std::string, std::string> fields;
+    std::vector<std::pair<std::string, std::string>> fields;
 
-    bool has(const std::string &key) const { return fields.count(key) > 0; }
+    bool
+    has(std::string_view key) const
+    {
+        return find(key) != nullptr;
+    }
 
     std::string
-    get(const std::string &key, const std::string &fallback = "") const
+    get(std::string_view key, const std::string &fallback = "") const
     {
-        auto it = fields.find(key);
-        return it == fields.end() ? fallback : it->second;
+        const std::string *value = find(key);
+        return value != nullptr ? *value : fallback;
+    }
+
+    const std::string *
+    find(std::string_view key) const
+    {
+        for (const auto &[k, v] : fields) {
+            if (k == key)
+                return &v;
+        }
+        return nullptr;
     }
 };
 
@@ -91,7 +111,7 @@ struct JsonRequest
  * number, and boolean values; rejects nesting, arrays, and malformed
  * input with a message in @p error.
  */
-bool parseJsonLine(const std::string &line, JsonRequest &out,
+bool parseJsonLine(std::string_view line, JsonRequest &out,
                    std::string &error);
 
 /**
@@ -102,6 +122,27 @@ bool parseJsonLine(const std::string &line, JsonRequest &out,
  */
 bool buildRequest(const JsonRequest &json, CompileRequest &out,
                   std::string &error);
+
+/**
+ * Serialize the immutable tail of a success reply — every field that
+ * is a pure function of the cached artifact (`"gates"` through
+ * `"key"`, including the closing brace).  The service layer calls
+ * this once per cache key at publish time and stores the bytes
+ * alongside the result (ServiceReply::replyTail), so warm hits skip
+ * JSON encoding entirely.
+ */
+std::string formatReplyTail(const CompileResult &result,
+                            const CacheKey &key);
+
+/**
+ * Append one reply line (no trailing newline) to @p out.  Success
+ * replies are assembled as a small volatile prefix (id, label, cache
+ * tag, service time) plus the preserialized tail when the reply
+ * carries one — the wire-speed path; a fresh tail is encoded only
+ * when it does not (direct submits that bypassed the cache).
+ */
+void formatReplyTo(std::string &out, const JsonRequest &json,
+                   const ServiceReply &reply);
 
 /** Render one reply line (no trailing newline). */
 std::string formatReply(const JsonRequest &json, const ServiceReply &reply);

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/stats.h"
+#include "service/protocol.h"
 
 namespace square {
 
@@ -88,8 +89,13 @@ CompileService::noteReady(const CacheKey &key,
     if (slot.inLru)
         return;
     // The publisher calls noteReady after publish() on the same thread,
-    // so reading entry->result without entry->m is ordered.
+    // so reading entry->result without entry->m is ordered.  The
+    // preserialized reply bytes count toward the byte bound too: they
+    // are resident cache state, evicted with the entry (refcounting
+    // keeps handed-out copies valid past eviction).
     slot.bytes = resultBytes(*entry->result);
+    if (entry->tail != nullptr)
+        slot.bytes += sizeof(std::string) + entry->tail->capacity();
     cachedBytes_ += slot.bytes;
     lru_.push_front(key);
     slot.lruIt = lru_.begin();
@@ -139,11 +145,16 @@ CompileService::uncache(const CacheKey &key,
 void
 CompileService::publish(Entry &entry,
                         std::shared_ptr<const CompileResult> result,
-                        std::string error)
+                        const CacheKey &key, std::string error)
 {
+    std::shared_ptr<const std::string> tail;
+    if (result != nullptr)
+        tail = std::make_shared<const std::string>(
+            formatReplyTail(*result, key));
     {
         std::lock_guard<std::mutex> lock(entry.m);
         entry.result = std::move(result);
+        entry.tail = std::move(tail);
         entry.error = std::move(error);
         entry.ready = true;
     }
@@ -156,6 +167,7 @@ CompileService::fillFromEntry(Entry &entry, ServiceReply &reply)
     std::unique_lock<std::mutex> lock(entry.m);
     entry.cv.wait(lock, [&entry] { return entry.ready; });
     reply.result = entry.result;
+    reply.replyTail = entry.tail;
     reply.error = entry.error;
 }
 
@@ -176,27 +188,15 @@ CompileService::compileAndPublish(const CompileRequest &req,
     } catch (const std::exception &e) {
         error = e.what();
     }
-    publish(entry, std::move(result), std::move(error));
+    publish(entry, std::move(result), res.key, std::move(error));
 }
 
-ServiceReply
-CompileService::submit(const CompileRequest &req)
+void
+CompileService::serveResolved(const CompileRequest &req,
+                              const Resolved &res,
+                              Clock::time_point t0,
+                              ServiceReply &reply)
 {
-    Clock::time_point t0 = Clock::now();
-    ServiceReply reply;
-    reply.label = req.label;
-
-    Resolved res = resolve(req);
-    if (!res.error.empty()) {
-        reply.error = res.error;
-        reply.millis = millisSince(t0);
-        std::lock_guard<std::mutex> lock(mu_);
-        ++requests_;
-        ++failures_;
-        return reply;
-    }
-    reply.key = res.key;
-
     std::shared_ptr<Entry> entry;
     bool owner = false;
     {
@@ -228,6 +228,43 @@ CompileService::submit(const CompileRequest &req)
         noteReady(res.key, entry);
     }
     reply.millis = millisSince(t0);
+}
+
+ServiceReply
+CompileService::submit(const CompileRequest &req)
+{
+    Clock::time_point t0 = Clock::now();
+    ServiceReply reply;
+    reply.label = req.label;
+
+    Resolved res = resolve(req);
+    if (!res.error.empty()) {
+        reply.error = res.error;
+        reply.millis = millisSince(t0);
+        std::lock_guard<std::mutex> lock(mu_);
+        ++requests_;
+        ++failures_;
+        return reply;
+    }
+    reply.key = res.key;
+    serveResolved(req, res, t0, reply);
+    return reply;
+}
+
+ServiceReply
+CompileService::submitPrepared(const CompileRequest &req,
+                               std::shared_ptr<const Program> program,
+                               uint64_t program_fp, const CacheKey &key)
+{
+    Clock::time_point t0 = Clock::now();
+    ServiceReply reply;
+    reply.label = req.label;
+    reply.key = key;
+    Resolved res;
+    res.program = std::move(program);
+    res.programFp = program_fp;
+    res.key = key;
+    serveResolved(req, res, t0, reply);
     return reply;
 }
 
@@ -301,7 +338,8 @@ CompileService::submitBatch(const std::vector<CompileRequest> &reqs)
             else
                 uncache(owned[k].res.key, owned[k].entry);
             const bool ok = jr.error.empty();
-            publish(*owned[k].entry, std::move(result), jr.error);
+            publish(*owned[k].entry, std::move(result),
+                    owned[k].res.key, jr.error);
             if (ok)
                 noteReady(owned[k].res.key, owned[k].entry);
             // The miss's service time is its compile time on the pool.

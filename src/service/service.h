@@ -50,6 +50,7 @@
 #ifndef SQUARE_SERVICE_SERVICE_H
 #define SQUARE_SERVICE_SERVICE_H
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <list>
@@ -98,6 +99,14 @@ struct ServiceReply
     std::string label;
     /** Shared immutable result; null when error is non-empty. */
     std::shared_ptr<const CompileResult> result;
+    /**
+     * The NDJSON reply tail (protocol.h formatReplyTail), serialized
+     * once at publish time and shared refcounted with the cache entry:
+     * the serving tier appends these bytes verbatim instead of
+     * re-encoding the result per request.  Stays valid after eviction
+     * for as long as any reply (or in-flight write) holds it.
+     */
+    std::shared_ptr<const std::string> replyTail;
     /** True when served from cache (including in-flight duplicates). */
     bool hit = false;
     /** Non-empty when the compilation (or request) failed. */
@@ -162,6 +171,18 @@ class CompileService
     ServiceReply submit(const CompileRequest &req);
 
     /**
+     * Serve a request that the caller (the shard router) has already
+     * resolved to its shared program, program fingerprint, and cache
+     * key.  Skips re-resolution — re-fingerprinting the whole program
+     * per request would dominate the warm hit — and copies nothing
+     * from @p req but the label.
+     */
+    ServiceReply submitPrepared(
+        const CompileRequest &req,
+        std::shared_ptr<const Program> program, uint64_t program_fp,
+        const CacheKey &key);
+
+    /**
      * Serve a batch: replies in request order.  The batch's unique
      * misses run on the fleet worker pool; duplicates inside the batch
      * (and keys already cached) are hits.
@@ -186,6 +207,8 @@ class CompileService
         std::condition_variable cv;
         bool ready = false;
         std::shared_ptr<const CompileResult> result;
+        /** Preserialized reply bytes (see ServiceReply::replyTail). */
+        std::shared_ptr<const std::string> tail;
         std::string error;
     };
 
@@ -211,6 +234,11 @@ class CompileService
     /** Resolve program + key (building/caching by name as needed). */
     Resolved resolve(const CompileRequest &req);
 
+    /** The post-resolution body shared by submit/submitPrepared. */
+    void serveResolved(const CompileRequest &req, const Resolved &res,
+                       std::chrono::steady_clock::time_point t0,
+                       ServiceReply &reply);
+
     /** Wait for @p entry and turn it into a reply (counted a hit). */
     static void fillFromEntry(Entry &entry, ServiceReply &reply);
 
@@ -218,10 +246,14 @@ class CompileService
     void compileAndPublish(const CompileRequest &req,
                            const Resolved &res, Entry &entry);
 
-    /** Publish a finished result (or error) and wake waiters. */
+    /**
+     * Publish a finished result (or error) and wake waiters.  Success
+     * carries the preserialized reply tail for @p key — encoded once
+     * here, never on the hit path.
+     */
     static void publish(Entry &entry,
                         std::shared_ptr<const CompileResult> result,
-                        std::string error);
+                        const CacheKey &key, std::string error);
 
     /**
      * Drop a failed entry (if @p key still maps to it) so later

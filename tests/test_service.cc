@@ -359,6 +359,30 @@ TEST(Service, BatchDeduplicatesAndDispatchesMissesOnce)
     EXPECT_EQ(replies[2].result.get(), replies[5].result.get());
 }
 
+TEST(Service, ReplyTailIsPreserializedOnceAndShared)
+{
+    // The NDJSON reply tail is encoded exactly once, at publish time,
+    // and every hit shares those bytes refcounted — the wire-speed
+    // warm path appends them verbatim.  The stored bytes must be
+    // identical to a fresh encoding of the result (the serving bench
+    // additionally golden-checks them against a fresh compile()).
+    CompileService service(1);
+    CompileRequest req = namedRequest("ADDER4", SquareConfig::square());
+
+    ServiceReply first = service.submit(req);
+    ASSERT_TRUE(first.error.empty());
+    ASSERT_NE(first.replyTail, nullptr);
+    EXPECT_EQ(*first.replyTail,
+              formatReplyTail(*first.result, first.key));
+    EXPECT_NE(first.replyTail->find("\"gates\""), std::string::npos);
+    EXPECT_EQ(first.replyTail->back(), '}');
+
+    ServiceReply second = service.submit(req);
+    EXPECT_TRUE(second.hit);
+    // Pointer-equal: the hit did not re-encode anything.
+    EXPECT_EQ(second.replyTail.get(), first.replyTail.get());
+}
+
 // -------------------------------------------------------------------
 // LRU cache bound (CacheLimits)
 // -------------------------------------------------------------------
@@ -539,6 +563,78 @@ TEST(Lru, EvictionNeverInvalidatesInFlightResults)
     EXPECT_EQ(s.requests, n_threads * iterations);
     EXPECT_GT(s.evictions, 0);
     EXPECT_LE(s.cachedResults, 1u);
+}
+
+TEST(Lru, EvictedReplyBytesStayValid)
+{
+    // A reply (or an in-flight transport write) holding the
+    // preserialized bytes must keep them valid past eviction of the
+    // cache entry: sharing is refcounted, not borrowed.
+    CacheLimits limits;
+    limits.maxEntries = 1;
+    CompileService service(1, limits);
+
+    ServiceReply a =
+        service.submit(namedRequest("ADDER4", SquareConfig::square()));
+    ASSERT_TRUE(a.error.empty());
+    ASSERT_NE(a.replyTail, nullptr);
+    const std::string snapshot = *a.replyTail; // copy before eviction
+
+    // Second unique key evicts a's slot (maxEntries = 1).
+    ServiceReply b =
+        service.submit(namedRequest("ADDER4", SquareConfig::eager()));
+    ASSERT_TRUE(b.error.empty());
+    EXPECT_GE(service.stats().evictions, 1);
+
+    // The handed-out bytes are untouched by the eviction.
+    EXPECT_EQ(*a.replyTail, snapshot);
+    EXPECT_EQ(*a.replyTail, formatReplyTail(*a.result, a.key));
+}
+
+TEST(Lru, ConcurrentEvictionKeepsReplyBytesValid)
+{
+    // Eviction churn racing readers of the preserialized bytes: with
+    // maxEntries = 1 and two alternating keys, every submit evicts the
+    // other key while other threads may be mid-"write" of its bytes.
+    // Reading every byte here lets TSan prove eviction never frees or
+    // mutates bytes a reply still references.
+    CacheLimits limits;
+    limits.maxEntries = 1;
+    CompileService service(2, limits);
+
+    const CompileRequest reqs[2] = {
+        namedRequest("ADDER4", SquareConfig::square()),
+        namedRequest("ADDER4", SquareConfig::eager()),
+    };
+    std::string expected[2];
+    for (int k = 0; k < 2; ++k) {
+        ServiceReply r = service.submit(reqs[k]);
+        ASSERT_TRUE(r.error.empty());
+        expected[k] = *r.replyTail;
+    }
+
+    const int n_threads = 4;
+    const int iterations = 8;
+    std::atomic<int> bad{0};
+    {
+        std::vector<std::thread> pool;
+        pool.reserve(n_threads);
+        for (int t = 0; t < n_threads; ++t) {
+            pool.emplace_back([&, t] {
+                for (int i = 0; i < iterations; ++i) {
+                    const int k = (t + i) % 2;
+                    ServiceReply r = service.submit(reqs[k]);
+                    if (!r.error.empty() || !r.replyTail ||
+                        *r.replyTail != expected[k])
+                        bad.fetch_add(1);
+                }
+            });
+        }
+        for (std::thread &th : pool)
+            th.join();
+    }
+    EXPECT_EQ(bad.load(), 0);
+    EXPECT_GT(service.stats().evictions, 0);
 }
 
 // -------------------------------------------------------------------

@@ -25,6 +25,7 @@
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <string_view>
 
 #include "server/client.h"
 #include "service/protocol.h"
@@ -70,14 +71,17 @@ main(int argc, char **argv)
             std::fprintf(stderr, "square_client: send failed\n");
             return 1;
         }
-        std::string reply;
-        if (!client.recvLine(reply)) {
+        // View-based receive: one growable buffer per connection, no
+        // per-reply string allocation.
+        std::string_view reply;
+        if (!client.recvLineView(reply)) {
             std::fprintf(stderr,
                          "square_client: connection closed before "
                          "reply\n");
             return 1;
         }
-        std::puts(reply.c_str());
+        std::fwrite(reply.data(), 1, reply.size(), stdout);
+        std::fputc('\n', stdout);
         std::fflush(stdout);
     }
     return 0;

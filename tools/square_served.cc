@@ -21,6 +21,9 @@
  *   --host=A           IPv4 bind address (default 127.0.0.1)
  *   --shards=N         CompileService shards (default 2)
  *   --workers=N        fleet workers per shard (default 1)
+ *   --transport=K      "epoll" (event-loop multiplexing, default) or
+ *                      "threads" (thread-per-connection)
+ *   --event-threads=N  epoll event-loop threads (default 1)
  *   --cache-entries=N  per-shard LRU bound, results (default unbounded)
  *   --cache-bytes=N    per-shard LRU bound, bytes (default unbounded)
  *   --port-file=PATH   write the bound port (decimal, newline) once
@@ -110,6 +113,14 @@ main(int argc, char **argv)
                 return 1;
             }
             cfg.workersPerShard = int_value;
+        } else if (std::strncmp(arg, "--transport=", 12) == 0) {
+            cfg.transport = arg + 12; // validated by makeTransport
+        } else if (std::strncmp(arg, "--event-threads=", 16) == 0) {
+            if (!parseInt(arg + 16, 1, 256, int_value)) {
+                std::fprintf(stderr, "bad --event-threads value\n");
+                return 1;
+            }
+            cfg.eventThreads = int_value;
         } else if (std::strncmp(arg, "--cache-entries=", 16) == 0 &&
                    parseSize(arg + 16, size_value)) {
             cfg.limits.maxEntries = size_value;
@@ -124,7 +135,8 @@ main(int argc, char **argv)
             std::fprintf(
                 stderr,
                 "usage: square_served [--port=N] [--host=A] "
-                "[--shards=N] [--workers=N] [--cache-entries=N] "
+                "[--shards=N] [--workers=N] [--transport=epoll|threads] "
+                "[--event-threads=N] [--cache-entries=N] "
                 "[--cache-bytes=N] [--port-file=PATH] [--quiet]\n");
             return 1;
         }
@@ -138,10 +150,11 @@ main(int argc, char **argv)
     }
     if (!quiet) {
         std::fprintf(stderr,
-                     "square_served: listening on %s:%u (%d shards x %d "
-                     "workers; cache bound: %zu entries, %zu bytes; 0 = "
-                     "unbounded)\n",
-                     cfg.host.c_str(), server.port(), cfg.shards,
+                     "square_served: listening on %s:%u (%s transport, "
+                     "%d shards x %d workers; cache bound: %zu entries, "
+                     "%zu bytes; 0 = unbounded)\n",
+                     cfg.host.c_str(), server.port(),
+                     cfg.transport.c_str(), cfg.shards,
                      cfg.workersPerShard, cfg.limits.maxEntries,
                      cfg.limits.maxBytes);
     }
