@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cer.dir/bench/ablation_cer.cc.o"
+  "CMakeFiles/ablation_cer.dir/bench/ablation_cer.cc.o.d"
+  "ablation_cer"
+  "ablation_cer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

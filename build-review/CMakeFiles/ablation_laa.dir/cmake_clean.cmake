@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_laa.dir/bench/ablation_laa.cc.o"
+  "CMakeFiles/ablation_laa.dir/bench/ablation_laa.cc.o.d"
+  "ablation_laa"
+  "ablation_laa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_laa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

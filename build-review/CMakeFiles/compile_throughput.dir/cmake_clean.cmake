@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compile_throughput.dir/bench/compile_throughput.cc.o"
+  "CMakeFiles/compile_throughput.dir/bench/compile_throughput.cc.o.d"
+  "compile_throughput"
+  "compile_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compile_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

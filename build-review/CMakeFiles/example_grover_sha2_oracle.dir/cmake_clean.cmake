@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_grover_sha2_oracle.dir/examples/grover_sha2_oracle.cpp.o"
+  "CMakeFiles/example_grover_sha2_oracle.dir/examples/grover_sha2_oracle.cpp.o.d"
+  "example_grover_sha2_oracle"
+  "example_grover_sha2_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_grover_sha2_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

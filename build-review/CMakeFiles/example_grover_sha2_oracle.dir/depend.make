@@ -1,0 +1,2 @@
+# Empty dependencies file for example_grover_sha2_oracle.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_nisq_fidelity.dir/examples/nisq_fidelity.cpp.o"
+  "CMakeFiles/example_nisq_fidelity.dir/examples/nisq_fidelity.cpp.o.d"
+  "example_nisq_fidelity"
+  "example_nisq_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_nisq_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

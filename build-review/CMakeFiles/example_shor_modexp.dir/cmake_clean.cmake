@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_shor_modexp.dir/examples/shor_modexp.cpp.o"
+  "CMakeFiles/example_shor_modexp.dir/examples/shor_modexp.cpp.o.d"
+  "example_shor_modexp"
+  "example_shor_modexp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_shor_modexp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_shor_modexp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_square_cc.dir/examples/square_cc.cpp.o"
+  "CMakeFiles/example_square_cc.dir/examples/square_cc.cpp.o.d"
+  "example_square_cc"
+  "example_square_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_square_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

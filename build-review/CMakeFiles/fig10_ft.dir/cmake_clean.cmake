@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_ft.dir/bench/fig10_ft.cc.o"
+  "CMakeFiles/fig10_ft.dir/bench/fig10_ft.cc.o.d"
+  "fig10_ft"
+  "fig10_ft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_ft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_qubit_usage.dir/bench/fig1_qubit_usage.cc.o"
+  "CMakeFiles/fig1_qubit_usage.dir/bench/fig1_qubit_usage.cc.o.d"
+  "fig1_qubit_usage"
+  "fig1_qubit_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_qubit_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

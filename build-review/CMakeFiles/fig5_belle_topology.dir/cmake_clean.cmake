@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_belle_topology.dir/bench/fig5_belle_topology.cc.o"
+  "CMakeFiles/fig5_belle_topology.dir/bench/fig5_belle_topology.cc.o.d"
+  "fig5_belle_topology"
+  "fig5_belle_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_belle_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8a_aqv.dir/bench/fig8a_aqv.cc.o"
+  "CMakeFiles/fig8a_aqv.dir/bench/fig8a_aqv.cc.o.d"
+  "fig8a_aqv"
+  "fig8a_aqv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_aqv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

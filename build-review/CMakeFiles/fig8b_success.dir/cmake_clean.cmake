@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8b_success.dir/bench/fig8b_success.cc.o"
+  "CMakeFiles/fig8b_success.dir/bench/fig8b_success.cc.o.d"
+  "fig8b_success"
+  "fig8b_success.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_success.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8c_noise.dir/bench/fig8c_noise.cc.o"
+  "CMakeFiles/fig8c_noise.dir/bench/fig8c_noise.cc.o.d"
+  "fig8c_noise"
+  "fig8c_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8c_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_boundary.dir/bench/fig9_boundary.cc.o"
+  "CMakeFiles/fig9_boundary.dir/bench/fig9_boundary.cc.o.d"
+  "fig9_boundary"
+  "fig9_boundary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_boundary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

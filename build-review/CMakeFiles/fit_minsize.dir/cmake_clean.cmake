@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fit_minsize.dir/bench/fit_minsize.cc.o"
+  "CMakeFiles/fit_minsize.dir/bench/fit_minsize.cc.o.d"
+  "fit_minsize"
+  "fit_minsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fit_minsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

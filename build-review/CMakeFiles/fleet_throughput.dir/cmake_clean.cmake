@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_throughput.dir/bench/fleet_throughput.cc.o"
+  "CMakeFiles/fleet_throughput.dir/bench/fleet_throughput.cc.o.d"
+  "fleet_throughput"
+  "fleet_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

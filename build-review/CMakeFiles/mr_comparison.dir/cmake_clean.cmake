@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mr_comparison.dir/bench/mr_comparison.cc.o"
+  "CMakeFiles/mr_comparison.dir/bench/mr_comparison.cc.o.d"
+  "mr_comparison"
+  "mr_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mr_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_gap.dir/bench/opt_gap.cc.o"
+  "CMakeFiles/opt_gap.dir/bench/opt_gap.cc.o.d"
+  "opt_gap"
+  "opt_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_width.dir/bench/scaling_width.cc.o"
+  "CMakeFiles/scaling_width.dir/bench/scaling_width.cc.o.d"
+  "scaling_width"
+  "scaling_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_throughput.dir/bench/server_throughput.cc.o"
+  "CMakeFiles/server_throughput.dir/bench/server_throughput.cc.o.d"
+  "server_throughput"
+  "server_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/square_client.dir/tools/square_client.cc.o"
+  "CMakeFiles/square_client.dir/tools/square_client.cc.o.d"
+  "square_client"
+  "square_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/square_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

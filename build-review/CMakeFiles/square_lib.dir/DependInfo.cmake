@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/layout.cc" "CMakeFiles/square_lib.dir/src/arch/layout.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/arch/layout.cc.o.d"
+  "/root/repo/src/arch/machine.cc" "CMakeFiles/square_lib.dir/src/arch/machine.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/arch/machine.cc.o.d"
+  "/root/repo/src/arch/topology.cc" "CMakeFiles/square_lib.dir/src/arch/topology.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/arch/topology.cc.o.d"
+  "/root/repo/src/common/logging.cc" "CMakeFiles/square_lib.dir/src/common/logging.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/common/logging.cc.o.d"
+  "/root/repo/src/core/allocator.cc" "CMakeFiles/square_lib.dir/src/core/allocator.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/core/allocator.cc.o.d"
+  "/root/repo/src/core/cer.cc" "CMakeFiles/square_lib.dir/src/core/cer.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/core/cer.cc.o.d"
+  "/root/repo/src/core/compiler.cc" "CMakeFiles/square_lib.dir/src/core/compiler.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/core/compiler.cc.o.d"
+  "/root/repo/src/core/context.cc" "CMakeFiles/square_lib.dir/src/core/context.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/core/context.cc.o.d"
+  "/root/repo/src/core/executor.cc" "CMakeFiles/square_lib.dir/src/core/executor.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/core/executor.cc.o.d"
+  "/root/repo/src/core/heap.cc" "CMakeFiles/square_lib.dir/src/core/heap.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/core/heap.cc.o.d"
+  "/root/repo/src/fleet/fleet.cc" "CMakeFiles/square_lib.dir/src/fleet/fleet.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/fleet/fleet.cc.o.d"
+  "/root/repo/src/ir/analysis.cc" "CMakeFiles/square_lib.dir/src/ir/analysis.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/ir/analysis.cc.o.d"
+  "/root/repo/src/ir/analysis_cache.cc" "CMakeFiles/square_lib.dir/src/ir/analysis_cache.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/ir/analysis_cache.cc.o.d"
+  "/root/repo/src/ir/builder.cc" "CMakeFiles/square_lib.dir/src/ir/builder.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/ir/builder.cc.o.d"
+  "/root/repo/src/ir/gate.cc" "CMakeFiles/square_lib.dir/src/ir/gate.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/ir/gate.cc.o.d"
+  "/root/repo/src/ir/module.cc" "CMakeFiles/square_lib.dir/src/ir/module.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/ir/module.cc.o.d"
+  "/root/repo/src/ir/printer.cc" "CMakeFiles/square_lib.dir/src/ir/printer.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/ir/printer.cc.o.d"
+  "/root/repo/src/ir/validate.cc" "CMakeFiles/square_lib.dir/src/ir/validate.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/ir/validate.cc.o.d"
+  "/root/repo/src/lang/lexer.cc" "CMakeFiles/square_lib.dir/src/lang/lexer.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/lang/lexer.cc.o.d"
+  "/root/repo/src/lang/parser.cc" "CMakeFiles/square_lib.dir/src/lang/parser.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/lang/parser.cc.o.d"
+  "/root/repo/src/metrics/aqv.cc" "CMakeFiles/square_lib.dir/src/metrics/aqv.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/metrics/aqv.cc.o.d"
+  "/root/repo/src/noise/analytical.cc" "CMakeFiles/square_lib.dir/src/noise/analytical.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/noise/analytical.cc.o.d"
+  "/root/repo/src/noise/trajectory.cc" "CMakeFiles/square_lib.dir/src/noise/trajectory.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/noise/trajectory.cc.o.d"
+  "/root/repo/src/qasm/export.cc" "CMakeFiles/square_lib.dir/src/qasm/export.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/qasm/export.cc.o.d"
+  "/root/repo/src/route/braid_router.cc" "CMakeFiles/square_lib.dir/src/route/braid_router.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/route/braid_router.cc.o.d"
+  "/root/repo/src/route/swap_router.cc" "CMakeFiles/square_lib.dir/src/route/swap_router.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/route/swap_router.cc.o.d"
+  "/root/repo/src/schedule/scheduler.cc" "CMakeFiles/square_lib.dir/src/schedule/scheduler.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/schedule/scheduler.cc.o.d"
+  "/root/repo/src/server/client.cc" "CMakeFiles/square_lib.dir/src/server/client.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/server/client.cc.o.d"
+  "/root/repo/src/server/conn_buffer.cc" "CMakeFiles/square_lib.dir/src/server/conn_buffer.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/server/conn_buffer.cc.o.d"
+  "/root/repo/src/server/epoll_transport.cc" "CMakeFiles/square_lib.dir/src/server/epoll_transport.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/server/epoll_transport.cc.o.d"
+  "/root/repo/src/server/net.cc" "CMakeFiles/square_lib.dir/src/server/net.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/server/net.cc.o.d"
+  "/root/repo/src/server/server.cc" "CMakeFiles/square_lib.dir/src/server/server.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/server/server.cc.o.d"
+  "/root/repo/src/server/shard_router.cc" "CMakeFiles/square_lib.dir/src/server/shard_router.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/server/shard_router.cc.o.d"
+  "/root/repo/src/server/tcp_transport.cc" "CMakeFiles/square_lib.dir/src/server/tcp_transport.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/server/tcp_transport.cc.o.d"
+  "/root/repo/src/server/transport.cc" "CMakeFiles/square_lib.dir/src/server/transport.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/server/transport.cc.o.d"
+  "/root/repo/src/service/cache_key.cc" "CMakeFiles/square_lib.dir/src/service/cache_key.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/service/cache_key.cc.o.d"
+  "/root/repo/src/service/machine_spec.cc" "CMakeFiles/square_lib.dir/src/service/machine_spec.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/service/machine_spec.cc.o.d"
+  "/root/repo/src/service/program_cache.cc" "CMakeFiles/square_lib.dir/src/service/program_cache.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/service/program_cache.cc.o.d"
+  "/root/repo/src/service/protocol.cc" "CMakeFiles/square_lib.dir/src/service/protocol.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/service/protocol.cc.o.d"
+  "/root/repo/src/service/service.cc" "CMakeFiles/square_lib.dir/src/service/service.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/service/service.cc.o.d"
+  "/root/repo/src/sim/classical.cc" "CMakeFiles/square_lib.dir/src/sim/classical.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/sim/classical.cc.o.d"
+  "/root/repo/src/sim/reference.cc" "CMakeFiles/square_lib.dir/src/sim/reference.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/sim/reference.cc.o.d"
+  "/root/repo/src/sim/statevector.cc" "CMakeFiles/square_lib.dir/src/sim/statevector.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/sim/statevector.cc.o.d"
+  "/root/repo/src/workloads/arith.cc" "CMakeFiles/square_lib.dir/src/workloads/arith.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/workloads/arith.cc.o.d"
+  "/root/repo/src/workloads/boolean.cc" "CMakeFiles/square_lib.dir/src/workloads/boolean.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/workloads/boolean.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "CMakeFiles/square_lib.dir/src/workloads/registry.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/workloads/registry.cc.o.d"
+  "/root/repo/src/workloads/salsa20.cc" "CMakeFiles/square_lib.dir/src/workloads/salsa20.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/workloads/salsa20.cc.o.d"
+  "/root/repo/src/workloads/sha2.cc" "CMakeFiles/square_lib.dir/src/workloads/sha2.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/workloads/sha2.cc.o.d"
+  "/root/repo/src/workloads/synthetic.cc" "CMakeFiles/square_lib.dir/src/workloads/synthetic.cc.o" "gcc" "CMakeFiles/square_lib.dir/src/workloads/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/square_serve.dir/tools/square_serve.cc.o"
+  "CMakeFiles/square_serve.dir/tools/square_serve.cc.o.d"
+  "square_serve"
+  "square_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/square_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/square_served.dir/tools/square_served.cc.o"
+  "CMakeFiles/square_served.dir/tools/square_served.cc.o.d"
+  "square_served"
+  "square_served.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/square_served.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_nisq.dir/bench/table3_nisq.cc.o"
+  "CMakeFiles/table3_nisq.dir/bench/table3_nisq.cc.o.d"
+  "table3_nisq"
+  "table3_nisq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_nisq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_allocfree.dir/tests/test_allocfree.cc.o"
+  "CMakeFiles/test_allocfree.dir/tests/test_allocfree.cc.o.d"
+  "test_allocfree"
+  "test_allocfree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_allocfree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

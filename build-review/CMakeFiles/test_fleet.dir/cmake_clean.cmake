@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fleet.dir/tests/test_fleet.cc.o"
+  "CMakeFiles/test_fleet.dir/tests/test_fleet.cc.o.d"
+  "test_fleet"
+  "test_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

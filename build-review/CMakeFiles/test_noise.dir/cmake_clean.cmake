@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noise.dir/tests/test_noise.cc.o"
+  "CMakeFiles/test_noise.dir/tests/test_noise.cc.o.d"
+  "test_noise"
+  "test_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

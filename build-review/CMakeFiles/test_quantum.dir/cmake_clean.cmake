@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quantum.dir/tests/test_quantum.cc.o"
+  "CMakeFiles/test_quantum.dir/tests/test_quantum.cc.o.d"
+  "test_quantum"
+  "test_quantum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quantum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sha2_model.dir/tests/test_sha2_model.cc.o"
+  "CMakeFiles/test_sha2_model.dir/tests/test_sha2_model.cc.o.d"
+  "test_sha2_model"
+  "test_sha2_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sha2_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
