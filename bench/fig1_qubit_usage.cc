@@ -7,6 +7,9 @@
  * area under each curve (= the active quantum volume).  Lazy climbs to
  * the machine's qubit ceiling, Eager stretches far out in time, and
  * SQUARE stays under both bounds with the smallest area.
+ *
+ * Pass --square_json=PATH for BENCH_fig1_qubit_usage.json (one row per
+ * policy: AQV, peak live qubits, makespan).
  */
 
 #include <algorithm>
@@ -35,8 +38,9 @@ liveAt(const std::vector<UsagePoint> &curve, int64_t t)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string json_path = extractJsonPath(argc, argv);
     printHeader("Qubit usage over time, MODEXP", "Fig. 1");
 
     const BenchmarkInfo &info = findBenchmark("MODEXP");
@@ -88,5 +92,20 @@ main()
     std::printf("\n\nThe SQUARE curve should have the smallest "
                 "area (lowest AQV), staying below\nLazy's qubit "
                 "ceiling without Eager's time blow-up.\n");
+
+    if (!json_path.empty()) {
+        JsonReport report;
+        report.benchmark = "fig1_qubit_usage";
+        report.unit = "active_quantum_volume";
+        report.header.push_back(jsonStr("workload", "MODEXP"));
+        report.header.push_back(jsonInt("curve_samples", kSamples));
+        for (const Series &s : series) {
+            report.addRow({jsonStr("policy", s.name),
+                           jsonInt("aqv", s.aqv),
+                           jsonInt("peak_live", s.peak),
+                           jsonInt("makespan", s.makespan)});
+        }
+        report.writeTo(json_path);
+    }
     return 0;
 }

@@ -27,11 +27,21 @@
  *     the deserialized comparison the preserialized reply path cannot
  *     drift past (process exits non-zero on mismatch).
  *
+ * With --cold-fraction=F (0 < F < 1) an additional mixed phase runs
+ * per transport at depth 1: each request is, with probability F (one
+ * seeded Rng per client), a COLD compile — a never-seen cache key
+ * minted from a unique anchor_box_margin — and otherwise a warm hit.
+ * Warm and cold latencies are split, and the phase enforces the
+ * overload-safety contract of the async cold path: the warm p99 under
+ * mixed traffic must stay within 5x of the same transport's pure-warm
+ * depth-1 p99 (a cold compile stalls only its own connection, never
+ * the event loop), or the bench exits non-zero.
+ *
  * Pass --square_json=PATH for BENCH_server_throughput.json.  Flags:
  * --clients=N connections, --batches=N pipelined batches per client,
  * --pipeline-depth=B, --transport=threads|epoll|both, --shards=N,
  * --workers=N fleet workers per shard, --event-threads=N epoll loops,
- * --smoke shrinks for CI.
+ * --cold-fraction=F mixed-phase cold rate, --smoke shrinks for CI.
  */
 
 #include <algorithm>
@@ -45,6 +55,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "common/rng.h"
 #include "common/stats.h"
 #include "server/client.h"
 #include "server/server.h"
@@ -309,6 +320,178 @@ loadPhase(CompileServer &server, const std::string &transport,
     return true;
 }
 
+/** One client's share of the mixed warm/cold phase (depth 1). */
+struct MixedClientResult
+{
+    std::vector<double> warmMs;
+    std::vector<double> coldMs;
+    std::string error;
+};
+
+/** One measured mixed-traffic row (per transport). */
+struct MixedRow
+{
+    std::string transport;
+    double coldFraction = 0;
+    int64_t requests = 0;
+    int64_t coldRequests = 0;
+    double wallMs = 0;
+    double rps = 0;
+    double warmP50 = 0, warmP99 = 0;
+    double coldP50 = 0, coldP99 = 0;
+};
+
+void
+runMixedClient(uint16_t port, int rounds, double cold_fraction,
+               int client_idx, MixedClientResult &out)
+{
+    LineClient client;
+    std::string error;
+    if (!client.connect("127.0.0.1", port, error)) {
+        out.error = error;
+        return;
+    }
+    // Deterministic per-client draw sequence; cold keys are minted
+    // from a per-client disjoint anchor_box_margin range (margin is
+    // part of the cache key), so no cold request ever repeats — and
+    // none collides with the warm keys' default margin.
+    Rng rng(static_cast<uint64_t>(client_idx) * 7919u + 29u);
+    int cold_minted = 0;
+    const int margin_base = 100 + client_idx * (rounds + 1);
+    // Stratified cold schedule: exactly max(1, round(rounds*F)) cold
+    // rounds per client at rng-chosen positions.  A plain Bernoulli
+    // draw at F=0.01 over a short run can legally produce zero colds
+    // (and with fixed seeds, *always* would), leaving the cold path
+    // unexercised.
+    std::vector<char> cold_round(static_cast<size_t>(rounds), 0);
+    if (cold_fraction > 0) {
+        const int n_cold = std::max(
+            1, static_cast<int>(rounds * cold_fraction + 0.5));
+        for (int placed = 0; placed < n_cold;) {
+            size_t pos = static_cast<size_t>(
+                rng.below(static_cast<uint64_t>(rounds)));
+            if (!cold_round[pos]) {
+                cold_round[pos] = 1;
+                ++placed;
+            }
+        }
+    }
+    const size_t n = kWorkloads.size();
+    std::string_view reply;
+    for (int r = 0; r < rounds; ++r) {
+        const std::string &workload =
+            kWorkloads[static_cast<size_t>(client_idx + r) % n];
+        const bool cold = cold_round[static_cast<size_t>(r)] != 0;
+        std::string line;
+        if (cold) {
+            line = "{\"workload\": \"" + workload +
+                   "\", \"policy\": \"square\", \"anchor_box_margin\": " +
+                   std::to_string(margin_base + cold_minted++) + "}";
+        } else {
+            line = requestLine(workload);
+        }
+        Clock::time_point t0 = Clock::now();
+        if (!client.sendLine(line)) {
+            out.error = "send failed mid-load";
+            return;
+        }
+        if (!client.recvLineView(reply)) {
+            out.error = "connection dropped mid-load";
+            return;
+        }
+        const double ms = millisSince(t0);
+        if (reply.find("\"ok\": true") == std::string_view::npos) {
+            out.error = "server error: " + std::string(reply);
+            return;
+        }
+        const bool hit =
+            reply.find("\"cache\": \"hit\"") != std::string_view::npos;
+        if (hit == cold) {
+            out.error = cold ? "cold request unexpectedly hit"
+                             : "warm request unexpectedly missed";
+            return;
+        }
+        (cold ? out.coldMs : out.warmMs).push_back(ms);
+    }
+}
+
+/** The mixed warm/cold phase: C depth-1 clients, F cold rate. */
+bool
+mixedPhase(CompileServer &server, const std::string &transport,
+           int clients, int rounds, double cold_fraction,
+           double pure_warm_p99, MixedRow &row)
+{
+    std::vector<MixedClientResult> results(
+        static_cast<size_t>(clients));
+    Clock::time_point t0 = Clock::now();
+    {
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<size_t>(clients));
+        for (int c = 0; c < clients; ++c) {
+            pool.emplace_back(runMixedClient, server.port(), rounds,
+                              cold_fraction, c,
+                              std::ref(results[static_cast<size_t>(c)]));
+        }
+        for (std::thread &th : pool)
+            th.join();
+    }
+    const double wall_ms = millisSince(t0);
+
+    std::vector<double> warm, cold;
+    for (const MixedClientResult &r : results) {
+        if (!r.error.empty()) {
+            std::fprintf(stderr, "mixed client failed: %s\n",
+                         r.error.c_str());
+            return false;
+        }
+        warm.insert(warm.end(), r.warmMs.begin(), r.warmMs.end());
+        cold.insert(cold.end(), r.coldMs.begin(), r.coldMs.end());
+    }
+    std::sort(warm.begin(), warm.end());
+    std::sort(cold.begin(), cold.end());
+
+    row.transport = transport;
+    row.coldFraction = cold_fraction;
+    row.requests = static_cast<int64_t>(warm.size() + cold.size());
+    row.coldRequests = static_cast<int64_t>(cold.size());
+    row.wallMs = wall_ms;
+    row.rps = wall_ms > 0 ? static_cast<double>(row.requests) /
+                                (wall_ms / 1000.0)
+                          : 0.0;
+    row.warmP50 = percentileNearestRank(warm, 50.0);
+    row.warmP99 = percentileNearestRank(warm, 99.0);
+    row.coldP50 = percentileNearestRank(cold, 50.0);
+    row.coldP99 = percentileNearestRank(cold, 99.0);
+
+    // The cold-isolation contract: cold compiles must not time-shift
+    // the warm tail.  5x pure-warm p99 is deliberately loose — it
+    // absorbs scheduler noise but still catches a cold path that
+    // blocks the event loop (which inflates the warm tail by the
+    // compile time, orders of magnitude past 5x).  Enforced only for
+    // the epoll transport, whose async cold path makes the isolation
+    // promise: the threads transport compiles on the connection's own
+    // serving thread by design, so its mixed warm tail measures CPU
+    // contention (severe on a 1-core container), not a loop stall —
+    // its row is reported as the contrast, not gated.
+    // The bound is floored at one scheduler quantum: with ~200 warm
+    // samples the p99 IS the second-worst sample, and on a saturated
+    // 1-core host a single involuntary preemption (~1-3 ms) is
+    // indistinguishable from noise.  A real loop stall inflates the
+    // tail to the compile duration (>= 10 ms), far past the floor.
+    const bool enforce = transport == "epoll";
+    const double limit = std::max(5.0 * pure_warm_p99, 2.0);
+    if (pure_warm_p99 > 0 && row.warmP99 > limit) {
+        std::fprintf(stderr,
+                     "%s (%s, cold=%.2f): mixed warm p99 %.3f ms "
+                     "exceeds max(5x pure-warm p99 %.3f ms, 2 ms)\n",
+                     enforce ? "WARM-TAIL REGRESSION" : "note",
+                     transport.c_str(), cold_fraction, row.warmP99,
+                     pure_warm_p99);
+        return !enforce;
+    }
+    return true;
+}
+
 /** Golden phase: every workload re-requested, parsed, and compared. */
 bool
 goldenPhase(uint16_t port)
@@ -348,6 +531,7 @@ main(int argc, char **argv)
     int shards = 2;
     int workers = 1;
     int event_threads = 1;
+    double cold_fraction = 0;
     std::string transport = "both";
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--clients=", 10) == 0) {
@@ -364,6 +548,13 @@ main(int argc, char **argv)
             event_threads = std::atoi(argv[i] + 16);
         } else if (std::strncmp(argv[i], "--transport=", 12) == 0) {
             transport = argv[i] + 12;
+        } else if (std::strncmp(argv[i], "--cold-fraction=", 16) == 0) {
+            cold_fraction = std::atof(argv[i] + 16);
+            if (cold_fraction < 0 || cold_fraction >= 1) {
+                std::fprintf(stderr,
+                             "--cold-fraction must be in [0, 1)\n");
+                return 1;
+            }
         } else if (std::strcmp(argv[i], "--smoke") == 0) {
             clients = 2;
             batches = 4;
@@ -404,6 +595,7 @@ main(int argc, char **argv)
                 kWorkloads.size(), cpus);
 
     std::vector<PhaseRow> rows;
+    std::vector<MixedRow> mixed_rows;
     double cold_ms_first = 0;
     bool golden_all = true;
     for (const std::string &t : transports) {
@@ -431,6 +623,19 @@ main(int argc, char **argv)
             if (!loadPhase(server, t, clients, batches, d, row))
                 return 1;
             rows.push_back(row);
+        }
+
+        if (cold_fraction > 0) {
+            // rows.front() for this transport is the depth-1 pure-warm
+            // phase (depths always starts at 1), the baseline for the
+            // warm-tail isolation check.
+            const double pure_warm_p99 =
+                rows[rows.size() - depths.size()].p99;
+            MixedRow mrow;
+            if (!mixedPhase(server, t, clients, batches, cold_fraction,
+                            pure_warm_p99, mrow))
+                return 1;
+            mixed_rows.push_back(mrow);
         }
 
         const bool golden = goldenPhase(server.port());
@@ -464,6 +669,27 @@ main(int argc, char **argv)
     std::printf("(latency = client-observed batch round trip; sys/req "
                 "= server-side (recv+send)/requests;\n batch = mean "
                 "replies per gathered write)\n");
+    if (!mixed_rows.empty()) {
+        std::printf("\nmixed warm/cold phase (depth 1; cold = unique "
+                    "key => real compile):\n");
+        std::printf("%9s %6s %9s %7s %12s %9s %9s %9s %9s\n",
+                    "transport", "cold", "requests", "colds",
+                    "requests/s", "warm p50", "warm p99", "cold p50",
+                    "cold p99");
+        printRule(90);
+        for (const MixedRow &r : mixed_rows) {
+            std::printf(
+                "%9s %6.2f %9lld %7lld %12.0f %9.3f %9.3f %9.3f "
+                "%9.3f\n",
+                r.transport.c_str(), r.coldFraction,
+                static_cast<long long>(r.requests),
+                static_cast<long long>(r.coldRequests), r.rps,
+                r.warmP50, r.warmP99, r.coldP50, r.coldP99);
+        }
+        printRule(90);
+        std::printf("(warm p99 under mixed traffic checked <= 5x the "
+                    "pure-warm depth-1 p99)\n");
+    }
     std::printf("cold compile phase: %.1f ms; cached replies "
                 "golden-checked (deserialized) vs fresh compile(): "
                 "%s\n",
@@ -503,6 +729,20 @@ main(int argc, char **argv)
                  jsonNum("syscalls_per_req", r.syscallsPerReq, 2),
                  jsonNum("mean_flush_batch", r.meanFlushBatch, 1),
                  jsonInt("max_flush_batch", r.maxFlushBatch)});
+        }
+        for (const MixedRow &r : mixed_rows) {
+            report.addRow(
+                {jsonStr("transport", r.transport),
+                 jsonStr("phase", "mixed"),
+                 jsonNum("cold_fraction", r.coldFraction, 2),
+                 jsonInt("requests", r.requests),
+                 jsonInt("cold_requests", r.coldRequests),
+                 jsonNum("wall_ms", r.wallMs, 1),
+                 jsonNum("requests_per_s", r.rps, 0),
+                 jsonNum("warm_p50_ms", r.warmP50, 3),
+                 jsonNum("warm_p99_ms", r.warmP99, 3),
+                 jsonNum("cold_p50_ms", r.coldP50, 3),
+                 jsonNum("cold_p99_ms", r.coldP99, 3)});
         }
         report.writeTo(json_path);
     }

@@ -1,0 +1,153 @@
+#include "fleet/worker_pool.h"
+
+#include <utility>
+
+#if defined(__linux__)
+#include <sys/resource.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace {
+
+void
+applyNiceness(int niceness)
+{
+#if defined(__linux__)
+    // setpriority with a thread id adjusts only the calling thread on
+    // Linux.  Best-effort: an EPERM (raising priority needs caps) just
+    // leaves the worker at the default.
+    if (niceness > 0)
+        setpriority(PRIO_PROCESS,
+                    static_cast<id_t>(syscall(SYS_gettid)), niceness);
+#else
+    (void)niceness;
+#endif
+}
+
+} // namespace
+
+namespace square {
+
+WorkerPool::WorkerPool(int workers, int niceness)
+    : workers_(workers < 1 ? 1 : workers), niceness_(niceness)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    threads_.reserve(static_cast<size_t>(workers_));
+    for (int i = 0; i < workers_; ++i)
+        threads_.emplace_back([this] { run(); });
+}
+
+WorkerPool::~WorkerPool() { stop(); }
+
+uint64_t
+WorkerPool::post(std::function<void()> job)
+{
+    uint64_t id = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        id = nextId_++;
+        queue_.push_back(Item{id, std::move(job)});
+    }
+    cv_.notify_one();
+    return id;
+}
+
+bool
+WorkerPool::cancel(uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (it->id == id) {
+            queue_.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+WorkerPool::setDeathHook(std::function<bool()> hook)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    deathHook_ = std::move(hook);
+}
+
+void
+WorkerPool::run()
+{
+    applyNiceness(niceness_); // replacement threads re-enter here too
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (stop_)
+            return;
+        Item item = std::move(queue_.front());
+        queue_.pop_front();
+        // Fault injection: the death probe runs under mu_ (it is a
+        // cheap seeded coin flip).  A dying worker re-queues its job
+        // at the FRONT — never lost, never reordered behind newer
+        // work — and hands its slot to a replacement thread.
+        if (deathHook_ && deathHook_()) {
+            queue_.push_front(std::move(item));
+            ++deaths_;
+            threads_.emplace_back([this] { run(); });
+            lock.unlock();
+            cv_.notify_one();
+            return;
+        }
+        lock.unlock();
+        item.fn();
+        lock.lock();
+    }
+}
+
+void
+WorkerPool::stop()
+{
+    std::vector<std::thread> threads;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stop_ && threads_.empty())
+            return;
+        stop_ = true;
+        threads.swap(threads_);
+        queue_.clear(); // abandoned by contract (see header)
+    }
+    cv_.notify_all();
+    for (std::thread &t : threads) {
+        if (t.joinable())
+            t.join();
+    }
+    // A worker that died while stop() was swapping may have appended
+    // its replacement after the swap; reap any stragglers.
+    for (;;) {
+        std::vector<std::thread> late;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            late.swap(threads_);
+        }
+        if (late.empty())
+            break;
+        for (std::thread &t : late) {
+            if (t.joinable())
+                t.join();
+        }
+    }
+}
+
+size_t
+WorkerPool::queued() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+}
+
+int64_t
+WorkerPool::deaths() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return deaths_;
+}
+
+} // namespace square

@@ -11,6 +11,7 @@
 #include <unistd.h>
 #include <utility>
 
+#include "server/faults.h"
 #include "server/net.h"
 
 namespace square {
@@ -28,7 +29,64 @@ setNonBlocking(int fd)
     return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
+/** eventfd signal/drain with EINTR retry (signals must not be lost). */
+void
+eventfdSignal(int fd)
+{
+    while (::eventfd_write(fd, 1) != 0 && errno == EINTR) {
+    }
+}
+
+void
+eventfdDrain(int fd)
+{
+    eventfd_t ignored = 0;
+    while (::eventfd_read(fd, &ignored) != 0 && errno == EINTR) {
+    }
+}
+
 } // namespace
+
+/**
+ * The per-connection AsyncReplySink.  Holds the loop's completion
+ * queue (shared, mutex-guarded: outlives every producer safely) plus
+ * the connection id for routing.  The raw Conn pointer is used ONLY by
+ * expectReply(), which the handler contract restricts to the loop
+ * thread while the connection is alive.
+ */
+class EpollTransport::Sink final : public AsyncReplySink
+{
+  public:
+    Sink(std::shared_ptr<CompletionQueue> cq, uint64_t id, Conn *conn)
+        : cq_(std::move(cq)), id_(id), conn_(conn)
+    {
+    }
+
+    void
+    expectReply() override
+    {
+        ++conn_->pendingAsync; // loop thread, conn alive (contract)
+    }
+
+    void
+    post(std::string &&bytes) override
+    {
+        std::lock_guard<std::mutex> lock(cq_->mu);
+        if (!cq_->open)
+            return; // transport stopped: drop, never touch the fd
+        const bool was_empty = cq_->items.empty();
+        cq_->items.emplace_back(id_, std::move(bytes));
+        // Signal under the lock: stop() closes wakeFd only after
+        // flipping open=false under this same mutex.
+        if (was_empty)
+            eventfdSignal(cq_->wakeFd);
+    }
+
+  private:
+    std::shared_ptr<CompletionQueue> cq_;
+    const uint64_t id_;
+    Conn *const conn_;
+};
 
 EpollTransport::EpollTransport(int event_threads,
                                size_t max_connections)
@@ -63,6 +121,8 @@ EpollTransport::start(const std::string &host, uint16_t port,
         auto loop = std::make_unique<Loop>();
         loop->epfd = ::epoll_create1(0);
         loop->wakeFd = ::eventfd(0, EFD_NONBLOCK);
+        loop->cq = std::make_shared<CompletionQueue>();
+        loop->cq->wakeFd = loop->wakeFd;
         if (loop->epfd < 0 || loop->wakeFd < 0) {
             error = "epoll/eventfd creation failed";
             net::closeFd(loop->epfd);
@@ -108,7 +168,7 @@ EpollTransport::stop()
     if (!running_.exchange(false))
         return;
     for (const std::unique_ptr<Loop> &loop : loops_)
-        ::eventfd_write(loop->wakeFd, 1);
+        eventfdSignal(loop->wakeFd);
     for (const std::unique_ptr<Loop> &loop : loops_) {
         if (loop->th.joinable())
             loop->th.join();
@@ -116,12 +176,22 @@ EpollTransport::stop()
     net::closeFd(listenFd_);
     listenFd_ = -1;
     for (const std::unique_ptr<Loop> &loop : loops_) {
+        // Seal the completion queue BEFORE closing any fd: a worker
+        // thread post()ing from now on sees open == false and drops
+        // its bytes instead of signalling a closed (possibly reused)
+        // eventfd.  Pending completions die with their connections.
+        {
+            std::lock_guard<std::mutex> lock(loop->cq->mu);
+            loop->cq->open = false;
+            loop->cq->items.clear();
+        }
         for (const auto &[fd, conn] : loop->conns) {
             net::shutdownFd(fd);
             net::closeFd(fd);
             activeConns_.fetch_sub(1, std::memory_order_relaxed);
         }
         loop->conns.clear();
+        loop->byId.clear();
         {
             std::lock_guard<std::mutex> lock(loop->inboxMu);
             for (int fd : loop->inbox) {
@@ -152,9 +222,9 @@ EpollTransport::runLoop(Loop &loop)
         for (int i = 0; i < n; ++i) {
             const uint64_t tag = events[i].data.u64;
             if (tag == kWakeTag) {
-                eventfd_t ignored = 0;
-                ::eventfd_read(loop.wakeFd, &ignored);
+                eventfdDrain(loop.wakeFd);
                 drainInbox(loop);
+                drainCompletions(loop);
                 continue;
             }
             if (tag == kListenTag) {
@@ -217,7 +287,7 @@ EpollTransport::acceptReady(Loop &loop)
                 std::lock_guard<std::mutex> lock(target.inboxMu);
                 target.inbox.push_back(fd);
             }
-            ::eventfd_write(target.wakeFd, 1);
+            eventfdSignal(target.wakeFd);
         }
     }
 }
@@ -235,11 +305,37 @@ EpollTransport::drainInbox(Loop &loop)
 }
 
 void
+EpollTransport::drainCompletions(Loop &loop)
+{
+    std::vector<std::pair<uint64_t, std::string>> items;
+    {
+        std::lock_guard<std::mutex> lock(loop.cq->mu);
+        items.swap(loop.cq->items);
+    }
+    for (auto &[id, bytes] : items) {
+        auto it = loop.byId.find(id);
+        if (it == loop.byId.end())
+            continue; // connection died mid-compile: drop the bytes
+        Conn &conn = *it->second;
+        --conn.pendingAsync;
+        conn.wbuf.bytes() += bytes;
+        ++conn.batch;
+        // serviceConn (not just flush): the completion may unblock
+        // teardown, and parsing may have lines corked behind it.  It
+        // may destroy the connection; later completions for the same
+        // id then miss in byId and drop harmlessly.
+        serviceConn(loop, conn);
+    }
+}
+
+void
 EpollTransport::adoptConn(Loop &loop, int fd)
 {
     auto conn = std::make_unique<Conn>();
     conn->fd = fd;
+    conn->id = nextConnId_.fetch_add(1, std::memory_order_relaxed);
     conn->armed = EPOLLIN;
+    conn->sink = std::make_shared<Sink>(loop.cq, conn->id, conn.get());
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.ptr = conn.get();
@@ -253,12 +349,15 @@ EpollTransport::adoptConn(Loop &loop, int fd)
         net::closeFd(fd);
         return;
     }
+    loop.byId.emplace(conn->id, conn.get());
     loop.conns.emplace(fd, std::move(conn));
 }
 
 bool
 EpollTransport::onReadable(Loop &loop, Conn &conn)
 {
+    if (FaultInjector::instance().enabled())
+        FaultInjector::instance().onReadStart();
     if (conn.draining) {
         // FIN already sent; discard inbound bytes until the peer
         // closes, so its kernel never RSTs an unread reply away.
@@ -324,7 +423,7 @@ EpollTransport::processLines(Conn &conn)
         bool close_conn = st == net::ReadBuffer::LineStatus::Overflow;
         lines_.fetch_add(1, std::memory_order_relaxed);
         const size_t before = conn.wbuf.bytes().size();
-        handler_(line, conn.wbuf.bytes(), close_conn);
+        handler_(line, conn.wbuf.bytes(), close_conn, conn.sink);
         if (conn.wbuf.bytes().size() != before)
             ++conn.batch;
         if (close_conn)
@@ -338,7 +437,7 @@ EpollTransport::processLines(Conn &conn)
             bool close_conn = true;
             lines_.fetch_add(1, std::memory_order_relaxed);
             const size_t before = conn.wbuf.bytes().size();
-            handler_(tail, conn.wbuf.bytes(), close_conn);
+            handler_(tail, conn.wbuf.bytes(), close_conn, conn.sink);
             if (conn.wbuf.bytes().size() != before)
                 ++conn.batch;
         }
@@ -369,6 +468,12 @@ EpollTransport::flushConn(Loop &loop, Conn &conn)
         // reply and immediately queries stats() must see it counted.
         if (batch > 0)
             noteFlushBatch(batch);
+        if (FaultInjector::instance().enabled() &&
+            FaultInjector::instance().shouldFailWrite()) {
+            // Injected mid-write socket failure.
+            destroyConn(loop, conn);
+            return false;
+        }
         net::WriteBuffer::FlushStatus st =
             conn.wbuf.flush(conn.fd, sends);
         writeCalls_.fetch_add(sends, std::memory_order_relaxed);
@@ -377,7 +482,10 @@ EpollTransport::flushConn(Loop &loop, Conn &conn)
             return false;
         }
     }
-    if (conn.closing && conn.wbuf.empty()) {
+    // Wind-down gates on pendingAsync: a connection that owes async
+    // replies stays alive (even through EOF) until the last one lands
+    // — zero disconnect-without-reply by construction.
+    if (conn.closing && conn.wbuf.empty() && conn.pendingAsync == 0) {
         if (conn.sawEof) {
             // Peer's write half is already closed: nothing left to
             // drain, tear down now.
@@ -438,6 +546,10 @@ EpollTransport::destroyConn(Loop &loop, Conn &conn)
     net::shutdownFd(conn.fd);
     net::closeFd(conn.fd);
     activeConns_.fetch_sub(1, std::memory_order_relaxed);
+    // In-flight completions for this id now miss in byId and drop;
+    // the Sink object itself stays alive (shared_ptr in the done
+    // callbacks) but only ever touches the mutex-guarded queue.
+    loop.byId.erase(conn.id);
     loop.conns.erase(conn.fd); // frees conn — last use
 }
 

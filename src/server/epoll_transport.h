@@ -31,11 +31,19 @@
  * FIN (shutdown(SHUT_WR)) and has its remaining inbound bytes drained,
  * so the peer's kernel never RSTs away a reply it hasn't read yet.
  *
- * One deliberate tradeoff: handlers run on the event loop, so a
- * *blocking* handler (a cold compile miss) stalls every connection
- * mapped to that loop for its duration.  This transport targets the
- * warm, cache-served traffic shape; fleets with compile-heavy traffic
- * can raise eventThreads or select the "threads" transport.
+ * Asynchronous completions: handlers still run on the event loop, so
+ * a *blocking* handler would stall every connection mapped to that
+ * loop — which is why the server's cold path doesn't block.  Each
+ * loop owns a completion queue; a handler that goes asynchronous
+ * (sink->expectReply()) returns immediately, and the worker thread
+ * later post()s the framed reply bytes, which enqueue under the
+ * queue's mutex and wake the owning loop through its existing eventfd
+ * (the same wake the acceptor's inbox uses).  The loop drains
+ * completions on its own thread: it routes each by connection id (a
+ * dead connection drops its bytes — nothing ever writes to a closed
+ * or reused fd), appends to the write buffer, and flushes.  A
+ * connection with outstanding async replies is kept alive through
+ * EOF/close until the last one lands (or the peer vanishes).
  */
 
 #ifndef SQUARE_SERVER_EPOLL_TRANSPORT_H
@@ -92,14 +100,33 @@ class EpollTransport final : public Transport
     struct Conn
     {
         int fd = -1;
+        uint64_t id = 0;      ///< routing key for async completions
         net::ReadBuffer rbuf;
         net::WriteBuffer wbuf;
         uint32_t armed = 0;   ///< epoll interest currently registered
         int batch = 0;        ///< replies corked since the last flush
+        int pendingAsync = 0; ///< replies owed by worker threads
         bool paused = false;  ///< EPOLLIN off (write backpressure)
         bool sawEof = false;  ///< peer's write half closed
         bool closing = false; ///< no more requests; close after drain
         bool draining = false;///< FIN sent; discarding reads until EOF
+        /** This connection's async completion sink (see Sink, .cc). */
+        std::shared_ptr<AsyncReplySink> sink;
+    };
+
+    /**
+     * The cross-thread half of one loop: worker threads push framed
+     * reply bytes here (keyed by connection id) and kick the loop's
+     * eventfd.  `open` flips false under `mu` during stop(), BEFORE
+     * the eventfd closes — so no post() can ever write to a closed
+     * (possibly reused) descriptor.
+     */
+    struct CompletionQueue
+    {
+        std::mutex mu;
+        bool open = true;
+        int wakeFd = -1;
+        std::vector<std::pair<uint64_t, std::string>> items;
     };
 
     /** One event loop: epoll set + wake eventfd + owned connections. */
@@ -111,12 +138,18 @@ class EpollTransport final : public Transport
         std::mutex inboxMu;
         std::vector<int> inbox; ///< fds handed off by the acceptor
         std::unordered_map<int, std::unique_ptr<Conn>> conns;
+        /** Loop-thread-only index: connection id -> live Conn. */
+        std::unordered_map<uint64_t, Conn *> byId;
+        std::shared_ptr<CompletionQueue> cq;
     };
+
+    class Sink;
 
     void runLoop(Loop &loop);
     void acceptReady(Loop &loop);
     void adoptConn(Loop &loop, int fd);
     void drainInbox(Loop &loop);
+    void drainCompletions(Loop &loop);
     /** All return false when the connection was destroyed. */
     bool onReadable(Loop &loop, Conn &conn);
     bool serviceConn(Loop &loop, Conn &conn);
@@ -134,6 +167,7 @@ class EpollTransport final : public Transport
     int eventThreads_;
     size_t maxConnections_;
     size_t nextLoop_ = 0; ///< acceptor-thread only (round-robin)
+    std::atomic<uint64_t> nextConnId_{1};
 
     std::atomic<int64_t> accepted_{0};
     std::atomic<int64_t> rejected_{0};

@@ -1,0 +1,175 @@
+#include "server/faults.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+namespace square {
+
+namespace {
+
+bool
+parseDouble(const std::string &text, double &out)
+{
+    char *end = nullptr;
+    out = std::strtod(text.c_str(), &end);
+    return end != text.c_str() && *end == '\0';
+}
+
+void
+sleepMs(double ms)
+{
+    if (ms > 0)
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(ms));
+}
+
+} // namespace
+
+FaultInjector &
+FaultInjector::instance()
+{
+    static FaultInjector injector;
+    return injector;
+}
+
+void
+FaultInjector::configure(const FaultConfig &cfg)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        cfg_ = cfg;
+        rng_.reseed(cfg.seed);
+    }
+    enabled_.store(true, std::memory_order_release);
+}
+
+void
+FaultInjector::disable()
+{
+    enabled_.store(false, std::memory_order_release);
+}
+
+bool
+FaultInjector::configureFromSpec(const std::string &spec,
+                                 std::string &error)
+{
+    FaultConfig cfg;
+    size_t pos = 0;
+    if (spec.empty()) {
+        error = "empty fault spec";
+        return false;
+    }
+    while (pos < spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string pair = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        size_t eq = pair.find('=');
+        if (eq == std::string::npos) {
+            error = "fault spec entry '" + pair + "' is not key=value";
+            return false;
+        }
+        const std::string key = pair.substr(0, eq);
+        const std::string value = pair.substr(eq + 1);
+        double num = 0;
+        if (!parseDouble(value, num) || num < 0) {
+            error = "bad value for fault key '" + key + "'";
+            return false;
+        }
+        if (key == "seed") {
+            cfg.seed = static_cast<uint64_t>(num);
+        } else if (key == "compile_delay_ms") {
+            cfg.compileDelayMs = num;
+        } else if (key == "compile_delay_jitter_ms") {
+            cfg.compileDelayJitterMs = num;
+        } else if (key == "worker_death_rate") {
+            cfg.workerDeathRate = num;
+        } else if (key == "write_fail_rate") {
+            cfg.writeFailRate = num;
+        } else if (key == "read_stall_ms") {
+            cfg.readStallMs = num;
+        } else {
+            error = "unknown fault key '" + key + "'";
+            return false;
+        }
+    }
+    configure(cfg);
+    return true;
+}
+
+bool
+FaultInjector::configureFromEnv(std::string &error)
+{
+    const char *spec = std::getenv("SQUARE_FAULTS");
+    if (spec == nullptr || *spec == '\0')
+        return false;
+    return configureFromSpec(spec, error);
+}
+
+void
+FaultInjector::onCompileStart()
+{
+    if (!enabled())
+        return;
+    double delay = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (cfg_.compileDelayMs <= 0 && cfg_.compileDelayJitterMs <= 0)
+            return;
+        delay = cfg_.compileDelayMs +
+                rng_.uniform() * cfg_.compileDelayJitterMs;
+        ++stats_.compileDelays;
+    }
+    sleepMs(delay); // outside the lock: delays must not serialize
+}
+
+bool
+FaultInjector::shouldKillWorker()
+{
+    if (!enabled())
+        return false;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cfg_.workerDeathRate <= 0 || !rng_.coin(cfg_.workerDeathRate))
+        return false;
+    ++stats_.workerDeaths;
+    return true;
+}
+
+bool
+FaultInjector::shouldFailWrite()
+{
+    if (!enabled())
+        return false;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cfg_.writeFailRate <= 0 || !rng_.coin(cfg_.writeFailRate))
+        return false;
+    ++stats_.writeFailures;
+    return true;
+}
+
+void
+FaultInjector::onReadStart()
+{
+    if (!enabled())
+        return;
+    double stall = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (cfg_.readStallMs <= 0)
+            return;
+        stall = cfg_.readStallMs;
+        ++stats_.readStalls;
+    }
+    sleepMs(stall);
+}
+
+FaultStats
+FaultInjector::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+} // namespace square

@@ -77,19 +77,29 @@ connectTcp(const std::string &host, uint16_t port, std::string &error)
     sockaddr_in addr;
     if (!fillAddress(host, port, addr, error))
         return -1;
-    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0) {
-        error = errnoMessage("socket");
-        return -1;
-    }
-    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
-                  sizeof addr) != 0) {
-        error = errnoMessage("connect");
+    // EINTR during a blocking connect() leaves the attempt in progress
+    // on the old socket with no portable way to resume it, so retry
+    // with a FRESH socket instead of treating the signal as a
+    // connection error.
+    for (;;) {
+        int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0) {
+            error = errnoMessage("socket");
+            return -1;
+        }
+        if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof addr) == 0) {
+            setNoDelay(fd);
+            return fd;
+        }
+        const int err = errno;
         closeFd(fd);
-        return -1;
+        if (err != EINTR) {
+            errno = err;
+            error = errnoMessage("connect");
+            return -1;
+        }
     }
-    setNoDelay(fd);
-    return fd;
 }
 
 void

@@ -1,7 +1,9 @@
 #include "server/server.h"
 
 #include <cstdio>
+#include <utility>
 
+#include "server/faults.h"
 #include "service/protocol.h"
 
 namespace square {
@@ -34,7 +36,9 @@ formatServerStats(const RouterStats &stats, int shards)
 } // namespace
 
 CompileServer::CompileServer(const ServerConfig &cfg)
-    : router_(cfg.shards, cfg.workersPerShard, cfg.limits), cfg_(cfg)
+    : router_(cfg.shards, cfg.workersPerShard, cfg.limits,
+              cfg.admission),
+      cfg_(cfg)
 {
 }
 
@@ -43,6 +47,15 @@ CompileServer::~CompileServer() { stop(); }
 bool
 CompileServer::start(std::string &error)
 {
+    // Wire the fault-injection probes into every shard.  The service
+    // layer carries the hooks so it stays free of src/server includes;
+    // both probes gate on one relaxed atomic load when faults are off.
+    for (int i = 0; i < router_.shards(); ++i) {
+        router_.shard(i).setCompileHook(
+            [] { FaultInjector::instance().onCompileStart(); });
+        router_.shard(i).setWorkerDeathHook(
+            [] { return FaultInjector::instance().shouldKillWorker(); });
+    }
     TransportOptions opts;
     opts.eventThreads = cfg_.eventThreads;
     transport_ = makeTransport(cfg_.transport, opts, error);
@@ -51,8 +64,9 @@ CompileServer::start(std::string &error)
     return transport_->start(
         cfg_.host, cfg_.port,
         [this](std::string_view line, std::string &out,
-               bool &close_conn) {
-            handleLineTo(line, out, close_conn);
+               bool &close_conn,
+               const std::shared_ptr<AsyncReplySink> &async) {
+            handleLineTo(line, out, close_conn, async);
         },
         error);
 }
@@ -66,7 +80,8 @@ CompileServer::stop()
 
 void
 CompileServer::handleLineTo(std::string_view line, std::string &out,
-                            bool &close_conn)
+                            bool &close_conn,
+                            const std::shared_ptr<AsyncReplySink> &async)
 {
     if (isProtocolNoOp(line))
         return;
@@ -103,9 +118,54 @@ CompileServer::handleLineTo(std::string_view line, std::string &out,
         out += '\n';
         return;
     }
+
+    if (async != nullptr && cfg_.asyncColdPath) {
+        // Non-blocking serve: resolve here (cheap — the program comes
+        // from the router's shared name cache), then let the shard
+        // decide sync (hit / shed / expired) vs async (real compile).
+        std::shared_ptr<const Program> program;
+        uint64_t program_fp = 0;
+        CacheKey key;
+        if (!router_.resolve(req, program, program_fp, key, error)) {
+            router_.noteResolveFailure();
+            out += formatError(json, error);
+            out += '\n';
+            return;
+        }
+        // `json` is thread-local and will be reused for the next line
+        // on this loop; capture the only piece the completion needs —
+        // the id echo — by value before going asynchronous.
+        std::string id_prefix = replyIdPrefix(json);
+        CompileService &shard = router_.shard(router_.shardFor(key));
+        ServiceReply reply;
+        const bool sync = shard.submitPreparedAsync(
+            req, std::move(program), program_fp, key, reply,
+            [sink = async, prefix = std::move(id_prefix)](
+                ServiceReply &&r) {
+                std::string framed;
+                formatReplyLineTo(framed, prefix, r);
+                framed += '\n';
+                sink->post(std::move(framed));
+            });
+        if (sync) {
+            formatReplyLineTo(out, replyIdPrefix(json), reply);
+            out += '\n';
+        } else {
+            async->expectReply();
+        }
+        return;
+    }
+
     ServiceReply reply = router_.submit(req);
     formatReplyTo(out, json, reply);
     out += '\n';
+}
+
+void
+CompileServer::handleLineTo(std::string_view line, std::string &out,
+                            bool &close_conn)
+{
+    handleLineTo(line, out, close_conn, nullptr);
 }
 
 std::string

@@ -59,6 +59,15 @@ struct ServerConfig
     int eventThreads = 1;
     /** Per-shard LRU result-cache bound (zero = unbounded). */
     CacheLimits limits;
+    /** Per-shard compile-queue bound (zero maxPending = admit all). */
+    AdmissionLimits admission;
+    /**
+     * Dispatch cold misses onto the shard's worker pool and complete
+     * them through the transport's async sink (when the transport has
+     * one), so a compile never blocks an event loop.  Off = the PR-5
+     * behaviour: misses compile on the transport thread.
+     */
+    bool asyncColdPath = true;
 };
 
 class CompileServer
@@ -90,8 +99,18 @@ class CompileServer
      * Serve one protocol line, appending the framed reply (with its
      * newline) to @p out — nothing for protocol no-ops.  This is the
      * transport's LineHandler: warm hits append the preserialized
-     * reply bytes straight into the connection's write buffer.
+     * reply bytes straight into the connection's write buffer.  With
+     * a non-null @p async sink (the epoll transport) and the async
+     * cold path enabled, a miss appends nothing now — the reply
+     * arrives through the sink once a pool worker finishes the
+     * compile — while warm hits, sheds, and errors still reply
+     * synchronously.
      */
+    void handleLineTo(std::string_view line, std::string &out,
+                      bool &close_conn,
+                      const std::shared_ptr<AsyncReplySink> &async);
+
+    /** Synchronous-only overload (tests, threads transport). */
     void handleLineTo(std::string_view line, std::string &out,
                       bool &close_conn);
 

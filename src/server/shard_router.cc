@@ -6,7 +6,7 @@
 namespace square {
 
 ShardRouter::ShardRouter(int shards, int workers_per_shard,
-                         CacheLimits limits)
+                         CacheLimits limits, AdmissionLimits admission)
 {
     if (shards < 1)
         throw std::invalid_argument("ShardRouter needs >= 1 shard");
@@ -15,8 +15,8 @@ ShardRouter::ShardRouter(int shards, int workers_per_shard,
             "ShardRouter needs >= 1 worker per shard");
     shards_.reserve(static_cast<size_t>(shards));
     for (int i = 0; i < shards; ++i)
-        shards_.push_back(
-            std::make_unique<CompileService>(workers_per_shard, limits));
+        shards_.push_back(std::make_unique<CompileService>(
+            workers_per_shard, limits, admission));
 }
 
 bool

@@ -60,9 +60,10 @@ class ShardRouter
      * @param shards            number of CompileService shards (>= 1).
      * @param workers_per_shard fleet workers per shard.
      * @param limits            per-shard LRU cache bound.
+     * @param admission         per-shard compile-queue bound.
      */
     ShardRouter(int shards, int workers_per_shard,
-                CacheLimits limits = {});
+                CacheLimits limits = {}, AdmissionLimits admission = {});
 
     /** Route one request to its key-affine shard and serve it. */
     ServiceReply submit(const CompileRequest &req);
@@ -86,6 +87,13 @@ class ShardRouter
 
     /** The shard @p key routes to (stable for the router's lifetime). */
     int shardFor(const CacheKey &key) const;
+
+    /** Count a caller-side resolve() failure (so resolve_failures
+        covers the server's async path, which resolves itself). */
+    void noteResolveFailure()
+    {
+        resolveFailures_.fetch_add(1, std::memory_order_relaxed);
+    }
 
     int shards() const { return static_cast<int>(shards_.size()); }
 

@@ -6,6 +6,7 @@
 #include <system_error>
 #include <utility>
 
+#include "server/faults.h"
 #include "server/net.h"
 
 namespace square {
@@ -163,11 +164,16 @@ TcpTransport::serveConn(Conn *conn)
         lines_.fetch_add(1, std::memory_order_relaxed);
         bool close_conn = terminal;
         reply.clear();
-        handler_(line, reply, close_conn);
+        // No async sink: this transport dedicates a thread to the
+        // connection, so a blocking handler stalls only its own peer.
+        handler_(line, reply, close_conn, nullptr);
         if (!reply.empty()) {
             // Count the flush before send(): a peer that reads the
             // reply and immediately queries stats() must see it.
             flushes_.fetch_add(1, std::memory_order_relaxed);
+            if (FaultInjector::instance().enabled() &&
+                FaultInjector::instance().shouldFailWrite())
+                break; // injected mid-write socket failure
             int64_t sends = 0;
             const bool ok =
                 net::sendAll(conn->fd, reply.data(), reply.size(),

@@ -19,11 +19,22 @@
  * — including the trailing '\n' — to @p out, or appends nothing for
  * protocol no-ops.  Setting @p close_conn winds the connection down
  * after the pending replies are written.  Handlers are called
- * concurrently from transport threads and must be thread-safe.  A
- * handler that blocks (a cold compile) stalls only its own connection
- * on "threads", but stalls every connection mapped to the same event
- * loop on "epoll" — the epoll transport is built for warm,
- * cache-served traffic (see docs/ARCHITECTURE.md).
+ * concurrently from transport threads and must be thread-safe.
+ *
+ * Asynchronous replies: the handler's fourth argument is the
+ * connection's AsyncReplySink, or null when the transport cannot
+ * complete replies out-of-band ("threads", where blocking the handler
+ * stalls only its own connection and is therefore acceptable).  A
+ * handler that wants to defer a reply (a cold compile dispatched to a
+ * worker pool) calls expectReply() before returning — synchronously,
+ * on the transport thread — and later, from any thread, post()s the
+ * framed reply bytes.  The transport routes the bytes back to the
+ * owning event loop (completion queue + eventfd wake), so a slow
+ * compile no longer stalls the loop's other connections.  post() is
+ * safe after the connection dies: the bytes are dropped, never
+ * written to a closed or reused fd.  Replies on one connection may
+ * interleave out of request order once a request goes asynchronous;
+ * clients match replies by id.
  */
 
 #ifndef SQUARE_SERVER_TRANSPORT_H
@@ -52,6 +63,29 @@ struct TransportStats
     int64_t backpressured = 0;  ///< read pauses under write pressure
 };
 
+/**
+ * Per-connection sink for asynchronously completed replies.  Handed to
+ * the LineHandler; see the handler contract in the file comment.
+ *
+ * Threading: expectReply() may only be called on the transport thread,
+ * inside the handler invocation it was handed to (it marks the
+ * connection as owing one more reply).  post() may be called from any
+ * thread, any time — including after the connection is gone, in which
+ * case the bytes are dropped.  Each expectReply() must be matched by
+ * exactly one post().
+ */
+class AsyncReplySink
+{
+  public:
+    virtual ~AsyncReplySink() = default;
+
+    /** Declare one pending async reply (transport thread only). */
+    virtual void expectReply() = 0;
+
+    /** Deliver one framed reply line, trailing '\n' included. */
+    virtual void post(std::string &&bytes) = 0;
+};
+
 class Transport
 {
   public:
@@ -59,9 +93,12 @@ class Transport
      * Handler for one request line: append the framed reply (with the
      * trailing newline) to @p out, or nothing for a no-op line.  Set
      * @p close_conn to drop the connection once replies are written.
+     * @p async is the connection's completion sink, or null when the
+     * transport only supports synchronous replies.
      */
     using LineHandler = std::function<void(
-        std::string_view line, std::string &out, bool &close_conn)>;
+        std::string_view line, std::string &out, bool &close_conn,
+        const std::shared_ptr<AsyncReplySink> &async)>;
 
     virtual ~Transport() = default;
 

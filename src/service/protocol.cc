@@ -226,7 +226,7 @@ buildRequest(const JsonRequest &json, CompileRequest &out,
         "id",          "workload",        "machine",
         "policy",      "anchor_box_margin", "candidate_cap",
         "comm_weight", "serialization_weight", "area_weight",
-        "hold_horizon"};
+        "hold_horizon", "deadline_ms",    "priority"};
     for (const auto &[key, value] : json.fields) {
         bool ok = false;
         for (const char *k : known)
@@ -315,6 +315,25 @@ buildRequest(const JsonRequest &json, CompileRequest &out,
             return false;
         }
     }
+
+    // Admission-control fields (not part of the cache key).
+    if (json.has("deadline_ms")) {
+        if (!parseNumber(json.get("deadline_ms"), out.deadlineMs) ||
+            out.deadlineMs < 0) {
+            error = "bad deadline_ms";
+            return false;
+        }
+    }
+    if (json.has("priority")) {
+        const std::string tier = json.get("priority");
+        if (tier == "batch") {
+            out.batch = true;
+        } else if (tier != "interactive") {
+            error = "unknown priority \"" + tier +
+                    "\" (interactive|batch)";
+            return false;
+        }
+    }
     return true;
 }
 
@@ -338,12 +357,44 @@ formatReplyTail(const CompileResult &r, const CacheKey &key)
     return buf;
 }
 
-void
-formatReplyTo(std::string &out, const JsonRequest &json,
-              const ServiceReply &reply)
+std::string
+replyIdPrefix(const JsonRequest &json)
 {
+    return idPrefix(json);
+}
+
+void
+formatReplyLineTo(std::string &out, const std::string &id_prefix,
+                  const ServiceReply &reply)
+{
+    if (reply.status == "overloaded") {
+        // Structured shed: not an error in the request, a statement
+        // about server capacity — clients retry after the hint.
+        char tail[96];
+        std::snprintf(tail, sizeof tail,
+                      "\"ok\": false, \"status\": \"overloaded\", "
+                      "\"retry_after_ms\": %lld}",
+                      static_cast<long long>(reply.retryAfterMs + 0.5));
+        out += '{';
+        out += id_prefix;
+        out += tail;
+        return;
+    }
+    if (reply.status == "deadline_expired") {
+        out += '{';
+        out += id_prefix;
+        out += "\"ok\": false, \"status\": \"deadline_expired\", "
+               "\"error\": \"";
+        out += escape(reply.error);
+        out += "\"}";
+        return;
+    }
     if (!reply.error.empty()) {
-        out += formatError(json, reply.error);
+        out += '{';
+        out += id_prefix;
+        out += "\"ok\": false, \"error\": \"";
+        out += escape(reply.error);
+        out += "\"}";
         return;
     }
     // The label (and id) are client-supplied and unbounded: compose
@@ -351,7 +402,7 @@ formatReplyTo(std::string &out, const JsonRequest &json,
     char millis[48];
     std::snprintf(millis, sizeof millis, "%.3f", reply.millis);
     out += '{';
-    out += idPrefix(json);
+    out += id_prefix;
     out += "\"ok\": true, \"label\": \"";
     out += escape(reply.label);
     out += "\", \"cache\": \"";
@@ -363,6 +414,13 @@ formatReplyTo(std::string &out, const JsonRequest &json,
         out += *reply.replyTail; // zero JSON encoding on the hit path
     else
         out += formatReplyTail(*reply.result, reply.key);
+}
+
+void
+formatReplyTo(std::string &out, const JsonRequest &json,
+              const ServiceReply &reply)
+{
+    formatReplyLineTo(out, idPrefix(json), reply);
 }
 
 std::string
@@ -381,14 +439,18 @@ formatStats(const ServiceStats &stats)
             ? static_cast<double>(stats.hits) /
                   static_cast<double>(stats.requests)
             : 0.0;
-    char buf[640];
+    // New fields append AFTER hit_rate: scripts (and the CI greps)
+    // match on the historical field order staying contiguous.
+    char buf[832];
     std::snprintf(
         buf, sizeof buf,
         "{\"ok\": true, \"requests\": %lld, \"hits\": %lld, "
         "\"misses\": %lld, \"compiles\": %lld, \"failures\": %lld, "
         "\"evictions\": %lld, \"analysis_computes\": %lld, "
         "\"cached_results\": %zu, \"cached_bytes\": %zu, "
-        "\"cached_programs\": %zu, \"hit_rate\": %.4f}",
+        "\"cached_programs\": %zu, \"hit_rate\": %.4f, "
+        "\"shed\": %lld, \"deadline_expired\": %lld, "
+        "\"pending_compiles\": %zu, \"worker_deaths\": %lld}",
         static_cast<long long>(stats.requests),
         static_cast<long long>(stats.hits),
         static_cast<long long>(stats.misses),
@@ -397,7 +459,10 @@ formatStats(const ServiceStats &stats)
         static_cast<long long>(stats.evictions),
         static_cast<long long>(stats.analysisComputes),
         stats.cachedResults, stats.cachedBytes, stats.cachedPrograms,
-        hit_rate);
+        hit_rate, static_cast<long long>(stats.shed),
+        static_cast<long long>(stats.deadlineExpired),
+        stats.pendingCompiles,
+        static_cast<long long>(stats.workerDeaths));
     return buf;
 }
 

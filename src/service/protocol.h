@@ -24,9 +24,26 @@
  *    "comm_weight": 1.0,
  *    "serialization_weight": 0.5,
  *    "area_weight": 0.3,
- *    "hold_horizon": 1.0}
+ *    "hold_horizon": 1.0,
+ *    "deadline_ms": 250,                          latency budget, ms
+ *                                                 (0 = none; a queued
+ *                                                  compile whose
+ *                                                  waiters all expired
+ *                                                  is cancelled)
+ *    "priority": "batch"}                         interactive (default)
+ *                                                 | batch (admitted
+ *                                                  only with compile-
+ *                                                  queue headroom)
  *
  *   {"cmd": "stats"}                              service counters
+ *
+ * Overload shedding and deadline expiry reply with structured status
+ * lines instead of results (and never disconnect):
+ *
+ *   {"id": 7, "ok": false, "status": "overloaded",
+ *    "retry_after_ms": 150}
+ *   {"id": 7, "ok": false, "status": "deadline_expired",
+ *    "error": "deadline expired before compile started"}
  *
  * Reply line for a compile request (volatile fields — id, label,
  * cache tag, service time — lead; the immutable metric tail is
@@ -133,6 +150,23 @@ bool buildRequest(const JsonRequest &json, CompileRequest &out,
  */
 std::string formatReplyTail(const CompileResult &result,
                             const CacheKey &key);
+
+/**
+ * The reply-object prefix that echoes the request's id ("\"id\": N, "
+ * or empty) — precompute it before going asynchronous: the parsed
+ * JsonRequest is transport-thread-local and reused, so an async
+ * completion must not touch it later.
+ */
+std::string replyIdPrefix(const JsonRequest &json);
+
+/**
+ * Append one reply line (no trailing newline) to @p out, given a
+ * precomputed id prefix (replyIdPrefix).  Handles every reply shape:
+ * shed ("overloaded"), cancelled ("deadline_expired"), error, and
+ * success — the form the async completion path uses.
+ */
+void formatReplyLineTo(std::string &out, const std::string &id_prefix,
+                       const ServiceReply &reply);
 
 /**
  * Append one reply line (no trailing newline) to @p out.  Success

@@ -29,12 +29,59 @@ ServiceStats::operator+=(const ServiceStats &o)
     cachedResults += o.cachedResults;
     cachedBytes += o.cachedBytes;
     cachedPrograms += o.cachedPrograms;
+    shed += o.shed;
+    deadlineExpired += o.deadlineExpired;
+    workerDeaths += o.workerDeaths;
+    pendingCompiles += o.pendingCompiles;
     return *this;
 }
 
-CompileService::CompileService(int workers, CacheLimits limits)
-    : fleet_(workers), limits_(limits)
+CompileService::CompileService(int workers, CacheLimits limits,
+                               AdmissionLimits admission)
+    : fleet_(workers), limits_(limits), admission_(admission)
 {
+}
+
+CompileService::~CompileService()
+{
+    // Producers (transports) must be quiesced by now: stop() abandons
+    // queued async jobs, so their waiters are never fired — safe only
+    // because no connection is left to read the replies.
+    if (pool_ != nullptr)
+        pool_->stop();
+}
+
+void
+CompileService::setCompileHook(std::function<void()> hook)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    compileHook_ = std::move(hook);
+}
+
+void
+CompileService::setWorkerDeathHook(std::function<bool()> hook)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    workerDeathHook_ = std::move(hook);
+    if (pool_ != nullptr)
+        pool_->setDeathHook(workerDeathHook_);
+}
+
+WorkerPool &
+CompileService::asyncPool()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pool_ == nullptr) {
+        // Async cold compiles are background work relative to the
+        // event loops serving warm hits: nice the workers so a compile
+        // on a saturated host yields the CPU to a waking loop thread
+        // instead of costing the warm tail whole scheduler quanta.
+        pool_ = std::make_unique<WorkerPool>(fleet_.workers(),
+                                             /*niceness=*/10);
+        if (workerDeathHook_)
+            pool_->setDeathHook(workerDeathHook_);
+    }
+    return *pool_;
 }
 
 size_t
@@ -145,36 +192,90 @@ CompileService::uncache(const CacheKey &key,
 void
 CompileService::publish(Entry &entry,
                         std::shared_ptr<const CompileResult> result,
-                        const CacheKey &key, std::string error)
+                        const CacheKey &key, std::string error,
+                        double compile_millis)
 {
     std::shared_ptr<const std::string> tail;
     if (result != nullptr)
         tail = std::make_shared<const std::string>(
             formatReplyTail(*result, key));
+    std::vector<Waiter> waiters;
     {
         std::lock_guard<std::mutex> lock(entry.m);
         entry.result = std::move(result);
         entry.tail = std::move(tail);
         entry.error = std::move(error);
         entry.ready = true;
+        waiters.swap(entry.waiters);
     }
     entry.cv.notify_all();
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (pendingCompiles_ > 0)
+            --pendingCompiles_;
+        if (compile_millis >= 0)
+            ewmaCompileMs_ =
+                0.8 * ewmaCompileMs_ + 0.2 * compile_millis;
+        for (size_t i = 0; i < waiters.size(); ++i) {
+            if (entry.expired)
+                ++deadlineExpired_;
+            else if (!entry.error.empty())
+                ++failures_;
+        }
+    }
+
+    // Fire the async waiters outside every lock: the callbacks post to
+    // transport completion queues, which take their own mutexes.  The
+    // entry's fields are immutable once ready, so the unlocked reads
+    // below are ordered by the publish above (this is the publishing
+    // thread).
+    for (Waiter &w : waiters) {
+        ServiceReply r;
+        r.label = std::move(w.label);
+        r.key = key;
+        r.hit = w.hit;
+        r.result = entry.result;
+        r.replyTail = entry.tail;
+        r.error = entry.error;
+        if (entry.expired)
+            r.status = "deadline_expired";
+        r.millis = millisSince(w.t0);
+        w.done(std::move(r));
+    }
 }
 
 void
 CompileService::fillFromEntry(Entry &entry, ServiceReply &reply)
 {
     std::unique_lock<std::mutex> lock(entry.m);
-    entry.cv.wait(lock, [&entry] { return entry.ready; });
+    if (!entry.ready) {
+        // A blocking waiter pins the in-flight compile against
+        // deadline cancellation (it has no deadline of its own).
+        ++entry.noDeadlineWaiters;
+        entry.cv.wait(lock, [&entry] { return entry.ready; });
+        --entry.noDeadlineWaiters;
+    }
     reply.result = entry.result;
     reply.replyTail = entry.tail;
     reply.error = entry.error;
+    if (entry.expired)
+        reply.status = "deadline_expired";
 }
 
 void
 CompileService::compileAndPublish(const CompileRequest &req,
                                   const Resolved &res, Entry &entry)
 {
+    std::function<void()> hook;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++compiles_;
+        hook = compileHook_;
+    }
+    if (hook)
+        hook(); // fault injection: compile delay
+    Clock::time_point t0 = Clock::now();
     std::shared_ptr<const CompileResult> result;
     std::string error;
     try {
@@ -188,7 +289,42 @@ CompileService::compileAndPublish(const CompileRequest &req,
     } catch (const std::exception &e) {
         error = e.what();
     }
-    publish(entry, std::move(result), res.key, std::move(error));
+    publish(entry, std::move(result), res.key, std::move(error),
+            millisSince(t0));
+}
+
+bool
+CompileService::admitLocked(const CompileRequest &req,
+                            ServiceReply &reply)
+{
+    if (admission_.maxPending == 0)
+        return true;
+    size_t cap = admission_.maxPending;
+    if (req.batch)
+        cap = static_cast<size_t>(static_cast<double>(cap) *
+                                  admission_.batchFraction);
+    if (pendingCompiles_ < cap)
+        return true;
+    reply.status = "overloaded";
+    reply.retryAfterMs = retryAfterLocked();
+    return false;
+}
+
+double
+CompileService::retryAfterLocked() const
+{
+    // How long until a worker frees up for one more compile: queue
+    // depth (plus this request) over the pool width, scaled by the
+    // observed compile-time EWMA.  Clamped so a cold-start estimate
+    // can neither hammer the server nor park clients for minutes.
+    double per_worker = static_cast<double>(pendingCompiles_ + 1) /
+                        static_cast<double>(fleet_.workers());
+    double est = ewmaCompileMs_ * per_worker;
+    if (est < 25.0)
+        est = 25.0;
+    if (est > 5000.0)
+        est = 5000.0;
+    return est;
 }
 
 void
@@ -202,16 +338,27 @@ CompileService::serveResolved(const CompileRequest &req,
     {
         std::lock_guard<std::mutex> lock(mu_);
         ++requests_;
-        auto [it, inserted] = cache_.try_emplace(res.key);
-        if (inserted) {
-            it->second.entry = std::make_shared<Entry>();
+        auto it = cache_.find(res.key);
+        if (it == cache_.end()) {
+            // A genuine miss consumes compile capacity: admission
+            // control applies (hits and duplicates are always free).
+            if (!admitLocked(req, reply)) {
+                ++shed_;
+                reply.millis = millisSince(t0);
+                return;
+            }
+            auto [ins, inserted] = cache_.try_emplace(res.key);
+            (void)inserted;
+            ins->second.entry = std::make_shared<Entry>();
             owner = true;
             ++misses_;
+            ++pendingCompiles_;
+            entry = ins->second.entry;
         } else {
             ++hits_;
             touchLocked(it->second);
+            entry = it->second.entry;
         }
-        entry = it->second.entry;
     }
 
     if (owner)
@@ -228,6 +375,135 @@ CompileService::serveResolved(const CompileRequest &req,
         noteReady(res.key, entry);
     }
     reply.millis = millisSince(t0);
+}
+
+bool
+CompileService::submitPreparedAsync(
+    const CompileRequest &req, std::shared_ptr<const Program> program,
+    uint64_t program_fp, const CacheKey &key, ServiceReply &reply,
+    AsyncDone done)
+{
+    Clock::time_point t0 = Clock::now();
+    reply.label = req.label;
+    reply.key = key;
+
+    std::shared_ptr<Entry> entry;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++requests_;
+        auto it = cache_.find(key);
+        if (it == cache_.end()) {
+            if (!admitLocked(req, reply)) {
+                ++shed_;
+                reply.millis = millisSince(t0);
+                return true;
+            }
+            auto [ins, inserted] = cache_.try_emplace(key);
+            (void)inserted;
+            ins->second.entry = std::make_shared<Entry>();
+            owner = true;
+            ++misses_;
+            ++pendingCompiles_;
+            entry = ins->second.entry;
+        } else {
+            ++hits_;
+            touchLocked(it->second);
+            entry = it->second.entry;
+        }
+    }
+
+    {
+        std::unique_lock<std::mutex> lock(entry->m);
+        if (entry->ready) {
+            // Published already: the synchronous warm path — no pool
+            // round-trip, no callback.
+            reply.hit = true;
+            reply.result = entry->result;
+            reply.replyTail = entry->tail;
+            reply.error = entry->error;
+            if (entry->expired)
+                reply.status = "deadline_expired";
+            lock.unlock();
+            if (!reply.error.empty()) {
+                std::lock_guard<std::mutex> l2(mu_);
+                ++failures_;
+            }
+            reply.millis = millisSince(t0);
+            return true;
+        }
+        // In flight (or our own fresh claim): park the requester on
+        // the entry.  publish() fires it from the worker thread.
+        Waiter w;
+        w.done = std::move(done);
+        w.label = req.label;
+        w.t0 = t0;
+        w.hit = !owner;
+        if (req.deadlineMs > 0) {
+            Clock::time_point d =
+                t0 + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(
+                             req.deadlineMs));
+            if (entry->deadlineWaiters == 0 || d > entry->latestDeadline)
+                entry->latestDeadline = d;
+            ++entry->deadlineWaiters;
+        } else {
+            ++entry->noDeadlineWaiters;
+        }
+        entry->waiters.push_back(std::move(w));
+    }
+
+    if (owner) {
+        // Copy what the queued job needs: @p req is caller-owned and
+        // may die the moment this call returns.
+        CompileRequest job_req;
+        job_req.label = req.label;
+        job_req.machine = req.machine;
+        job_req.cfg = req.cfg;
+        Resolved res;
+        res.program = std::move(program);
+        res.programFp = program_fp;
+        res.key = key;
+        asyncPool().post([this, job_req = std::move(job_req),
+                          res = std::move(res), entry]() mutable {
+            runQueuedCompile(job_req, res, entry);
+        });
+    }
+    return false;
+}
+
+void
+CompileService::runQueuedCompile(const CompileRequest &req,
+                                 const Resolved &res,
+                                 const std::shared_ptr<Entry> &entry)
+{
+    // Deadline cancellation, at dequeue time: if every waiter carried
+    // a deadline and all have passed, the compile is pointless — shed
+    // it before burning a worker.  The key is uncached first so a
+    // later request retries cleanly.
+    bool cancel = false;
+    {
+        std::lock_guard<std::mutex> lock(entry->m);
+        if (entry->noDeadlineWaiters == 0 && entry->deadlineWaiters > 0 &&
+            Clock::now() > entry->latestDeadline)
+            cancel = true;
+    }
+    if (cancel) {
+        entry->expired = true;
+        uncache(res.key, entry);
+        publish(*entry, nullptr, res.key,
+                "deadline expired before compile started");
+        return;
+    }
+
+    compileAndPublish(req, res, *entry);
+    // Same post-publish bookkeeping as the sync owner path: failures
+    // stay retriable, successes join the LRU order.  (entry->error is
+    // safe to read unlocked: this thread just published it.)
+    if (!entry->error.empty())
+        uncache(res.key, entry);
+    else
+        noteReady(res.key, entry);
 }
 
 ServiceReply
@@ -303,6 +579,7 @@ CompileService::submitBatch(const std::vector<CompileRequest> &reqs)
         if (inserted) {
             it->second.entry = std::make_shared<Entry>();
             ++misses_;
+            ++pendingCompiles_;
             is_owner[i] = true;
             owned.push_back(Claim{i, std::move(res), it->second.entry});
         } else {
@@ -329,6 +606,10 @@ CompileService::submitBatch(const std::vector<CompileRequest> &reqs)
             jobs.push_back(std::move(job));
         }
         FleetResult fleet = fleet_.run(jobs, &analysis_);
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            compiles_ += static_cast<int64_t>(owned.size());
+        }
         for (size_t k = 0; k < owned.size(); ++k) {
             FleetJobResult &jr = fleet.jobs[k];
             std::shared_ptr<const CompileResult> result;
@@ -339,7 +620,7 @@ CompileService::submitBatch(const std::vector<CompileRequest> &reqs)
                 uncache(owned[k].res.key, owned[k].entry);
             const bool ok = jr.error.empty();
             publish(*owned[k].entry, std::move(result),
-                    owned[k].res.key, jr.error);
+                    owned[k].res.key, jr.error, jr.millis);
             if (ok)
                 noteReady(owned[k].res.key, owned[k].entry);
             // The miss's service time is its compile time on the pool.
@@ -373,13 +654,18 @@ CompileService::stats() const
         s.requests = requests_;
         s.hits = hits_;
         s.misses = misses_;
+        s.compiles = compiles_;
         s.failures = failures_;
         s.evictions = evictions_;
         s.cachedResults = cache_.size();
         s.cachedBytes = cachedBytes_;
+        s.shed = shed_;
+        s.deadlineExpired = deadlineExpired_;
+        s.pendingCompiles = pendingCompiles_;
+        if (pool_ != nullptr)
+            s.workerDeaths = pool_->deaths();
     }
     s.cachedPrograms = programs_.size();
-    s.compiles = s.misses;
     s.analysisComputes = analysis_.computeCount();
     return s;
 }

@@ -63,6 +63,7 @@
 #include "core/compiler.h"
 #include "core/policy.h"
 #include "fleet/fleet.h"
+#include "fleet/worker_pool.h"
 #include "ir/analysis_cache.h"
 #include "service/cache_key.h"
 #include "service/machine_spec.h"
@@ -91,6 +92,24 @@ struct CompileRequest
 
     /** Policy configuration. */
     SquareConfig cfg;
+
+    /**
+     * Latency budget in milliseconds, measured from submission; 0
+     * means none.  Not part of the cache key.  A queued compile whose
+     * waiters have ALL expired is cancelled before it reaches a worker
+     * (the waiters get a "deadline_expired" reply and the key stays
+     * retriable); a compile already running always completes — its
+     * result is cached either way.
+     */
+    double deadlineMs = 0;
+
+    /**
+     * Priority tier: batch requests are admitted only while the
+     * pending-compile queue is below AdmissionLimits::batchFraction of
+     * the cap, so interactive traffic keeps headroom under load.  Not
+     * part of the cache key.
+     */
+    bool batch = false;
 };
 
 /** Outcome of one service request. */
@@ -111,6 +130,16 @@ struct ServiceReply
     bool hit = false;
     /** Non-empty when the compilation (or request) failed. */
     std::string error;
+    /**
+     * Degradation marker: "" (served), "overloaded" (shed by
+     * admission control; retryAfterMs is the client's backoff hint),
+     * or "deadline_expired" (cancelled before compiling).  result is
+     * null and error may be empty for shed replies — the request
+     * wasn't wrong, the server was full.
+     */
+    std::string status;
+    /** Suggested client backoff when status == "overloaded", ms. */
+    double retryAfterMs = 0;
     /** Request service time (cache lookup or compile), milliseconds. */
     double millis = 0;
     /** The content address this request resolved to. */
@@ -131,19 +160,42 @@ struct CacheLimits
     size_t maxBytes = 0;   ///< max approximate resident result bytes
 };
 
+/**
+ * Admission control for the compile queue.  Zero maxPending means
+ * "admit everything" (the pre-PR-6 behaviour).  With a bound, a miss
+ * that would push the pending-compile count past the cap is shed with
+ * status "overloaded" instead of queued — the reply carries a
+ * retry_after_ms estimate derived from the observed compile-time EWMA
+ * and the current queue depth, so well-behaved clients back off for
+ * about as long as the backlog needs to drain.  Batch-tier requests
+ * are admitted only below batchFraction * maxPending, reserving the
+ * remaining headroom for interactive traffic.  Hits (and in-flight
+ * duplicates) are never shed: they cost no compile capacity.
+ */
+struct AdmissionLimits
+{
+    size_t maxPending = 0;      ///< max queued+running compiles (0 = off)
+    double batchFraction = 0.5; ///< batch tier's share of maxPending
+};
+
 /** Monotonic service counters. */
 struct ServiceStats
 {
     int64_t requests = 0;
     int64_t hits = 0;     ///< served from cache or an in-flight compile
     int64_t misses = 0;   ///< required a compilation
-    int64_t compiles = 0; ///< compilations actually run (== misses)
+    int64_t compiles = 0; ///< compilations actually run (misses minus
+                          ///< deadline-cancelled queued compiles)
     int64_t failures = 0; ///< requests that returned an error
     int64_t evictions = 0; ///< results dropped by the LRU bound
     int64_t analysisComputes = 0; ///< unique program analyses built
     size_t cachedResults = 0;     ///< resident cache entries
     size_t cachedBytes = 0;       ///< approx. bytes of published results
     size_t cachedPrograms = 0;    ///< resident workload programs
+    int64_t shed = 0;            ///< misses refused by admission control
+    int64_t deadlineExpired = 0; ///< waiters cancelled by deadline expiry
+    int64_t workerDeaths = 0;    ///< async workers killed (fault inj.)
+    size_t pendingCompiles = 0;  ///< gauge: compiles queued or running
 
     /** Element-wise sum (used by the shard router's global view). */
     ServiceStats &operator+=(const ServiceStats &o);
@@ -158,10 +210,22 @@ class CompileService
 {
   public:
     /**
-     * @param workers fleet worker threads for submitBatch misses.
-     * @param limits  LRU bound on the result cache (default unbounded).
+     * Completion callback for submitPreparedAsync.  Fires exactly once,
+     * from a worker-pool thread (never the submitting thread), after
+     * the compile publishes.  The callback must be fast and must not
+     * re-enter the service.
      */
-    explicit CompileService(int workers, CacheLimits limits = {});
+    using AsyncDone = std::function<void(ServiceReply &&reply)>;
+
+    /**
+     * @param workers   fleet worker threads for submitBatch misses and
+     *                  the async compile pool.
+     * @param limits    LRU bound on the result cache (default unbounded).
+     * @param admission compile-queue bound (default: admit everything).
+     */
+    explicit CompileService(int workers, CacheLimits limits = {},
+                            AdmissionLimits admission = {});
+    ~CompileService();
 
     /**
      * Serve one request.  Misses compile on the calling thread;
@@ -183,6 +247,23 @@ class CompileService
         const CacheKey &key);
 
     /**
+     * The non-blocking variant of submitPrepared, for callers that
+     * must never stall (epoll event loops).  Returns true when the
+     * request was served synchronously — a published cache hit, an
+     * admission-control shed (reply.status == "overloaded"), or an
+     * error — with @p reply filled and @p done never invoked.  Returns
+     * false when the request went asynchronous: the miss was queued on
+     * the worker pool (or joined an in-flight compile) and @p done
+     * fires exactly once from a worker thread with the finished reply.
+     * Concurrent duplicates — async and blocking alike — still dedup
+     * to one compilation.
+     */
+    bool submitPreparedAsync(const CompileRequest &req,
+                             std::shared_ptr<const Program> program,
+                             uint64_t program_fp, const CacheKey &key,
+                             ServiceReply &reply, AsyncDone done);
+
+    /**
      * Serve a batch: replies in request order.  The batch's unique
      * misses run on the fleet worker pool; duplicates inside the batch
      * (and keys already cached) are hits.
@@ -196,10 +277,37 @@ class CompileService
 
     const CacheLimits &limits() const { return limits_; }
 
+    const AdmissionLimits &admission() const { return admission_; }
+
+    /**
+     * Fault-injection probe run at the start of every compilation
+     * (sync and async).  Installed by the server tier so this layer
+     * stays free of src/server includes.  Thread-safe to set before
+     * traffic; the hook itself must be thread-safe.
+     */
+    void setCompileHook(std::function<void()> hook);
+
+    /**
+     * Fault-injection probe consulted per dequeued async job; true
+     * kills (and replaces) the worker.  See WorkerPool::setDeathHook.
+     */
+    void setWorkerDeathHook(std::function<bool()> hook);
+
     /** Approximate resident bytes of one result (for the byte bound). */
     static size_t resultBytes(const CompileResult &result);
 
   private:
+    using Clock = std::chrono::steady_clock;
+
+    /** One parked async requester, woken at publish time. */
+    struct Waiter
+    {
+        AsyncDone done;
+        std::string label;
+        Clock::time_point t0;
+        bool hit = false; ///< joined an in-flight compile (non-owner)
+    };
+
     /** One cache entry; published exactly once under its own monitor. */
     struct Entry
     {
@@ -210,6 +318,19 @@ class CompileService
         /** Preserialized reply bytes (see ServiceReply::replyTail). */
         std::shared_ptr<const std::string> tail;
         std::string error;
+        /** True when publish() cancelled the compile (deadline). */
+        bool expired = false;
+        /** Async requesters parked on this in-flight entry. */
+        std::vector<Waiter> waiters;
+        /**
+         * Deadline bookkeeping for pre-worker cancellation: the entry
+         * may be cancelled only when every waiter carries a deadline
+         * and all of them have passed.  Blocking waiters
+         * (fillFromEntry) count as deadline-free.
+         */
+        int noDeadlineWaiters = 0;
+        int deadlineWaiters = 0;
+        Clock::time_point latestDeadline{};
     };
 
     /** The cache index slot for one key (entry + LRU bookkeeping). */
@@ -247,13 +368,34 @@ class CompileService
                            const Resolved &res, Entry &entry);
 
     /**
-     * Publish a finished result (or error) and wake waiters.  Success
-     * carries the preserialized reply tail for @p key — encoded once
-     * here, never on the hit path.
+     * Publish a finished result (or error) and wake every waiter —
+     * blocking waiters via the entry's cv, async waiters by invoking
+     * their AsyncDone callbacks on this (the publishing) thread.
+     * Success carries the preserialized reply tail for @p key —
+     * encoded once here, never on the hit path.  Also retires the
+     * entry's pending-compile slot and folds @p compile_millis into
+     * the retry_after EWMA when non-negative.
      */
-    static void publish(Entry &entry,
-                        std::shared_ptr<const CompileResult> result,
-                        const CacheKey &key, std::string error);
+    void publish(Entry &entry,
+                 std::shared_ptr<const CompileResult> result,
+                 const CacheKey &key, std::string error,
+                 double compile_millis = -1);
+
+    /**
+     * Admission check for one would-be miss; caller holds mu_.  False
+     * fills @p reply as a structured "overloaded" shed.
+     */
+    bool admitLocked(const CompileRequest &req, ServiceReply &reply);
+
+    /** retry_after_ms estimate from queue depth x compile EWMA. */
+    double retryAfterLocked() const;
+
+    /** The async compile pool, created on first use. */
+    WorkerPool &asyncPool();
+
+    /** The worker-side body of one queued async compile. */
+    void runQueuedCompile(const CompileRequest &req, const Resolved &res,
+                          const std::shared_ptr<Entry> &entry);
 
     /**
      * Drop a failed entry (if @p key still maps to it) so later
@@ -279,6 +421,7 @@ class CompileService
     FleetCompiler fleet_;
     AnalysisCache analysis_;
     const CacheLimits limits_;
+    const AdmissionLimits admission_;
 
     mutable std::mutex mu_;
     std::unordered_map<CacheKey, Slot, CacheKeyHash> cache_;
@@ -290,8 +433,20 @@ class CompileService
     int64_t requests_ = 0;
     int64_t hits_ = 0;
     int64_t misses_ = 0;
+    /** Compilations actually run: misses minus cancelled compiles. */
+    int64_t compiles_ = 0;
     int64_t failures_ = 0;
     int64_t evictions_ = 0;
+    int64_t shed_ = 0;
+    int64_t deadlineExpired_ = 0;
+    /** Gauge: compiles claimed (queued or running), sync and async. */
+    size_t pendingCompiles_ = 0;
+    /** EWMA of observed compile wall times, for retry_after_ms. */
+    double ewmaCompileMs_ = 50.0;
+    /** Lazily created async pool (guarded by mu_ for creation). */
+    std::unique_ptr<WorkerPool> pool_;
+    std::function<void()> compileHook_;
+    std::function<bool()> workerDeathHook_;
 };
 
 } // namespace square

@@ -16,13 +16,17 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
 #include "server/client.h"
+#include "server/faults.h"
 #include "server/server.h"
 #include "server/shard_router.h"
 #include "server/transport.h"
@@ -88,7 +92,8 @@ class TransportSuite : public ::testing::TestWithParam<TransportCase>
 Transport::LineHandler
 echoHandler()
 {
-    return [](std::string_view line, std::string &out, bool &) {
+    return [](std::string_view line, std::string &out, bool &,
+                   const std::shared_ptr<AsyncReplySink> &) {
         out += "echo:";
         out += line;
         out += '\n';
@@ -140,7 +145,8 @@ TEST_P(TransportSuite, TruncatedTrailingLineStillGetsAReply)
     std::string error;
     ASSERT_TRUE(transport->start(
         "127.0.0.1", 0,
-        [](std::string_view line, std::string &out, bool &) {
+        [](std::string_view line, std::string &out, bool &,
+                   const std::shared_ptr<AsyncReplySink> &) {
             out += "got:";
             out += line;
             out += '\n';
@@ -173,7 +179,8 @@ TEST_P(TransportSuite, NewlinelessFloodIsBoundedAndDisconnected)
     std::atomic<size_t> seen_len{0};
     ASSERT_TRUE(transport->start(
         "127.0.0.1", 0,
-        [&seen_len](std::string_view line, std::string &out, bool &) {
+        [&seen_len](std::string_view line, std::string &out, bool &,
+                   const std::shared_ptr<AsyncReplySink> &) {
             seen_len.store(line.size());
             out += "len:" + std::to_string(line.size());
             out += '\n';
@@ -298,7 +305,8 @@ TEST_P(TransportSuite, SlowReaderBackpressureDeliversEverything)
     const std::string payload(64 * 1024, 'x');
     ASSERT_TRUE(transport->start(
         "127.0.0.1", 0,
-        [&payload](std::string_view line, std::string &out, bool &) {
+        [&payload](std::string_view line, std::string &out, bool &,
+                   const std::shared_ptr<AsyncReplySink> &) {
             out += line;
             out += ':';
             out += payload;
@@ -696,6 +704,333 @@ TEST(Server, HandleLineDispatchWithoutSockets)
     EXPECT_NE(reply.find("\"ok\": true"), std::string::npos);
     EXPECT_TRUE(close_conn);
     EXPECT_TRUE(server.shutdownRequested());
+}
+
+// -------------------------------------------------------------------
+// Overload safety and fault recovery (the async cold path on epoll)
+// -------------------------------------------------------------------
+
+/** A gate the tests use to hold compiles inside the compile hook. */
+struct CompileGate
+{
+    std::mutex m;
+    std::condition_variable cv;
+    bool open = false;
+    int parked = 0;
+
+    std::function<void()>
+    hook()
+    {
+        return [this] {
+            std::unique_lock<std::mutex> lock(m);
+            ++parked;
+            cv.notify_all();
+            cv.wait(lock, [this] { return open; });
+        };
+    }
+
+    void
+    waitParked(int n)
+    {
+        std::unique_lock<std::mutex> lock(m);
+        cv.wait(lock, [this, n] { return parked >= n; });
+    }
+
+    void
+    release()
+    {
+        std::lock_guard<std::mutex> lock(m);
+        open = true;
+        cv.notify_all();
+    }
+};
+
+/** One-event-loop epoll server: the config every overload test uses. */
+ServerConfig
+overloadConfig()
+{
+    ServerConfig cfg;
+    cfg.transport = "epoll";
+    cfg.eventThreads = 1;
+    cfg.shards = 1;
+    cfg.workersPerShard = 1;
+    return cfg;
+}
+
+std::string
+coldRequest(int id, int margin)
+{
+    return "{\"id\":" + std::to_string(id) +
+           ",\"workload\":\"ADDER4\",\"policy\":\"square\","
+           "\"anchor_box_margin\":" +
+           std::to_string(margin) + "}";
+}
+
+TEST(Robustness, ColdMissDoesNotStallOtherConnectionsOnEpoll)
+{
+    // The tentpole invariant: with ONE event loop, a connection whose
+    // request is compiling must not stall any other connection mapped
+    // to that loop.  Deterministic — the compile is held in a gate, so
+    // if the cold path ever ran on the loop thread this test would
+    // deadlock rather than flake.
+    CompileServer server(overloadConfig());
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    LineClient warm;
+    ASSERT_TRUE(warm.connect("127.0.0.1", server.port(), error));
+    std::string reply;
+    ASSERT_TRUE(warm.sendLine(
+        R"({"workload":"ADDER4","policy":"square"})"));
+    ASSERT_TRUE(warm.recvLine(reply));
+    ASSERT_NE(reply.find("\"ok\": true"), std::string::npos);
+
+    // Replace the fault-injection hook installed by start() with the
+    // test's gate: the next compile parks until release().
+    CompileGate gate;
+    server.router().shard(0).setCompileHook(gate.hook());
+
+    LineClient cold;
+    ASSERT_TRUE(cold.connect("127.0.0.1", server.port(), error));
+    ASSERT_TRUE(cold.sendLine(coldRequest(1, 201)));
+    gate.waitParked(1); // the miss is on a worker, not the loop
+
+    // The SAME loop serves other connections while the compile is
+    // parked.
+    for (int i = 0; i < 5; ++i) {
+        ASSERT_TRUE(warm.sendLine(
+            R"({"workload":"ADDER4","policy":"square"})"));
+        ASSERT_TRUE(warm.recvLine(reply)) << "warm request " << i;
+        EXPECT_NE(reply.find("\"cache\": \"hit\""), std::string::npos);
+    }
+
+    gate.release();
+    ASSERT_TRUE(cold.recvLine(reply));
+    EXPECT_NE(reply.find("\"id\": 1"), std::string::npos);
+    EXPECT_NE(reply.find("\"ok\": true"), std::string::npos);
+    EXPECT_NE(reply.find("\"cache\": \"miss\""), std::string::npos);
+    server.stop();
+}
+
+TEST(Robustness, DisconnectMidCompileDoesNotWedgeOrLeak)
+{
+    // A client that dies while its compile is in flight must not wedge
+    // the waiter list, leak the pending entry, or provoke a write to a
+    // closed fd (ASan/TSan cover the latter).  The orphaned result is
+    // still published and cached.
+    CompileServer server(overloadConfig());
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+    CompileGate gate;
+    server.router().shard(0).setCompileHook(gate.hook());
+
+    {
+        LineClient doomed;
+        ASSERT_TRUE(doomed.connect("127.0.0.1", server.port(), error));
+        ASSERT_TRUE(doomed.sendLine(coldRequest(1, 202)));
+        gate.waitParked(1);
+        doomed.close(); // vanish mid-compile
+    }
+    gate.release();
+
+    // The compile still publishes; poll the service until it retires.
+    for (int i = 0; i < 200; ++i) {
+        if (server.router().stats().global.pendingCompiles == 0)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ServiceStats s = server.router().stats().global;
+    EXPECT_EQ(s.pendingCompiles, 0u);
+    EXPECT_EQ(s.compiles, 1);
+
+    // The orphaned result was cached: a fresh connection hits.
+    LineClient next;
+    ASSERT_TRUE(next.connect("127.0.0.1", server.port(), error));
+    std::string reply;
+    ASSERT_TRUE(next.sendLine(coldRequest(2, 202)));
+    ASSERT_TRUE(next.recvLine(reply));
+    EXPECT_NE(reply.find("\"cache\": \"hit\""), std::string::npos);
+    server.stop(); // must not hang on a leaked pendingAsync count
+}
+
+TEST(Robustness, OverloadFloodShedsStructuredRepliesAndRecovers)
+{
+    // A pipelined flood of unique misses against a 1-deep compile
+    // queue: exactly one request is admitted; the rest get structured
+    // {"status":"overloaded"} replies with a retry hint — never a
+    // dropped connection — and once the queue drains, every shed key
+    // compiles and then serves at hit-rate 1.0.
+    ServerConfig cfg = overloadConfig();
+    cfg.admission.maxPending = 1;
+    CompileServer server(cfg);
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+    CompileGate gate;
+    server.router().shard(0).setCompileHook(gate.hook());
+
+    LineClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port(), error));
+    const int n = 6;
+    std::string flood;
+    for (int id = 1; id <= n; ++id)
+        flood += coldRequest(id, 210 + id) + "\n";
+    ASSERT_TRUE(client.sendRaw(flood));
+
+    // The sheds answer immediately while the one admitted compile is
+    // parked.
+    std::string reply;
+    int shed = 0;
+    for (int k = 0; k < n - 1; ++k) {
+        ASSERT_TRUE(client.recvLine(reply)) << "reply " << k;
+        ASSERT_NE(reply.find("\"status\": \"overloaded\""),
+                  std::string::npos)
+            << reply;
+        EXPECT_NE(reply.find("\"retry_after_ms\": "), std::string::npos);
+        EXPECT_NE(reply.find("\"ok\": false"), std::string::npos);
+        ++shed;
+    }
+    EXPECT_EQ(shed, n - 1);
+
+    gate.waitParked(1);
+    gate.release();
+    ASSERT_TRUE(client.recvLine(reply)); // the admitted compile lands
+    EXPECT_NE(reply.find("\"ok\": true"), std::string::npos);
+    EXPECT_NE(reply.find("\"cache\": \"miss\""), std::string::npos);
+
+    ServiceStats after = server.router().stats().global;
+    EXPECT_EQ(after.shed, n - 1);
+
+    // Recovery: every shed key is admitted now, then serves warm.
+    for (int round = 0; round < 2; ++round) {
+        for (int id = 2; id <= n; ++id) {
+            ASSERT_TRUE(client.sendLine(coldRequest(id, 210 + id)));
+            ASSERT_TRUE(client.recvLine(reply));
+            ASSERT_NE(reply.find("\"ok\": true"), std::string::npos)
+                << reply;
+            if (round == 1)
+                EXPECT_NE(reply.find("\"cache\": \"hit\""),
+                          std::string::npos);
+        }
+    }
+    EXPECT_EQ(server.router().stats().global.shed, n - 1); // no new sheds
+    server.stop();
+}
+
+TEST(Robustness, PipelinedWarmRepliesOvertakeAColdCompile)
+{
+    // The reordering contract of the async cold path: in one pipelined
+    // batch [cold, warm], the warm reply is written synchronously and
+    // arrives FIRST; the cold reply arrives after its compile, matched
+    // by id.
+    CompileServer server(overloadConfig());
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    LineClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port(), error));
+    std::string reply;
+    ASSERT_TRUE(client.sendLine(
+        R"({"workload":"ADDER4","policy":"square"})"));
+    ASSERT_TRUE(client.recvLine(reply)); // warm the key
+
+    CompileGate gate;
+    server.router().shard(0).setCompileHook(gate.hook());
+    ASSERT_TRUE(client.sendRaw(
+        coldRequest(1, 203) + "\n" +
+        R"({"id":2,"workload":"ADDER4","policy":"square"})" "\n"));
+
+    ASSERT_TRUE(client.recvLine(reply));
+    EXPECT_NE(reply.find("\"id\": 2"), std::string::npos) << reply;
+    EXPECT_NE(reply.find("\"cache\": \"hit\""), std::string::npos);
+
+    gate.release();
+    ASSERT_TRUE(client.recvLine(reply));
+    EXPECT_NE(reply.find("\"id\": 1"), std::string::npos) << reply;
+    EXPECT_NE(reply.find("\"cache\": \"miss\""), std::string::npos);
+    server.stop();
+}
+
+TEST(Robustness, WriteFaultsDropConnectionsNeverTheServer)
+{
+    // Injected flush failures look like broken sockets: the afflicted
+    // connection dies, the server does not — and once the injector is
+    // disabled, fresh connections serve normally.
+    CompileServer server(overloadConfig());
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    LineClient warm;
+    ASSERT_TRUE(warm.connect("127.0.0.1", server.port(), error));
+    std::string reply;
+    ASSERT_TRUE(warm.sendLine(
+        R"({"workload":"ADDER4","policy":"square"})"));
+    ASSERT_TRUE(warm.recvLine(reply));
+
+    ASSERT_TRUE(FaultInjector::instance().configureFromSpec(
+        "seed=5,write_fail_rate=1", error))
+        << error;
+    // Every flush now "fails": the reply is never delivered and the
+    // connection is torn down server-side; the client observes EOF.
+    ASSERT_TRUE(warm.sendLine(
+        R"({"workload":"ADDER4","policy":"square"})"));
+    EXPECT_FALSE(warm.recvLine(reply));
+    FaultInjector::instance().disable();
+    EXPECT_GE(FaultInjector::instance().stats().writeFailures, 1);
+
+    LineClient next;
+    ASSERT_TRUE(next.connect("127.0.0.1", server.port(), error));
+    ASSERT_TRUE(next.sendLine(
+        R"({"workload":"ADDER4","policy":"square"})"));
+    ASSERT_TRUE(next.recvLine(reply));
+    EXPECT_NE(reply.find("\"cache\": \"hit\""), std::string::npos);
+    server.stop();
+}
+
+TEST(Robustness, WorkerDeathsRecoverWithIdenticalResults)
+{
+    // Deterministically seeded worker deaths: every death requeues the
+    // job and respawns the worker, so the flood completes with the
+    // same results a fault-free server would produce.
+    CompileServer server(overloadConfig());
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+    ASSERT_TRUE(FaultInjector::instance().configureFromSpec(
+        "seed=11,worker_death_rate=0.6", error))
+        << error;
+    const int64_t deaths_before =
+        FaultInjector::instance().stats().workerDeaths;
+
+    LineClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port(), error));
+    std::vector<std::string> first;
+    std::string reply;
+    for (int id = 1; id <= 6; ++id) {
+        ASSERT_TRUE(client.sendLine(coldRequest(id, 220 + id)));
+        ASSERT_TRUE(client.recvLine(reply));
+        ASSERT_NE(reply.find("\"ok\": true"), std::string::npos)
+            << reply;
+        first.push_back(reply);
+    }
+    EXPECT_GE(FaultInjector::instance().stats().workerDeaths,
+              deaths_before + 1);
+    EXPECT_GE(server.router().stats().global.workerDeaths, 1);
+    FaultInjector::instance().disable();
+
+    // Post-recovery determinism: the cached artifacts' metric bytes
+    // are identical to what the dead-worker run first served.
+    for (int id = 1; id <= 6; ++id) {
+        ASSERT_TRUE(client.sendLine(coldRequest(id, 220 + id)));
+        ASSERT_TRUE(client.recvLine(reply));
+        EXPECT_NE(reply.find("\"cache\": \"hit\""), std::string::npos);
+        const size_t gates = reply.find("\"gates\"");
+        const size_t first_gates =
+            first[static_cast<size_t>(id - 1)].find("\"gates\"");
+        ASSERT_NE(gates, std::string::npos);
+        ASSERT_NE(first_gates, std::string::npos);
+        EXPECT_EQ(reply.substr(gates),
+                  first[static_cast<size_t>(id - 1)].substr(first_gates));
+    }
+    server.stop();
 }
 
 } // namespace

@@ -11,10 +11,17 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "core/compiler.h"
+#include "fleet/worker_pool.h"
 #include "ir/analysis.h"
 #include "service/cache_key.h"
 #include "service/protocol.h"
@@ -781,6 +788,417 @@ TEST(Protocol, ParseAndBuildRequest)
     EXPECT_FALSE(buildRequest(json, req, error));
     ASSERT_TRUE(parseJsonLine(R"({"policy": "square"})", json, error));
     EXPECT_FALSE(buildRequest(json, req, error)); // missing workload
+}
+
+TEST(Protocol, DeadlineAndPriorityFieldsParse)
+{
+    JsonRequest json;
+    std::string error;
+    ASSERT_TRUE(parseJsonLine(
+        R"({"workload": "ADDER4", "deadline_ms": 250.5,)"
+        R"( "priority": "batch"})",
+        json, error))
+        << error;
+    CompileRequest req;
+    ASSERT_TRUE(buildRequest(json, req, error)) << error;
+    EXPECT_DOUBLE_EQ(req.deadlineMs, 250.5);
+    EXPECT_TRUE(req.batch);
+
+    ASSERT_TRUE(parseJsonLine(
+        R"({"workload": "ADDER4", "priority": "interactive"})", json,
+        error));
+    ASSERT_TRUE(buildRequest(json, req, error)) << error;
+    EXPECT_FALSE(req.batch);
+
+    ASSERT_TRUE(parseJsonLine(
+        R"({"workload": "ADDER4", "priority": "urgent"})", json,
+        error));
+    EXPECT_FALSE(buildRequest(json, req, error));
+    ASSERT_TRUE(parseJsonLine(
+        R"({"workload": "ADDER4", "deadline_ms": -1})", json, error));
+    EXPECT_FALSE(buildRequest(json, req, error));
+}
+
+// -------------------------------------------------------------------
+// The async cold path (submitPreparedAsync) and admission control
+// -------------------------------------------------------------------
+
+/** A request resolved the way the server's async path resolves it. */
+struct PreparedRequest
+{
+    CompileRequest req;
+    std::shared_ptr<const Program> program;
+    uint64_t fp = 0;
+    CacheKey key;
+};
+
+PreparedRequest
+prepared(const std::string &workload, const SquareConfig &cfg)
+{
+    PreparedRequest p;
+    p.req = namedRequest(workload, cfg);
+    p.program =
+        std::make_shared<const Program>(makeBenchmark(workload));
+    p.fp = p.program->fingerprint();
+    p.key = makeCacheKey(p.fp, p.req.machine, p.req.cfg);
+    return p;
+}
+
+/** A gate the tests use to hold compiles inside the compile hook. */
+struct CompileGate
+{
+    std::mutex m;
+    std::condition_variable cv;
+    bool open = false;
+    int parked = 0;
+
+    std::function<void()>
+    hook()
+    {
+        return [this] {
+            std::unique_lock<std::mutex> lock(m);
+            ++parked;
+            cv.notify_all();
+            cv.wait(lock, [this] { return open; });
+        };
+    }
+
+    void
+    waitParked(int n)
+    {
+        std::unique_lock<std::mutex> lock(m);
+        cv.wait(lock, [this, n] { return parked >= n; });
+    }
+
+    void
+    release()
+    {
+        std::lock_guard<std::mutex> lock(m);
+        open = true;
+        cv.notify_all();
+    }
+};
+
+TEST(AsyncService, WarmHitIsServedSynchronously)
+{
+    CompileService service(2);
+    PreparedRequest p = prepared("ADDER4", SquareConfig::square());
+    ServiceReply warm = service.submit(p.req);
+    ASSERT_TRUE(warm.error.empty());
+
+    ServiceReply reply;
+    bool fired = false;
+    const bool sync = service.submitPreparedAsync(
+        p.req, p.program, p.fp, p.key, reply,
+        [&fired](ServiceReply &&) { fired = true; });
+    EXPECT_TRUE(sync);
+    EXPECT_FALSE(fired);
+    EXPECT_TRUE(reply.hit);
+    EXPECT_EQ(reply.result.get(), warm.result.get());
+    EXPECT_TRUE(reply.status.empty());
+}
+
+TEST(AsyncService, MissCompletesThroughCallback)
+{
+    CompileService service(2);
+    PreparedRequest p = prepared("ADDER4", SquareConfig::square());
+
+    std::promise<ServiceReply> done;
+    ServiceReply sync_reply;
+    const bool sync = service.submitPreparedAsync(
+        p.req, p.program, p.fp, p.key, sync_reply,
+        [&done](ServiceReply &&r) { done.set_value(std::move(r)); });
+    ASSERT_FALSE(sync);
+
+    ServiceReply reply = done.get_future().get();
+    EXPECT_TRUE(reply.error.empty());
+    EXPECT_FALSE(reply.hit);
+    ASSERT_NE(reply.result, nullptr);
+    ASSERT_NE(reply.replyTail, nullptr);
+    EXPECT_GT(reply.millis, 0.0);
+
+    // The async compile published into the shared cache: a blocking
+    // submit of the same request is a pointer-equal hit.
+    ServiceReply hit = service.submit(p.req);
+    EXPECT_TRUE(hit.hit);
+    EXPECT_EQ(hit.result.get(), reply.result.get());
+
+    ServiceStats s = service.stats();
+    EXPECT_EQ(s.misses, 1);
+    EXPECT_EQ(s.compiles, 1);
+    EXPECT_EQ(s.pendingCompiles, 0u);
+}
+
+TEST(AsyncService, ConcurrentDuplicatesDedupAcrossAsyncAndSync)
+{
+    // Async waiters, a blocking submit, and the async owner all meet
+    // on one in-flight entry and share one compilation.  TSan-covered.
+    CompileService service(2);
+    CompileGate gate;
+    service.setCompileHook(gate.hook());
+    PreparedRequest p = prepared("RD53", SquareConfig::square());
+
+    const int n_async = 4;
+    std::vector<std::promise<ServiceReply>> done(n_async);
+    int went_async = 0;
+    for (int i = 0; i < n_async; ++i) {
+        ServiceReply sync_reply;
+        if (!service.submitPreparedAsync(
+                p.req, p.program, p.fp, p.key, sync_reply,
+                [&done, i](ServiceReply &&r) {
+                    done[static_cast<size_t>(i)].set_value(
+                        std::move(r));
+                }))
+            ++went_async;
+    }
+    EXPECT_EQ(went_async, n_async);
+
+    // A blocking duplicate parks on the same entry.
+    std::thread blocker_th;
+    ServiceReply blocked;
+    gate.waitParked(1); // the owner reached the compile
+    blocker_th = std::thread(
+        [&service, &p, &blocked] { blocked = service.submit(p.req); });
+
+    gate.release();
+    std::vector<ServiceReply> replies;
+    replies.reserve(n_async);
+    for (int i = 0; i < n_async; ++i)
+        replies.push_back(
+            done[static_cast<size_t>(i)].get_future().get());
+    blocker_th.join();
+
+    const CompileResult *shared = replies[0].result.get();
+    ASSERT_NE(shared, nullptr);
+    for (const ServiceReply &r : replies) {
+        EXPECT_TRUE(r.error.empty());
+        EXPECT_EQ(r.result.get(), shared);
+    }
+    EXPECT_EQ(blocked.result.get(), shared);
+    EXPECT_TRUE(blocked.hit);
+
+    ServiceStats s = service.stats();
+    EXPECT_EQ(s.compiles, 1);
+    EXPECT_EQ(s.requests, n_async + 1);
+    EXPECT_EQ(s.hits, n_async); // everyone but the async owner
+    EXPECT_EQ(s.pendingCompiles, 0u);
+}
+
+TEST(AsyncService, OverloadShedsWithRetryAfterAndRecovers)
+{
+    AdmissionLimits admission;
+    admission.maxPending = 1;
+    CompileService service(1, {}, admission);
+    CompileGate gate;
+    service.setCompileHook(gate.hook());
+
+    // First miss claims the only pending slot.
+    PreparedRequest a = prepared("ADDER4", SquareConfig::square());
+    std::promise<ServiceReply> a_done;
+    ServiceReply sync_reply;
+    ASSERT_FALSE(service.submitPreparedAsync(
+        a.req, a.program, a.fp, a.key, sync_reply,
+        [&a_done](ServiceReply &&r) {
+            a_done.set_value(std::move(r));
+        }));
+    gate.waitParked(1);
+
+    // A different key now sheds synchronously with a backoff hint.
+    PreparedRequest b = prepared("ADDER4", SquareConfig::eager());
+    ServiceReply shed;
+    bool fired = false;
+    EXPECT_TRUE(service.submitPreparedAsync(
+        b.req, b.program, b.fp, b.key, shed,
+        [&fired](ServiceReply &&) { fired = true; }));
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(shed.status, "overloaded");
+    EXPECT_GT(shed.retryAfterMs, 0.0);
+    EXPECT_EQ(shed.result, nullptr);
+
+    // Duplicates of the IN-FLIGHT key are never shed: they cost no
+    // compile capacity.
+    ServiceReply dup;
+    ASSERT_FALSE(service.submitPreparedAsync(
+        a.req, a.program, a.fp, a.key, dup,
+        [](ServiceReply &&) {}));
+
+    gate.release();
+    ServiceReply a_reply = a_done.get_future().get();
+    EXPECT_TRUE(a_reply.error.empty());
+
+    // Recovery: the shed key is admitted once the queue drains.
+    ServiceReply retried = service.submit(b.req);
+    EXPECT_TRUE(retried.error.empty());
+    EXPECT_TRUE(retried.status.empty());
+    ASSERT_NE(retried.result, nullptr);
+
+    ServiceStats s = service.stats();
+    EXPECT_EQ(s.shed, 1);
+    EXPECT_EQ(s.compiles, 2);
+    EXPECT_EQ(s.pendingCompiles, 0u);
+}
+
+TEST(AsyncService, BatchTierShedsBeforeInteractive)
+{
+    AdmissionLimits admission;
+    admission.maxPending = 4;
+    admission.batchFraction = 0.5; // batch admitted while pending < 2
+    CompileService service(1, {}, admission);
+    CompileGate gate;
+    service.setCompileHook(gate.hook());
+
+    // Two unique misses occupy the batch tier's share of the queue.
+    SquareConfig cfg_a = SquareConfig::square();
+    cfg_a.anchorBoxMargin = 101;
+    SquareConfig cfg_b = SquareConfig::square();
+    cfg_b.anchorBoxMargin = 102;
+    std::promise<ServiceReply> done_a, done_b;
+    ServiceReply sync_reply;
+    PreparedRequest a = prepared("ADDER4", cfg_a);
+    PreparedRequest b = prepared("ADDER4", cfg_b);
+    ASSERT_FALSE(service.submitPreparedAsync(
+        a.req, a.program, a.fp, a.key, sync_reply,
+        [&done_a](ServiceReply &&r) {
+            done_a.set_value(std::move(r));
+        }));
+    ASSERT_FALSE(service.submitPreparedAsync(
+        b.req, b.program, b.fp, b.key, sync_reply,
+        [&done_b](ServiceReply &&r) {
+            done_b.set_value(std::move(r));
+        }));
+    gate.waitParked(1);
+
+    // pending == 2: a batch-tier miss is shed while an interactive
+    // miss is still admitted.
+    SquareConfig cfg_c = SquareConfig::square();
+    cfg_c.anchorBoxMargin = 103;
+    PreparedRequest batch_req = prepared("ADDER4", cfg_c);
+    batch_req.req.batch = true;
+    ServiceReply batch_reply;
+    EXPECT_TRUE(service.submitPreparedAsync(
+        batch_req.req, batch_req.program, batch_req.fp, batch_req.key,
+        batch_reply, [](ServiceReply &&) {}));
+    EXPECT_EQ(batch_reply.status, "overloaded");
+
+    SquareConfig cfg_d = SquareConfig::square();
+    cfg_d.anchorBoxMargin = 104;
+    PreparedRequest inter = prepared("ADDER4", cfg_d);
+    std::promise<ServiceReply> done_d;
+    ASSERT_FALSE(service.submitPreparedAsync(
+        inter.req, inter.program, inter.fp, inter.key, sync_reply,
+        [&done_d](ServiceReply &&r) {
+            done_d.set_value(std::move(r));
+        }));
+
+    gate.release();
+    EXPECT_TRUE(done_a.get_future().get().error.empty());
+    EXPECT_TRUE(done_b.get_future().get().error.empty());
+    EXPECT_TRUE(done_d.get_future().get().error.empty());
+    ServiceStats s = service.stats();
+    EXPECT_EQ(s.shed, 1);
+    EXPECT_EQ(s.compiles, 3);
+}
+
+TEST(AsyncService, ExpiredDeadlineCancelsBeforeCompiling)
+{
+    CompileService service(1);
+    CompileGate gate;
+    service.setCompileHook(gate.hook());
+
+    // A long compile occupies the single pool worker...
+    PreparedRequest a = prepared("ADDER4", SquareConfig::square());
+    std::promise<ServiceReply> a_done;
+    ServiceReply sync_reply;
+    ASSERT_FALSE(service.submitPreparedAsync(
+        a.req, a.program, a.fp, a.key, sync_reply,
+        [&a_done](ServiceReply &&r) {
+            a_done.set_value(std::move(r));
+        }));
+    gate.waitParked(1);
+
+    // ...while a deadline-carrying miss queues behind it.
+    PreparedRequest b = prepared("ADDER4", SquareConfig::eager());
+    b.req.deadlineMs = 1;
+    std::promise<ServiceReply> b_done;
+    ASSERT_FALSE(service.submitPreparedAsync(
+        b.req, b.program, b.fp, b.key, sync_reply,
+        [&b_done](ServiceReply &&r) {
+            b_done.set_value(std::move(r));
+        }));
+
+    // Let the deadline lapse before the worker frees up, then release.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    gate.release();
+
+    EXPECT_TRUE(a_done.get_future().get().error.empty());
+    ServiceReply expired = b_done.get_future().get();
+    EXPECT_EQ(expired.status, "deadline_expired");
+    EXPECT_EQ(expired.result, nullptr);
+
+    // The cancelled key stays retriable and compiles cleanly now.
+    ServiceReply retried = service.submit(b.req);
+    EXPECT_TRUE(retried.error.empty());
+    EXPECT_TRUE(retried.status.empty());
+    ASSERT_NE(retried.result, nullptr);
+
+    ServiceStats s = service.stats();
+    EXPECT_EQ(s.deadlineExpired, 1);
+    EXPECT_EQ(s.compiles, 2); // a, and b's retry — never b's original
+    EXPECT_EQ(s.pendingCompiles, 0u);
+}
+
+// -------------------------------------------------------------------
+// WorkerPool: the async compile pool's own contract
+// -------------------------------------------------------------------
+
+TEST(WorkerPool, RunsEveryPostedJob)
+{
+    WorkerPool pool(2);
+    std::atomic<int> ran{0};
+    std::promise<void> all;
+    const int n = 16;
+    for (int i = 0; i < n; ++i) {
+        pool.post([&ran, &all] {
+            if (ran.fetch_add(1) + 1 == n)
+                all.set_value();
+        });
+    }
+    all.get_future().wait();
+    EXPECT_EQ(ran.load(), n);
+    pool.stop();
+    EXPECT_EQ(pool.deaths(), 0);
+}
+
+TEST(WorkerPool, CancelRemovesQueuedJobs)
+{
+    WorkerPool pool(1);
+    CompileGate gate;
+    std::atomic<bool> second_ran{false};
+    pool.post(gate.hook());
+    gate.waitParked(1); // the worker is occupied
+    uint64_t id =
+        pool.post([&second_ran] { second_ran.store(true); });
+    EXPECT_EQ(pool.queued(), 1u);
+    EXPECT_TRUE(pool.cancel(id));
+    EXPECT_FALSE(pool.cancel(id)); // already gone
+    gate.release();
+    pool.stop();
+    EXPECT_FALSE(second_ran.load());
+}
+
+TEST(WorkerPool, DeathHookRequeuesJobAndRespawnsWorker)
+{
+    WorkerPool pool(1);
+    std::atomic<int> deaths_left{3};
+    pool.setDeathHook([&deaths_left] {
+        return deaths_left.fetch_sub(1) > 0; // die 3 times, then run
+    });
+    std::promise<void> ran;
+    pool.post([&ran] { ran.set_value(); });
+    ran.get_future().wait(); // the job survived its 3 dead workers
+    EXPECT_EQ(pool.deaths(), 3);
+    EXPECT_EQ(pool.workers(), 1);
+    pool.stop();
 }
 
 } // namespace

@@ -11,8 +11,21 @@
  *   square_client --port=7801 < requests.jsonl
  *
  * Flags:
- *   --host=A   server address (default 127.0.0.1)
- *   --port=N   server port (required)
+ *   --host=A         server address (default 127.0.0.1)
+ *   --port=N         server port (required)
+ *   --max-retries=N  retry a request shed with {"status":"overloaded"}
+ *                    up to N times (default 0 = print the shed reply)
+ *   --retry-seed=N   seed for the retry jitter (default 1); a fixed
+ *                    seed replays the exact backoff schedule
+ *
+ * Retry discipline: the server's shed reply carries retry_after_ms —
+ * its own estimate of when queue space frees up.  The client sleeps
+ * that hint plus capped exponential backoff (doubling from 10 ms, cap
+ * 2 s) with uniform jitter of up to half the backoff, so a herd of
+ * shed clients does not reconverge on the same instant.  Retries
+ * exhausted = the last overloaded reply is printed and the client
+ * moves on (exit status unaffected: shedding is a structured answer,
+ * not a transport failure).
  *
  * Exits non-zero if the connection cannot be established or drops
  * before every request is answered (a {"cmd":"shutdown"} request is
@@ -20,34 +33,86 @@
  * shutdown still exits 0).
  */
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
 #include <string_view>
+#include <thread>
 
+#include "common/rng.h"
 #include "server/client.h"
 #include "service/protocol.h"
 
 using namespace square;
+
+namespace {
+
+/**
+ * Extract retry_after_ms from a shed reply.  The reply grammar is
+ * machine-generated flat JSON, so a substring scan is exact here; a
+ * missing or malformed field falls back to 0 (backoff-only sleep).
+ */
+long
+parseRetryAfterMs(std::string_view reply)
+{
+    static constexpr std::string_view kField = "\"retry_after_ms\": ";
+    size_t pos = reply.find(kField);
+    if (pos == std::string_view::npos)
+        return 0;
+    pos += kField.size();
+    long value = 0;
+    while (pos < reply.size() && reply[pos] >= '0' && reply[pos] <= '9')
+        value = value * 10 + (reply[pos++] - '0');
+    return value;
+}
+
+bool
+isOverloadedReply(std::string_view reply)
+{
+    return reply.find("\"status\": \"overloaded\"") !=
+           std::string_view::npos;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     std::string host = "127.0.0.1";
     long port = 0;
+    long max_retries = 0;
+    unsigned long long retry_seed = 1;
     for (int i = 1; i < argc; ++i) {
+        char *end = nullptr;
         if (std::strncmp(argv[i], "--host=", 7) == 0) {
             host = argv[i] + 7;
         } else if (std::strncmp(argv[i], "--port=", 7) == 0) {
-            char *end = nullptr;
             port = std::strtol(argv[i] + 7, &end, 10);
             if (end == argv[i] + 7 || *end != '\0')
                 port = 0; // falls through to the range error below
+        } else if (std::strncmp(argv[i], "--max-retries=", 14) == 0) {
+            max_retries = std::strtol(argv[i] + 14, &end, 10);
+            if (end == argv[i] + 14 || *end != '\0' ||
+                max_retries < 0) {
+                std::fprintf(stderr,
+                             "square_client: bad --max-retries value\n");
+                return 1;
+            }
+        } else if (std::strncmp(argv[i], "--retry-seed=", 13) == 0) {
+            retry_seed = std::strtoull(argv[i] + 13, &end, 10);
+            if (end == argv[i] + 13 || *end != '\0') {
+                std::fprintf(stderr,
+                             "square_client: bad --retry-seed value\n");
+                return 1;
+            }
         } else {
             std::fprintf(stderr,
-                         "usage: square_client [--host=A] --port=N\n");
+                         "usage: square_client [--host=A] --port=N "
+                         "[--max-retries=N] [--retry-seed=N]\n");
             return 1;
         }
     }
@@ -63,22 +128,38 @@ main(int argc, char **argv)
         return 1;
     }
 
+    Rng jitter(retry_seed);
     std::string line;
     while (std::getline(std::cin, line)) {
         if (isProtocolNoOp(line))
             continue;
-        if (!client.sendLine(line)) {
-            std::fprintf(stderr, "square_client: send failed\n");
-            return 1;
-        }
-        // View-based receive: one growable buffer per connection, no
-        // per-reply string allocation.
         std::string_view reply;
-        if (!client.recvLineView(reply)) {
-            std::fprintf(stderr,
-                         "square_client: connection closed before "
-                         "reply\n");
-            return 1;
+        long backoff_ms = 10;
+        for (long attempt = 0;; ++attempt) {
+            if (!client.sendLine(line)) {
+                std::fprintf(stderr, "square_client: send failed\n");
+                return 1;
+            }
+            // View-based receive: one growable buffer per connection,
+            // no per-reply string allocation.
+            if (!client.recvLineView(reply)) {
+                std::fprintf(stderr,
+                             "square_client: connection closed before "
+                             "reply\n");
+                return 1;
+            }
+            if (attempt >= max_retries || !isOverloadedReply(reply))
+                break;
+            // Sleep the server's hint plus exponential backoff with
+            // jitter of up to half the backoff (all from one seeded
+            // generator, so the schedule replays exactly).
+            long sleep_ms =
+                parseRetryAfterMs(reply) + backoff_ms +
+                static_cast<long>(jitter.below(
+                    static_cast<uint64_t>(backoff_ms / 2 + 1)));
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(sleep_ms));
+            backoff_ms = std::min(backoff_ms * 2, 2000L);
         }
         std::fwrite(reply.data(), 1, reply.size(), stdout);
         std::fputc('\n', stdout);

@@ -26,6 +26,17 @@
  *   --event-threads=N  epoll event-loop threads (default 1)
  *   --cache-entries=N  per-shard LRU bound, results (default unbounded)
  *   --cache-bytes=N    per-shard LRU bound, bytes (default unbounded)
+ *   --max-pending=N    per-shard compile-queue bound; misses beyond it
+ *                      are shed with {"status":"overloaded",
+ *                      "retry_after_ms":...} (default 0 = admit all)
+ *   --batch-fraction=F fraction of --max-pending admitted to
+ *                      priority=batch requests (default 0.5)
+ *   --no-async-cold    compile misses on the transport thread (the
+ *                      PR-5 behaviour) instead of the shard's pool
+ *   --faults=SPEC      enable fault injection, e.g.
+ *                      "seed=7,compile_delay_ms=30,worker_death_rate=
+ *                      0.05" (see src/server/faults.h for the grammar;
+ *                      the SQUARE_FAULTS env var is honoured too)
  *   --port-file=PATH   write the bound port (decimal, newline) once
  *                      listening — for scripts that pass --port=0
  *   --quiet            suppress the stderr banner and final counters
@@ -44,6 +55,7 @@
 #include <string>
 #include <thread>
 
+#include "server/faults.h"
 #include "server/server.h"
 
 using namespace square;
@@ -78,6 +90,17 @@ parseInt(const char *text, long min, long max, int &out)
     if (end == text || *end != '\0' || v < min || v > max)
         return false;
     out = static_cast<int>(v);
+    return true;
+}
+
+bool
+parseFraction(const char *text, double &out)
+{
+    char *end = nullptr;
+    double v = std::strtod(text, &end);
+    if (end == text || *end != '\0' || v < 0.0 || v > 1.0)
+        return false;
+    out = v;
     return true;
 }
 
@@ -127,6 +150,24 @@ main(int argc, char **argv)
         } else if (std::strncmp(arg, "--cache-bytes=", 14) == 0 &&
                    parseSize(arg + 14, size_value)) {
             cfg.limits.maxBytes = size_value;
+        } else if (std::strncmp(arg, "--max-pending=", 14) == 0 &&
+                   parseSize(arg + 14, size_value)) {
+            cfg.admission.maxPending = size_value;
+        } else if (std::strncmp(arg, "--batch-fraction=", 17) == 0) {
+            if (!parseFraction(arg + 17, cfg.admission.batchFraction)) {
+                std::fprintf(stderr, "bad --batch-fraction value\n");
+                return 1;
+            }
+        } else if (std::strcmp(arg, "--no-async-cold") == 0) {
+            cfg.asyncColdPath = false;
+        } else if (std::strncmp(arg, "--faults=", 9) == 0) {
+            std::string fault_error;
+            if (!FaultInjector::instance().configureFromSpec(
+                    arg + 9, fault_error)) {
+                std::fprintf(stderr, "bad --faults spec: %s\n",
+                             fault_error.c_str());
+                return 1;
+            }
         } else if (std::strncmp(arg, "--port-file=", 12) == 0) {
             port_file = arg + 12;
         } else if (std::strcmp(arg, "--quiet") == 0) {
@@ -137,7 +178,22 @@ main(int argc, char **argv)
                 "usage: square_served [--port=N] [--host=A] "
                 "[--shards=N] [--workers=N] [--transport=epoll|threads] "
                 "[--event-threads=N] [--cache-entries=N] "
-                "[--cache-bytes=N] [--port-file=PATH] [--quiet]\n");
+                "[--cache-bytes=N] [--max-pending=N] "
+                "[--batch-fraction=F] [--no-async-cold] "
+                "[--faults=SPEC] [--port-file=PATH] [--quiet]\n");
+            return 1;
+        }
+    }
+
+    // The env var covers deployment shapes with no flag path (CI
+    // wrappers, tests spawning the binary); an explicit --faults flag
+    // already configured the injector and wins over the environment.
+    if (!FaultInjector::instance().enabled()) {
+        std::string fault_error;
+        if (!FaultInjector::instance().configureFromEnv(fault_error) &&
+            !fault_error.empty()) {
+            std::fprintf(stderr, "bad SQUARE_FAULTS spec: %s\n",
+                         fault_error.c_str());
             return 1;
         }
     }
