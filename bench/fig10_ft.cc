@@ -2,6 +2,10 @@
  * @file
  * Fig. 10 reproduction: normalized AQV on fault-tolerant machines
  * (surface-code logical qubits, braid communication, slow T gates).
+ *
+ * Pass --square_json=PATH for a BENCH_fig10_ft.json row per
+ * benchmark x policy (the shared emitter trajectory of
+ * bench_common.h).
  */
 
 #include <cmath>
@@ -13,14 +17,25 @@ using namespace square;
 using namespace square::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string json_path = extractJsonPath(argc, argv);
+    if (argc > 1) {
+        std::fprintf(stderr, "unknown argument: %s\n", argv[1]);
+        return 1;
+    }
+
     printHeader("Normalized AQV, fault-tolerant machines (braiding)",
                 "Fig. 10");
     std::printf("%-10s %8s %8s %8s %12s %8s %14s\n", "Benchmark",
                 "sites", "LAZY", "EAGER", "SQUARE(LAA)", "SQUARE",
                 "LAZY/SQUARE");
     printRule(78);
+
+    JsonReport report;
+    report.benchmark = "fig10_ft";
+    report.unit = "aqv";
+    const char *names[] = {"LAZY", "EAGER", "SQUARE-LAA", "SQUARE"};
 
     double sum_reduction = 0.0;
     double max_reduction = 0.0;
@@ -43,14 +58,31 @@ main()
                     info.boundaryEdge * info.boundaryEdge, 1.0,
                     aqv[1] / lazy, aqv[2] / lazy, aqv[3] / lazy,
                     100.0 * reduction);
+        for (int k = 0; k < 4; ++k) {
+            report.addRow(
+                {jsonStr("workload", info.name),
+                 jsonInt("sites", info.boundaryEdge * info.boundaryEdge),
+                 jsonStr("policy", names[k]),
+                 jsonNum("aqv", aqv[k], 0),
+                 jsonNum("aqv_norm_lazy", aqv[k] / lazy, 4)});
+        }
         sum_reduction += reduction;
         max_reduction = std::max(max_reduction, reduction);
         ++count;
     }
     printRule(78);
+    const double avg_reduction = 100.0 * sum_reduction / count;
     std::printf("average AQV reduction of SQUARE vs LAZY: %.1f%% "
                 "(max %.1f%%)\n",
-                100.0 * sum_reduction / count, 100.0 * max_reduction);
+                avg_reduction, 100.0 * max_reduction);
     std::printf("(paper reports 44.08%% average, up to 89.66%%)\n");
+
+    if (!json_path.empty()) {
+        report.header.push_back(
+            jsonNum("avg_reduction_pct", avg_reduction, 1));
+        report.header.push_back(
+            jsonNum("max_reduction_pct", 100.0 * max_reduction, 1));
+        report.writeTo(json_path);
+    }
     return 0;
 }

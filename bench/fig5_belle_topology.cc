@@ -7,6 +7,9 @@
  * on a 2-D lattice (reservation expands the active area and swap
  * chains) but Lazy on a fully-connected machine (holding garbage costs
  * nothing in communication).  SQUARE should track the winner on both.
+ *
+ * Pass --square_json=PATH for a BENCH_fig5_belle_topology.json row per
+ * machine x policy (the shared emitter trajectory of bench_common.h).
  */
 
 #include <cstdio>
@@ -17,8 +20,14 @@ using namespace square;
 using namespace square::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string json_path = extractJsonPath(argc, argv);
+    if (argc > 1) {
+        std::fprintf(stderr, "unknown argument: %s\n", argv[1]);
+        return 1;
+    }
+
     printHeader("Belle: preferred strategy vs machine connectivity",
                 "Fig. 5");
 
@@ -30,6 +39,11 @@ main()
                 "AQV", "#Gates", "#Swaps");
     printRule(78);
 
+    JsonReport report;
+    report.benchmark = "fig5_belle_topology";
+    report.unit = "aqv";
+
+    std::string preferred_lattice, preferred_full;
     for (int full = 0; full < 2; ++full) {
         int64_t best_aqv = INT64_MAX;
         std::string best_name;
@@ -42,6 +56,11 @@ main()
                         static_cast<long long>(r.aqv),
                         static_cast<long long>(r.gates),
                         static_cast<long long>(r.swaps));
+            report.addRow({jsonStr("machine", m.label),
+                           jsonStr("policy", cfg.name),
+                           jsonInt("aqv", r.aqv),
+                           jsonInt("gates", r.gates),
+                           jsonInt("swaps", r.swaps)});
             if ((cfg.name == "LAZY" || cfg.name == "EAGER") &&
                 r.aqv < best_aqv) {
                 best_aqv = r.aqv;
@@ -51,8 +70,17 @@ main()
         std::printf("  -> preferred baseline on this machine: %s\n",
                     best_name.c_str());
         printRule(78);
+        (full ? preferred_full : preferred_lattice) = best_name;
     }
     std::printf("\nExpected (paper): EAGER preferred on the lattice, "
                 "LAZY on fully-connected.\n");
+
+    if (!json_path.empty()) {
+        report.header.push_back(
+            jsonStr("preferred_lattice", preferred_lattice));
+        report.header.push_back(
+            jsonStr("preferred_fully_connected", preferred_full));
+        report.writeTo(json_path);
+    }
     return 0;
 }

@@ -37,11 +37,26 @@
  * depth-1 p99 (a cold compile stalls only its own connection, never
  * the event loop), or the bench exits non-zero.
  *
+ * With --fabric=N an additional phase measures the multi-process shard
+ * fabric: N real square_served processes are forked (one shard + one
+ * worker pool each), an in-process RouterServer consistent-hashes the
+ * key space over them, and the same cold/load/golden sequence runs
+ * against the router port — so the "fabric" rows are directly
+ * comparable to the in-process rows, and the depth-1 p50 delta against
+ * the in-process epoll row IS the router hop cost (parse + ring lookup
+ * + forward + demultiplex, one extra loopback round trip).  Aggregate
+ * throughput is a scaling claim only on multi-core hosts; the JSON
+ * records the host's cpu count either way.  Any warm miss — including
+ * through the fabric, where hits depend on cross-process key stability
+ * — exits non-zero.
+ *
  * Pass --square_json=PATH for BENCH_server_throughput.json.  Flags:
  * --clients=N connections, --batches=N pipelined batches per client,
  * --pipeline-depth=B, --transport=threads|epoll|both, --shards=N,
  * --workers=N fleet workers per shard, --event-threads=N epoll loops,
- * --cold-fraction=F mixed-phase cold rate, --smoke shrinks for CI.
+ * --cold-fraction=F mixed-phase cold rate, --fabric=N shard daemons
+ * (0 = skip), --served-bin=PATH shard binary (default: next to this
+ * one), --smoke shrinks for CI.
  */
 
 #include <algorithm>
@@ -54,10 +69,15 @@
 #include <thread>
 #include <vector>
 
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include "bench_common.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "server/client.h"
+#include "server/router_daemon.h"
 #include "server/server.h"
 #include "service/protocol.h"
 
@@ -236,27 +256,32 @@ coldPhase(uint16_t port, double &cold_ms)
     return true;
 }
 
-/** One measured load phase: C clients x B batches at one depth. */
+/**
+ * One measured load phase: C clients x B batches at one depth against
+ * whatever serves @p port — the in-process CompileServer or the fabric
+ * router (whose client-facing @p transport provides the same syscall
+ * and flush-batch counters).
+ */
 bool
-loadPhase(CompileServer &server, const std::string &transport,
-          int clients, int batches, int depth, PhaseRow &row)
+loadPhase(uint16_t port, const Transport *transport,
+          const std::string &label, int clients, int batches,
+          int depth, PhaseRow &row)
 {
-    const TransportStats before = server.transport()->stats();
+    const TransportStats before = transport->stats();
     std::vector<ClientResult> results(static_cast<size_t>(clients));
     Clock::time_point t0 = Clock::now();
     {
         std::vector<std::thread> pool;
         pool.reserve(static_cast<size_t>(clients));
         for (int c = 0; c < clients; ++c) {
-            pool.emplace_back(runClient, server.port(), batches, depth,
-                              c,
+            pool.emplace_back(runClient, port, batches, depth, c,
                               std::ref(results[static_cast<size_t>(c)]));
         }
         for (std::thread &th : pool)
             th.join();
     }
     const double load_ms = millisSince(t0);
-    const TransportStats after = server.transport()->stats();
+    const TransportStats after = transport->stats();
 
     std::vector<double> latencies;
     int64_t total = 0, hits = 0;
@@ -284,7 +309,7 @@ loadPhase(CompileServer &server, const std::string &transport,
     }
     std::sort(latencies.begin(), latencies.end());
 
-    row.transport = transport;
+    row.transport = label;
     row.depth = depth;
     row.requests = total;
     row.wallMs = load_ms;
@@ -519,6 +544,98 @@ goldenPhase(uint16_t port)
     return golden;
 }
 
+/** One forked square_served shard daemon. */
+struct ShardProc
+{
+    pid_t pid = -1;
+    std::string portFile;
+    std::string address; ///< "127.0.0.1:port" once the handshake lands
+};
+
+/** SIGTERM + reap every live shard child (idempotent). */
+void
+stopShards(std::vector<ShardProc> &shards)
+{
+    for (ShardProc &s : shards) {
+        if (s.pid > 0)
+            kill(s.pid, SIGTERM);
+    }
+    for (ShardProc &s : shards) {
+        if (s.pid > 0) {
+            waitpid(s.pid, nullptr, 0);
+            s.pid = -1;
+        }
+        if (!s.portFile.empty())
+            unlink(s.portFile.c_str());
+    }
+}
+
+/**
+ * Fork/exec N square_served shard daemons (one shard, @p workers
+ * fleet workers each) and complete the --port-file handshake.  On any
+ * failure the already-started children are reaped before returning.
+ */
+bool
+spawnShards(const std::string &bin, int n, int workers,
+            std::vector<ShardProc> &shards)
+{
+    const std::string workers_arg =
+        "--workers=" + std::to_string(workers);
+    for (int i = 0; i < n; ++i) {
+        ShardProc proc;
+        proc.portFile = "fabric_shard" + std::to_string(i) + "." +
+                        std::to_string(getpid()) + ".port";
+        unlink(proc.portFile.c_str());
+        const std::string port_file_arg = "--port-file=" + proc.portFile;
+        pid_t pid = fork();
+        if (pid == 0) {
+            execl(bin.c_str(), bin.c_str(), "--port=0", "--shards=1",
+                  workers_arg.c_str(), "--transport=epoll",
+                  port_file_arg.c_str(), "--quiet",
+                  static_cast<char *>(nullptr));
+            _exit(127); // exec failed; the parent sees an empty port file
+        }
+        if (pid < 0) {
+            std::fprintf(stderr, "fork failed for shard %d\n", i);
+            stopShards(shards);
+            return false;
+        }
+        proc.pid = pid;
+        shards.push_back(proc);
+    }
+    // Port-file handshake: each child writes its bound port once
+    // listening.  10 s is generous; an exec failure leaves the file
+    // empty forever, so the poll also watches for child death.
+    for (ShardProc &s : shards) {
+        long port = 0;
+        for (int tries = 0; tries < 400; ++tries) {
+            if (FILE *f = std::fopen(s.portFile.c_str(), "r")) {
+                if (std::fscanf(f, "%ld", &port) != 1)
+                    port = 0;
+                std::fclose(f);
+                if (port > 0)
+                    break;
+            }
+            if (waitpid(s.pid, nullptr, WNOHANG) == s.pid) {
+                s.pid = -1; // already reaped
+                break;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(25));
+        }
+        if (port <= 0) {
+            std::fprintf(stderr,
+                         "shard %s never announced a port (bad "
+                         "--served-bin path?)\n",
+                         s.portFile.c_str());
+            stopShards(shards);
+            return false;
+        }
+        s.address = "127.0.0.1:" + std::to_string(port);
+    }
+    return true;
+}
+
 } // namespace
 
 int
@@ -532,6 +649,8 @@ main(int argc, char **argv)
     int workers = 1;
     int event_threads = 1;
     double cold_fraction = 0;
+    int fabric = 0;
+    std::string served_bin;
     std::string transport = "both";
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--clients=", 10) == 0) {
@@ -555,6 +674,14 @@ main(int argc, char **argv)
                              "--cold-fraction must be in [0, 1)\n");
                 return 1;
             }
+        } else if (std::strncmp(argv[i], "--fabric=", 9) == 0) {
+            fabric = std::atoi(argv[i] + 9);
+            if (fabric < 0) {
+                std::fprintf(stderr, "--fabric must be >= 0\n");
+                return 1;
+            }
+        } else if (std::strncmp(argv[i], "--served-bin=", 13) == 0) {
+            served_bin = argv[i] + 13;
         } else if (std::strcmp(argv[i], "--smoke") == 0) {
             clients = 2;
             batches = 4;
@@ -582,6 +709,16 @@ main(int argc, char **argv)
     std::vector<int> depths = {1};
     if (depth > 1)
         depths.push_back(depth);
+
+    if (fabric > 0 && served_bin.empty()) {
+        // Default: square_served lives next to this binary.
+        std::string self = argv[0];
+        size_t slash = self.find_last_of('/');
+        served_bin = (slash == std::string::npos
+                          ? std::string()
+                          : self.substr(0, slash + 1)) +
+                     "square_served";
+    }
 
     const unsigned cpus = std::thread::hardware_concurrency();
     printHeader("Networked-server throughput (TCP, sharded, LRU + "
@@ -620,7 +757,8 @@ main(int argc, char **argv)
 
         for (int d : depths) {
             PhaseRow row;
-            if (!loadPhase(server, t, clients, batches, d, row))
+            if (!loadPhase(server.port(), server.transport(), t,
+                           clients, batches, d, row))
                 return 1;
             rows.push_back(row);
         }
@@ -652,6 +790,54 @@ main(int argc, char **argv)
         server.stop();
     }
 
+    // Fabric phase: N forked shard daemons behind an in-process
+    // consistent-hash router, same cold/load/golden sequence.
+    UpstreamStats fabric_stats;
+    if (fabric > 0) {
+        std::vector<ShardProc> shard_procs;
+        if (!spawnShards(served_bin, fabric, workers, shard_procs))
+            return 1;
+        RouterConfig rcfg;
+        for (const ShardProc &s : shard_procs)
+            rcfg.shards.push_back(s.address);
+        rcfg.eventThreads = event_threads;
+        RouterServer router(rcfg);
+        std::string error;
+        if (!router.start(error)) {
+            std::fprintf(stderr, "router start failed: %s\n",
+                         error.c_str());
+            stopShards(shard_procs);
+            return 1;
+        }
+        bool ok = true;
+        double cold_ms = 0;
+        ok = ok && coldPhase(router.port(), cold_ms);
+        for (int d : depths) {
+            if (!ok)
+                break;
+            PhaseRow row;
+            ok = loadPhase(router.port(), router.transport(), "fabric",
+                           clients, batches, d, row);
+            if (ok)
+                rows.push_back(row);
+        }
+        const bool golden = ok && goldenPhase(router.port());
+        golden_all = golden_all && golden;
+        fabric_stats = router.upstreamStats();
+        std::printf("[fabric] %d shard processes, balance:", fabric);
+        for (size_t s = 0; s < fabric_stats.shards.size(); ++s)
+            std::printf(
+                "  shard %zu: %lld fwd / %lld replies", s,
+                static_cast<long long>(
+                    fabric_stats.shards[s].forwarded),
+                static_cast<long long>(fabric_stats.shards[s].replies));
+        std::printf("  golden: %s\n", golden ? "yes" : "NO");
+        router.stop();
+        stopShards(shard_procs);
+        if (!ok)
+            return 1;
+    }
+
     std::printf("\n%9s %6s %9s %10s %12s %9s %9s %9s %8s %7s\n",
                 "transport", "depth", "requests", "wall ms",
                 "requests/s", "p50 ms", "p99 ms", "p99.9 ms",
@@ -669,6 +855,29 @@ main(int argc, char **argv)
     std::printf("(latency = client-observed batch round trip; sys/req "
                 "= server-side (recv+send)/requests;\n batch = mean "
                 "replies per gathered write)\n");
+    if (fabric > 0) {
+        // The hop cost is the honest per-request price of the process
+        // split: same client load, same warm keys, one extra loopback
+        // round trip plus the router's parse + ring lookup.
+        double epoll_p50 = 0, fabric_p50 = 0;
+        for (const PhaseRow &r : rows) {
+            if (r.depth != 1)
+                continue;
+            if (r.transport == "epoll")
+                epoll_p50 = r.p50;
+            else if (r.transport == "fabric")
+                fabric_p50 = r.p50;
+        }
+        if (epoll_p50 > 0 && fabric_p50 > 0)
+            std::printf("router hop cost (depth 1 p50): fabric %.3f ms "
+                        "vs in-process epoll %.3f ms => %+.3f ms per "
+                        "request\n",
+                        fabric_p50, epoll_p50, fabric_p50 - epoll_p50);
+        if (cpus < 2)
+            std::printf("note: single-core host — the fabric rows "
+                        "price the router hop; aggregate-throughput "
+                        "scaling needs cores for the shard processes\n");
+    }
     if (!mixed_rows.empty()) {
         std::printf("\nmixed warm/cold phase (depth 1; cold = unique "
                     "key => real compile):\n");
@@ -715,6 +924,14 @@ main(int argc, char **argv)
             jsonNum("cold_wall_ms", cold_ms_first, 1));
         report.header.push_back(
             jsonInt("golden_identical", golden_all));
+        report.header.push_back(jsonInt("fabric_shards", fabric));
+        if (fabric > 0) {
+            report.header.push_back(
+                jsonInt("fabric_forwarded", fabric_stats.forwarded));
+            report.header.push_back(
+                jsonInt("fabric_shard_down_replies",
+                        fabric_stats.shardDownReplies));
+        }
         for (const PhaseRow &r : rows) {
             report.addRow(
                 {jsonStr("transport", r.transport),

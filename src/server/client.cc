@@ -1,6 +1,7 @@
 #include "server/client.h"
 
 #include <sys/socket.h>
+#include <sys/time.h>
 
 namespace square {
 
@@ -33,6 +34,17 @@ LineClient::shutdownWrite()
 {
     if (fd_ >= 0)
         ::shutdown(fd_, SHUT_WR);
+}
+
+void
+LineClient::setRecvTimeoutMs(int ms)
+{
+    if (fd_ < 0 || ms <= 0)
+        return;
+    struct timeval tv;
+    tv.tv_sec = ms / 1000;
+    tv.tv_usec = (ms % 1000) * 1000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
 }
 
 bool

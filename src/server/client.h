@@ -48,6 +48,14 @@ class LineClient
     /** Close the write half (signals end-of-requests to the server). */
     void shutdownWrite();
 
+    /**
+     * Bound every subsequent blocking recv to @p ms milliseconds
+     * (SO_RCVTIMEO); a timeout reads as connection failure.  The
+     * fabric router's stats fan-out uses it so one hung shard cannot
+     * stall the aggregate reply forever.
+     */
+    void setRecvTimeoutMs(int ms);
+
     /** Block for the next reply line; false on EOF or error. */
     bool recvLine(std::string &out);
 

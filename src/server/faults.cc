@@ -90,6 +90,10 @@ FaultInjector::configureFromSpec(const std::string &spec,
             cfg.writeFailRate = num;
         } else if (key == "read_stall_ms") {
             cfg.readStallMs = num;
+        } else if (key == "connect_fail_rate") {
+            cfg.connectFailRate = num;
+        } else if (key == "reset_after_bytes") {
+            cfg.resetAfterBytes = static_cast<uint64_t>(num);
         } else {
             error = "unknown fault key '" + key + "'";
             return false;
@@ -163,6 +167,34 @@ FaultInjector::onReadStart()
         ++stats_.readStalls;
     }
     sleepMs(stall);
+}
+
+bool
+FaultInjector::shouldFailConnect()
+{
+    if (!enabled())
+        return false;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cfg_.connectFailRate <= 0 || !rng_.coin(cfg_.connectFailRate))
+        return false;
+    ++stats_.connectFailures;
+    return true;
+}
+
+uint64_t
+FaultInjector::resetAfterBytes() const
+{
+    if (!enabled())
+        return 0;
+    std::lock_guard<std::mutex> lock(mu_);
+    return cfg_.resetAfterBytes;
+}
+
+void
+FaultInjector::noteConnectionReset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.connectionResets;
 }
 
 FaultStats

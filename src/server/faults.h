@@ -21,12 +21,20 @@
  *  - reply-write failures: a probability per flush that the transport
  *    treats the connection's socket as broken mid-write;
  *  - read stalls: a fixed sleep injected before servicing readable
- *    bytes, time-shifting the loop the way slow/stalled clients do.
+ *    bytes, time-shifting the loop the way slow/stalled clients do;
+ *  - connect failures: a probability per outbound connect attempt
+ *    that it fails as if the peer refused — the fabric router's
+ *    upstream pool probes this, so shard-unreachable failover is
+ *    testable without real process teardown;
+ *  - connection resets: a per-connection byte budget after which the
+ *    next upstream send fails as if the peer sent RST mid-line — the
+ *    deterministic stand-in for a shard dying under load.
  *
  * Spec grammar (comma-separated, unknown keys reject):
  *
  *   seed=7,compile_delay_ms=30,compile_delay_jitter_ms=10,
- *   worker_death_rate=0.05,write_fail_rate=0.01,read_stall_ms=5
+ *   worker_death_rate=0.05,write_fail_rate=0.01,read_stall_ms=5,
+ *   connect_fail_rate=1,reset_after_bytes=4096
  *
  * The injector is a process-global singleton: the probe sites live in
  * transports and service hooks that have no natural configuration
@@ -55,6 +63,10 @@ struct FaultConfig
     double workerDeathRate = 0;      ///< P(worker dies) per dequeue
     double writeFailRate = 0;        ///< P(flush fails) per flush
     double readStallMs = 0;          ///< sleep before servicing reads
+    double connectFailRate = 0;      ///< P(outbound connect fails)
+    /** Bytes an upstream connection may send before its next send is
+        treated as a peer reset (0 = never). */
+    uint64_t resetAfterBytes = 0;
 };
 
 /** Monotonic counters of faults actually injected. */
@@ -64,6 +76,8 @@ struct FaultStats
     int64_t workerDeaths = 0;
     int64_t writeFailures = 0;
     int64_t readStalls = 0;
+    int64_t connectFailures = 0;
+    int64_t connectionResets = 0;
 };
 
 class FaultInjector
@@ -103,6 +117,20 @@ class FaultInjector
 
     /** Probe: sleep the configured read stall. */
     void onReadStart();
+
+    /** Probe: should this outbound connect attempt fail? */
+    bool shouldFailConnect();
+
+    /**
+     * The per-connection send budget before a simulated peer reset
+     * (0 = resets disabled).  The caller tracks its own sent-byte
+     * count — the budget is per *connection*, not process-global —
+     * and reports the reset it injects via noteConnectionReset().
+     */
+    uint64_t resetAfterBytes() const;
+
+    /** Count one injected connection reset. */
+    void noteConnectionReset();
 
     FaultStats stats() const;
 

@@ -1,0 +1,261 @@
+#include "server/router_daemon.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <utility>
+
+#include "server/client.h"
+#include "service/cache_key.h"
+#include "service/protocol.h"
+
+namespace square {
+
+namespace {
+
+/** Recv deadline for the per-shard admin fan-out connections. */
+constexpr int kAdminRecvTimeoutMs = 2000;
+
+int64_t
+fieldInt(const JsonRequest &json, std::string_view key)
+{
+    const std::string *value = json.find(key);
+    if (value == nullptr)
+        return 0;
+    return std::strtoll(value->c_str(), nullptr, 10);
+}
+
+/** Fold one shard's stats reply into the running sum. */
+void
+accumulateStats(const JsonRequest &json, ServiceStats &sum)
+{
+    sum.requests += fieldInt(json, "requests");
+    sum.hits += fieldInt(json, "hits");
+    sum.misses += fieldInt(json, "misses");
+    sum.compiles += fieldInt(json, "compiles");
+    sum.failures += fieldInt(json, "failures");
+    sum.evictions += fieldInt(json, "evictions");
+    sum.analysisComputes += fieldInt(json, "analysis_computes");
+    sum.cachedResults +=
+        static_cast<size_t>(fieldInt(json, "cached_results"));
+    sum.cachedBytes +=
+        static_cast<size_t>(fieldInt(json, "cached_bytes"));
+    sum.cachedPrograms +=
+        static_cast<size_t>(fieldInt(json, "cached_programs"));
+    sum.shed += fieldInt(json, "shed");
+    sum.deadlineExpired += fieldInt(json, "deadline_expired");
+    sum.pendingCompiles +=
+        static_cast<size_t>(fieldInt(json, "pending_compiles"));
+    sum.workerDeaths += fieldInt(json, "worker_deaths");
+}
+
+} // namespace
+
+RouterServer::RouterServer(const RouterConfig &cfg) : cfg_(cfg)
+{
+    pool_ = std::make_unique<UpstreamPool>(cfg_.shards, cfg_.upstream);
+}
+
+RouterServer::~RouterServer() { stop(); }
+
+bool
+RouterServer::start(std::string &error)
+{
+    if (!pool_->start(error))
+        return false;
+    // Epoll only: a forwarded request completes out-of-band via the
+    // connection's AsyncReplySink, which the thread-per-connection
+    // transport does not provide.
+    TransportOptions opts;
+    opts.eventThreads = cfg_.eventThreads;
+    transport_ = makeTransport("epoll", opts, error);
+    if (transport_ == nullptr)
+        return false;
+    return transport_->start(
+        cfg_.host, cfg_.port,
+        [this](std::string_view line, std::string &out,
+               bool &close_conn,
+               const std::shared_ptr<AsyncReplySink> &async) {
+            handleLineTo(line, out, close_conn, async);
+        },
+        error);
+}
+
+void
+RouterServer::stop()
+{
+    // Transport first: once its event threads are joined nothing can
+    // call forward(), so the pool's teardown flush is the last word on
+    // every in-flight request.
+    if (transport_ != nullptr)
+        transport_->stop();
+    if (pool_ != nullptr)
+        pool_->stop();
+}
+
+uint16_t
+RouterServer::port() const
+{
+    return transport_ != nullptr ? transport_->port() : 0;
+}
+
+std::string
+RouterServer::aggregateStats()
+{
+    ServiceStats sum;
+    int shards_answering = 0;
+    for (int i = 0; i < pool_->shardCount(); ++i) {
+        if (!pool_->isUp(i))
+            continue;
+        // Short-lived connection per shard: stats replies carry no id,
+        // so they cannot multiplex on the pipelined data connection.
+        const std::string &address = pool_->address(i);
+        const size_t colon = address.rfind(':');
+        LineClient client;
+        std::string error;
+        if (!client.connect(
+                address.substr(0, colon),
+                static_cast<uint16_t>(
+                    std::strtol(address.c_str() + colon + 1, nullptr,
+                                10)),
+                error))
+            continue;
+        client.setRecvTimeoutMs(kAdminRecvTimeoutMs);
+        std::string reply;
+        if (!client.sendLine("{\"cmd\": \"stats\"}") ||
+            !client.recvLine(reply))
+            continue;
+        JsonRequest parsed;
+        if (!parseJsonLine(reply, parsed, error))
+            continue;
+        accumulateStats(parsed, sum);
+        ++shards_answering;
+    }
+    // The aggregate keeps the service-stats shape (scripts parse the
+    // same fields against either tier) and appends the fabric view.
+    sum.cachedPrograms += programs_.size();
+    std::string line = formatStats(sum);
+    const UpstreamStats up = pool_->stats();
+    char extra[256];
+    std::snprintf(
+        extra, sizeof extra,
+        ", \"fabric_shards\": %d, \"shards_up\": %d, "
+        "\"shards_answering\": %d, \"forwarded\": %lld, "
+        "\"shard_down_replies\": %lld, \"reconnects\": %lld, "
+        "\"resolve_failures\": %lld, \"router_programs\": %zu}",
+        up.shardsTotal, up.shardsUp, shards_answering,
+        static_cast<long long>(up.forwarded),
+        static_cast<long long>(up.shardDownReplies),
+        static_cast<long long>(up.reconnects),
+        static_cast<long long>(
+            resolveFailures_.load(std::memory_order_relaxed)),
+        programs_.size());
+    line.pop_back(); // replace the closing '}' with the extension
+    return line + extra;
+}
+
+void
+RouterServer::broadcastCommand(const std::string &line)
+{
+    for (int i = 0; i < pool_->shardCount(); ++i) {
+        const std::string &address = pool_->address(i);
+        const size_t colon = address.rfind(':');
+        LineClient client;
+        std::string error;
+        if (!client.connect(
+                address.substr(0, colon),
+                static_cast<uint16_t>(
+                    std::strtol(address.c_str() + colon + 1, nullptr,
+                                10)),
+                error))
+            continue; // already dead: nothing to tell it
+        client.setRecvTimeoutMs(kAdminRecvTimeoutMs);
+        std::string reply;
+        if (client.sendLine(line))
+            client.recvLine(reply); // best-effort acknowledgment
+    }
+}
+
+void
+RouterServer::handleLineTo(std::string_view line, std::string &out,
+                           bool &close_conn,
+                           const std::shared_ptr<AsyncReplySink> &async)
+{
+    if (isProtocolNoOp(line))
+        return;
+
+    thread_local JsonRequest json;
+    std::string error;
+    if (!parseJsonLine(line, json, error)) {
+        out += formatError(json, error);
+        out += '\n';
+        return;
+    }
+
+    if (json.has("cmd")) {
+        const std::string cmd = json.get("cmd");
+        if (cmd == "stats") {
+            // Admin-path fan-out on the event thread: bounded by the
+            // per-shard recv timeout, and stats callers are operators,
+            // not the load path.
+            out += aggregateStats();
+        } else if (cmd == "ping") {
+            out += '{';
+            out += replyIdPrefix(json);
+            out += "\"ok\": true, \"cmd\": \"ping\"}";
+        } else if (cmd == "shutdown") {
+            if (cfg_.cascadeShutdown)
+                broadcastCommand("{\"cmd\": \"shutdown\"}");
+            shutdownRequested_.store(true, std::memory_order_release);
+            close_conn = true;
+            out += "{\"ok\": true, \"cmd\": \"shutdown\"}";
+        } else {
+            out += formatError(json, "unknown cmd \"" + cmd + "\"");
+        }
+        out += '\n';
+        return;
+    }
+
+    // Compile request: do the cheap routing work here (parse, name
+    // resolution, key derivation, ring lookup) and forward the rest.
+    CompileRequest req;
+    if (!buildRequest(json, req, error)) {
+        out += formatError(json, error);
+        out += '\n';
+        return;
+    }
+    uint64_t program_fp = 0;
+    try {
+        program_fp = programs_.get(req.workload).second;
+    } catch (const std::exception &e) {
+        resolveFailures_.fetch_add(1, std::memory_order_relaxed);
+        out += formatError(json, e.what());
+        out += '\n';
+        return;
+    }
+    const CacheKey key =
+        makeCacheKey(program_fp, req.machine, req.cfg);
+    const int shard = pool_->ownerOf(key);
+    if (shard < 0) {
+        // Whole fabric down: same structured shape as a single dead
+        // shard, so clients need one retry discipline.
+        out += UpstreamPool::formatShardDown(replyIdPrefix(json),
+                                             pool_->retryAfterMs());
+        out += '\n';
+        return;
+    }
+    if (async == nullptr) {
+        out += formatError(
+            json, "router requires an async-capable transport");
+        out += '\n';
+        return;
+    }
+    const uint64_t seq = pool_->allocSeq();
+    std::string framed;
+    formatForwardedRequestTo(framed, json, seq, key);
+    async->expectReply();
+    pool_->forward(shard, seq, async, replyIdPrefix(json),
+                   std::move(framed));
+}
+
+} // namespace square

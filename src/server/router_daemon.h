@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The fabric router daemon: the thin tier that turns N single-process
+ * shard daemons into one scale-out serving endpoint.
+ *
+ * The in-process ShardRouter (shard_router.h) already buys lock
+ * isolation, but every shard still shares the process — one allocator,
+ * one set of cores under one scheduler.  The fabric splits the tiers
+ * across processes:
+ *
+ *   client ──► RouterServer ──► shard daemon 0 (square_served)
+ *                          └──► shard daemon 1
+ *                          └──► ...
+ *
+ * The router does only cheap work — parse, resolve the workload name
+ * (its own ProgramNameCache), compute the content-addressed CacheKey,
+ * pick the owning shard on the consistent-hash ring, forward — and
+ * never compiles, so one router multiplexes many compile-heavy shards.
+ * Key affinity survives the process split because the key is derived
+ * from fingerprints that are stable across processes (common/hash.h
+ * FNV over content, never pointer identity).
+ *
+ * Request flow: the client's "id" is rewritten to a router correlation
+ * id; the resolved key rides along (protocol.h inter-tier framing) so
+ * shard warm hits skip re-resolution; the upstream pool demultiplexes
+ * the shard's reply back to the originating connection and restores
+ * the client's framing.  The transport is epoll-only: a forwarded
+ * request *must* complete out-of-band (AsyncReplySink), which the
+ * thread-per-connection transport cannot do.
+ *
+ * Administrative commands are answered locally: "ping" (health),
+ * "stats" (fanned out to every up shard over short-lived connections
+ * and summed, plus the router's own fabric counters), and "shutdown"
+ * (optionally cascaded to the shards).
+ */
+
+#ifndef SQUARE_SERVER_ROUTER_DAEMON_H
+#define SQUARE_SERVER_ROUTER_DAEMON_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "server/transport.h"
+#include "server/upstream.h"
+#include "service/program_cache.h"
+
+namespace square {
+
+struct RouterConfig
+{
+    std::string host = "127.0.0.1";
+    uint16_t port = 0; ///< 0 = ephemeral
+    /** Shard daemon addresses, "host:port" each. */
+    std::vector<std::string> shards;
+    /** Event-loop threads for the client-facing epoll transport. */
+    int eventThreads = 1;
+    /** Upstream pool tunables (ring, health checks, retry hint). */
+    UpstreamConfig upstream;
+    /** Forward "shutdown" to every shard before acknowledging it. */
+    bool cascadeShutdown = false;
+};
+
+class RouterServer
+{
+  public:
+    explicit RouterServer(const RouterConfig &cfg);
+    ~RouterServer();
+
+    RouterServer(const RouterServer &) = delete;
+    RouterServer &operator=(const RouterServer &) = delete;
+
+    /** Dial the shards and start serving clients. */
+    bool start(std::string &error);
+
+    /** Stop the client transport first, then the upstream pool. */
+    void stop();
+
+    uint16_t port() const;
+
+    /** True once a client sent {"cmd": "shutdown"}. */
+    bool shutdownRequested() const
+    {
+        return shutdownRequested_.load(std::memory_order_acquire);
+    }
+
+    UpstreamStats upstreamStats() const { return pool_->stats(); }
+
+    /** The client-facing transport (null before start()); the fabric
+        bench reads its syscall/flush counters. */
+    const Transport *transport() const { return transport_.get(); }
+
+  private:
+    void handleLineTo(std::string_view line, std::string &out,
+                      bool &close_conn,
+                      const std::shared_ptr<AsyncReplySink> &async);
+
+    /** Fan "stats" out to the up shards and render the aggregate. */
+    std::string aggregateStats();
+
+    /** Send one command line to every shard (cascade shutdown). */
+    void broadcastCommand(const std::string &line);
+
+    RouterConfig cfg_;
+    std::unique_ptr<UpstreamPool> pool_;
+    std::unique_ptr<Transport> transport_;
+    ProgramNameCache programs_;
+    std::atomic<int64_t> resolveFailures_{0};
+    std::atomic<bool> shutdownRequested_{false};
+};
+
+} // namespace square
+
+#endif // SQUARE_SERVER_ROUTER_DAEMON_H

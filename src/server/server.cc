@@ -101,6 +101,13 @@ CompileServer::handleLineTo(std::string_view line, std::string &out,
         const std::string cmd = json.get("cmd");
         if (cmd == "stats") {
             out += formatServerStats(router_.stats(), router_.shards());
+        } else if (cmd == "ping") {
+            // Liveness probe (the fabric router's health checks): a
+            // fixed reply, no service-layer work, id echoed so pings
+            // multiplex over a pipelined data connection.
+            out += '{';
+            out += replyIdPrefix(json);
+            out += "\"ok\": true, \"cmd\": \"ping\"}";
         } else if (cmd == "shutdown") {
             shutdownRequested_.store(true);
             close_conn = true;
@@ -110,6 +117,26 @@ CompileServer::handleLineTo(std::string_view line, std::string &out,
         }
         out += '\n';
         return;
+    }
+
+    // Router-forwarded fast path: a "key" field carries the CacheKey
+    // the router already resolved.  A published hit on the key's home
+    // shard skips resolution entirely (no machine parse, no config
+    // canonicalization, no name-cache lookup); anything else — miss,
+    // in-flight, failed, malformed key — falls through to the full
+    // path below, whose own computed key always wins.
+    if (const std::string *key_hex = json.find("key")) {
+        CacheKey fwd_key;
+        if (parseCacheKeyHex(*key_hex, fwd_key)) {
+            ServiceReply reply;
+            if (router_.shard(router_.shardFor(fwd_key))
+                    .tryServePublished(requestLabel(json), fwd_key,
+                                       reply)) {
+                formatReplyLineTo(out, replyIdPrefix(json), reply);
+                out += '\n';
+                return;
+            }
+        }
     }
 
     CompileRequest req;

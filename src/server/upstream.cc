@@ -1,0 +1,524 @@
+#include "server/upstream.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+#include "server/faults.h"
+#include "server/net.h"
+
+namespace square {
+
+namespace {
+
+bool
+splitAddress(const std::string &address, std::string &host,
+             uint16_t &port)
+{
+    const size_t colon = address.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == address.size())
+        return false;
+    char *end = nullptr;
+    const long value =
+        std::strtol(address.c_str() + colon + 1, &end, 10);
+    if (*end != '\0' || value <= 0 || value > 65535)
+        return false;
+    host = address.substr(0, colon);
+    port = static_cast<uint16_t>(value);
+    return true;
+}
+
+/**
+ * Parse the leading `{"id": <digits>, ` of a shard reply.  Returns the
+ * correlation id and sets @p rest to the bytes after the separator (the
+ * remainder of the object, starting with its second field).  Every
+ * forwarded request carries a numeric id, and the serving tier always
+ * echoes the id as the first field, so failures here mean a peer that
+ * is not a square shard.
+ */
+bool
+parseReplySeq(std::string_view line, uint64_t &seq,
+              std::string_view &rest)
+{
+    constexpr std::string_view kPrefix = "{\"id\": ";
+    if (line.substr(0, kPrefix.size()) != kPrefix)
+        return false;
+    size_t pos = kPrefix.size();
+    uint64_t value = 0;
+    size_t digits = 0;
+    while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') {
+        value = value * 10 + static_cast<uint64_t>(line[pos] - '0');
+        ++pos;
+        ++digits;
+    }
+    if (digits == 0 || pos + 2 > line.size() || line[pos] != ',' ||
+        line[pos + 1] != ' ')
+        return false;
+    seq = value;
+    rest = line.substr(pos + 2);
+    return true;
+}
+
+} // namespace
+
+std::string
+UpstreamPool::formatShardDown(const std::string &id_prefix,
+                              double retry_after_ms)
+{
+    char tail[96];
+    std::snprintf(tail, sizeof tail,
+                  "\"status\": \"shard_down\", \"retry_after_ms\": %g}",
+                  retry_after_ms);
+    std::string line;
+    line.reserve(1 + id_prefix.size() + sizeof tail);
+    line += '{';
+    line += id_prefix;
+    line += tail;
+    return line;
+}
+
+UpstreamPool::UpstreamPool(std::vector<std::string> addresses,
+                           UpstreamConfig cfg)
+    : cfg_(cfg), ring_(cfg.vnodes)
+{
+    if (addresses.empty())
+        throw std::invalid_argument("upstream pool needs >= 1 shard");
+    shards_.reserve(addresses.size());
+    for (auto &address : addresses) {
+        auto shard = std::make_unique<Shard>();
+        if (!splitAddress(address, shard->host, shard->port))
+            throw std::invalid_argument("bad shard address '" +
+                                        address + "'");
+        shard->address = address;
+        if (!addrIndex_
+                 .emplace(address, static_cast<int>(shards_.size()))
+                 .second)
+            throw std::invalid_argument("duplicate shard address '" +
+                                        address + "'");
+        shards_.push_back(std::move(shard));
+    }
+}
+
+UpstreamPool::~UpstreamPool() { stop(); }
+
+bool
+UpstreamPool::start(std::string &error)
+{
+    for (size_t i = 0; i < shards_.size(); ++i) {
+        std::string connect_error;
+        if (!connectShard(i, connect_error)) {
+            // Down at start is not fatal: the health loop keeps
+            // dialing, and the ring serves the survivors meanwhile.
+            std::fprintf(stderr,
+                         "upstream: shard %s down at start: %s\n",
+                         shards_[i]->address.c_str(),
+                         connect_error.c_str());
+        }
+    }
+    health_ = std::thread([this] { healthLoop(); });
+    started_ = true;
+    error.clear();
+    return true;
+}
+
+void
+UpstreamPool::stop()
+{
+    if (!started_)
+        return;
+    started_ = false;
+    stopping_.store(true, std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> lock(healthMu_);
+        healthCv_.notify_all();
+    }
+    if (health_.joinable())
+        health_.join();
+    for (auto &shard : shards_) {
+        {
+            std::lock_guard<std::mutex> lock(shard->sendMu);
+            if (shard->fd >= 0)
+                net::shutdownFd(shard->fd);
+        }
+        if (shard->reader.joinable())
+            shard->reader.join();
+        std::lock_guard<std::mutex> lock(shard->sendMu);
+        if (shard->fd >= 0) {
+            net::closeFd(shard->fd);
+            shard->fd = -1;
+        }
+        shard->up.store(false, std::memory_order_release);
+    }
+    // Nothing can append to pending_ anymore (readers joined, the
+    // transport that calls forward() is stopped before its pool);
+    // flush whatever was still in flight so no client waits forever.
+    std::unordered_map<uint64_t, Pending> orphaned;
+    {
+        std::lock_guard<std::mutex> lock(pendingMu_);
+        orphaned.swap(pending_);
+    }
+    for (auto &[seq, entry] : orphaned) {
+        (void)seq;
+        if (entry.sink == nullptr)
+            continue;
+        std::string line =
+            formatShardDown(entry.idPrefix, cfg_.retryAfterMs);
+        line += '\n';
+        shardDownReplies_.fetch_add(1, std::memory_order_relaxed);
+        entry.sink->post(std::move(line));
+    }
+}
+
+int
+UpstreamPool::upCount() const
+{
+    int up = 0;
+    for (const auto &shard : shards_)
+        if (shard->up.load(std::memory_order_acquire))
+            ++up;
+    return up;
+}
+
+const std::string &
+UpstreamPool::address(int shard) const
+{
+    return shards_[static_cast<size_t>(shard)]->address;
+}
+
+bool
+UpstreamPool::isUp(int shard) const
+{
+    return shards_[static_cast<size_t>(shard)]->up.load(
+        std::memory_order_acquire);
+}
+
+int
+UpstreamPool::ownerOf(const CacheKey &key) const
+{
+    const uint64_t hash = CacheKeyHash{}(key);
+    std::shared_lock<std::shared_mutex> lock(ringMu_);
+    const int ring_index = ring_.ownerIndex(hash);
+    if (ring_index < 0)
+        return -1;
+    return addrIndex_.at(ring_.members()[static_cast<size_t>(
+        ring_index)]);
+}
+
+bool
+UpstreamPool::sendOn(Shard &s, const char *data, size_t len)
+{
+    std::lock_guard<std::mutex> lock(s.sendMu);
+    if (s.fd < 0 || !s.up.load(std::memory_order_acquire))
+        return false;
+    FaultInjector &faults = FaultInjector::instance();
+    if (faults.enabled()) {
+        const uint64_t budget = faults.resetAfterBytes();
+        if (budget > 0 && s.bytesSent >= budget) {
+            // Simulated peer reset: the send "fails mid-line", the
+            // connection is torn down by the caller's markDown().
+            faults.noteConnectionReset();
+            return false;
+        }
+    }
+    if (!net::sendAll(s.fd, data, len))
+        return false;
+    s.bytesSent += len;
+    return true;
+}
+
+bool
+UpstreamPool::connectShard(size_t idx, std::string &error)
+{
+    Shard &s = *shards_[idx];
+    // A previous reader (if any) has exited by now: this is only
+    // called before start() completes or from the health loop after
+    // the shard was marked down (which shuts the fd down, unblocking
+    // the reader).
+    if (s.reader.joinable())
+        s.reader.join();
+    {
+        std::lock_guard<std::mutex> lock(s.sendMu);
+        if (s.fd >= 0) {
+            net::closeFd(s.fd);
+            s.fd = -1;
+        }
+    }
+    if (FaultInjector::instance().shouldFailConnect()) {
+        error = "injected connect failure";
+        return false;
+    }
+    const int fd = net::connectTcp(s.host, s.port, error);
+    if (fd < 0)
+        return false;
+    net::setNoDelay(fd);
+    {
+        std::lock_guard<std::mutex> lock(s.sendMu);
+        s.fd = fd;
+        s.bytesSent = 0;
+    }
+    s.healthFailures.store(0, std::memory_order_relaxed);
+    s.pingInFlight.store(0, std::memory_order_relaxed);
+    s.reader = std::thread([this, idx, fd] { readerLoop(idx, fd); });
+    s.up.store(true, std::memory_order_release);
+    {
+        std::unique_lock<std::shared_mutex> lock(ringMu_);
+        ring_.add(s.address);
+    }
+    return true;
+}
+
+void
+UpstreamPool::markDown(size_t idx)
+{
+    Shard &s = *shards_[idx];
+    if (!s.up.exchange(false, std::memory_order_acq_rel))
+        return; // another path already handled this down-transition
+    {
+        std::unique_lock<std::shared_mutex> lock(ringMu_);
+        ring_.remove(s.address);
+    }
+    {
+        // Wake the reader (blocked in recv) so it can exit; the fd is
+        // closed later, by the redial or by stop(), after the join —
+        // never while the reader might still be using it.
+        std::lock_guard<std::mutex> lock(s.sendMu);
+        if (s.fd >= 0)
+            net::shutdownFd(s.fd);
+    }
+    s.pingInFlight.store(0, std::memory_order_relaxed);
+    // Flush every request parked on this shard: each gets a structured
+    // shard_down so its client can retry instead of hanging.  Requests
+    // that race in after the swap are caught by forward()'s own
+    // failure path (the send fails on the shut-down fd).
+    std::vector<Pending> flushed;
+    {
+        std::lock_guard<std::mutex> lock(pendingMu_);
+        for (auto it = pending_.begin(); it != pending_.end();) {
+            if (it->second.shard == static_cast<int>(idx)) {
+                flushed.push_back(std::move(it->second));
+                it = pending_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    for (auto &entry : flushed) {
+        if (entry.sink == nullptr)
+            continue; // a ping; nobody is waiting on it
+        std::string line =
+            formatShardDown(entry.idPrefix, cfg_.retryAfterMs);
+        line += '\n';
+        s.failovers.fetch_add(1, std::memory_order_relaxed);
+        shardDownReplies_.fetch_add(1, std::memory_order_relaxed);
+        entry.sink->post(std::move(line));
+    }
+}
+
+void
+UpstreamPool::postShardDown(uint64_t seq)
+{
+    Pending entry;
+    {
+        std::lock_guard<std::mutex> lock(pendingMu_);
+        auto it = pending_.find(seq);
+        if (it == pending_.end())
+            return; // already answered or flushed: exactly-once holds
+        entry = std::move(it->second);
+        pending_.erase(it);
+    }
+    if (entry.sink == nullptr)
+        return;
+    std::string line =
+        formatShardDown(entry.idPrefix, cfg_.retryAfterMs);
+    line += '\n';
+    if (entry.shard >= 0)
+        shards_[static_cast<size_t>(entry.shard)]->failovers.fetch_add(
+            1, std::memory_order_relaxed);
+    shardDownReplies_.fetch_add(1, std::memory_order_relaxed);
+    entry.sink->post(std::move(line));
+}
+
+void
+UpstreamPool::forward(int shard, uint64_t seq,
+                      std::shared_ptr<AsyncReplySink> sink,
+                      std::string id_prefix, std::string &&line)
+{
+    Shard &s = *shards_[static_cast<size_t>(shard)];
+    {
+        std::lock_guard<std::mutex> lock(pendingMu_);
+        pending_.emplace(seq, Pending{std::move(sink),
+                                      std::move(id_prefix), shard});
+    }
+    line += '\n';
+    if (sendOn(s, line.data(), line.size())) {
+        s.forwarded.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    // The send failed (dead shard, injected reset, or a down-race):
+    // tear the shard down and answer this request.  markDown() may
+    // have already flushed our entry from a concurrent path — the
+    // atomic pop inside postShardDown() keeps the post exactly-once.
+    markDown(static_cast<size_t>(shard));
+    postShardDown(seq);
+}
+
+void
+UpstreamPool::handleReply(size_t idx, std::string_view line)
+{
+    Shard &s = *shards_[idx];
+    uint64_t seq = 0;
+    std::string_view rest;
+    if (!parseReplySeq(line, seq, rest))
+        return; // not a framed reply; drop (peer is not a shard)
+    Pending entry;
+    {
+        std::lock_guard<std::mutex> lock(pendingMu_);
+        auto it = pending_.find(seq);
+        if (it == pending_.end())
+            return; // flushed as shard_down before the reply landed
+        entry = std::move(it->second);
+        pending_.erase(it);
+    }
+    // Any demultiplexed reply proves the shard is responsive.
+    s.healthFailures.store(0, std::memory_order_relaxed);
+    if (entry.sink == nullptr) {
+        // Ping replies carry no client; clearing the in-flight marker
+        // is the acknowledgment the health loop looks for.
+        uint64_t expected = seq;
+        s.pingInFlight.compare_exchange_strong(
+            expected, 0, std::memory_order_acq_rel);
+        return;
+    }
+    s.replies.fetch_add(1, std::memory_order_relaxed);
+    // Reconstitute the client's framing: swap the router's correlation
+    // id back out for the id the client sent.
+    std::string out;
+    out.reserve(1 + entry.idPrefix.size() + rest.size() + 1);
+    out += '{';
+    out += entry.idPrefix;
+    out += rest;
+    out += '\n';
+    entry.sink->post(std::move(out));
+}
+
+void
+UpstreamPool::readerLoop(size_t idx, int fd)
+{
+    net::LineReader reader(fd);
+    std::string_view line;
+    for (;;) {
+        const net::LineReader::Status status = reader.nextView(line);
+        if (status != net::LineReader::Status::Line)
+            break; // EOF / reset / overflow: the connection is gone
+        handleReply(idx, line);
+    }
+    if (!stopping_.load(std::memory_order_acquire))
+        markDown(idx);
+}
+
+void
+UpstreamPool::sendPing(size_t idx)
+{
+    Shard &s = *shards_[idx];
+    const uint64_t seq = allocSeq();
+    {
+        std::lock_guard<std::mutex> lock(pendingMu_);
+        pending_.emplace(
+            seq, Pending{nullptr, std::string(),
+                         static_cast<int>(idx)});
+    }
+    s.pingInFlight.store(seq, std::memory_order_release);
+    char line[64];
+    const int len = std::snprintf(line, sizeof line,
+                                  "{\"id\": %llu, \"cmd\": \"ping\"}\n",
+                                  static_cast<unsigned long long>(seq));
+    if (!sendOn(s, line, static_cast<size_t>(len))) {
+        s.pingFailures.fetch_add(1, std::memory_order_relaxed);
+        markDown(idx);
+        postShardDown(seq); // pops the ping entry if still present
+    }
+}
+
+void
+UpstreamPool::healthLoop()
+{
+    const auto interval = std::chrono::duration<double, std::milli>(
+        cfg_.pingIntervalMs > 0 ? cfg_.pingIntervalMs : 200.0);
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(healthMu_);
+            healthCv_.wait_for(lock, interval, [this] {
+                return stopping_.load(std::memory_order_acquire);
+            });
+        }
+        if (stopping_.load(std::memory_order_acquire))
+            return;
+        for (size_t i = 0; i < shards_.size(); ++i) {
+            Shard &s = *shards_[i];
+            if (!s.up.load(std::memory_order_acquire)) {
+                // Redial: a shard that answers again rejoins the ring,
+                // reclaiming exactly its own arc of the key space.
+                std::string error;
+                if (connectShard(i, error))
+                    s.reconnects.fetch_add(1,
+                                           std::memory_order_relaxed);
+                continue;
+            }
+            const uint64_t outstanding =
+                s.pingInFlight.load(std::memory_order_acquire);
+            if (outstanding != 0) {
+                // The previous ping went unanswered for one full
+                // interval: the shard is alive at the TCP level but
+                // not serving.  Eject after the configured streak.
+                s.pingFailures.fetch_add(1, std::memory_order_relaxed);
+                const int streak =
+                    s.healthFailures.fetch_add(
+                        1, std::memory_order_acq_rel) +
+                    1;
+                if (streak >= cfg_.failureThreshold) {
+                    markDown(i);
+                    postShardDown(outstanding);
+                }
+                continue;
+            }
+            sendPing(i);
+        }
+    }
+}
+
+UpstreamStats
+UpstreamPool::stats() const
+{
+    UpstreamStats out;
+    out.shardsTotal = shardCount();
+    out.shardDownReplies =
+        shardDownReplies_.load(std::memory_order_relaxed);
+    out.shards.reserve(shards_.size());
+    for (const auto &shard : shards_) {
+        UpstreamShardStats row;
+        row.address = shard->address;
+        row.up = shard->up.load(std::memory_order_acquire);
+        row.forwarded =
+            shard->forwarded.load(std::memory_order_relaxed);
+        row.replies = shard->replies.load(std::memory_order_relaxed);
+        row.failovers =
+            shard->failovers.load(std::memory_order_relaxed);
+        row.reconnects =
+            shard->reconnects.load(std::memory_order_relaxed);
+        row.pingFailures =
+            shard->pingFailures.load(std::memory_order_relaxed);
+        if (row.up)
+            ++out.shardsUp;
+        out.forwarded += row.forwarded;
+        out.replies += row.replies;
+        out.reconnects += row.reconnects;
+        out.shards.push_back(std::move(row));
+    }
+    return out;
+}
+
+} // namespace square

@@ -222,11 +222,14 @@ bool
 buildRequest(const JsonRequest &json, CompileRequest &out,
              std::string &error)
 {
+    // "key" is the router->shard forwarded cache key (see the file
+    // comment in protocol.h); the shard's fast path consumes it before
+    // buildRequest, so here it is merely tolerated.
     static const char *known[] = {
         "id",          "workload",        "machine",
         "policy",      "anchor_box_margin", "candidate_cap",
         "comm_weight", "serialization_weight", "area_weight",
-        "hold_horizon", "deadline_ms",    "priority"};
+        "hold_horizon", "deadline_ms",    "priority", "key"};
     for (const auto &[key, value] : json.fields) {
         bool ok = false;
         for (const char *k : known)
@@ -338,13 +341,99 @@ buildRequest(const JsonRequest &json, CompileRequest &out,
 }
 
 std::string
-formatReplyTail(const CompileResult &r, const CacheKey &key)
+requestLabel(const JsonRequest &json)
+{
+    // Mirrors buildRequest's label assembly (workload + "/" +
+    // SquareConfig::name) from the raw tokens; must track the policy
+    // table there.
+    const std::string policy = json.get("policy", "square");
+    std::string name;
+    if (policy == "square")
+        name = "SQUARE";
+    else if (policy == "eager")
+        name = "EAGER";
+    else if (policy == "lazy")
+        name = "LAZY";
+    else if (policy == "laa")
+        name = "SQUARE(LAA only)";
+    else if (policy.rfind("mr:", 0) == 0)
+        name = "M&R(" + policy.substr(3) + ")";
+    else
+        name = policy; // unknown policies never reach a warm hit
+    return json.get("workload") + "/" + name;
+}
+
+std::string
+formatCacheKeyHex(const CacheKey &key)
 {
     char key_hex[64];
     std::snprintf(key_hex, sizeof key_hex, "%016llx-%016llx-%016llx",
                   static_cast<unsigned long long>(key.program),
                   static_cast<unsigned long long>(key.machine),
                   static_cast<unsigned long long>(key.config));
+    return key_hex;
+}
+
+bool
+parseCacheKeyHex(std::string_view text, CacheKey &out)
+{
+    // Exactly "<16 hex>-<16 hex>-<16 hex>" (the formatCacheKeyHex
+    // form); anything else rejects so a mangled forwarded key cannot
+    // alias a real one.
+    if (text.size() != 50 || text[16] != '-' || text[33] != '-')
+        return false;
+    uint64_t words[3] = {0, 0, 0};
+    for (int w = 0; w < 3; ++w) {
+        for (int i = 0; i < 16; ++i) {
+            char c = text[static_cast<size_t>(w * 17 + i)];
+            uint64_t digit;
+            if (c >= '0' && c <= '9')
+                digit = static_cast<uint64_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                digit = static_cast<uint64_t>(c - 'a' + 10);
+            else
+                return false;
+            words[w] = (words[w] << 4) | digit;
+        }
+    }
+    out = CacheKey{words[0], words[1], words[2]};
+    return true;
+}
+
+void
+formatForwardedRequestTo(std::string &out, const JsonRequest &json,
+                         uint64_t rid, const CacheKey &key)
+{
+    out += "{\"id\": ";
+    out += std::to_string(rid);
+    for (const auto &[k, v] : json.fields) {
+        if (k == "id" || k == "key")
+            continue;
+        out += ", \"";
+        out += k; // keys passed buildRequest's allowlist: no escapes
+        out += "\": ";
+        // The parse lost the original quoting; re-derive it the way
+        // the id echo does (numbers/booleans raw, everything else
+        // re-quoted and re-escaped).  A numeric-looking string field
+        // round-trips to the same token either way.
+        double ignored = 0;
+        if (v == "true" || v == "false" || parseNumber(v, ignored)) {
+            out += v;
+        } else {
+            out += '"';
+            out += escape(v);
+            out += '"';
+        }
+    }
+    out += ", \"key\": \"";
+    out += formatCacheKeyHex(key);
+    out += "\"}";
+}
+
+std::string
+formatReplyTail(const CompileResult &r, const CacheKey &key)
+{
+    std::string key_hex = formatCacheKeyHex(key);
     char buf[384];
     std::snprintf(
         buf, sizeof buf,
@@ -353,7 +442,8 @@ formatReplyTail(const CompileResult &r, const CacheKey &key)
         "\"reclaims\": %d, \"skips\": %d, \"key\": \"%s\"}",
         static_cast<long long>(r.gates), static_cast<long long>(r.swaps),
         static_cast<long long>(r.depth), static_cast<long long>(r.aqv),
-        r.qubitsUsed, r.peakLive, r.reclaimCount, r.skipCount, key_hex);
+        r.qubitsUsed, r.peakLive, r.reclaimCount, r.skipCount,
+        key_hex.c_str());
     return buf;
 }
 

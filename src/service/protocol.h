@@ -36,6 +36,26 @@
  *                                                  queue headroom)
  *
  *   {"cmd": "stats"}                              service counters
+ *   {"cmd": "ping"}                               liveness probe
+ *                                                 ({"ok": true,
+ *                                                   "cmd": "ping"});
+ *                                                 the fabric router's
+ *                                                 health checks use it
+ *
+ * Inter-tier framing (router -> shard): the fabric router forwards a
+ * client request with the id rewritten to a router correlation id and
+ * one extra field,
+ *
+ *   "key": "<progfp>-<machinefp>-<cfgfp>"         the CacheKey the
+ *                                                 router resolved, as
+ *                                                 three 16-hex-digit
+ *                                                 words
+ *
+ * so the shard serves warm hits straight from the forwarded key —
+ * no machine-spec parse, no config canonicalization, no name-cache
+ * lookup.  A miss (or an unparsable key) falls back to full request
+ * resolution; the shard's own computed key always wins, so a stale or
+ * hostile "key" can at worst miss the fast path.
  *
  * Overload shedding and deadline expiry reply with structured status
  * lines instead of results (and never disconnect):
@@ -183,6 +203,29 @@ std::string formatReply(const JsonRequest &json, const ServiceReply &reply);
 
 /** Render the stats reply line (no trailing newline). */
 std::string formatStats(const ServiceStats &stats);
+
+/**
+ * The reply label buildRequest would assign ("workload/POLICYNAME"),
+ * derived without constructing the config — so the forwarded-key warm
+ * path labels its replies identically to the full path.
+ */
+std::string requestLabel(const JsonRequest &json);
+
+/** The "key" wire form: three 16-hex-digit words, '-'-separated. */
+std::string formatCacheKeyHex(const CacheKey &key);
+
+/** Parse the "key" wire form; false on malformed input. */
+bool parseCacheKeyHex(std::string_view text, CacheKey &out);
+
+/**
+ * Append the router->shard forwarded form of @p json (no trailing
+ * newline): the original fields with "id" rewritten to @p rid and the
+ * resolved @p key appended, so the shard's warm path skips request
+ * re-resolution entirely.  Field values round-trip by the same
+ * number/boolean-vs-string re-derivation the id echo uses.
+ */
+void formatForwardedRequestTo(std::string &out, const JsonRequest &json,
+                              uint64_t rid, const CacheKey &key);
 
 /** Render an error reply line (no trailing newline). */
 std::string formatError(const JsonRequest &json, const std::string &error);

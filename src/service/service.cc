@@ -527,6 +527,50 @@ CompileService::submit(const CompileRequest &req)
     return reply;
 }
 
+bool
+CompileService::tryServePublished(const std::string &label,
+                                  const CacheKey &key,
+                                  ServiceReply &reply)
+{
+    Clock::time_point t0 = Clock::now();
+    std::shared_ptr<Entry> entry;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = cache_.find(key);
+        if (it == cache_.end())
+            return false;
+        entry = it->second.entry;
+    }
+    {
+        std::lock_guard<std::mutex> lock(entry->m);
+        // Only a ready, successful publish qualifies: in-flight and
+        // failed entries need the full path's dedup/retry semantics.
+        if (!entry->ready || !entry->error.empty() ||
+            entry->expired || entry->result == nullptr)
+            return false;
+        reply.result = entry->result;
+        reply.replyTail = entry->tail;
+    }
+    {
+        // Count and refresh recency only once the hit is certain (the
+        // declined paths above must leave the stats untouched).  The
+        // slot may have been evicted or replaced between the locks;
+        // touch only the entry we actually served.
+        std::lock_guard<std::mutex> lock(mu_);
+        ++requests_;
+        ++hits_;
+        auto it = cache_.find(key);
+        if (it != cache_.end() && it->second.entry == entry &&
+            it->second.inLru)
+            touchLocked(it->second);
+    }
+    reply.label = label;
+    reply.hit = true;
+    reply.key = key;
+    reply.millis = millisSince(t0);
+    return true;
+}
+
 ServiceReply
 CompileService::submitPrepared(const CompileRequest &req,
                                std::shared_ptr<const Program> program,

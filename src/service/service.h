@@ -247,6 +247,19 @@ class CompileService
         const CacheKey &key);
 
     /**
+     * Serve @p key from the published cache if (and only if) it holds
+     * a ready successful result: fills @p reply as a warm hit (shared
+     * result + preserialized tail), counts the request, refreshes LRU
+     * recency, and returns true.  Any other state — absent, in
+     * flight, failed, expired — returns false WITHOUT counting
+     * anything, so the caller falls through to the full submit path.
+     * This is the shard daemon's fast path for router-forwarded keys:
+     * no machine parse, no config canonicalization, no name lookup.
+     */
+    bool tryServePublished(const std::string &label, const CacheKey &key,
+                           ServiceReply &reply);
+
+    /**
      * The non-blocking variant of submitPrepared, for callers that
      * must never stall (epoll event loops).  Returns true when the
      * request was served synchronously — a published cache hit, an

@@ -13,8 +13,10 @@
  * Flags:
  *   --host=A         server address (default 127.0.0.1)
  *   --port=N         server port (required)
- *   --max-retries=N  retry a request shed with {"status":"overloaded"}
- *                    up to N times (default 0 = print the shed reply)
+ *   --max-retries=N  retry a request refused with a structured
+ *                    {"status":"overloaded"} (admission shedding) or
+ *                    {"status":"shard_down"} (fabric failover) reply,
+ *                    up to N times (default 0 = print the refusal)
  *   --retry-seed=N   seed for the retry jitter (default 1); a fixed
  *                    seed replays the exact backoff schedule
  *
@@ -70,11 +72,20 @@ parseRetryAfterMs(std::string_view reply)
     return value;
 }
 
+/**
+ * True for structured refusals the client should retry: admission-
+ * control shedding ("overloaded") and fabric failover ("shard_down" —
+ * the router flushed the request when its shard died; by the time the
+ * retry lands, the key has re-routed to a surviving shard).  Both
+ * reply shapes carry retry_after_ms.
+ */
 bool
-isOverloadedReply(std::string_view reply)
+isRetryableReply(std::string_view reply)
 {
     return reply.find("\"status\": \"overloaded\"") !=
-           std::string_view::npos;
+               std::string_view::npos ||
+           reply.find("\"status\": \"shard_down\"") !=
+               std::string_view::npos;
 }
 
 } // namespace
@@ -148,7 +159,7 @@ main(int argc, char **argv)
                              "reply\n");
                 return 1;
             }
-            if (attempt >= max_retries || !isOverloadedReply(reply))
+            if (attempt >= max_retries || !isRetryableReply(reply))
                 break;
             // Sleep the server's hint plus exponential backoff with
             // jitter of up to half the backoff (all from one seeded

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * square_router: the shard-fabric router daemon on a TCP port.
+ *
+ * Speaks the same NDJSON protocol as square_served, but owns no
+ * compile service: every compile request is consistent-hash routed by
+ * its CacheKey to one of the shard daemons named by --shard flags and
+ * the reply is multiplexed back (src/server/router_daemon.h).  Clients
+ * cannot tell the tiers apart except by the extra fabric fields in
+ * the stats reply and the {"status": "shard_down"} failover replies.
+ *
+ *   square_served --port=7811 --quiet &
+ *   square_served --port=7812 --quiet &
+ *   square_router --port=7801 \
+ *       --shard=127.0.0.1:7811 --shard=127.0.0.1:7812 &
+ *   printf '%s\n' '{"id":1,"workload":"ADDER4"}' '{"cmd":"stats"}' \
+ *     | square_client --port=7801
+ *
+ * (tools/square_fabric.sh scripts exactly this arrangement.)
+ *
+ * Flags:
+ *   --port=N              listen port (default 0 = ephemeral)
+ *   --host=A              IPv4 bind address (default 127.0.0.1)
+ *   --shard=HOST:PORT     one shard daemon address (repeatable; at
+ *                         least one required)
+ *   --event-threads=N     epoll event-loop threads (default 1)
+ *   --vnodes=N            virtual nodes per shard on the hash ring
+ *                         (default 128)
+ *   --ping-interval-ms=N  health-check cadence (default 200)
+ *   --failure-threshold=N consecutive unanswered pings before an up
+ *                         shard is ejected (default 3)
+ *   --retry-after-ms=N    retry hint in shard_down replies (default
+ *                         250)
+ *   --cascade-shutdown    forward {"cmd":"shutdown"} to every shard
+ *                         before acknowledging it
+ *   --faults=SPEC         enable fault injection (connect_fail_rate,
+ *                         reset_after_bytes, ... — see
+ *                         src/server/faults.h; SQUARE_FAULTS honoured)
+ *   --port-file=PATH      write the bound port once listening
+ *   --quiet               suppress the stderr banner and counters
+ *
+ * Runs until {"cmd":"shutdown"} or SIGINT/SIGTERM; exits 0 after a
+ * clean drain (transport stopped, upstream pool flushed and joined).
+ */
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/faults.h"
+#include "server/router_daemon.h"
+
+using namespace square;
+
+namespace {
+
+std::atomic<bool> g_signal{false};
+
+void
+onSignal(int)
+{
+    g_signal.store(true);
+}
+
+/** Strict bounded integer parse (no atoi: trailing garbage rejects). */
+bool
+parseInt(const char *text, long min, long max, int &out)
+{
+    char *end = nullptr;
+    long v = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || v < min || v > max)
+        return false;
+    out = static_cast<int>(v);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    RouterConfig cfg;
+    std::string port_file;
+    bool quiet = false;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        int int_value = 0;
+        if (std::strncmp(arg, "--port=", 7) == 0) {
+            if (!parseInt(arg + 7, 0, 65535, int_value)) {
+                std::fprintf(stderr, "bad --port value\n");
+                return 1;
+            }
+            cfg.port = static_cast<uint16_t>(int_value);
+        } else if (std::strncmp(arg, "--host=", 7) == 0) {
+            cfg.host = arg + 7;
+        } else if (std::strncmp(arg, "--shard=", 8) == 0) {
+            cfg.shards.emplace_back(arg + 8);
+        } else if (std::strncmp(arg, "--event-threads=", 16) == 0) {
+            if (!parseInt(arg + 16, 1, 256, int_value)) {
+                std::fprintf(stderr, "bad --event-threads value\n");
+                return 1;
+            }
+            cfg.eventThreads = int_value;
+        } else if (std::strncmp(arg, "--vnodes=", 9) == 0) {
+            if (!parseInt(arg + 9, 1, 65536, int_value)) {
+                std::fprintf(stderr, "bad --vnodes value\n");
+                return 1;
+            }
+            cfg.upstream.vnodes = int_value;
+        } else if (std::strncmp(arg, "--ping-interval-ms=", 19) == 0) {
+            if (!parseInt(arg + 19, 1, 3600000, int_value)) {
+                std::fprintf(stderr, "bad --ping-interval-ms value\n");
+                return 1;
+            }
+            cfg.upstream.pingIntervalMs = int_value;
+        } else if (std::strncmp(arg, "--failure-threshold=", 20) == 0) {
+            if (!parseInt(arg + 20, 1, 1000, int_value)) {
+                std::fprintf(stderr, "bad --failure-threshold value\n");
+                return 1;
+            }
+            cfg.upstream.failureThreshold = int_value;
+        } else if (std::strncmp(arg, "--retry-after-ms=", 17) == 0) {
+            if (!parseInt(arg + 17, 0, 3600000, int_value)) {
+                std::fprintf(stderr, "bad --retry-after-ms value\n");
+                return 1;
+            }
+            cfg.upstream.retryAfterMs = int_value;
+        } else if (std::strcmp(arg, "--cascade-shutdown") == 0) {
+            cfg.cascadeShutdown = true;
+        } else if (std::strncmp(arg, "--faults=", 9) == 0) {
+            std::string fault_error;
+            if (!FaultInjector::instance().configureFromSpec(
+                    arg + 9, fault_error)) {
+                std::fprintf(stderr, "bad --faults spec: %s\n",
+                             fault_error.c_str());
+                return 1;
+            }
+        } else if (std::strncmp(arg, "--port-file=", 12) == 0) {
+            port_file = arg + 12;
+        } else if (std::strcmp(arg, "--quiet") == 0) {
+            quiet = true;
+        } else {
+            std::fprintf(
+                stderr,
+                "usage: square_router --shard=HOST:PORT [--shard=...] "
+                "[--port=N] [--host=A] [--event-threads=N] "
+                "[--vnodes=N] [--ping-interval-ms=N] "
+                "[--failure-threshold=N] [--retry-after-ms=N] "
+                "[--cascade-shutdown] [--faults=SPEC] "
+                "[--port-file=PATH] [--quiet]\n");
+            return 1;
+        }
+    }
+    if (cfg.shards.empty()) {
+        std::fprintf(stderr,
+                     "square_router: at least one --shard=HOST:PORT "
+                     "is required\n");
+        return 1;
+    }
+
+    if (!FaultInjector::instance().enabled()) {
+        std::string fault_error;
+        if (!FaultInjector::instance().configureFromEnv(fault_error) &&
+            !fault_error.empty()) {
+            std::fprintf(stderr, "bad SQUARE_FAULTS spec: %s\n",
+                         fault_error.c_str());
+            return 1;
+        }
+    }
+
+    std::string error;
+    RouterServer server(cfg);
+    if (!server.start(error)) {
+        std::fprintf(stderr, "square_router: %s\n", error.c_str());
+        return 1;
+    }
+    if (!quiet) {
+        std::fprintf(stderr,
+                     "square_router: listening on %s:%u, routing over "
+                     "%zu shard(s) (%d vnodes each)\n",
+                     cfg.host.c_str(), server.port(),
+                     cfg.shards.size(), cfg.upstream.vnodes);
+    }
+    if (!port_file.empty()) {
+        std::FILE *f = std::fopen(port_file.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "square_router: cannot write %s\n",
+                         port_file.c_str());
+            return 1;
+        }
+        std::fprintf(f, "%u\n", server.port());
+        std::fclose(f);
+    }
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    while (!server.shutdownRequested() && !g_signal.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    server.stop();
+
+    if (!quiet) {
+        const UpstreamStats s = server.upstreamStats();
+        std::fprintf(stderr,
+                     "square_router: forwarded %lld requests "
+                     "(%lld replies, %lld shard_down, %lld "
+                     "reconnects) across %d shard(s)\n",
+                     static_cast<long long>(s.forwarded),
+                     static_cast<long long>(s.replies),
+                     static_cast<long long>(s.shardDownReplies),
+                     static_cast<long long>(s.reconnects),
+                     s.shardsTotal);
+    }
+    return 0;
+}
