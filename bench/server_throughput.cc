@@ -517,6 +517,49 @@ mixedPhase(CompileServer &server, const std::string &transport,
     return true;
 }
 
+/**
+ * Metrics-overhead phase: the telemetry acceptance gate.  Two fresh
+ * epoll servers — metrics recording on (the default) vs off — run the
+ * identical warm pipelined load at the deepest depth, interleaved
+ * twice with best-of scoring so a stray scheduler hiccup cannot
+ * charge its cost to either side.  The registry counters are always
+ * live (they are the stats substrate); the toggle gates exactly what
+ * the flag gates in production: per-request histogram recording.
+ */
+bool
+metricsOverheadPhase(const ServerConfig &base, int clients, int batches,
+                     int depth, int trials, double &on_rps,
+                     double &off_rps)
+{
+    on_rps = off_rps = 0;
+    for (int trial = 0; trial < trials; ++trial) {
+        for (const bool metrics_on : {false, true}) {
+            ServerConfig cfg = base;
+            cfg.transport = "epoll";
+            cfg.metrics = metrics_on;
+            CompileServer server(cfg);
+            std::string error;
+            if (!server.start(error)) {
+                std::fprintf(stderr,
+                             "server start failed (metrics %s): %s\n",
+                             metrics_on ? "on" : "off", error.c_str());
+                return false;
+            }
+            double cold_ms = 0;
+            PhaseRow row;
+            if (!coldPhase(server.port(), cold_ms) ||
+                !loadPhase(server.port(), server.transport(),
+                           metrics_on ? "m-on" : "m-off", clients,
+                           batches, depth, row))
+                return false;
+            double &best = metrics_on ? on_rps : off_rps;
+            best = std::max(best, row.rps);
+            server.stop();
+        }
+    }
+    return true;
+}
+
 /** Golden phase: every workload re-requested, parsed, and compared. */
 bool
 goldenPhase(uint16_t port)
@@ -650,6 +693,7 @@ main(int argc, char **argv)
     int event_threads = 1;
     double cold_fraction = 0;
     int fabric = 0;
+    bool smoke = false;
     std::string served_bin;
     std::string transport = "both";
     for (int i = 1; i < argc; ++i) {
@@ -683,6 +727,7 @@ main(int argc, char **argv)
         } else if (std::strncmp(argv[i], "--served-bin=", 13) == 0) {
             served_bin = argv[i] + 13;
         } else if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
             clients = 2;
             batches = 4;
             depth = 4;
@@ -788,6 +833,41 @@ main(int argc, char **argv)
                         static_cast<long long>(rs.shards[s].compiles));
         std::printf("  golden: %s\n", golden ? "yes" : "NO");
         server.stop();
+    }
+
+    // Metrics-overhead phase: the telemetry subsystem's acceptance
+    // gate — warm throughput at the deepest pipeline depth with
+    // histogram recording on must stay within 2% of recording off.
+    double metrics_on_rps = 0, metrics_off_rps = 0;
+    double metrics_overhead = 0;
+    const bool ran_metrics_phase =
+        std::find(transports.begin(), transports.end(), "epoll") !=
+        transports.end();
+    if (ran_metrics_phase) {
+        ServerConfig base;
+        base.shards = shards;
+        base.workersPerShard = workers;
+        base.eventThreads = event_threads;
+        if (!metricsOverheadPhase(base, clients, batches, depth,
+                                  smoke ? 1 : 2, metrics_on_rps,
+                                  metrics_off_rps))
+            return 1;
+        metrics_overhead =
+            metrics_off_rps > 0
+                ? (metrics_off_rps - metrics_on_rps) / metrics_off_rps
+                : 0.0;
+        std::printf("\nmetrics overhead (epoll, depth %d): on %.0f "
+                    "req/s vs off %.0f req/s => %+.2f%%\n",
+                    depth, metrics_on_rps, metrics_off_rps,
+                    metrics_overhead * 100.0);
+        // Smoke runs are too short to resolve 2% — report, don't gate.
+        if (!smoke && metrics_overhead > 0.02) {
+            std::fprintf(stderr,
+                         "METRICS OVERHEAD REGRESSION: %.2f%% > 2%% "
+                         "at pipeline depth %d\n",
+                         metrics_overhead * 100.0, depth);
+            return 1;
+        }
     }
 
     // Fabric phase: N forked shard daemons behind an in-process
@@ -925,6 +1005,14 @@ main(int argc, char **argv)
         report.header.push_back(
             jsonInt("golden_identical", golden_all));
         report.header.push_back(jsonInt("fabric_shards", fabric));
+        if (ran_metrics_phase) {
+            report.header.push_back(
+                jsonNum("metrics_on_rps", metrics_on_rps, 0));
+            report.header.push_back(
+                jsonNum("metrics_off_rps", metrics_off_rps, 0));
+            report.header.push_back(jsonNum(
+                "metrics_overhead_pct", metrics_overhead * 100.0, 2));
+        }
         if (fabric > 0) {
             report.header.push_back(
                 jsonInt("fabric_forwarded", fabric_stats.forwarded));

@@ -1,32 +1,86 @@
 #include "common/logging.h"
 
 #include <atomic>
-#include <iostream>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
 
 namespace square {
 
 namespace {
+
 std::atomic<bool> g_quiet{false};
+
+std::mutex g_compMu;
+std::string g_component = "square"; // guarded by g_compMu
+
+/** Monotonic seconds since the first log call (steady clock). */
+double
+monotonicSeconds()
+{
+    using Clock = std::chrono::steady_clock;
+    static const Clock::time_point t0 = Clock::now();
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
 } // namespace
+
+void
+logLine(const char *sev, const std::string &msg)
+{
+    if (g_quiet.load(std::memory_order_relaxed))
+        return;
+    std::string comp;
+    {
+        std::lock_guard<std::mutex> lock(g_compMu);
+        comp = g_component;
+    }
+    // One preassembled buffer, one fwrite: lines from concurrent
+    // threads (and, on a shared stderr, concurrent processes) stay
+    // whole instead of interleaving mid-line.
+    char head[96];
+    const int head_len =
+        std::snprintf(head, sizeof head, "ts=%.6f sev=%s comp=",
+                      monotonicSeconds(), sev);
+    std::string line;
+    line.reserve(static_cast<size_t>(head_len) + comp.size() +
+                 msg.size() + 16);
+    line.append(head, static_cast<size_t>(head_len));
+    line += comp;
+    line += " msg=\"";
+    for (char c : msg) {
+        if (c == '"' || c == '\\')
+            line += '\\';
+        line += c;
+    }
+    line += "\"\n";
+    std::fwrite(line.data(), 1, line.size(), stderr);
+}
 
 void
 warn(const std::string &msg)
 {
-    if (!g_quiet.load(std::memory_order_relaxed))
-        std::cerr << "warn: " << msg << "\n";
+    logLine("warn", msg);
 }
 
 void
 inform(const std::string &msg)
 {
-    if (!g_quiet.load(std::memory_order_relaxed))
-        std::cerr << "info: " << msg << "\n";
+    logLine("info", msg);
 }
 
 void
 setQuiet(bool quiet)
 {
     g_quiet.store(quiet, std::memory_order_relaxed);
+}
+
+void
+setLogComponent(const std::string &comp)
+{
+    std::lock_guard<std::mutex> lock(g_compMu);
+    g_component = comp;
 }
 
 } // namespace square

@@ -9,7 +9,17 @@
  *  - panic():  an internal invariant of the library itself was violated,
  *              i.e. a bug in SQUARE.  Also throws (PanicError) so tests can
  *              assert on internal invariants without aborting the process.
- *  - warn()/inform(): non-fatal status messages to stderr.
+ *  - warn()/inform(): non-fatal status messages to stderr, emitted as
+ *              structured logfmt lines so fabric logs from several
+ *              processes stay machine-parseable when interleaved:
+ *
+ *                ts=12.345678 sev=warn comp=router msg="shard down"
+ *
+ *              ts is monotonic seconds since process start (steady
+ *              clock: ordering within one process is exact and a wall
+ *              clock step cannot reorder lines); comp is the process's
+ *              component tag (setLogComponent — tools set "router",
+ *              "shard", ...); msg is quoted with '"' and '\' escaped.
  */
 
 #ifndef SQUARE_COMMON_LOGGING_H
@@ -73,6 +83,16 @@ void inform(const std::string &msg);
 
 /** Globally silence warn()/inform() (useful in benchmark loops). */
 void setQuiet(bool quiet);
+
+/**
+ * Set the process's component tag for the structured log lines
+ * (default "square").  Tools set it once at startup ("router",
+ * "shard", "client"); it is not meant to change under concurrency.
+ */
+void setLogComponent(const std::string &comp);
+
+/** One structured line to stderr with an explicit severity tag. */
+void logLine(const char *sev, const std::string &msg);
 
 } // namespace square
 

@@ -27,6 +27,10 @@ namespace square {
 
 class ProgramAnalysis;
 
+namespace obs {
+class PhaseSink;
+} // namespace obs
+
 /** Optional knobs for one compilation. */
 struct CompileOptions
 {
@@ -49,6 +53,15 @@ struct CompileOptions
      * the same instance.
      */
     const ProgramAnalysis *analysis = nullptr;
+
+    /**
+     * Phase-span consumer for per-request tracing (obs/trace.h):
+     * when non-null, the compiler reports wall-time spans for its
+     * phases — "analysis" (only when computed internally) and the
+     * fused "allocate_route_schedule" instrumentation-driven walk —
+     * against the request's trace.  Null costs nothing.
+     */
+    obs::PhaseSink *phases = nullptr;
 };
 
 /** Everything measured during one compilation. */

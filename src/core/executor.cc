@@ -5,15 +5,37 @@
 #include "common/logging.h"
 #include "core/cer.h"
 #include "ir/validate.h"
+#include "obs/trace.h"
 
 namespace square {
 
+namespace {
+
+/**
+ * Build the executor-owned analysis when none was borrowed, reporting
+ * its wall time to the request's phase sink (the service layer times
+ * its shared AnalysisCache itself, so this fires only for standalone
+ * compile() calls).
+ */
+std::optional<ProgramAnalysis>
+makeOwnedAnalysis(const Program &prog, const CompileOptions &options)
+{
+    if (options.analysis != nullptr)
+        return std::nullopt;
+    if (options.phases == nullptr)
+        return std::optional<ProgramAnalysis>(std::in_place, prog);
+    const obs::SpanClock t = obs::SpanClock::now();
+    std::optional<ProgramAnalysis> analysis(std::in_place, prog);
+    options.phases->phaseSpan("analysis", t.wallUs,
+                              obs::microsSince(t));
+    return analysis;
+}
+
+} // namespace
+
 Executor::Executor(const Program &prog, CompileContext &ctx)
     : prog_(prog), ctx_(ctx),
-      owned_analysis_(ctx.options.analysis
-                          ? std::optional<ProgramAnalysis>()
-                          : std::optional<ProgramAnalysis>(
-                                std::in_place, prog)),
+      owned_analysis_(makeOwnedAnalysis(prog, ctx.options)),
       analysis_(ctx.options.analysis ? *ctx.options.analysis
                                      : *owned_analysis_)
 {
@@ -341,6 +363,13 @@ Executor::invertInvocation(Invocation &rec,
 CompileResult
 Executor::run()
 {
+    // The fused allocate/route/schedule phase: SQUARE's tool flow
+    // interleaves the three, so one span covers the whole
+    // instrumentation-driven walk.
+    obs::SpanClock phase;
+    if (ctx_.options.phases != nullptr)
+        phase = obs::SpanClock::now();
+
     const Module &entry = prog_.entryModule();
     std::vector<LogicalQubit> primaries =
         ctx_.alloc.allocPrimaries(entry.numParams);
@@ -377,6 +406,10 @@ Executor::run()
     r.usageCurve = ctx_.aqv.usageCurve();
     if (ctx_.options.recordTrace)
         r.trace = ctx_.recorder.take();
+    if (ctx_.options.phases != nullptr)
+        ctx_.options.phases->phaseSpan("allocate_route_schedule",
+                                       phase.wallUs,
+                                       obs::microsSince(phase));
     return r;
 }
 

@@ -92,7 +92,18 @@ EpollTransport::EpollTransport(int event_threads,
                                size_t max_connections)
     : eventThreads_(event_threads < 1 ? 1 : event_threads),
       maxConnections_(max_connections == 0 ? kDefaultMaxConnections
-                                           : max_connections)
+                                           : max_connections),
+      acceptedC_(metrics_.counter("accepted")),
+      rejectedC_(metrics_.counter("rejected")),
+      linesC_(metrics_.counter("lines")),
+      activeG_(metrics_.gauge("active_connections")),
+      readCallsC_(metrics_.counter("read_calls")),
+      writeCallsC_(metrics_.counter("write_calls")),
+      flushesC_(metrics_.counter("flushes")),
+      batchedRepliesC_(metrics_.counter("batched_replies")),
+      maxFlushBatchG_(metrics_.gauge("max_flush_batch")),
+      backpressuredC_(metrics_.counter("backpressured")),
+      flushBatchH_(metrics_.histogram("flush_batch"))
 {
 }
 
@@ -188,7 +199,7 @@ EpollTransport::stop()
         for (const auto &[fd, conn] : loop->conns) {
             net::shutdownFd(fd);
             net::closeFd(fd);
-            activeConns_.fetch_sub(1, std::memory_order_relaxed);
+            activeG_.add(-1);
         }
         loop->conns.clear();
         loop->byId.clear();
@@ -198,7 +209,7 @@ EpollTransport::stop()
                 // Handed off by the acceptor but never adopted: these
                 // were counted active at accept time.
                 net::closeFd(fd);
-                activeConns_.fetch_sub(1, std::memory_order_relaxed);
+                activeG_.add(-1);
             }
             loop->inbox.clear();
         }
@@ -270,15 +281,14 @@ EpollTransport::acceptReady(Loop &loop)
             net::closeFd(fd);
             break;
         }
-        if (static_cast<size_t>(activeConns_.load(
-                std::memory_order_relaxed)) >= maxConnections_) {
-            rejected_.fetch_add(1, std::memory_order_relaxed);
+        if (static_cast<size_t>(activeG_.value()) >= maxConnections_) {
+            rejectedC_.add(1);
             net::closeFd(fd);
             continue;
         }
         net::setNoDelay(fd);
-        accepted_.fetch_add(1, std::memory_order_relaxed);
-        activeConns_.fetch_add(1, std::memory_order_relaxed);
+        acceptedC_.add(1);
+        activeG_.add(1);
         Loop &target = *loops_[nextLoop_++ % loops_.size()];
         if (&target == &loop) {
             adoptConn(loop, fd);
@@ -343,9 +353,9 @@ EpollTransport::adoptConn(Loop &loop, int fd)
         // Shed, matching the threaded transport's accounting: a
         // connection that never became serviceable counts as
         // rejected, not accepted.
-        accepted_.fetch_sub(1, std::memory_order_relaxed);
-        rejected_.fetch_add(1, std::memory_order_relaxed);
-        activeConns_.fetch_sub(1, std::memory_order_relaxed);
+        acceptedC_.add(-1);
+        rejectedC_.add(1);
+        activeG_.add(-1);
         net::closeFd(fd);
         return;
     }
@@ -364,7 +374,7 @@ EpollTransport::onReadable(Loop &loop, Conn &conn)
         char scratch[4096];
         for (;;) {
             ssize_t n = ::recv(conn.fd, scratch, sizeof scratch, 0);
-            readCalls_.fetch_add(1, std::memory_order_relaxed);
+            readCallsC_.add(1);
             if (n > 0)
                 continue;
             if (n < 0 && errno == EINTR)
@@ -382,7 +392,7 @@ EpollTransport::onReadable(Loop &loop, Conn &conn)
     for (;;) {
         char *dst = conn.rbuf.prepare(kReadChunk);
         ssize_t n = ::recv(conn.fd, dst, kReadChunk, 0);
-        readCalls_.fetch_add(1, std::memory_order_relaxed);
+        readCallsC_.add(1);
         if (n > 0) {
             conn.rbuf.commit(static_cast<size_t>(n));
             read_now += static_cast<size_t>(n);
@@ -413,7 +423,7 @@ EpollTransport::processLines(Conn &conn)
             // Backpressure: stop parsing (and reading) until the peer
             // drains what it already owes us.
             conn.paused = true;
-            backpressured_.fetch_add(1, std::memory_order_relaxed);
+            backpressuredC_.add(1);
             break;
         }
         std::string_view line;
@@ -421,7 +431,7 @@ EpollTransport::processLines(Conn &conn)
         if (st == net::ReadBuffer::LineStatus::None)
             break;
         bool close_conn = st == net::ReadBuffer::LineStatus::Overflow;
-        lines_.fetch_add(1, std::memory_order_relaxed);
+        linesC_.add(1);
         const size_t before = conn.wbuf.bytes().size();
         handler_(line, conn.wbuf.bytes(), close_conn, conn.sink);
         if (conn.wbuf.bytes().size() != before)
@@ -435,7 +445,7 @@ EpollTransport::processLines(Conn &conn)
             // (structured parse error) before the wind-down.
             std::string_view tail = conn.rbuf.takeTail();
             bool close_conn = true;
-            lines_.fetch_add(1, std::memory_order_relaxed);
+            linesC_.add(1);
             const size_t before = conn.wbuf.bytes().size();
             handler_(tail, conn.wbuf.bytes(), close_conn, conn.sink);
             if (conn.wbuf.bytes().size() != before)
@@ -449,13 +459,10 @@ EpollTransport::processLines(Conn &conn)
 void
 EpollTransport::noteFlushBatch(int batch)
 {
-    flushes_.fetch_add(1, std::memory_order_relaxed);
-    batchedReplies_.fetch_add(batch, std::memory_order_relaxed);
-    int64_t seen = maxFlushBatch_.load(std::memory_order_relaxed);
-    while (batch > seen &&
-           !maxFlushBatch_.compare_exchange_weak(
-               seen, batch, std::memory_order_relaxed)) {
-    }
+    flushesC_.add(1);
+    batchedRepliesC_.add(batch);
+    maxFlushBatchG_.noteMax(batch);
+    flushBatchH_.record(batch);
 }
 
 bool
@@ -476,7 +483,7 @@ EpollTransport::flushConn(Loop &loop, Conn &conn)
         }
         net::WriteBuffer::FlushStatus st =
             conn.wbuf.flush(conn.fd, sends);
-        writeCalls_.fetch_add(sends, std::memory_order_relaxed);
+        writeCallsC_.add(sends);
         if (st == net::WriteBuffer::FlushStatus::Error) {
             destroyConn(loop, conn);
             return false;
@@ -545,7 +552,7 @@ EpollTransport::destroyConn(Loop &loop, Conn &conn)
     ::epoll_ctl(loop.epfd, EPOLL_CTL_DEL, conn.fd, nullptr);
     net::shutdownFd(conn.fd);
     net::closeFd(conn.fd);
-    activeConns_.fetch_sub(1, std::memory_order_relaxed);
+    activeG_.add(-1);
     // In-flight completions for this id now miss in byId and drop;
     // the Sink object itself stays alive (shared_ptr in the done
     // callbacks) but only ever touches the mutex-guarded queue.
@@ -557,17 +564,16 @@ TransportStats
 EpollTransport::stats() const
 {
     TransportStats s;
-    s.accepted = accepted_.load(std::memory_order_relaxed);
-    s.rejected = rejected_.load(std::memory_order_relaxed);
-    s.lines = lines_.load(std::memory_order_relaxed);
-    s.active = activeConns_.load(std::memory_order_relaxed);
-    s.readCalls = readCalls_.load(std::memory_order_relaxed);
-    s.writeCalls = writeCalls_.load(std::memory_order_relaxed);
-    s.flushes = flushes_.load(std::memory_order_relaxed);
-    s.batchedReplies =
-        batchedReplies_.load(std::memory_order_relaxed);
-    s.maxFlushBatch = maxFlushBatch_.load(std::memory_order_relaxed);
-    s.backpressured = backpressured_.load(std::memory_order_relaxed);
+    s.accepted = acceptedC_.value();
+    s.rejected = rejectedC_.value();
+    s.lines = linesC_.value();
+    s.active = activeG_.value();
+    s.readCalls = readCallsC_.value();
+    s.writeCalls = writeCallsC_.value();
+    s.flushes = flushesC_.value();
+    s.batchedReplies = batchedRepliesC_.value();
+    s.maxFlushBatch = maxFlushBatchG_.value();
+    s.backpressured = backpressuredC_.value();
     return s;
 }
 

@@ -58,6 +58,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "server/conn_buffer.h"
 #include "server/transport.h"
 
@@ -93,6 +94,11 @@ class EpollTransport final : public Transport
     void stop() override;
 
     TransportStats stats() const override;
+
+    const obs::Registry *metricsRegistry() const override
+    {
+        return &metrics_;
+    }
 
     int eventThreads() const { return static_cast<int>(loops_.size()); }
 
@@ -169,16 +175,25 @@ class EpollTransport final : public Transport
     size_t nextLoop_ = 0; ///< acceptor-thread only (round-robin)
     std::atomic<uint64_t> nextConnId_{1};
 
-    std::atomic<int64_t> accepted_{0};
-    std::atomic<int64_t> rejected_{0};
-    std::atomic<int64_t> lines_{0};
-    std::atomic<int64_t> activeConns_{0};
-    std::atomic<int64_t> readCalls_{0};
-    std::atomic<int64_t> writeCalls_{0};
-    std::atomic<int64_t> flushes_{0};
-    std::atomic<int64_t> batchedReplies_{0};
-    std::atomic<int64_t> maxFlushBatch_{0};
-    std::atomic<int64_t> backpressured_{0};
+    /**
+     * Telemetry (obs/metrics.h): the registry owns every transport
+     * counter — stats() is a view over it — plus the flush-batch
+     * distribution, which TransportStats summarizes as a max.
+     * References resolved once at construction; the per-line cost is
+     * one relaxed fetch_add, same as the raw atomics it replaced.
+     */
+    obs::Registry metrics_;
+    obs::Counter &acceptedC_;
+    obs::Counter &rejectedC_;
+    obs::Counter &linesC_;
+    obs::Gauge &activeG_;
+    obs::Counter &readCallsC_;
+    obs::Counter &writeCallsC_;
+    obs::Counter &flushesC_;
+    obs::Counter &batchedRepliesC_;
+    obs::Gauge &maxFlushBatchG_;
+    obs::Counter &backpressuredC_;
+    obs::Histogram &flushBatchH_;
 };
 
 } // namespace square

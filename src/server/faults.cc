@@ -204,4 +204,35 @@ FaultInjector::stats() const
     return stats_;
 }
 
+void
+FaultInjector::renderMetrics(std::string &out) const
+{
+    const FaultStats s = stats();
+    const struct {
+        const char *name;
+        int64_t value;
+    } rows[] = {
+        {"compile_delays", s.compileDelays},
+        {"worker_deaths", s.workerDeaths},
+        {"write_failures", s.writeFailures},
+        {"read_stalls", s.readStalls},
+        {"connect_failures", s.connectFailures},
+        {"connection_resets", s.connectionResets},
+    };
+    for (const auto &row : rows) {
+        out += "# TYPE square_faults_";
+        out += row.name;
+        out += "_total counter\n";
+        out += "square_faults_";
+        out += row.name;
+        out += "_total ";
+        out += std::to_string(row.value);
+        out += '\n';
+    }
+    out += "# TYPE square_faults_enabled gauge\n";
+    out += "square_faults_enabled ";
+    out += enabled() ? '1' : '0';
+    out += '\n';
+}
+
 } // namespace square

@@ -134,6 +134,15 @@ class FaultInjector
 
     FaultStats stats() const;
 
+    /**
+     * Append the injected-fault counters as Prometheus text
+     * (square_faults_<name>_total series), plus a square_faults_enabled
+     * gauge — the {"cmd": "metrics"} replies of every serving tier
+     * include it, so injected-fault activity is observable next to the
+     * service counters it perturbs.
+     */
+    void renderMetrics(std::string &out) const;
+
   private:
     FaultInjector() = default;
 

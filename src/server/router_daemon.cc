@@ -5,7 +5,10 @@
 #include <exception>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/client.h"
+#include "server/faults.h"
 #include "service/cache_key.h"
 #include "service/protocol.h"
 
@@ -51,7 +54,10 @@ accumulateStats(const JsonRequest &json, ServiceStats &sum)
 
 } // namespace
 
-RouterServer::RouterServer(const RouterConfig &cfg) : cfg_(cfg)
+RouterServer::RouterServer(const RouterConfig &cfg)
+    : cfg_(cfg),
+      resolveFailuresC_(metrics_.counter("resolve_failures")),
+      traceSampler_(cfg.traceSample)
 {
     pool_ = std::make_unique<UpstreamPool>(cfg_.shards, cfg_.upstream);
 }
@@ -147,11 +153,36 @@ RouterServer::aggregateStats()
         static_cast<long long>(up.forwarded),
         static_cast<long long>(up.shardDownReplies),
         static_cast<long long>(up.reconnects),
-        static_cast<long long>(
-            resolveFailures_.load(std::memory_order_relaxed)),
+        static_cast<long long>(resolveFailuresC_.value()),
         programs_.size());
     line.pop_back(); // replace the closing '}' with the extension
     return line + extra;
+}
+
+std::string
+RouterServer::renderMetricsText()
+{
+    // Router-local registries only: each tier exposes itself (a
+    // monitoring stack scrapes the shards directly), so the metrics
+    // path never blocks an event thread on shard fan-out the way the
+    // stats aggregate does.
+    const UpstreamStats up = pool_->stats();
+    metrics_.gauge("fabric_shards").set(up.shardsTotal);
+    metrics_.gauge("shards_up").set(up.shardsUp);
+    metrics_.gauge("programs").set(
+        static_cast<int64_t>(programs_.size()));
+    std::string text;
+    obs::renderPrometheus(text, "square_router", {{"", &metrics_}});
+    obs::renderPrometheus(text, "square_upstream",
+                          {{"", &pool_->metricsRegistry()}});
+    if (transport_ != nullptr &&
+        transport_->metricsRegistry() != nullptr) {
+        obs::renderPrometheus(
+            text, "square_transport",
+            {{"", transport_->metricsRegistry()}});
+    }
+    FaultInjector::instance().renderMetrics(text);
+    return text;
 }
 
 void
@@ -199,6 +230,9 @@ RouterServer::handleLineTo(std::string_view line, std::string &out,
             // per-shard recv timeout, and stats callers are operators,
             // not the load path.
             out += aggregateStats();
+        } else if (cmd == "metrics") {
+            out += formatTextReply(json, "metrics",
+                                   renderMetricsText());
         } else if (cmd == "ping") {
             out += '{';
             out += replyIdPrefix(json);
@@ -224,11 +258,24 @@ RouterServer::handleLineTo(std::string_view line, std::string &out,
         out += '\n';
         return;
     }
+    // Trace decision: honor an incoming trace_id, or originate one
+    // from the router's own head sampler.  The router records two
+    // spans — "resolve" (name + key + ring) here, "forward" (send to
+    // demultiplexed reply) in the upstream pool, which also emits the
+    // trace as the request's last router touch point.
+    std::shared_ptr<obs::Trace> trace;
+    if (req.traceId != 0)
+        trace = std::make_shared<obs::Trace>(req.traceId, true);
+    else if (traceSampler_.sample())
+        trace = std::make_shared<obs::Trace>(obs::genTraceId(), true);
+    obs::SpanClock resolve_t0;
+    if (trace != nullptr)
+        resolve_t0 = obs::SpanClock::now();
     uint64_t program_fp = 0;
     try {
         program_fp = programs_.get(req.workload).second;
     } catch (const std::exception &e) {
-        resolveFailures_.fetch_add(1, std::memory_order_relaxed);
+        resolveFailuresC_.add(1);
         out += formatError(json, e.what());
         out += '\n';
         return;
@@ -250,12 +297,19 @@ RouterServer::handleLineTo(std::string_view line, std::string &out,
         out += '\n';
         return;
     }
+    if (trace != nullptr)
+        trace->addSpan("resolve", resolve_t0.wallUs,
+                       obs::microsSince(resolve_t0));
     const uint64_t seq = pool_->allocSeq();
     std::string framed;
-    formatForwardedRequestTo(framed, json, seq, key);
+    // A router-originated trace id is spliced into the forwarded
+    // framing so the shard traces the same request (an incoming
+    // trace_id is already among the copied fields).
+    formatForwardedRequestTo(framed, json, seq, key,
+                             trace != nullptr ? trace->id() : 0);
     async->expectReply();
     pool_->forward(shard, seq, async, replyIdPrefix(json),
-                   std::move(framed));
+                   std::move(framed), trace);
 }
 
 } // namespace square

@@ -30,8 +30,11 @@
  *
  * Administrative commands are answered locally: "ping" (health),
  * "stats" (fanned out to every up shard over short-lived connections
- * and summed, plus the router's own fabric counters), and "shutdown"
- * (optionally cascaded to the shards).
+ * and summed, plus the router's own fabric counters), "metrics"
+ * (Prometheus text exposition of the router's OWN registries —
+ * upstream pool, transport, resolve failures, faults; shard metrics
+ * are scraped from the shards directly, each tier exposes itself),
+ * and "shutdown" (optionally cascaded to the shards).
  */
 
 #ifndef SQUARE_SERVER_ROUTER_DAEMON_H
@@ -61,6 +64,14 @@ struct RouterConfig
     UpstreamConfig upstream;
     /** Forward "shutdown" to every shard before acknowledging it. */
     bool cascadeShutdown = false;
+    /**
+     * Head-sample 1 in N compile requests into traces originated at
+     * the router (0 = off).  A sampled request's forwarded framing
+     * gains a "trace_id" field, so the owning shard records its spans
+     * against the same id; requests that already carry a trace_id are
+     * always traced regardless of this knob.
+     */
+    uint64_t traceSample = 0;
 };
 
 class RouterServer
@@ -100,6 +111,9 @@ class RouterServer
     /** Fan "stats" out to the up shards and render the aggregate. */
     std::string aggregateStats();
 
+    /** The {"cmd": "metrics"} payload (router-local registries). */
+    std::string renderMetricsText();
+
     /** Send one command line to every shard (cascade shutdown). */
     void broadcastCommand(const std::string &line);
 
@@ -107,7 +121,10 @@ class RouterServer
     std::unique_ptr<UpstreamPool> pool_;
     std::unique_ptr<Transport> transport_;
     ProgramNameCache programs_;
-    std::atomic<int64_t> resolveFailures_{0};
+    /** Router-tier telemetry (obs/metrics.h) + head sampler. */
+    obs::Registry metrics_;
+    obs::Counter &resolveFailuresC_;
+    obs::Sampler traceSampler_;
     std::atomic<bool> shutdownRequested_{false};
 };
 

@@ -2,7 +2,9 @@
 
 #include <cstdio>
 #include <utility>
+#include <vector>
 
+#include "obs/metrics.h"
 #include "server/faults.h"
 #include "service/protocol.h"
 
@@ -33,13 +35,32 @@ formatServerStats(const RouterStats &stats, int shards)
     return line + extra;
 }
 
+/**
+ * Close out one traced request on the shard tier: record the "write"
+ * span (serialization + reply handoff; the kernel send happens later
+ * in the transport's corked flush) and emit when the trace is
+ * head-sampled or the request crossed the slow threshold.
+ */
+void
+finishShardTrace(const std::shared_ptr<obs::Trace> &trace,
+                 const obs::SpanClock &write_t0, double millis,
+                 double slow_ms)
+{
+    trace->addSpan("write", write_t0.wallUs,
+                   obs::microsSince(write_t0));
+    if (trace->sampled() || (slow_ms > 0 && millis >= slow_ms))
+        obs::TraceLog::instance().emit(*trace, "shard");
+}
+
 } // namespace
 
 CompileServer::CompileServer(const ServerConfig &cfg)
     : router_(cfg.shards, cfg.workersPerShard, cfg.limits,
               cfg.admission),
-      cfg_(cfg)
+      cfg_(cfg), traceSampler_(cfg.traceSample)
 {
+    for (int i = 0; i < router_.shards(); ++i)
+        router_.shard(i).setMetricsEnabled(cfg.metrics);
 }
 
 CompileServer::~CompileServer() { stop(); }
@@ -101,6 +122,9 @@ CompileServer::handleLineTo(std::string_view line, std::string &out,
         const std::string cmd = json.get("cmd");
         if (cmd == "stats") {
             out += formatServerStats(router_.stats(), router_.shards());
+        } else if (cmd == "metrics") {
+            out += formatTextReply(json, "metrics",
+                                   renderMetricsText());
         } else if (cmd == "ping") {
             // Liveness probe (the fabric router's health checks): a
             // fixed reply, no service-layer work, id echoed so pings
@@ -119,13 +143,35 @@ CompileServer::handleLineTo(std::string_view line, std::string &out,
         return;
     }
 
+    // Head-based trace decision, ahead of the fast path so a traced
+    // request takes the fully instrumented route (the fast path stays
+    // span-free — and therefore zero-overhead — for everyone else).
+    // The id can arrive with the request ("trace_id", possibly via the
+    // router's forwarded framing) or from this server's own sampler;
+    // with traceSlowMs set, every remaining request is staged into an
+    // unsampled trace that only emits if it turns out slow.
+    std::shared_ptr<obs::Trace> trace;
+    {
+        const std::string *tid = json.find("trace_id");
+        uint64_t trace_id = 0;
+        if (tid != nullptr && obs::Trace::parseId(*tid, trace_id))
+            trace = std::make_shared<obs::Trace>(trace_id, true);
+        else if (traceSampler_.sample())
+            trace =
+                std::make_shared<obs::Trace>(obs::genTraceId(), true);
+        else if (cfg_.traceSlowMs > 0)
+            trace =
+                std::make_shared<obs::Trace>(obs::genTraceId(), false);
+    }
+
     // Router-forwarded fast path: a "key" field carries the CacheKey
     // the router already resolved.  A published hit on the key's home
     // shard skips resolution entirely (no machine parse, no config
     // canonicalization, no name-cache lookup); anything else — miss,
     // in-flight, failed, malformed key — falls through to the full
     // path below, whose own computed key always wins.
-    if (const std::string *key_hex = json.find("key")) {
+    if (const std::string *key_hex =
+            trace == nullptr ? json.find("key") : nullptr) {
         CacheKey fwd_key;
         if (parseCacheKeyHex(*key_hex, fwd_key)) {
             ServiceReply reply;
@@ -145,6 +191,10 @@ CompileServer::handleLineTo(std::string_view line, std::string &out,
         out += '\n';
         return;
     }
+    if (trace != nullptr) {
+        req.traceId = trace->id();
+        req.trace = trace;
+    }
 
     if (async != nullptr && cfg_.asyncColdPath) {
         // Non-blocking serve: resolve here (cheap — the program comes
@@ -153,30 +203,49 @@ CompileServer::handleLineTo(std::string_view line, std::string &out,
         std::shared_ptr<const Program> program;
         uint64_t program_fp = 0;
         CacheKey key;
+        obs::SpanClock resolve_t0;
+        if (trace != nullptr)
+            resolve_t0 = obs::SpanClock::now();
         if (!router_.resolve(req, program, program_fp, key, error)) {
             router_.noteResolveFailure();
             out += formatError(json, error);
             out += '\n';
             return;
         }
+        if (trace != nullptr)
+            trace->addSpan("resolve", resolve_t0.wallUs,
+                           obs::microsSince(resolve_t0));
         // `json` is thread-local and will be reused for the next line
         // on this loop; capture the only piece the completion needs —
         // the id echo — by value before going asynchronous.
         std::string id_prefix = replyIdPrefix(json);
         CompileService &shard = router_.shard(router_.shardFor(key));
         ServiceReply reply;
+        const double slow_ms = cfg_.traceSlowMs;
         const bool sync = shard.submitPreparedAsync(
             req, std::move(program), program_fp, key, reply,
-            [sink = async, prefix = std::move(id_prefix)](
-                ServiceReply &&r) {
+            [sink = async, prefix = std::move(id_prefix), trace,
+             slow_ms](ServiceReply &&r) {
+                obs::SpanClock write_t0;
+                if (trace != nullptr)
+                    write_t0 = obs::SpanClock::now();
                 std::string framed;
                 formatReplyLineTo(framed, prefix, r);
                 framed += '\n';
                 sink->post(std::move(framed));
+                if (trace != nullptr)
+                    finishShardTrace(trace, write_t0, r.millis,
+                                     slow_ms);
             });
         if (sync) {
+            obs::SpanClock write_t0;
+            if (trace != nullptr)
+                write_t0 = obs::SpanClock::now();
             formatReplyLineTo(out, replyIdPrefix(json), reply);
             out += '\n';
+            if (trace != nullptr)
+                finishShardTrace(trace, write_t0, reply.millis,
+                                 cfg_.traceSlowMs);
         } else {
             async->expectReply();
         }
@@ -184,8 +253,14 @@ CompileServer::handleLineTo(std::string_view line, std::string &out,
     }
 
     ServiceReply reply = router_.submit(req);
+    obs::SpanClock write_t0;
+    if (trace != nullptr)
+        write_t0 = obs::SpanClock::now();
     formatReplyTo(out, json, reply);
     out += '\n';
+    if (trace != nullptr)
+        finishShardTrace(trace, write_t0, reply.millis,
+                         cfg_.traceSlowMs);
 }
 
 void
@@ -193,6 +268,29 @@ CompileServer::handleLineTo(std::string_view line, std::string &out,
                             bool &close_conn)
 {
     handleLineTo(line, out, close_conn, nullptr);
+}
+
+std::string
+CompileServer::renderMetricsText()
+{
+    std::vector<obs::LabeledRegistry> regs;
+    regs.reserve(static_cast<size_t>(router_.shards()));
+    for (int i = 0; i < router_.shards(); ++i) {
+        CompileService &shard = router_.shard(i);
+        shard.syncMetricsGauges();
+        regs.push_back({"shard=\"" + std::to_string(i) + "\"",
+                        &shard.metricsRegistry()});
+    }
+    std::string text;
+    obs::renderPrometheus(text, "square_service", regs);
+    if (transport_ != nullptr &&
+        transport_->metricsRegistry() != nullptr) {
+        obs::renderPrometheus(
+            text, "square_transport",
+            {{"", transport_->metricsRegistry()}});
+    }
+    FaultInjector::instance().renderMetrics(text);
+    return text;
 }
 
 std::string

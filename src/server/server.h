@@ -7,12 +7,25 @@
  * existing src/service/protocol.h request/reply grammar over
  * persistent TCP connections, and serves every compile request through
  * a key-affine shard router (see shard_router.h for the affinity
- * rules).  On top of the pipe protocol it adds two commands:
+ * rules).  On top of the pipe protocol it adds three commands:
  *
  *   {"cmd": "stats"}     the global (summed) counters, plus "shards"
  *                        and "resolve_failures";
+ *   {"cmd": "metrics"}   Prometheus text exposition (obs/metrics.h):
+ *                        every shard's service registry under
+ *                        shard="i" labels, the transport registry,
+ *                        and the fault-injection counters, \n-escaped
+ *                        into the reply's "text" field;
  *   {"cmd": "shutdown"}  acknowledge, then ask the owning thread to
  *                        stop the server.
+ *
+ * Per-request tracing (obs/trace.h): a request carrying a "trace_id"
+ * — or picked by the server's own traceSample sampler — takes the
+ * fully instrumented path and has its spans (resolve, admission,
+ * queue, compile phases, serialize, write) emitted to the process's
+ * trace log tagged comp="shard".  With traceSlowMs > 0, every request
+ * is additionally staged into an unsampled trace that is emitted only
+ * when it ran longer than the threshold.
  *
  * Shutdown discipline: connection threads must not join themselves, so
  * an in-protocol shutdown only *requests* it — the thread that owns
@@ -36,6 +49,7 @@
 #include <string>
 #include <string_view>
 
+#include "obs/trace.h"
 #include "server/shard_router.h"
 #include "server/transport.h"
 
@@ -68,6 +82,20 @@ struct ServerConfig
      * behaviour: misses compile on the transport thread.
      */
     bool asyncColdPath = true;
+    /**
+     * Latency-histogram recording on the serving path (counters always
+     * run; see CompileService::setMetricsEnabled).  The warm-path
+     * bench gates the overhead of exactly what this toggles.
+     */
+    bool metrics = true;
+    /** Head-sample 1 in N requests into traces (0 = off). */
+    uint64_t traceSample = 0;
+    /**
+     * Emit a trace for any request slower than this many ms (0 = off).
+     * Costs the instrumented path for every request — a diagnosis
+     * mode, not a default.
+     */
+    double traceSlowMs = 0;
 };
 
 class CompileServer
@@ -122,9 +150,14 @@ class CompileServer
     std::string handleLine(const std::string &line, bool &close_conn);
 
   private:
+    /** The {"cmd": "metrics"} payload (unescaped Prometheus text). */
+    std::string renderMetricsText();
+
     ShardRouter router_;
     std::unique_ptr<Transport> transport_;
     ServerConfig cfg_;
+    /** Server-side head sampler (cfg_.traceSample). */
+    obs::Sampler traceSampler_;
     std::atomic<bool> shutdownRequested_{false};
 };
 

@@ -121,7 +121,7 @@ TcpTransport::acceptLoop()
         if (conns_.size() >= maxConnections_) {
             // At the thread-per-connection cap: shed the newcomer
             // instead of letting a flood exhaust threads/fds.
-            ++rejected_;
+            rejectedC_.add(1);
             net::closeFd(fd);
             continue;
         }
@@ -134,11 +134,11 @@ TcpTransport::acceptLoop()
             // Thread creation failed (resource exhaustion): shed this
             // connection rather than killing the accept loop.
             conns_.pop_back();
-            ++rejected_;
+            rejectedC_.add(1);
             net::closeFd(fd);
             continue;
         }
-        ++accepted_;
+        acceptedC_.add(1);
     }
 }
 
@@ -151,8 +151,7 @@ TcpTransport::serveConn(Conn *conn)
     int64_t recv_seen = 0;
     for (;;) {
         net::LineReader::Status st = reader.nextView(line);
-        readCalls_.fetch_add(reader.recvCalls() - recv_seen,
-                             std::memory_order_relaxed);
+        readCallsC_.add(reader.recvCalls() - recv_seen);
         recv_seen = reader.recvCalls();
         if (st == net::LineReader::Status::Eof ||
             st == net::LineReader::Status::Error)
@@ -161,7 +160,7 @@ TcpTransport::serveConn(Conn *conn)
         // exceeded) still reach the handler: the client gets its
         // structured error reply before the connection winds down.
         const bool terminal = st != net::LineReader::Status::Line;
-        lines_.fetch_add(1, std::memory_order_relaxed);
+        linesC_.add(1);
         bool close_conn = terminal;
         reply.clear();
         // No async sink: this transport dedicates a thread to the
@@ -170,7 +169,7 @@ TcpTransport::serveConn(Conn *conn)
         if (!reply.empty()) {
             // Count the flush before send(): a peer that reads the
             // reply and immediately queries stats() must see it.
-            flushes_.fetch_add(1, std::memory_order_relaxed);
+            flushesC_.add(1);
             if (FaultInjector::instance().enabled() &&
                 FaultInjector::instance().shouldFailWrite())
                 break; // injected mid-write socket failure
@@ -178,7 +177,7 @@ TcpTransport::serveConn(Conn *conn)
             const bool ok =
                 net::sendAll(conn->fd, reply.data(), reply.size(),
                              &sends);
-            writeCalls_.fetch_add(sends, std::memory_order_relaxed);
+            writeCallsC_.add(sends);
             if (!ok)
                 break;
         }
@@ -194,12 +193,12 @@ TcpTransport::stats() const
 {
     TransportStats s;
     std::lock_guard<std::mutex> lock(mu_);
-    s.accepted = accepted_;
-    s.rejected = rejected_;
-    s.lines = lines_.load(std::memory_order_relaxed);
-    s.readCalls = readCalls_.load(std::memory_order_relaxed);
-    s.writeCalls = writeCalls_.load(std::memory_order_relaxed);
-    s.flushes = flushes_.load(std::memory_order_relaxed);
+    s.accepted = acceptedC_.value();
+    s.rejected = rejectedC_.value();
+    s.lines = linesC_.value();
+    s.readCalls = readCallsC_.value();
+    s.writeCalls = writeCallsC_.value();
+    s.flushes = flushesC_.value();
     // One reply per flush: this transport answers request-by-request.
     s.batchedReplies = s.flushes;
     s.maxFlushBatch = s.flushes > 0 ? 1 : 0;

@@ -42,6 +42,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "server/transport.h"
 
 namespace square {
@@ -59,7 +60,13 @@ class TcpTransport final : public Transport
     static constexpr size_t kMaxConnections = 256;
 
     explicit TcpTransport(size_t max_connections = kMaxConnections)
-        : maxConnections_(max_connections)
+        : maxConnections_(max_connections),
+          acceptedC_(metrics_.counter("accepted")),
+          rejectedC_(metrics_.counter("rejected")),
+          linesC_(metrics_.counter("lines")),
+          readCallsC_(metrics_.counter("read_calls")),
+          writeCallsC_(metrics_.counter("write_calls")),
+          flushesC_(metrics_.counter("flushes"))
     {
     }
     ~TcpTransport() override;
@@ -84,6 +91,11 @@ class TcpTransport final : public Transport
 
     TransportStats stats() const override;
 
+    const obs::Registry *metricsRegistry() const override
+    {
+        return &metrics_;
+    }
+
   private:
     struct Conn
     {
@@ -107,12 +119,15 @@ class TcpTransport final : public Transport
 
     mutable std::mutex mu_;
     std::vector<std::unique_ptr<Conn>> conns_;
-    int64_t accepted_ = 0;
-    int64_t rejected_ = 0;
-    std::atomic<int64_t> lines_{0};
-    std::atomic<int64_t> readCalls_{0};
-    std::atomic<int64_t> writeCalls_{0};
-    std::atomic<int64_t> flushes_{0};
+
+    /** Telemetry (obs/metrics.h): stats() is a view over these. */
+    obs::Registry metrics_;
+    obs::Counter &acceptedC_;
+    obs::Counter &rejectedC_;
+    obs::Counter &linesC_;
+    obs::Counter &readCallsC_;
+    obs::Counter &writeCallsC_;
+    obs::Counter &flushesC_;
 };
 
 } // namespace square

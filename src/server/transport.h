@@ -48,6 +48,10 @@
 
 namespace square {
 
+namespace obs {
+class Registry;
+} // namespace obs
+
 /** Monotonic transport counters (syscall and batch accounting). */
 struct TransportStats
 {
@@ -123,6 +127,17 @@ class Transport
     virtual void stop() = 0;
 
     virtual TransportStats stats() const = 0;
+
+    /**
+     * The transport's metrics registry (obs/metrics.h), for the
+     * {"cmd": "metrics"} Prometheus exposition; null when the
+     * implementation predates the registry.  stats() stays the
+     * structured view of the same counters.
+     */
+    virtual const obs::Registry *metricsRegistry() const
+    {
+        return nullptr;
+    }
 };
 
 /** Construction knobs shared by the transport implementations. */

@@ -83,7 +83,14 @@ UpstreamPool::formatShardDown(const std::string &id_prefix,
 
 UpstreamPool::UpstreamPool(std::vector<std::string> addresses,
                            UpstreamConfig cfg)
-    : cfg_(cfg), ring_(cfg.vnodes)
+    : cfg_(cfg), ring_(cfg.vnodes),
+      forwardedC_(metrics_.counter("forwarded")),
+      repliesC_(metrics_.counter("replies")),
+      shardDownC_(metrics_.counter("shard_down_replies")),
+      reconnectsC_(metrics_.counter("reconnects")),
+      pingFailuresC_(metrics_.counter("ping_failures")),
+      failoversC_(metrics_.counter("failovers")),
+      forwardRttUs_(metrics_.histogram("forward_rtt_us"))
 {
     if (addresses.empty())
         throw std::invalid_argument("upstream pool needs >= 1 shard");
@@ -168,7 +175,8 @@ UpstreamPool::stop()
         std::string line =
             formatShardDown(entry.idPrefix, cfg_.retryAfterMs);
         line += '\n';
-        shardDownReplies_.fetch_add(1, std::memory_order_relaxed);
+        shardDownC_.add(1);
+        noteForwardDone(entry, /*ok=*/false);
         entry.sink->post(std::move(line));
     }
 }
@@ -313,7 +321,9 @@ UpstreamPool::markDown(size_t idx)
             formatShardDown(entry.idPrefix, cfg_.retryAfterMs);
         line += '\n';
         s.failovers.fetch_add(1, std::memory_order_relaxed);
-        shardDownReplies_.fetch_add(1, std::memory_order_relaxed);
+        failoversC_.add(1);
+        shardDownC_.add(1);
+        noteForwardDone(entry, /*ok=*/false);
         entry.sink->post(std::move(line));
     }
 }
@@ -338,24 +348,30 @@ UpstreamPool::postShardDown(uint64_t seq)
     if (entry.shard >= 0)
         shards_[static_cast<size_t>(entry.shard)]->failovers.fetch_add(
             1, std::memory_order_relaxed);
-    shardDownReplies_.fetch_add(1, std::memory_order_relaxed);
+    failoversC_.add(1);
+    shardDownC_.add(1);
+    noteForwardDone(entry, /*ok=*/false);
     entry.sink->post(std::move(line));
 }
 
 void
 UpstreamPool::forward(int shard, uint64_t seq,
                       std::shared_ptr<AsyncReplySink> sink,
-                      std::string id_prefix, std::string &&line)
+                      std::string id_prefix, std::string &&line,
+                      std::shared_ptr<obs::Trace> trace)
 {
     Shard &s = *shards_[static_cast<size_t>(shard)];
     {
         std::lock_guard<std::mutex> lock(pendingMu_);
-        pending_.emplace(seq, Pending{std::move(sink),
-                                      std::move(id_prefix), shard});
+        pending_.emplace(seq,
+                         Pending{std::move(sink), std::move(id_prefix),
+                                 shard, obs::SpanClock::now(),
+                                 std::move(trace)});
     }
     line += '\n';
     if (sendOn(s, line.data(), line.size())) {
         s.forwarded.fetch_add(1, std::memory_order_relaxed);
+        forwardedC_.add(1);
         return;
     }
     // The send failed (dead shard, injected reset, or a down-race):
@@ -364,6 +380,26 @@ UpstreamPool::forward(int shard, uint64_t seq,
     // atomic pop inside postShardDown() keeps the post exactly-once.
     markDown(static_cast<size_t>(shard));
     postShardDown(seq);
+}
+
+void
+UpstreamPool::noteForwardDone(Pending &entry, bool ok)
+{
+    if (entry.sink == nullptr)
+        return; // a ping: no client request to account
+    const int64_t rtt = obs::microsSince(entry.sent);
+    if (ok)
+        forwardRttUs_.record(rtt);
+    if (entry.trace == nullptr)
+        return;
+    // forward() is the router's last touch point for the request, so
+    // the trace is emitted here, with the reply (or the failover) in
+    // hand.  The span covers send-to-demultiplex: shard queueing and
+    // service live inside it, wire time is the difference against the
+    // shard's own spans.
+    entry.trace->addSpan("forward", entry.sent.wallUs, rtt);
+    if (entry.trace->sampled())
+        obs::TraceLog::instance().emit(*entry.trace, "router");
 }
 
 void
@@ -394,6 +430,8 @@ UpstreamPool::handleReply(size_t idx, std::string_view line)
         return;
     }
     s.replies.fetch_add(1, std::memory_order_relaxed);
+    repliesC_.add(1);
+    noteForwardDone(entry, /*ok=*/true);
     // Reconstitute the client's framing: swap the router's correlation
     // id back out for the id the client sent.
     std::string out;
@@ -429,7 +467,7 @@ UpstreamPool::sendPing(size_t idx)
         std::lock_guard<std::mutex> lock(pendingMu_);
         pending_.emplace(
             seq, Pending{nullptr, std::string(),
-                         static_cast<int>(idx)});
+                         static_cast<int>(idx), {}, {}});
     }
     s.pingInFlight.store(seq, std::memory_order_release);
     char line[64];
@@ -438,6 +476,7 @@ UpstreamPool::sendPing(size_t idx)
                                   static_cast<unsigned long long>(seq));
     if (!sendOn(s, line, static_cast<size_t>(len))) {
         s.pingFailures.fetch_add(1, std::memory_order_relaxed);
+        pingFailuresC_.add(1);
         markDown(idx);
         postShardDown(seq); // pops the ping entry if still present
     }
@@ -463,9 +502,11 @@ UpstreamPool::healthLoop()
                 // Redial: a shard that answers again rejoins the ring,
                 // reclaiming exactly its own arc of the key space.
                 std::string error;
-                if (connectShard(i, error))
+                if (connectShard(i, error)) {
                     s.reconnects.fetch_add(1,
                                            std::memory_order_relaxed);
+                    reconnectsC_.add(1);
+                }
                 continue;
             }
             const uint64_t outstanding =
@@ -475,6 +516,7 @@ UpstreamPool::healthLoop()
                 // interval: the shard is alive at the TCP level but
                 // not serving.  Eject after the configured streak.
                 s.pingFailures.fetch_add(1, std::memory_order_relaxed);
+                pingFailuresC_.add(1);
                 const int streak =
                     s.healthFailures.fetch_add(
                         1, std::memory_order_acq_rel) +
@@ -495,8 +537,7 @@ UpstreamPool::stats() const
 {
     UpstreamStats out;
     out.shardsTotal = shardCount();
-    out.shardDownReplies =
-        shardDownReplies_.load(std::memory_order_relaxed);
+    out.shardDownReplies = shardDownC_.value();
     out.shards.reserve(shards_.size());
     for (const auto &shard : shards_) {
         UpstreamShardStats row;

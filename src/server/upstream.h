@@ -50,6 +50,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/hash_ring.h"
 #include "server/transport.h"
 #include "service/cache_key.h"
@@ -137,12 +139,26 @@ class UpstreamPool
      * appended here) to @p shard.  @p sink must already expect a
      * reply; exactly one post() happens eventually — the shard's
      * reply re-framed under @p id_prefix, or a structured shard_down.
+     *
+     * A non-null @p trace rides with the in-flight entry: when the
+     * reply lands (or the request is flushed shard_down) the pool
+     * records the router's "forward" span against it and emits the
+     * whole trace — forward() is the router's last touch point for a
+     * request, so emission lives here.
      */
     void forward(int shard, uint64_t seq,
                  std::shared_ptr<AsyncReplySink> sink,
-                 std::string id_prefix, std::string &&line);
+                 std::string id_prefix, std::string &&line,
+                 std::shared_ptr<obs::Trace> trace = {});
 
     UpstreamStats stats() const;
+
+    /**
+     * Pool-wide telemetry (obs/metrics.h): the monotonic counters
+     * behind the UpstreamStats totals plus the forward round-trip
+     * distribution (forward_rtt_us: send to demultiplexed reply).
+     */
+    const obs::Registry &metricsRegistry() const { return metrics_; }
 
     double retryAfterMs() const { return cfg_.retryAfterMs; }
 
@@ -157,6 +173,10 @@ class UpstreamPool
         std::shared_ptr<AsyncReplySink> sink; ///< null for pings
         std::string idPrefix;
         int shard = -1;
+        /** Forward timestamp (rtt histogram + "forward" span). */
+        obs::SpanClock sent;
+        /** The request's trace, when sampled (see forward()). */
+        std::shared_ptr<obs::Trace> trace;
     };
 
     /** One upstream shard connection + its liveness state. */
@@ -207,6 +227,15 @@ class UpstreamPool
     /** Send one in-band ping to an up shard. */
     void sendPing(size_t idx);
 
+    /**
+     * Close out one answered/flushed client request: record the
+     * forward rtt and, when it carries a trace, the "forward" span +
+     * trace emission.  @p ok distinguishes a real reply from a
+     * shard_down flush (flushes skip the rtt histogram: they measure
+     * failover latency, not shard service time).
+     */
+    void noteForwardDone(Pending &entry, bool ok);
+
     const UpstreamConfig cfg_;
     std::vector<std::unique_ptr<Shard>> shards_;
     std::unordered_map<std::string, int> addrIndex_;
@@ -218,7 +247,21 @@ class UpstreamPool
     std::unordered_map<uint64_t, Pending> pending_;
 
     std::atomic<uint64_t> seq_{0};
-    std::atomic<int64_t> shardDownReplies_{0};
+
+    /**
+     * Telemetry (obs/metrics.h): pool-wide counters, incremented at
+     * the same sites as the per-shard row atomics (the rows stay on
+     * the Shard structs; the registry is the pool-total truth the
+     * stats() sums and the metrics exposition both read).
+     */
+    obs::Registry metrics_;
+    obs::Counter &forwardedC_;
+    obs::Counter &repliesC_;
+    obs::Counter &shardDownC_;
+    obs::Counter &reconnectsC_;
+    obs::Counter &pingFailuresC_;
+    obs::Counter &failoversC_;
+    obs::Histogram &forwardRttUs_;
 
     std::atomic<bool> stopping_{false};
     bool started_ = false;

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <string_view>
 
+#include "obs/trace.h"
+
 namespace square {
 
 namespace {
@@ -229,7 +231,8 @@ buildRequest(const JsonRequest &json, CompileRequest &out,
         "id",          "workload",        "machine",
         "policy",      "anchor_box_margin", "candidate_cap",
         "comm_weight", "serialization_weight", "area_weight",
-        "hold_horizon", "deadline_ms",    "priority", "key"};
+        "hold_horizon", "deadline_ms",    "priority", "key",
+        "trace_id"};
     for (const auto &[key, value] : json.fields) {
         bool ok = false;
         for (const char *k : known)
@@ -337,6 +340,18 @@ buildRequest(const JsonRequest &json, CompileRequest &out,
             return false;
         }
     }
+
+    // Distributed-tracing correlation id (not part of the cache key).
+    // The id is minted where the request enters the system
+    // (square_client --trace-sample, or a server-side sampler) and
+    // rides the router's forwarded framing unchanged, so every tier
+    // logs its spans against the same id.
+    if (json.has("trace_id")) {
+        if (!obs::Trace::parseId(json.get("trace_id"), out.traceId)) {
+            error = "bad trace_id (want 1-16 hex digits)";
+            return false;
+        }
+    }
     return true;
 }
 
@@ -400,9 +415,26 @@ parseCacheKeyHex(std::string_view text, CacheKey &out)
     return true;
 }
 
+std::string
+formatTextReply(const JsonRequest &json, std::string_view cmd,
+                const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 64);
+    out += '{';
+    out += idPrefix(json);
+    out += "\"ok\": true, \"cmd\": \"";
+    out += cmd;
+    out += "\", \"text\": \"";
+    out += escape(text);
+    out += "\"}";
+    return out;
+}
+
 void
 formatForwardedRequestTo(std::string &out, const JsonRequest &json,
-                         uint64_t rid, const CacheKey &key)
+                         uint64_t rid, const CacheKey &key,
+                         uint64_t trace_id)
 {
     out += "{\"id\": ";
     out += std::to_string(rid);
@@ -424,6 +456,11 @@ formatForwardedRequestTo(std::string &out, const JsonRequest &json,
             out += escape(v);
             out += '"';
         }
+    }
+    if (trace_id != 0 && !json.has("trace_id")) {
+        out += ", \"trace_id\": \"";
+        out += obs::Trace::formatId(trace_id);
+        out += '"';
     }
     out += ", \"key\": \"";
     out += formatCacheKeyHex(key);

@@ -30,12 +30,22 @@
  *                                                  compile whose
  *                                                  waiters all expired
  *                                                  is cancelled)
- *    "priority": "batch"}                         interactive (default)
+ *    "priority": "batch",                         interactive (default)
  *                                                 | batch (admitted
  *                                                  only with compile-
  *                                                  queue headroom)
+ *    "trace_id": "3f2a9c0d11e4b857"}              distributed-tracing
+ *                                                 correlation id (1-16
+ *                                                  hex digits); tiers
+ *                                                  that see it record
+ *                                                  spans against it
+ *                                                  (obs/trace.h)
  *
  *   {"cmd": "stats"}                              service counters
+ *   {"cmd": "metrics"}                            Prometheus text
+ *                                                 exposition, \n-escaped
+ *                                                 into a "text" field
+ *                                                 (obs/metrics.h)
  *   {"cmd": "ping"}                               liveness probe
  *                                                 ({"ok": true,
  *                                                   "cmd": "ping"});
@@ -205,6 +215,15 @@ std::string formatReply(const JsonRequest &json, const ServiceReply &reply);
 std::string formatStats(const ServiceStats &stats);
 
 /**
+ * Render a command reply carrying a multi-line text payload \n-escaped
+ * into a "text" field: {"id"..., "ok": true, "cmd": "<cmd>",
+ * "text": "..."} — how {"cmd": "metrics"} ships Prometheus text
+ * exposition over the one-line-per-reply protocol.
+ */
+std::string formatTextReply(const JsonRequest &json,
+                            std::string_view cmd, const std::string &text);
+
+/**
  * The reply label buildRequest would assign ("workload/POLICYNAME"),
  * derived without constructing the config — so the forwarded-key warm
  * path labels its replies identically to the full path.
@@ -222,10 +241,14 @@ bool parseCacheKeyHex(std::string_view text, CacheKey &out);
  * newline): the original fields with "id" rewritten to @p rid and the
  * resolved @p key appended, so the shard's warm path skips request
  * re-resolution entirely.  Field values round-trip by the same
- * number/boolean-vs-string re-derivation the id echo uses.
+ * number/boolean-vs-string re-derivation the id echo uses.  A
+ * non-zero @p trace_id is appended as a "trace_id" field when the
+ * request does not already carry one — how a router-originated trace
+ * (its own --trace-sample) reaches the owning shard.
  */
 void formatForwardedRequestTo(std::string &out, const JsonRequest &json,
-                              uint64_t rid, const CacheKey &key);
+                              uint64_t rid, const CacheKey &key,
+                              uint64_t trace_id = 0);
 
 /** Render an error reply line (no trailing newline). */
 std::string formatError(const JsonRequest &json, const std::string &error);

@@ -14,6 +14,13 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/** Histograms hold integer microseconds; replies speak double ms. */
+int64_t
+microsFromMillis(double millis)
+{
+    return millis <= 0 ? 0 : static_cast<int64_t>(millis * 1000.0 + 0.5);
+}
+
 } // namespace
 
 ServiceStats &
@@ -38,8 +45,40 @@ ServiceStats::operator+=(const ServiceStats &o)
 
 CompileService::CompileService(int workers, CacheLimits limits,
                                AdmissionLimits admission)
-    : fleet_(workers), limits_(limits), admission_(admission)
+    : fleet_(workers), limits_(limits), admission_(admission),
+      requestsC_(metrics_.counter("requests")),
+      hitsC_(metrics_.counter("hits")),
+      missesC_(metrics_.counter("misses")),
+      compilesC_(metrics_.counter("compiles")),
+      failuresC_(metrics_.counter("failures")),
+      evictionsC_(metrics_.counter("evictions")),
+      shedC_(metrics_.counter("shed")),
+      deadlineExpiredC_(metrics_.counter("deadline_expired")),
+      warmLatencyUs_(metrics_.histogram("warm_latency_us")),
+      coldLatencyUs_(metrics_.histogram("cold_latency_us")),
+      queueWaitUs_(metrics_.histogram("queue_wait_us")),
+      shedRetryMs_(metrics_.histogram("shed_retry_ms"))
 {
+}
+
+void
+CompileService::syncMetricsGauges() const
+{
+    // The logic-coupled gauges live under mu_ (admission and eviction
+    // read them); mirror them into the registry only when someone is
+    // actually looking.
+    auto *self = const_cast<CompileService *>(this);
+    ServiceStats s = stats();
+    self->metrics_.gauge("pending_compiles")
+        .set(static_cast<int64_t>(s.pendingCompiles));
+    self->metrics_.gauge("cached_results")
+        .set(static_cast<int64_t>(s.cachedResults));
+    self->metrics_.gauge("cached_bytes")
+        .set(static_cast<int64_t>(s.cachedBytes));
+    self->metrics_.gauge("cached_programs")
+        .set(static_cast<int64_t>(s.cachedPrograms));
+    self->metrics_.gauge("analysis_computes").set(s.analysisComputes);
+    self->metrics_.gauge("worker_deaths").set(s.workerDeaths);
 }
 
 CompileService::~CompileService()
@@ -120,7 +159,7 @@ CompileService::evictOverLimitLocked()
         cachedBytes_ -= it->second.bytes;
         lru_.pop_back();
         cache_.erase(it);
-        ++evictions_;
+        evictionsC_.add();
     }
 }
 
@@ -193,12 +232,20 @@ void
 CompileService::publish(Entry &entry,
                         std::shared_ptr<const CompileResult> result,
                         const CacheKey &key, std::string error,
-                        double compile_millis)
+                        double compile_millis,
+                        const std::shared_ptr<obs::Trace> &trace)
 {
     std::shared_ptr<const std::string> tail;
-    if (result != nullptr)
+    if (result != nullptr) {
+        obs::SpanClock ser;
+        if (trace != nullptr)
+            ser = obs::SpanClock::now();
         tail = std::make_shared<const std::string>(
             formatReplyTail(*result, key));
+        if (trace != nullptr)
+            trace->addSpan("serialize", ser.wallUs,
+                           obs::microsSince(ser));
+    }
     std::vector<Waiter> waiters;
     {
         std::lock_guard<std::mutex> lock(entry.m);
@@ -217,12 +264,12 @@ CompileService::publish(Entry &entry,
         if (compile_millis >= 0)
             ewmaCompileMs_ =
                 0.8 * ewmaCompileMs_ + 0.2 * compile_millis;
-        for (size_t i = 0; i < waiters.size(); ++i) {
-            if (entry.expired)
-                ++deadlineExpired_;
-            else if (!entry.error.empty())
-                ++failures_;
-        }
+    }
+    for (size_t i = 0; i < waiters.size(); ++i) {
+        if (entry.expired)
+            deadlineExpiredC_.add();
+        else if (!entry.error.empty())
+            failuresC_.add();
     }
 
     // Fire the async waiters outside every lock: the callbacks post to
@@ -230,6 +277,8 @@ CompileService::publish(Entry &entry,
     // entry's fields are immutable once ready, so the unlocked reads
     // below are ordered by the publish above (this is the publishing
     // thread).
+    const bool record = metricsEnabled() && !entry.expired &&
+                        entry.error.empty();
     for (Waiter &w : waiters) {
         ServiceReply r;
         r.label = std::move(w.label);
@@ -241,6 +290,10 @@ CompileService::publish(Entry &entry,
         if (entry.expired)
             r.status = "deadline_expired";
         r.millis = millisSince(w.t0);
+        // Every parked waiter paid for (a share of) this compile:
+        // their end-to-end time is a cold-path latency.
+        if (record)
+            coldLatencyUs_.record(microsFromMillis(r.millis));
         w.done(std::move(r));
     }
 }
@@ -270,27 +323,36 @@ CompileService::compileAndPublish(const CompileRequest &req,
     std::function<void()> hook;
     {
         std::lock_guard<std::mutex> lock(mu_);
-        ++compiles_;
         hook = compileHook_;
     }
+    compilesC_.add();
     if (hook)
         hook(); // fault injection: compile delay
     Clock::time_point t0 = Clock::now();
     std::shared_ptr<const CompileResult> result;
     std::string error;
     try {
+        obs::SpanClock an;
+        if (req.trace != nullptr)
+            an = obs::SpanClock::now();
         std::shared_ptr<const ProgramAnalysis> analysis =
             analysis_.get(*res.program, res.programFp);
+        if (req.trace != nullptr)
+            req.trace->addSpan("analysis", an.wallUs,
+                               obs::microsSince(an));
         Machine machine = req.machine.build();
         CompileOptions options;
         options.analysis = analysis.get();
+        // Phase spans (allocate/route/schedule) ride the options into
+        // the executor; null when untraced, so the hot path never pays.
+        options.phases = req.trace.get();
         result = std::make_shared<const CompileResult>(
             compile(*res.program, machine, req.cfg, options));
     } catch (const std::exception &e) {
         error = e.what();
     }
     publish(entry, std::move(result), res.key, std::move(error),
-            millisSince(t0));
+            millisSince(t0), req.trace);
 }
 
 bool
@@ -337,13 +399,16 @@ CompileService::serveResolved(const CompileRequest &req,
     bool owner = false;
     {
         std::lock_guard<std::mutex> lock(mu_);
-        ++requests_;
+        requestsC_.add();
         auto it = cache_.find(res.key);
         if (it == cache_.end()) {
             // A genuine miss consumes compile capacity: admission
             // control applies (hits and duplicates are always free).
             if (!admitLocked(req, reply)) {
-                ++shed_;
+                shedC_.add();
+                if (metricsEnabled())
+                    shedRetryMs_.record(static_cast<int64_t>(
+                        reply.retryAfterMs + 0.5));
                 reply.millis = millisSince(t0);
                 return;
             }
@@ -351,11 +416,11 @@ CompileService::serveResolved(const CompileRequest &req,
             (void)inserted;
             ins->second.entry = std::make_shared<Entry>();
             owner = true;
-            ++misses_;
+            missesC_.add();
             ++pendingCompiles_;
             entry = ins->second.entry;
         } else {
-            ++hits_;
+            hitsC_.add();
             touchLocked(it->second);
             entry = it->second.entry;
         }
@@ -369,12 +434,15 @@ CompileService::serveResolved(const CompileRequest &req,
     if (!reply.error.empty()) {
         if (owner)
             uncache(res.key, entry);
-        std::lock_guard<std::mutex> lock(mu_);
-        ++failures_;
+        failuresC_.add();
     } else if (owner) {
         noteReady(res.key, entry);
     }
     reply.millis = millisSince(t0);
+    if (metricsEnabled() && reply.error.empty() &&
+        reply.status.empty())
+        (owner ? coldLatencyUs_ : warmLatencyUs_)
+            .record(microsFromMillis(reply.millis));
 }
 
 bool
@@ -386,16 +454,22 @@ CompileService::submitPreparedAsync(
     Clock::time_point t0 = Clock::now();
     reply.label = req.label;
     reply.key = key;
+    obs::SpanClock adm;
+    if (req.trace != nullptr)
+        adm = obs::SpanClock::now();
 
     std::shared_ptr<Entry> entry;
     bool owner = false;
     {
         std::lock_guard<std::mutex> lock(mu_);
-        ++requests_;
+        requestsC_.add();
         auto it = cache_.find(key);
         if (it == cache_.end()) {
             if (!admitLocked(req, reply)) {
-                ++shed_;
+                shedC_.add();
+                if (metricsEnabled())
+                    shedRetryMs_.record(static_cast<int64_t>(
+                        reply.retryAfterMs + 0.5));
                 reply.millis = millisSince(t0);
                 return true;
             }
@@ -403,15 +477,20 @@ CompileService::submitPreparedAsync(
             (void)inserted;
             ins->second.entry = std::make_shared<Entry>();
             owner = true;
-            ++misses_;
+            missesC_.add();
             ++pendingCompiles_;
             entry = ins->second.entry;
         } else {
-            ++hits_;
+            hitsC_.add();
             touchLocked(it->second);
             entry = it->second.entry;
         }
     }
+    // The admission span covers the cache lookup + admission decision
+    // (shed replies above are their own span-less fast exit).
+    if (req.trace != nullptr)
+        req.trace->addSpan("admission", adm.wallUs,
+                           obs::microsSince(adm));
 
     {
         std::unique_lock<std::mutex> lock(entry->m);
@@ -425,11 +504,12 @@ CompileService::submitPreparedAsync(
             if (entry->expired)
                 reply.status = "deadline_expired";
             lock.unlock();
-            if (!reply.error.empty()) {
-                std::lock_guard<std::mutex> l2(mu_);
-                ++failures_;
-            }
+            if (!reply.error.empty())
+                failuresC_.add();
             reply.millis = millisSince(t0);
+            if (metricsEnabled() && reply.error.empty() &&
+                reply.status.empty())
+                warmLatencyUs_.record(microsFromMillis(reply.millis));
             return true;
         }
         // In flight (or our own fresh claim): park the requester on
@@ -460,12 +540,22 @@ CompileService::submitPreparedAsync(
         job_req.label = req.label;
         job_req.machine = req.machine;
         job_req.cfg = req.cfg;
+        job_req.trace = req.trace;
         Resolved res;
         res.program = std::move(program);
         res.programFp = program_fp;
         res.key = key;
+        const obs::SpanClock enq = obs::SpanClock::now();
         asyncPool().post([this, job_req = std::move(job_req),
-                          res = std::move(res), entry]() mutable {
+                          res = std::move(res), entry,
+                          enq]() mutable {
+            // Queue wait: enqueue to worker pickup, before deadline
+            // cancellation so shed-by-expiry waits are measured too.
+            const int64_t wait_us = obs::microsSince(enq);
+            if (metricsEnabled())
+                queueWaitUs_.record(wait_us);
+            if (job_req.trace != nullptr)
+                job_req.trace->addSpan("queue", enq.wallUs, wait_us);
             runQueuedCompile(job_req, res, entry);
         });
     }
@@ -517,9 +607,8 @@ CompileService::submit(const CompileRequest &req)
     if (!res.error.empty()) {
         reply.error = res.error;
         reply.millis = millisSince(t0);
-        std::lock_guard<std::mutex> lock(mu_);
-        ++requests_;
-        ++failures_;
+        requestsC_.add();
+        failuresC_.add();
         return reply;
     }
     reply.key = res.key;
@@ -557,8 +646,8 @@ CompileService::tryServePublished(const std::string &label,
         // slot may have been evicted or replaced between the locks;
         // touch only the entry we actually served.
         std::lock_guard<std::mutex> lock(mu_);
-        ++requests_;
-        ++hits_;
+        requestsC_.add();
+        hitsC_.add();
         auto it = cache_.find(key);
         if (it != cache_.end() && it->second.entry == entry &&
             it->second.inLru)
@@ -568,6 +657,10 @@ CompileService::tryServePublished(const std::string &label,
     reply.hit = true;
     reply.key = key;
     reply.millis = millisSince(t0);
+    // The wire-speed warm path: this record (plus the transport's
+    // counters) is exactly what the metrics-off bench row toggles.
+    if (metricsEnabled())
+        warmLatencyUs_.record(microsFromMillis(reply.millis));
     return true;
 }
 
@@ -611,23 +704,22 @@ CompileService::submitBatch(const std::vector<CompileRequest> &reqs)
         Resolved res = resolve(reqs[i]);
         if (!res.error.empty()) {
             reply.error = res.error;
-            std::lock_guard<std::mutex> lock(mu_);
-            ++requests_;
-            ++failures_;
+            requestsC_.add();
+            failuresC_.add();
             continue;
         }
         reply.key = res.key;
         std::lock_guard<std::mutex> lock(mu_);
-        ++requests_;
+        requestsC_.add();
         auto [it, inserted] = cache_.try_emplace(res.key);
         if (inserted) {
             it->second.entry = std::make_shared<Entry>();
-            ++misses_;
+            missesC_.add();
             ++pendingCompiles_;
             is_owner[i] = true;
             owned.push_back(Claim{i, std::move(res), it->second.entry});
         } else {
-            ++hits_;
+            hitsC_.add();
             touchLocked(it->second);
             replies[i].hit = true;
         }
@@ -650,10 +742,7 @@ CompileService::submitBatch(const std::vector<CompileRequest> &reqs)
             jobs.push_back(std::move(job));
         }
         FleetResult fleet = fleet_.run(jobs, &analysis_);
-        {
-            std::lock_guard<std::mutex> lock(mu_);
-            compiles_ += static_cast<int64_t>(owned.size());
-        }
+        compilesC_.add(static_cast<int64_t>(owned.size()));
         for (size_t k = 0; k < owned.size(); ++k) {
             FleetJobResult &jr = fleet.jobs[k];
             std::shared_ptr<const CompileResult> result;
@@ -681,10 +770,8 @@ CompileService::submitBatch(const std::vector<CompileRequest> &reqs)
         fillFromEntry(*entries[i], replies[i]);
         if (!is_owner[i])
             replies[i].millis = millisSince(t0);
-        if (!replies[i].error.empty()) {
-            std::lock_guard<std::mutex> lock(mu_);
-            ++failures_;
-        }
+        if (!replies[i].error.empty())
+            failuresC_.add();
     }
     return replies;
 }
@@ -695,20 +782,22 @@ CompileService::stats() const
     ServiceStats s;
     {
         std::lock_guard<std::mutex> lock(mu_);
-        s.requests = requests_;
-        s.hits = hits_;
-        s.misses = misses_;
-        s.compiles = compiles_;
-        s.failures = failures_;
-        s.evictions = evictions_;
         s.cachedResults = cache_.size();
         s.cachedBytes = cachedBytes_;
-        s.shed = shed_;
-        s.deadlineExpired = deadlineExpired_;
         s.pendingCompiles = pendingCompiles_;
         if (pool_ != nullptr)
             s.workerDeaths = pool_->deaths();
     }
+    // Monotonic counters come from the metrics registry — stats() is a
+    // snapshot view over the same cells {"cmd": "metrics"} renders.
+    s.requests = requestsC_.value();
+    s.hits = hitsC_.value();
+    s.misses = missesC_.value();
+    s.compiles = compilesC_.value();
+    s.failures = failuresC_.value();
+    s.evictions = evictionsC_.value();
+    s.shed = shedC_.value();
+    s.deadlineExpired = deadlineExpiredC_.value();
     s.cachedPrograms = programs_.size();
     s.analysisComputes = analysis_.computeCount();
     return s;

@@ -65,6 +65,8 @@
 #include "fleet/fleet.h"
 #include "fleet/worker_pool.h"
 #include "ir/analysis_cache.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/cache_key.h"
 #include "service/machine_spec.h"
 #include "service/program_cache.h"
@@ -110,6 +112,22 @@ struct CompileRequest
      * part of the cache key.
      */
     bool batch = false;
+
+    /**
+     * Distributed-tracing correlation id from the protocol's
+     * "trace_id" field; 0 = untraced.  Not part of the cache key.
+     */
+    uint64_t traceId = 0;
+
+    /**
+     * The request's span collection, attached by the serving tier when
+     * tracing is active (null = record nothing).  The service records
+     * admission, queue, analysis, and serialize spans into it; the
+     * compile phases hook (CompileOptions::phases) rides it into the
+     * executor.  Shared because spans land from both the event thread
+     * and the worker pool.
+     */
+    std::shared_ptr<obs::Trace> trace;
 };
 
 /** Outcome of one service request. */
@@ -286,6 +304,34 @@ class CompileService
 
     ServiceStats stats() const;
 
+    /**
+     * The service's metrics registry (obs/metrics.h): the single
+     * source of truth behind stats() — the counters ARE the registry's
+     * counters — plus the latency/queue-wait/shed histograms that have
+     * no ServiceStats equivalent.  Call syncMetricsGauges() first when
+     * rendering, so the mutex-guarded gauges (pending compiles, cache
+     * residency) are current.
+     */
+    const obs::Registry &metricsRegistry() const { return metrics_; }
+
+    /** Refresh the registry's gauges from the mutex-guarded state. */
+    void syncMetricsGauges() const;
+
+    /**
+     * Toggle histogram recording (counters always run: they are the
+     * stats() substrate).  The warm-path bench gates the overhead of
+     * exactly what this toggles.
+     */
+    void setMetricsEnabled(bool on)
+    {
+        metricsEnabled_.store(on, std::memory_order_relaxed);
+    }
+
+    bool metricsEnabled() const
+    {
+        return metricsEnabled_.load(std::memory_order_relaxed);
+    }
+
     int workers() const { return fleet_.workers(); }
 
     const CacheLimits &limits() const { return limits_; }
@@ -392,7 +438,8 @@ class CompileService
     void publish(Entry &entry,
                  std::shared_ptr<const CompileResult> result,
                  const CacheKey &key, std::string error,
-                 double compile_millis = -1);
+                 double compile_millis = -1,
+                 const std::shared_ptr<obs::Trace> &trace = {});
 
     /**
      * Admission check for one would-be miss; caller holds mu_.  False
@@ -436,6 +483,30 @@ class CompileService
     const CacheLimits limits_;
     const AdmissionLimits admission_;
 
+    /**
+     * Telemetry (obs/metrics.h).  The registry owns every monotonic
+     * service counter — stats() is a view over it — plus the latency
+     * distributions.  References are resolved once here so recording
+     * never takes the registry lock.  Gauge-like state that admission
+     * and eviction *logic* reads (pendingCompiles_, cachedBytes_)
+     * stays mutex-guarded below and is mirrored into gauges by
+     * syncMetricsGauges().
+     */
+    obs::Registry metrics_;
+    obs::Counter &requestsC_;
+    obs::Counter &hitsC_;
+    obs::Counter &missesC_;
+    obs::Counter &compilesC_;
+    obs::Counter &failuresC_;
+    obs::Counter &evictionsC_;
+    obs::Counter &shedC_;
+    obs::Counter &deadlineExpiredC_;
+    obs::Histogram &warmLatencyUs_;
+    obs::Histogram &coldLatencyUs_;
+    obs::Histogram &queueWaitUs_;
+    obs::Histogram &shedRetryMs_;
+    std::atomic<bool> metricsEnabled_{true};
+
     mutable std::mutex mu_;
     std::unordered_map<CacheKey, Slot, CacheKeyHash> cache_;
     /** Published keys, most recently used first. */
@@ -443,15 +514,6 @@ class CompileService
     size_t cachedBytes_ = 0;
     /** Workload names resolved once to shared immutable programs. */
     ProgramNameCache programs_;
-    int64_t requests_ = 0;
-    int64_t hits_ = 0;
-    int64_t misses_ = 0;
-    /** Compilations actually run: misses minus cancelled compiles. */
-    int64_t compiles_ = 0;
-    int64_t failures_ = 0;
-    int64_t evictions_ = 0;
-    int64_t shed_ = 0;
-    int64_t deadlineExpired_ = 0;
     /** Gauge: compiles claimed (queued or running), sync and async. */
     size_t pendingCompiles_ = 0;
     /** EWMA of observed compile wall times, for retry_after_ms. */

@@ -24,7 +24,12 @@
 #include <thread>
 #include <vector>
 
+#include <fstream>
+
+#include <unistd.h>
+
 #include "common/hash.h"
+#include "obs/trace.h"
 #include "server/client.h"
 #include "server/faults.h"
 #include "server/hash_ring.h"
@@ -550,6 +555,100 @@ TEST_F(FabricSuite, InjectedResetTripsFailoverThenReconnects)
     EXPECT_NE(reply.find("\"ok\": true"), std::string::npos) << reply;
     EXPECT_NE(reply.find("\"cache\": \"hit\""), std::string::npos)
         << reply;
+}
+
+
+// -------------------------------------------------------------------
+// Observability across the fabric
+// -------------------------------------------------------------------
+
+TEST_F(FabricSuite, MetricsCommandIsRouterLocal)
+{
+    startFabric(2);
+    LineClient client;
+    connectClient(client);
+    std::string reply, error;
+    ASSERT_TRUE(client.sendLine(
+        "{\"id\": 1, \"workload\": \"ADDER4\"}"));
+    ASSERT_TRUE(client.recvLine(reply));
+    ASSERT_TRUE(client.sendLine("{\"cmd\": \"metrics\"}"));
+    ASSERT_TRUE(client.recvLine(reply));
+    JsonRequest parsed;
+    ASSERT_TRUE(parseJsonLine(reply, parsed, error)) << error;
+    const std::string text = parsed.get("text");
+    EXPECT_NE(text.find("square_router_fabric_shards 2"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("square_router_shards_up 2"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("square_upstream_forwarded_total 1"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("square_upstream_forward_rtt_us_count 1"),
+              std::string::npos)
+        << text;
+    // Router-local by design: no per-shard service series here.
+    EXPECT_EQ(text.find("square_service_"), std::string::npos) << text;
+}
+
+TEST_F(FabricSuite, TraceIdPropagatesFromClientThroughRouterToShard)
+{
+    char path[] = "/tmp/square_fabric_trace_XXXXXX";
+    const int fd = ::mkstemp(path);
+    ASSERT_GE(fd, 0);
+    std::string error;
+    ASSERT_TRUE(obs::TraceLog::instance().configure(path, error))
+        << error;
+
+    startFabric(2);
+    LineClient client;
+    connectClient(client);
+    std::string reply;
+    // The client-originated id: exactly what square_client
+    // --trace-sample splices into the request line.
+    ASSERT_TRUE(client.sendLine(
+        "{\"id\": 1, \"workload\": \"ADDER4\", "
+        "\"trace_id\": \"00c0ffee00c0ffee\"}"));
+    ASSERT_TRUE(client.recvLine(reply));
+    ASSERT_NE(reply.find("\"ok\": true"), std::string::npos) << reply;
+    // Router spans (resolve + forward) and all seven shard spans: 9
+    // lines.  Both tiers live in this process and share the log; the
+    // shard's emit races the reply, so poll.
+    for (int tries = 0; tries < 200; ++tries) {
+        std::ifstream in(path);
+        std::string line;
+        size_t lines = 0;
+        while (std::getline(in, line))
+            ++lines;
+        if (lines >= 9)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ASSERT_TRUE(obs::TraceLog::instance().configure("", error));
+
+    std::ifstream in(path);
+    std::string line;
+    std::set<std::string> router_spans, shard_spans;
+    while (std::getline(in, line)) {
+        JsonRequest json;
+        ASSERT_TRUE(parseJsonLine(line, json, error))
+            << error << ": " << line;
+        // One trace id across every process boundary.
+        EXPECT_EQ(json.get("trace"), "00c0ffee00c0ffee") << line;
+        if (json.get("comp") == "router")
+            router_spans.insert(json.get("span"));
+        else if (json.get("comp") == "shard")
+            shard_spans.insert(json.get("span"));
+    }
+    EXPECT_TRUE(router_spans.count("resolve"));
+    EXPECT_TRUE(router_spans.count("forward"));
+    for (const char *span :
+         {"admission", "queue", "resolve", "analysis",
+          "allocate_route_schedule", "serialize", "write"})
+        EXPECT_TRUE(shard_spans.count(span)) << span;
+    ::close(fd);
+    std::remove(path);
 }
 
 } // namespace

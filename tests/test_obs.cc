@@ -1,0 +1,439 @@
+/**
+ * @file
+ * Unit tests for the telemetry subsystem (src/obs/): histogram bucket
+ * geometry and its 1/32 relative-error bound, merge-equals-single-
+ * population percentiles, agreement with stats.h's nearest-rank rule,
+ * sharded counter summation under concurrency (the binary runs in the
+ * CI ThreadSanitizer job), the deterministic head sampler, trace id
+ * wire format, the NDJSON span log, and the Prometheus exposition
+ * shape.  The protocol-level "metrics"/"text" reply round-trip is
+ * covered here too, since square_top depends on it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "service/protocol.h"
+
+namespace square {
+namespace {
+
+// -------------------------------------------------------------------
+// Histogram geometry
+// -------------------------------------------------------------------
+
+TEST(Histogram, BucketUpperRoundTripsThroughBucketIndex)
+{
+    for (int i = 0; i < obs::Histogram::kBuckets; ++i) {
+        const int64_t upper = obs::Histogram::bucketUpper(i);
+        EXPECT_EQ(obs::Histogram::bucketIndex(upper), i)
+            << "bucket " << i << " upper " << upper;
+    }
+}
+
+TEST(Histogram, BucketUppersAreStrictlyIncreasing)
+{
+    int64_t prev = -1;
+    for (int i = 0; i < obs::Histogram::kBuckets; ++i) {
+        const int64_t upper = obs::Histogram::bucketUpper(i);
+        EXPECT_GT(upper, prev) << "bucket " << i;
+        prev = upper;
+    }
+}
+
+TEST(Histogram, ValuesBelow64AreExact)
+{
+    for (int64_t v = 0; v < 64; ++v)
+        EXPECT_EQ(obs::Histogram::bucketUpper(
+                      obs::Histogram::bucketIndex(v)),
+                  v);
+}
+
+TEST(Histogram, RelativeErrorIsBoundedByOneThirtySecond)
+{
+    // The reported value (bucket upper bound) never under-reports and
+    // overshoots by at most one sub-bucket width = value/32.
+    Rng rng(7);
+    for (int trial = 0; trial < 20000; ++trial) {
+        const int64_t v = static_cast<int64_t>(
+            rng.below(uint64_t{1} << (6 + trial % 40)));
+        const int64_t reported = obs::Histogram::bucketUpper(
+            obs::Histogram::bucketIndex(v));
+        EXPECT_GE(reported, v);
+        EXPECT_LE(reported - v, v / 32 + 1) << "value " << v;
+    }
+}
+
+TEST(Histogram, NegativeValuesClampToZero)
+{
+    obs::Histogram h;
+    h.record(-5);
+    const obs::HistogramSnapshot snap = h.snapshot();
+    EXPECT_EQ(snap.total, 1u);
+    EXPECT_EQ(snap.percentile(50.0), 0);
+}
+
+// -------------------------------------------------------------------
+// Histogram population semantics
+// -------------------------------------------------------------------
+
+TEST(Histogram, PercentilesMatchNearestRankForExactValues)
+{
+    // Every sample below 64 lands in an exact bucket, so histogram
+    // percentiles must agree bit-for-bit with the sorted-sample rule.
+    obs::Histogram h;
+    std::vector<double> sorted;
+    Rng rng(11);
+    for (int i = 0; i < 5000; ++i) {
+        const int64_t v = static_cast<int64_t>(rng.below(64));
+        h.record(v);
+        sorted.push_back(static_cast<double>(v));
+    }
+    std::sort(sorted.begin(), sorted.end());
+    const obs::HistogramSnapshot snap = h.snapshot();
+    for (double p : {1.0, 25.0, 50.0, 90.0, 99.0, 99.9, 100.0})
+        EXPECT_EQ(static_cast<double>(snap.percentile(p)),
+                  percentileNearestRank(sorted, p))
+            << "p" << p;
+}
+
+TEST(Histogram, PercentilesTrackNearestRankWithinRelativeError)
+{
+    obs::Histogram h;
+    std::vector<double> sorted;
+    Rng rng(13);
+    for (int i = 0; i < 5000; ++i) {
+        const int64_t v =
+            static_cast<int64_t>(rng.below(1000000)) + 64;
+        h.record(v);
+        sorted.push_back(static_cast<double>(v));
+    }
+    std::sort(sorted.begin(), sorted.end());
+    const obs::HistogramSnapshot snap = h.snapshot();
+    for (double p : {50.0, 90.0, 99.0, 99.9}) {
+        const double exact = percentileNearestRank(sorted, p);
+        const double approx =
+            static_cast<double>(snap.percentile(p));
+        EXPECT_GE(approx, exact) << "p" << p;
+        EXPECT_LE(approx, exact * (1.0 + 1.0 / 32) + 1.0) << "p" << p;
+    }
+}
+
+TEST(Histogram, MergedShardsEqualSinglePopulation)
+{
+    // The aggregation invariant the fabric depends on: recording a
+    // population across N histograms and merging the snapshots gives
+    // the same totals and percentiles as one histogram fed everything.
+    obs::Histogram shards[3];
+    obs::Histogram single;
+    Rng rng(17);
+    for (int i = 0; i < 9000; ++i) {
+        const int64_t v = static_cast<int64_t>(rng.below(100000));
+        shards[static_cast<size_t>(i % 3)].record(v);
+        single.record(v);
+    }
+    obs::HistogramSnapshot merged = shards[0].snapshot();
+    merged.merge(shards[1].snapshot());
+    merged.merge(shards[2].snapshot());
+    const obs::HistogramSnapshot expect = single.snapshot();
+    EXPECT_EQ(merged.total, expect.total);
+    EXPECT_EQ(merged.sum, expect.sum);
+    EXPECT_EQ(merged.max, expect.max);
+    ASSERT_EQ(merged.counts.size(), expect.counts.size());
+    EXPECT_EQ(merged.counts, expect.counts);
+    for (double p : {50.0, 99.0, 99.9})
+        EXPECT_EQ(merged.percentile(p), expect.percentile(p));
+}
+
+TEST(Histogram, MeanAndMaxFollowTheSamples)
+{
+    obs::Histogram h;
+    for (int64_t v : {10, 20, 30})
+        h.record(v);
+    const obs::HistogramSnapshot snap = h.snapshot();
+    EXPECT_DOUBLE_EQ(snap.mean(), 20.0);
+    EXPECT_EQ(snap.max, 30);
+    EXPECT_EQ(snap.percentile(100.0), 30);
+}
+
+// -------------------------------------------------------------------
+// Counters, gauges, registry (concurrent paths run under TSan in CI)
+// -------------------------------------------------------------------
+
+TEST(Counter, ConcurrentAddsSumExactly)
+{
+    obs::Counter c;
+    constexpr int kThreads = 8;
+    constexpr int kAdds = 20000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&c] {
+            for (int i = 0; i < kAdds; ++i)
+                c.add(1);
+        });
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(c.value(), static_cast<int64_t>(kThreads) * kAdds);
+}
+
+TEST(Histogram, ConcurrentRecordsKeepEverySample)
+{
+    obs::Histogram h;
+    constexpr int kThreads = 4;
+    constexpr int kRecords = 10000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&h, t] {
+            for (int i = 0; i < kRecords; ++i)
+                h.record(t * 1000 + i % 100);
+        });
+    // A racing reader: snapshots must be internally usable (never
+    // torn into an invalid shape) while writers are active.
+    std::thread reader([&h] {
+        for (int i = 0; i < 200; ++i)
+            (void)h.snapshot().percentile(99.0);
+    });
+    for (auto &thread : threads)
+        thread.join();
+    reader.join();
+    EXPECT_EQ(h.count(),
+              static_cast<uint64_t>(kThreads) * kRecords);
+}
+
+TEST(Gauge, SetAddAndHighWaterMark)
+{
+    obs::Gauge g;
+    g.set(5);
+    g.add(3);
+    EXPECT_EQ(g.value(), 8);
+    g.add(-10);
+    EXPECT_EQ(g.value(), -2);
+    g.noteMax(7);
+    EXPECT_EQ(g.value(), 7);
+    g.noteMax(4); // below the mark: no effect
+    EXPECT_EQ(g.value(), 7);
+}
+
+TEST(Registry, CreateOrGetReturnsStableReferences)
+{
+    obs::Registry reg;
+    obs::Counter &a = reg.counter("requests");
+    a.add(2);
+    // Force deque growth, then re-resolve: same object.
+    for (int i = 0; i < 64; ++i)
+        reg.counter("c" + std::to_string(i));
+    obs::Counter &b = reg.counter("requests");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(b.value(), 2);
+    const auto values = reg.counterValues();
+    ASSERT_FALSE(values.empty());
+    // Insertion order: the first-created counter renders first.
+    EXPECT_EQ(values.front().first, "requests");
+    EXPECT_EQ(values.front().second, 2);
+}
+
+// -------------------------------------------------------------------
+// Prometheus exposition
+// -------------------------------------------------------------------
+
+TEST(Prometheus, RendersCountersGaugesAndSummaries)
+{
+    obs::Registry reg;
+    reg.counter("requests").add(3);
+    reg.gauge("active").set(2);
+    for (int64_t v = 0; v < 100; ++v)
+        reg.histogram("latency_us").record(v);
+    std::string out;
+    obs::renderPrometheus(out, "square_test", {{"", &reg}});
+    EXPECT_NE(out.find("# TYPE square_test_requests_total counter\n"),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("square_test_requests_total 3\n"),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("# TYPE square_test_active gauge\n"),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("square_test_active 2\n"), std::string::npos);
+    EXPECT_NE(
+        out.find("square_test_latency_us{quantile=\"0.5\"} 49\n"),
+        std::string::npos)
+        << out;
+    EXPECT_NE(out.find("square_test_latency_us_count 100\n"),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("square_test_latency_us_sum 4950\n"),
+              std::string::npos)
+        << out;
+}
+
+TEST(Prometheus, ShardedRegistriesRenderAsOneLabelledFamily)
+{
+    obs::Registry shard0, shard1;
+    shard0.counter("hits").add(1);
+    shard1.counter("hits").add(2);
+    std::string out;
+    obs::renderPrometheus(out, "square_svc",
+                          {{"shard=\"0\"", &shard0},
+                           {"shard=\"1\"", &shard1}});
+    // One # TYPE header, two labelled series.
+    EXPECT_EQ(out.find("# TYPE square_svc_hits_total"),
+              out.rfind("# TYPE square_svc_hits_total"));
+    EXPECT_NE(out.find("square_svc_hits_total{shard=\"0\"} 1\n"),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("square_svc_hits_total{shard=\"1\"} 2\n"),
+              std::string::npos)
+        << out;
+}
+
+TEST(Prometheus, TextReplyRoundTripsThroughTheProtocol)
+{
+    // The "metrics" command ships multi-line exposition inside the
+    // one-line protocol; parsing the reply must give the text back.
+    JsonRequest request;
+    std::string error;
+    ASSERT_TRUE(
+        parseJsonLine("{\"id\": 9, \"cmd\": \"metrics\"}", request,
+                      error))
+        << error;
+    const std::string text = "# TYPE a counter\na 1\nb{q=\"0.5\"} 2\n";
+    const std::string reply = formatTextReply(request, "metrics", text);
+    JsonRequest parsed;
+    ASSERT_TRUE(parseJsonLine(reply, parsed, error)) << error;
+    EXPECT_EQ(parsed.get("id"), "9");
+    EXPECT_EQ(parsed.get("cmd"), "metrics");
+    EXPECT_EQ(parsed.get("text"), text);
+}
+
+// -------------------------------------------------------------------
+// Tracing
+// -------------------------------------------------------------------
+
+TEST(TraceTest, IdWireFormatRoundTrips)
+{
+    for (uint64_t id : {uint64_t{1}, uint64_t{0xdeadbeefull},
+                        ~uint64_t{0}}) {
+        const std::string hex = obs::Trace::formatId(id);
+        EXPECT_EQ(hex.size(), 16u);
+        uint64_t back = 0;
+        ASSERT_TRUE(obs::Trace::parseId(hex, back)) << hex;
+        EXPECT_EQ(back, id);
+    }
+    uint64_t ignored = 0;
+    EXPECT_FALSE(obs::Trace::parseId("", ignored));
+    EXPECT_FALSE(obs::Trace::parseId("xyz", ignored));
+    EXPECT_FALSE(obs::Trace::parseId("0123456789abcdef0", ignored));
+}
+
+TEST(TraceTest, GeneratedIdsAreUniqueAndNonZero)
+{
+    std::vector<uint64_t> ids;
+    for (int i = 0; i < 1000; ++i) {
+        const uint64_t id = obs::genTraceId();
+        EXPECT_NE(id, 0u);
+        ids.push_back(id);
+    }
+    std::sort(ids.begin(), ids.end());
+    EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+}
+
+TEST(SamplerTest, DeterministicOneInN)
+{
+    obs::Sampler never(0);
+    obs::Sampler always(1);
+    obs::Sampler quarter(4);
+    int sampled = 0;
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(never.sample());
+        EXPECT_TRUE(always.sample());
+        if (quarter.sample())
+            ++sampled;
+    }
+    EXPECT_EQ(sampled, 25);
+}
+
+TEST(TraceLogTest, EmitsOneParseableLinePerSpan)
+{
+    char path[] = "/tmp/square_obs_trace_XXXXXX";
+    const int fd = ::mkstemp(path);
+    ASSERT_GE(fd, 0);
+    std::string error;
+    ASSERT_TRUE(obs::TraceLog::instance().configure(path, error))
+        << error;
+    EXPECT_TRUE(obs::TraceLog::instance().enabled());
+
+    obs::Trace trace(0xabc123, true);
+    trace.addSpan("resolve", 1000, 10);
+    trace.addSpan("analysis", 1010, 20);
+    obs::TraceLog::instance().emit(trace, "shard");
+    // Back to disabled before any assertion can bail out, so other
+    // tests in this process never inherit the temp-file sink.
+    ASSERT_TRUE(obs::TraceLog::instance().configure("", error));
+    EXPECT_FALSE(obs::TraceLog::instance().enabled());
+
+    std::ifstream in(path);
+    std::string line;
+    std::vector<std::string> spans;
+    while (std::getline(in, line)) {
+        JsonRequest json;
+        ASSERT_TRUE(parseJsonLine(line, json, error))
+            << error << ": " << line;
+        EXPECT_EQ(json.get("trace"), "0000000000abc123");
+        EXPECT_EQ(json.get("comp"), "shard");
+        spans.push_back(json.get("span"));
+    }
+    ASSERT_EQ(spans.size(), 2u);
+    EXPECT_EQ(spans[0], "resolve");
+    EXPECT_EQ(spans[1], "analysis");
+    ::close(fd);
+    std::remove(path);
+}
+
+TEST(TraceLogTest, DisabledLogSwallowsEmits)
+{
+    std::string error;
+    ASSERT_TRUE(obs::TraceLog::instance().configure("", error));
+    obs::Trace trace(1, true);
+    trace.addSpan("x", 0, 0);
+    obs::TraceLog::instance().emit(trace, "shard"); // must not crash
+    obs::TraceLog::instance().emitSpan(1, "shard", "y", 0, 0);
+}
+
+TEST(TraceTest, ConcurrentSpanAppendsAllSurvive)
+{
+    // A request's spans arrive from the event thread and the worker
+    // pool concurrently; under TSan this pins the locking.
+    obs::Trace trace(42, true);
+    constexpr int kThreads = 4;
+    constexpr int kSpans = 500;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&trace] {
+            for (int i = 0; i < kSpans; ++i)
+                trace.addSpan("s", i, 1);
+        });
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(trace.spans().size(),
+              static_cast<size_t>(kThreads) * kSpans);
+}
+
+} // namespace
+} // namespace square

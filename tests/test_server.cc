@@ -16,6 +16,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <condition_variable>
 #include <functional>
 #include <memory>
@@ -25,11 +27,15 @@
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
+#include "obs/trace.h"
 #include "server/client.h"
 #include "server/faults.h"
 #include "server/server.h"
 #include "server/shard_router.h"
 #include "server/transport.h"
+#include "service/protocol.h"
 #include "service/service.h"
 #include "workloads/registry.h"
 
@@ -1031,6 +1037,191 @@ TEST(Robustness, WorkerDeathsRecoverWithIdenticalResults)
                   first[static_cast<size_t>(id - 1)].substr(first_gates));
     }
     server.stop();
+}
+
+
+// -------------------------------------------------------------------
+// Observability: the metrics command and end-to-end request tracing
+// -------------------------------------------------------------------
+
+TEST(Observability, MetricsCommandRendersEveryTier)
+{
+    CompileServer server(overloadConfig());
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+    LineClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port(), error));
+    std::string reply;
+    ASSERT_TRUE(client.sendLine("{\"workload\":\"ADDER4\"}"));
+    ASSERT_TRUE(client.recvLine(reply));
+    ASSERT_TRUE(client.sendLine("{\"id\": 3, \"cmd\": \"metrics\"}"));
+    ASSERT_TRUE(client.recvLine(reply));
+    JsonRequest parsed;
+    ASSERT_TRUE(parseJsonLine(reply, parsed, error)) << error;
+    EXPECT_EQ(parsed.get("id"), "3");
+    EXPECT_EQ(parsed.get("cmd"), "metrics");
+    const std::string text = parsed.get("text");
+    // Service counters (labelled per shard), transport counters, and
+    // the fault-injection gauge all render in one exposition.
+    EXPECT_NE(text.find("# TYPE square_service_requests_total counter"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("square_service_requests_total{shard=\"0\"} 1"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("square_service_warm_latency_us"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("# TYPE square_transport_lines_total counter"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("square_faults_enabled 0"), std::string::npos)
+        << text;
+    server.stop();
+}
+
+/**
+ * Wait until the span log holds at least @p n lines.  The shard emits
+ * a trace on the worker thread just after posting the reply, so the
+ * client seeing the reply does not yet mean the spans are on disk.
+ */
+void
+waitForSpanLines(const std::string &path, size_t n)
+{
+    for (int i = 0; i < 200; ++i) {
+        std::ifstream in(path);
+        std::string line;
+        size_t lines = 0;
+        while (std::getline(in, line))
+            ++lines;
+        if (lines >= n)
+            return;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+}
+
+/** Read every span line of one trace log into (comp, span) pairs. */
+std::vector<std::pair<std::string, std::string>>
+readSpans(const std::string &path, std::string &trace_id)
+{
+    std::vector<std::pair<std::string, std::string>> spans;
+    std::ifstream in(path);
+    std::string line, error;
+    while (std::getline(in, line)) {
+        JsonRequest json;
+        if (!parseJsonLine(line, json, error))
+            continue;
+        if (trace_id.empty())
+            trace_id = json.get("trace");
+        else
+            EXPECT_EQ(json.get("trace"), trace_id) << line;
+        spans.emplace_back(json.get("comp"), json.get("span"));
+    }
+    return spans;
+}
+
+bool
+hasSpan(const std::vector<std::pair<std::string, std::string>> &spans,
+        const std::string &comp, const std::string &span)
+{
+    for (const auto &entry : spans)
+        if (entry.first == comp && entry.second == span)
+            return true;
+    return false;
+}
+
+TEST(Observability, SampledColdRequestTracesEveryPhase)
+{
+    char path[] = "/tmp/square_server_trace_XXXXXX";
+    const int fd = ::mkstemp(path);
+    ASSERT_GE(fd, 0);
+    std::string error;
+    ASSERT_TRUE(obs::TraceLog::instance().configure(path, error))
+        << error;
+
+    ServerConfig cfg = overloadConfig();
+    cfg.traceSample = 1; // every request is head-sampled
+    CompileServer server(cfg);
+    ASSERT_TRUE(server.start(error)) << error;
+    LineClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port(), error));
+    std::string reply;
+    ASSERT_TRUE(client.sendLine("{\"id\":1,\"workload\":\"ADDER4\"}"));
+    ASSERT_TRUE(client.recvLine(reply));
+    ASSERT_NE(reply.find("\"cache\": \"miss\""), std::string::npos)
+        << reply;
+    waitForSpanLines(path, 7);
+    server.stop();
+    ASSERT_TRUE(obs::TraceLog::instance().configure("", error));
+
+    // The acceptance shape: one cold request, one trace id, a span
+    // for every phase of its life on the shard tier.
+    std::string trace_id;
+    const auto spans = readSpans(path, trace_id);
+    EXPECT_EQ(trace_id.size(), 16u);
+    for (const char *span :
+         {"admission", "queue", "resolve", "analysis",
+          "allocate_route_schedule", "serialize", "write"})
+        EXPECT_TRUE(hasSpan(spans, "shard", span)) << span;
+    ::close(fd);
+    std::remove(path);
+}
+
+TEST(Observability, UnsampledFastRequestsEmitNothing)
+{
+    char path[] = "/tmp/square_server_notrace_XXXXXX";
+    const int fd = ::mkstemp(path);
+    ASSERT_GE(fd, 0);
+    std::string error;
+    ASSERT_TRUE(obs::TraceLog::instance().configure(path, error))
+        << error;
+
+    CompileServer server(overloadConfig()); // traceSample = 0
+    ASSERT_TRUE(server.start(error)) << error;
+    LineClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port(), error));
+    std::string reply;
+    ASSERT_TRUE(client.sendLine("{\"workload\":\"ADDER4\"}"));
+    ASSERT_TRUE(client.recvLine(reply));
+    ASSERT_TRUE(client.sendLine("{\"workload\":\"ADDER4\"}"));
+    ASSERT_TRUE(client.recvLine(reply));
+    server.stop();
+    ASSERT_TRUE(obs::TraceLog::instance().configure("", error));
+
+    std::ifstream in(path);
+    std::string line;
+    EXPECT_FALSE(std::getline(in, line)) << line;
+    ::close(fd);
+    std::remove(path);
+}
+
+TEST(Observability, SlowThresholdCapturesUnsampledRequests)
+{
+    char path[] = "/tmp/square_server_slow_XXXXXX";
+    const int fd = ::mkstemp(path);
+    ASSERT_GE(fd, 0);
+    std::string error;
+    ASSERT_TRUE(obs::TraceLog::instance().configure(path, error))
+        << error;
+
+    ServerConfig cfg = overloadConfig();
+    cfg.traceSlowMs = 0.0001; // every cold compile exceeds 100ns
+    CompileServer server(cfg);
+    ASSERT_TRUE(server.start(error)) << error;
+    LineClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port(), error));
+    std::string reply;
+    ASSERT_TRUE(client.sendLine("{\"workload\":\"ADDER4\"}"));
+    ASSERT_TRUE(client.recvLine(reply));
+    waitForSpanLines(path, 7);
+    server.stop();
+    ASSERT_TRUE(obs::TraceLog::instance().configure("", error));
+
+    std::string trace_id;
+    const auto spans = readSpans(path, trace_id);
+    EXPECT_TRUE(hasSpan(spans, "shard", "analysis"));
+    ::close(fd);
+    std::remove(path);
 }
 
 } // namespace

@@ -19,6 +19,13 @@
  *                    up to N times (default 0 = print the refusal)
  *   --retry-seed=N   seed for the retry jitter (default 1); a fixed
  *                    seed replays the exact backoff schedule
+ *   --trace-sample=N head-sample 1 in N compile requests: a fresh
+ *                    trace_id is spliced into the outgoing line (the
+ *                    router and shard pick it up and trace the same
+ *                    request), and the client logs its own "request"
+ *                    span covering send-to-reply (default 0 = off)
+ *   --trace-log=PATH NDJSON span log destination (overrides the
+ *                    SQUARE_TRACE_LOG environment variable)
  *
  * Retry discipline: the server's shed reply carries retry_after_ms —
  * its own estimate of when queue space frees up.  The client sleeps
@@ -41,11 +48,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <thread>
 
+#include "common/logging.h"
 #include "common/rng.h"
+#include "obs/trace.h"
 #include "server/client.h"
 #include "service/protocol.h"
 
@@ -88,6 +98,19 @@ isRetryableReply(std::string_view reply)
                std::string_view::npos;
 }
 
+/**
+ * True for lines the client may trace: a compile request (no "cmd"
+ * admin field, no pre-existing trace_id) that is a well-formed flat
+ * object we can splice a field into.
+ */
+bool
+isTraceableRequest(const std::string &line)
+{
+    return !line.empty() && line.back() == '}' &&
+           line.find("\"cmd\"") == std::string::npos &&
+           line.find("\"trace_id\"") == std::string::npos;
+}
+
 } // namespace
 
 int
@@ -97,6 +120,7 @@ main(int argc, char **argv)
     long port = 0;
     long max_retries = 0;
     unsigned long long retry_seed = 1;
+    unsigned long long trace_sample = 0;
     for (int i = 1; i < argc; ++i) {
         char *end = nullptr;
         if (std::strncmp(argv[i], "--host=", 7) == 0) {
@@ -120,10 +144,26 @@ main(int argc, char **argv)
                              "square_client: bad --retry-seed value\n");
                 return 1;
             }
+        } else if (std::strncmp(argv[i], "--trace-sample=", 15) == 0) {
+            trace_sample = std::strtoull(argv[i] + 15, &end, 10);
+            if (end == argv[i] + 15 || *end != '\0') {
+                std::fprintf(stderr,
+                             "square_client: bad --trace-sample value\n");
+                return 1;
+            }
+        } else if (std::strncmp(argv[i], "--trace-log=", 12) == 0) {
+            std::string trace_error;
+            if (!obs::TraceLog::instance().configure(argv[i] + 12,
+                                                     trace_error)) {
+                std::fprintf(stderr, "square_client: bad --trace-log: %s\n",
+                             trace_error.c_str());
+                return 1;
+            }
         } else {
             std::fprintf(stderr,
                          "usage: square_client [--host=A] --port=N "
-                         "[--max-retries=N] [--retry-seed=N]\n");
+                         "[--max-retries=N] [--retry-seed=N] "
+                         "[--trace-sample=N] [--trace-log=PATH]\n");
             return 1;
         }
     }
@@ -139,11 +179,29 @@ main(int argc, char **argv)
         return 1;
     }
 
+    setLogComponent("client");
     Rng jitter(retry_seed);
+    obs::Sampler trace_sampler(trace_sample);
     std::string line;
     while (std::getline(std::cin, line)) {
         if (isProtocolNoOp(line))
             continue;
+        // A sampled request gets a fresh trace_id spliced in before the
+        // closing brace; the servers recognize the field and trace the
+        // same request, so the client's span and the fabric's spans key
+        // on one id.
+        std::shared_ptr<obs::Trace> trace;
+        if (isTraceableRequest(line) && trace_sampler.sample()) {
+            trace = std::make_shared<obs::Trace>(obs::genTraceId(),
+                                                 true);
+            line.pop_back(); // reopen the object
+            line += ", \"trace_id\": \"";
+            line += obs::Trace::formatId(trace->id());
+            line += "\"}";
+        }
+        obs::SpanClock request_t0;
+        if (trace != nullptr)
+            request_t0 = obs::SpanClock::now();
         std::string_view reply;
         long backoff_ms = 10;
         for (long attempt = 0;; ++attempt) {
@@ -171,6 +229,13 @@ main(int argc, char **argv)
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(sleep_ms));
             backoff_ms = std::min(backoff_ms * 2, 2000L);
+        }
+        if (trace != nullptr) {
+            // Client-observed latency: send to final reply, retries and
+            // backoff sleeps included.
+            trace->addSpan("request", request_t0.wallUs,
+                           obs::microsSince(request_t0));
+            obs::TraceLog::instance().emit(*trace, "client");
         }
         std::fwrite(reply.data(), 1, reply.size(), stdout);
         std::fputc('\n', stdout);

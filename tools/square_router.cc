@@ -36,6 +36,12 @@
  *   --faults=SPEC         enable fault injection (connect_fail_rate,
  *                         reset_after_bytes, ... — see
  *                         src/server/faults.h; SQUARE_FAULTS honoured)
+ *   --trace-sample=N      head-sample 1 in N compile requests into a
+ *                         trace; the id rides the forwarded framing so
+ *                         the shard traces the same request (default 0
+ *                         = off)
+ *   --trace-log=PATH      NDJSON span log destination (overrides the
+ *                         SQUARE_TRACE_LOG environment variable)
  *   --port-file=PATH      write the bound port once listening
  *   --quiet               suppress the stderr banner and counters
  *
@@ -53,6 +59,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/logging.h"
+#include "obs/trace.h"
 #include "server/faults.h"
 #include "server/router_daemon.h"
 
@@ -141,6 +149,20 @@ main(int argc, char **argv)
                              fault_error.c_str());
                 return 1;
             }
+        } else if (std::strncmp(arg, "--trace-sample=", 15) == 0) {
+            if (!parseInt(arg + 15, 0, 1000000000, int_value)) {
+                std::fprintf(stderr, "bad --trace-sample value\n");
+                return 1;
+            }
+            cfg.traceSample = static_cast<uint64_t>(int_value);
+        } else if (std::strncmp(arg, "--trace-log=", 12) == 0) {
+            std::string trace_error;
+            if (!obs::TraceLog::instance().configure(arg + 12,
+                                                     trace_error)) {
+                std::fprintf(stderr, "bad --trace-log: %s\n",
+                             trace_error.c_str());
+                return 1;
+            }
         } else if (std::strncmp(arg, "--port-file=", 12) == 0) {
             port_file = arg + 12;
         } else if (std::strcmp(arg, "--quiet") == 0) {
@@ -153,6 +175,7 @@ main(int argc, char **argv)
                 "[--vnodes=N] [--ping-interval-ms=N] "
                 "[--failure-threshold=N] [--retry-after-ms=N] "
                 "[--cascade-shutdown] [--faults=SPEC] "
+                "[--trace-sample=N] [--trace-log=PATH] "
                 "[--port-file=PATH] [--quiet]\n");
             return 1;
         }
@@ -163,6 +186,7 @@ main(int argc, char **argv)
                      "is required\n");
         return 1;
     }
+    setLogComponent("router");
 
     if (!FaultInjector::instance().enabled()) {
         std::string fault_error;

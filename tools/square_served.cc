@@ -33,6 +33,15 @@
  *                      priority=batch requests (default 0.5)
  *   --no-async-cold    compile misses on the transport thread (the
  *                      PR-5 behaviour) instead of the shard's pool
+ *   --no-metrics       disable latency-histogram recording (counters
+ *                      always run); the throughput bench's
+ *                      metrics-off row uses it
+ *   --trace-sample=N   head-sample 1 in N requests into traces (see
+ *                      src/obs/trace.h; 0 = off, the default)
+ *   --trace-slow-ms=T  always emit a trace for requests slower than
+ *                      T ms (0 = off; instruments every request)
+ *   --trace-log=PATH   append NDJSON span lines to PATH (overrides
+ *                      the SQUARE_TRACE_LOG environment variable)
  *   --faults=SPEC      enable fault injection, e.g.
  *                      "seed=7,compile_delay_ms=30,worker_death_rate=
  *                      0.05" (see src/server/faults.h for the grammar;
@@ -55,6 +64,8 @@
 #include <string>
 #include <thread>
 
+#include "common/logging.h"
+#include "obs/trace.h"
 #include "server/faults.h"
 #include "server/server.h"
 
@@ -160,6 +171,30 @@ main(int argc, char **argv)
             }
         } else if (std::strcmp(arg, "--no-async-cold") == 0) {
             cfg.asyncColdPath = false;
+        } else if (std::strcmp(arg, "--no-metrics") == 0) {
+            cfg.metrics = false;
+        } else if (std::strncmp(arg, "--trace-sample=", 15) == 0) {
+            if (!parseSize(arg + 15, size_value)) {
+                std::fprintf(stderr, "bad --trace-sample value\n");
+                return 1;
+            }
+            cfg.traceSample = size_value;
+        } else if (std::strncmp(arg, "--trace-slow-ms=", 16) == 0) {
+            char *end = nullptr;
+            cfg.traceSlowMs = std::strtod(arg + 16, &end);
+            if (end == arg + 16 || *end != '\0' ||
+                cfg.traceSlowMs < 0) {
+                std::fprintf(stderr, "bad --trace-slow-ms value\n");
+                return 1;
+            }
+        } else if (std::strncmp(arg, "--trace-log=", 12) == 0) {
+            std::string trace_error;
+            if (!obs::TraceLog::instance().configure(arg + 12,
+                                                     trace_error)) {
+                std::fprintf(stderr, "bad --trace-log: %s\n",
+                             trace_error.c_str());
+                return 1;
+            }
         } else if (std::strncmp(arg, "--faults=", 9) == 0) {
             std::string fault_error;
             if (!FaultInjector::instance().configureFromSpec(
@@ -180,10 +215,14 @@ main(int argc, char **argv)
                 "[--event-threads=N] [--cache-entries=N] "
                 "[--cache-bytes=N] [--max-pending=N] "
                 "[--batch-fraction=F] [--no-async-cold] "
+                "[--no-metrics] [--trace-sample=N] "
+                "[--trace-slow-ms=T] [--trace-log=PATH] "
                 "[--faults=SPEC] [--port-file=PATH] [--quiet]\n");
             return 1;
         }
     }
+
+    setLogComponent("shard");
 
     // The env var covers deployment shapes with no flag path (CI
     // wrappers, tests spawning the binary); an explicit --faults flag

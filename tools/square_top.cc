@@ -1,0 +1,261 @@
+/**
+ * @file
+ * square_top: live metrics dashboard for the serving fabric.
+ *
+ * Polls one or more square_served / square_router processes with the
+ * {"cmd": "metrics"} command, parses the Prometheus-style exposition
+ * out of the reply's "text" field, and renders a refreshing terminal
+ * view: every series with its current value, plus a per-second rate
+ * column for counters (computed from the previous poll).  Targets are
+ * re-connected every tick, so a restarted daemon just reappears.
+ *
+ *   square_top --target=127.0.0.1:7801 --target=127.0.0.1:7811
+ *
+ * Flags:
+ *   --target=HOST:PORT  a daemon to poll (repeatable; at least one
+ *                       required)
+ *   --interval=SEC      poll cadence in seconds (default 2)
+ *   --filter=SUBSTR     only show series whose name contains SUBSTR
+ *   --once              poll each target once, print the raw
+ *                       exposition text, and exit (CI smoke mode —
+ *                       exits non-zero if any target fails to answer)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "server/client.h"
+#include "service/protocol.h"
+
+using namespace square;
+
+namespace {
+
+/** Recv deadline per poll: one hung daemon must not freeze the view. */
+constexpr int kRecvTimeoutMs = 2000;
+
+struct Target {
+    std::string host;
+    uint16_t port = 0;
+    std::string label; // the original HOST:PORT string
+};
+
+bool
+parseTarget(const char *spec, Target &out)
+{
+    const char *colon = std::strrchr(spec, ':');
+    if (colon == nullptr || colon == spec)
+        return false;
+    char *end = nullptr;
+    const long port = std::strtol(colon + 1, &end, 10);
+    if (end == colon + 1 || *end != '\0' || port <= 0 || port > 65535)
+        return false;
+    out.host.assign(spec, static_cast<size_t>(colon - spec));
+    out.port = static_cast<uint16_t>(port);
+    out.label = spec;
+    return true;
+}
+
+/**
+ * One poll: fresh connection, {"cmd":"metrics"}, unescaped exposition
+ * text out.  False (with the reason) on any transport or protocol
+ * failure.
+ */
+bool
+fetchMetrics(const Target &target, std::string &text,
+             std::string &error)
+{
+    LineClient client;
+    if (!client.connect(target.host, target.port, error))
+        return false;
+    client.setRecvTimeoutMs(kRecvTimeoutMs);
+    if (!client.sendLine("{\"cmd\": \"metrics\"}")) {
+        error = "send failed";
+        return false;
+    }
+    std::string reply;
+    if (!client.recvLine(reply)) {
+        error = "no reply";
+        return false;
+    }
+    JsonRequest parsed;
+    if (!parseJsonLine(reply, parsed, error))
+        return false;
+    if (!parsed.has("text")) {
+        error = "reply carries no metrics text";
+        return false;
+    }
+    text = parsed.get("text");
+    return true;
+}
+
+/**
+ * Exposition text -> ordered (series, value) pairs.  A series key is
+ * the full name-with-labels string, so shard/quantile labels stay
+ * distinct rows; '#' comment lines are dropped.
+ */
+std::vector<std::pair<std::string, long long>>
+parseSeries(const std::string &text)
+{
+    std::vector<std::pair<std::string, long long>> out;
+    size_t pos = 0;
+    while (pos < text.size()) {
+        size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = text.size();
+        std::string_view line(text.data() + pos, eol - pos);
+        pos = eol + 1;
+        if (line.empty() || line.front() == '#')
+            continue;
+        const size_t space = line.rfind(' ');
+        if (space == std::string_view::npos)
+            continue;
+        out.emplace_back(
+            std::string(line.substr(0, space)),
+            std::strtoll(line.data() + space + 1, nullptr, 10));
+    }
+    return out;
+}
+
+bool
+isCounterSeries(const std::string &name)
+{
+    // _count (histogram sample counts) rates are as meaningful as
+    // _total rates; quantile/gauge rows get no rate column.
+    const size_t brace = name.find('{');
+    const std::string_view bare(
+        name.data(), brace == std::string::npos ? name.size() : brace);
+    auto ends_with = [bare](std::string_view suffix) {
+        return bare.size() >= suffix.size() &&
+               bare.substr(bare.size() - suffix.size()) == suffix;
+    };
+    return ends_with("_total") || ends_with("_count");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<Target> targets;
+    double interval_s = 2.0;
+    std::string filter;
+    bool once = false;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--target=", 9) == 0) {
+            Target t;
+            if (!parseTarget(arg + 9, t)) {
+                std::fprintf(stderr,
+                             "square_top: bad --target (want "
+                             "HOST:PORT): %s\n",
+                             arg + 9);
+                return 1;
+            }
+            targets.push_back(std::move(t));
+        } else if (std::strncmp(arg, "--interval=", 11) == 0) {
+            char *end = nullptr;
+            interval_s = std::strtod(arg + 11, &end);
+            if (end == arg + 11 || *end != '\0' || interval_s <= 0) {
+                std::fprintf(stderr,
+                             "square_top: bad --interval value\n");
+                return 1;
+            }
+        } else if (std::strncmp(arg, "--filter=", 9) == 0) {
+            filter = arg + 9;
+        } else if (std::strcmp(arg, "--once") == 0) {
+            once = true;
+        } else {
+            std::fprintf(
+                stderr,
+                "usage: square_top --target=HOST:PORT [--target=...] "
+                "[--interval=SEC] [--filter=SUBSTR] [--once]\n");
+            return 1;
+        }
+    }
+    if (targets.empty()) {
+        std::fprintf(stderr,
+                     "square_top: at least one --target=HOST:PORT is "
+                     "required\n");
+        return 1;
+    }
+
+    if (once) {
+        // CI smoke mode: raw exposition per target, no screen control.
+        bool ok = true;
+        for (const Target &target : targets) {
+            std::string text, error;
+            std::printf("== %s ==\n", target.label.c_str());
+            if (fetchMetrics(target, text, error)) {
+                std::fwrite(text.data(), 1, text.size(), stdout);
+                if (!text.empty() && text.back() != '\n')
+                    std::fputc('\n', stdout);
+            } else {
+                std::printf("(unreachable: %s)\n", error.c_str());
+                ok = false;
+            }
+        }
+        return ok ? 0 : 1;
+    }
+
+    // Live view: previous poll per target for counter rates.
+    std::vector<std::map<std::string, long long>> prev(targets.size());
+    auto prev_t = std::chrono::steady_clock::now();
+    double elapsed_s = 0; // 0 on the first frame: rates suppressed
+    for (;;) {
+        std::string frame;
+        frame += "\x1b[H\x1b[2J"; // home + clear
+        char head[128];
+        std::snprintf(head, sizeof head,
+                      "square_top — %zu target(s), every %.1fs "
+                      "(ctrl-c to quit)\n",
+                      targets.size(), interval_s);
+        frame += head;
+        for (size_t t = 0; t < targets.size(); ++t) {
+            frame += "\n== ";
+            frame += targets[t].label;
+            frame += " ==\n";
+            std::string text, error;
+            if (!fetchMetrics(targets[t], text, error)) {
+                frame += "(unreachable: " + error + ")\n";
+                prev[t].clear();
+                continue;
+            }
+            for (const auto &[series, value] : parseSeries(text)) {
+                if (!filter.empty() &&
+                    series.find(filter) == std::string::npos)
+                    continue;
+                char row[192];
+                const auto it = prev[t].find(series);
+                if (isCounterSeries(series) && it != prev[t].end() &&
+                    elapsed_s > 0) {
+                    std::snprintf(
+                        row, sizeof row, "%-58s %12lld %10.1f/s\n",
+                        series.c_str(), value,
+                        static_cast<double>(value - it->second) /
+                            elapsed_s);
+                } else {
+                    std::snprintf(row, sizeof row, "%-58s %12lld\n",
+                                  series.c_str(), value);
+                }
+                frame += row;
+                prev[t][series] = value;
+            }
+        }
+        std::fwrite(frame.data(), 1, frame.size(), stdout);
+        std::fflush(stdout);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(interval_s));
+        const auto now = std::chrono::steady_clock::now();
+        elapsed_s =
+            std::chrono::duration<double>(now - prev_t).count();
+        prev_t = now;
+    }
+}
