@@ -19,8 +19,9 @@ using namespace square;
 using namespace square::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string json_path = extractJsonPath(argc, argv);
     printHeader("Uncomputation vs measurement-and-reset",
                 "Sec. II-E comparison");
 
@@ -32,6 +33,9 @@ main()
         SquareConfig::measureReset(2),     // FT logical measurement
     };
 
+    JsonReport report;
+    report.benchmark = "mr_comparison";
+    report.unit = "aqv";
     for (const char *name : {"MODEXP", "MUL32", "SALSA20"}) {
         const BenchmarkInfo &info = findBenchmark(name);
         Program prog = info.build();
@@ -45,9 +49,17 @@ main()
                         cfg.name.c_str(), static_cast<long long>(r.aqv),
                         static_cast<long long>(r.gates), r.peakLive,
                         static_cast<long long>(r.depth));
+            report.addRow({jsonStr("workload", name),
+                           jsonStr("policy", cfg.name),
+                           jsonInt("aqv", r.aqv),
+                           jsonInt("gates", r.gates),
+                           jsonInt("peak_live", r.peakLive),
+                           jsonInt("depth", r.depth)});
         }
         printRule(62);
     }
+    if (!json_path.empty() && !report.writeTo(json_path))
+        return 1;
     std::printf(
         "\nM&R(2) approximates FT logical measurement; M&R(10000) the\n"
         "decoherence-based reset of today's NISQ machines.  M&R is\n"

@@ -19,14 +19,18 @@ using namespace square;
 using namespace square::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string json_path = extractJsonPath(argc, argv);
     printHeader("AQV ratio vs problem width (controlled multiplier)",
                 "Fig. 9 scaling trend");
     std::printf("%-8s %8s %12s %12s %12s %10s\n", "width", "sites",
                 "LAZY AQV", "SQUARE AQV", "LAZY/SQUARE", "reclaims");
     printRule(70);
 
+    JsonReport report;
+    report.benchmark = "scaling_width";
+    report.unit = "aqv";
     for (int n : {8, 16, 32, 48, 64, 96, 128}) {
         Program prog = makeMultiplier(n);
 
@@ -42,14 +46,22 @@ main()
         Machine m2 = Machine::nisqLattice(edge, edge);
         CompileResult sq = compile(prog, m2, SquareConfig::square(), {});
 
+        const double ratio = static_cast<double>(lazy.aqv) /
+                             static_cast<double>(sq.aqv);
         std::printf("%-8d %8d %12lld %12lld %11.2fx %10d\n", n,
                     edge * edge, static_cast<long long>(lazy.aqv),
-                    static_cast<long long>(sq.aqv),
-                    static_cast<double>(lazy.aqv) /
-                        static_cast<double>(sq.aqv),
+                    static_cast<long long>(sq.aqv), ratio,
                     sq.reclaimCount);
+        report.addRow({jsonInt("width", n),
+                       jsonInt("sites", edge * edge),
+                       jsonInt("lazy_aqv", lazy.aqv),
+                       jsonInt("square_aqv", sq.aqv),
+                       jsonNum("ratio", ratio),
+                       jsonInt("reclaims", sq.reclaimCount)});
     }
     printRule(70);
+    if (!json_path.empty() && !report.writeTo(json_path))
+        return 1;
     std::printf("\nThe ratio grows with width toward the paper's "
                 "large-instance averages.\n");
     return 0;

@@ -76,6 +76,7 @@
 #include "bench_common.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "obs/flight_recorder.h"
 #include "server/client.h"
 #include "server/router_daemon.h"
 #include "server/server.h"
@@ -560,6 +561,55 @@ metricsOverheadPhase(const ServerConfig &base, int clients, int batches,
     return true;
 }
 
+/**
+ * Recorder-overhead phase: the flight recorder's acceptance gate,
+ * mirroring metricsOverheadPhase.  Two fresh epoll servers — recorder
+ * enabled (the default) vs disabled — run the identical warm pipelined
+ * load at the deepest depth with best-of scoring.  The warm path
+ * records nothing per-request by design (admits, flushes, and traced
+ * requests only), so the measured cost is the relaxed enabled-gate
+ * loads on the hooks' paths; the gate keeps it that way.
+ */
+bool
+recorderOverheadPhase(const ServerConfig &base, int clients,
+                      int batches, int depth, int trials,
+                      double &on_rps, double &off_rps)
+{
+    on_rps = off_rps = 0;
+    obs::FlightRecorder &recorder = obs::FlightRecorder::instance();
+    for (int trial = 0; trial < trials; ++trial) {
+        for (const bool recorder_on : {false, true}) {
+            recorder.setEnabled(recorder_on);
+            ServerConfig cfg = base;
+            cfg.transport = "epoll";
+            CompileServer server(cfg);
+            std::string error;
+            if (!server.start(error)) {
+                std::fprintf(stderr,
+                             "server start failed (recorder %s): %s\n",
+                             recorder_on ? "on" : "off",
+                             error.c_str());
+                recorder.setEnabled(true);
+                return false;
+            }
+            double cold_ms = 0;
+            PhaseRow row;
+            if (!coldPhase(server.port(), cold_ms) ||
+                !loadPhase(server.port(), server.transport(),
+                           recorder_on ? "r-on" : "r-off", clients,
+                           batches, depth, row)) {
+                recorder.setEnabled(true);
+                return false;
+            }
+            double &best = recorder_on ? on_rps : off_rps;
+            best = std::max(best, row.rps);
+            server.stop();
+        }
+    }
+    recorder.setEnabled(true);
+    return true;
+}
+
 /** Golden phase: every workload re-requested, parsed, and compared. */
 bool
 goldenPhase(uint16_t port)
@@ -870,6 +920,37 @@ main(int argc, char **argv)
         }
     }
 
+    // Recorder-overhead phase: the flight recorder's acceptance gate —
+    // same shape, toggling the per-thread ring recording instead.
+    double recorder_on_rps = 0, recorder_off_rps = 0;
+    double recorder_overhead = 0;
+    if (ran_metrics_phase) {
+        ServerConfig base;
+        base.shards = shards;
+        base.workersPerShard = workers;
+        base.eventThreads = event_threads;
+        if (!recorderOverheadPhase(base, clients, batches, depth,
+                                   smoke ? 1 : 2, recorder_on_rps,
+                                   recorder_off_rps))
+            return 1;
+        recorder_overhead =
+            recorder_off_rps > 0
+                ? (recorder_off_rps - recorder_on_rps) /
+                      recorder_off_rps
+                : 0.0;
+        std::printf("recorder overhead (epoll, depth %d): on %.0f "
+                    "req/s vs off %.0f req/s => %+.2f%%\n",
+                    depth, recorder_on_rps, recorder_off_rps,
+                    recorder_overhead * 100.0);
+        if (!smoke && recorder_overhead > 0.02) {
+            std::fprintf(stderr,
+                         "RECORDER OVERHEAD REGRESSION: %.2f%% > 2%% "
+                         "at pipeline depth %d\n",
+                         recorder_overhead * 100.0, depth);
+            return 1;
+        }
+    }
+
     // Fabric phase: N forked shard daemons behind an in-process
     // consistent-hash router, same cold/load/golden sequence.
     UpstreamStats fabric_stats;
@@ -1012,6 +1093,13 @@ main(int argc, char **argv)
                 jsonNum("metrics_off_rps", metrics_off_rps, 0));
             report.header.push_back(jsonNum(
                 "metrics_overhead_pct", metrics_overhead * 100.0, 2));
+            report.header.push_back(
+                jsonNum("recorder_on_rps", recorder_on_rps, 0));
+            report.header.push_back(
+                jsonNum("recorder_off_rps", recorder_off_rps, 0));
+            report.header.push_back(
+                jsonNum("recorder_overhead_pct",
+                        recorder_overhead * 100.0, 2));
         }
         if (fabric > 0) {
             report.header.push_back(

@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "obs/flight_recorder.h"
+#include "obs/watchdog.h"
+
 #if defined(__linux__)
 #include <sys/resource.h>
 #include <sys/syscall.h>
@@ -60,6 +63,7 @@ WorkerPool::cancel(uint64_t id)
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
         if (it->id == id) {
             queue_.erase(it);
+            obs::recordEvent(obs::Comp::Worker, obs::Ev::Cancel, id);
             return true;
         }
     }
@@ -77,13 +81,21 @@ void
 WorkerPool::run()
 {
     applyNiceness(niceness_); // replacement threads re-enter here too
+    // Watchdog discipline: idle while parked on the cv, beat at
+    // dequeue, busy for the job itself — a slow compile (including an
+    // injected compile_delay_ms) is legitimate work, not a stall.
+    obs::WatchdogRegistration wd("worker");
     std::unique_lock<std::mutex> lock(mu_);
     for (;;) {
+        wd.idle();
         cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        wd.beat();
         if (stop_)
             return;
         Item item = std::move(queue_.front());
         queue_.pop_front();
+        obs::recordEvent(obs::Comp::Worker, obs::Ev::Dequeue, item.id,
+                         queue_.size());
         // Fault injection: the death probe runs under mu_ (it is a
         // cheap seeded coin flip).  A dying worker re-queues its job
         // at the FRONT — never lost, never reordered behind newer
@@ -91,13 +103,19 @@ WorkerPool::run()
         if (deathHook_ && deathHook_()) {
             queue_.push_front(std::move(item));
             ++deaths_;
+            obs::recordEvent(obs::Comp::Worker, obs::Ev::Death,
+                             item.id,
+                             static_cast<uint64_t>(deaths_));
             threads_.emplace_back([this] { run(); });
+            obs::recordEvent(obs::Comp::Worker, obs::Ev::Respawn);
             lock.unlock();
             cv_.notify_one();
             return;
         }
         lock.unlock();
+        wd.busy();
         item.fn();
+        wd.beat();
         lock.lock();
     }
 }

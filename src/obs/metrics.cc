@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <thread>
 
 namespace square {
 namespace obs {
@@ -179,6 +181,29 @@ Registry::histogramValues() const
     return out;
 }
 
+void
+Registry::visitValues(bool best_effort,
+                      void (*fn)(void *ctx, char kind,
+                                 const char *name, int64_t value),
+                      void *ctx) const
+{
+    const bool locked = best_effort ? mu_.try_lock()
+                                    : (mu_.lock(), true);
+    for (const auto &entry : counters_)
+        fn(ctx, 'c', entry.first.c_str(), entry.second.value());
+    for (const auto &entry : gauges_)
+        fn(ctx, 'g', entry.first.c_str(), entry.second.value());
+    for (const auto &entry : histograms_) {
+        // Count and sum only: percentiles need an allocated snapshot,
+        // which the crash path cannot afford.
+        fn(ctx, 'h', entry.first.c_str(),
+           static_cast<int64_t>(entry.second.count()));
+        fn(ctx, 's', entry.first.c_str(), entry.second.sum());
+    }
+    if (locked)
+        mu_.unlock();
+}
+
 // ---------------------------------------------------------------------
 // Prometheus text exposition
 // ---------------------------------------------------------------------
@@ -279,6 +304,77 @@ renderPrometheus(std::string &out, std::string_view prefix,
                          static_cast<long long>(snap.sum));
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Build identity + uptime
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Anchored at static init, close enough to process start. */
+const std::chrono::steady_clock::time_point g_processStart =
+    std::chrono::steady_clock::now();
+
+const char *
+sanitizerName()
+{
+#if defined(__SANITIZE_ADDRESS__)
+    return "asan";
+#elif defined(__SANITIZE_THREAD__)
+    return "tsan";
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+    return "asan";
+#elif __has_feature(thread_sanitizer)
+    return "tsan";
+#elif __has_feature(memory_sanitizer)
+    return "msan";
+#else
+    return "none";
+#endif
+#else
+    return "none";
+#endif
+}
+
+} // namespace
+
+int64_t
+uptimeSeconds()
+{
+    return std::chrono::duration_cast<std::chrono::seconds>(
+               std::chrono::steady_clock::now() - g_processStart)
+        .count();
+}
+
+void
+renderBuildInfo(std::string &out)
+{
+#ifdef SQUARE_VERSION
+    const char *version = SQUARE_VERSION;
+#else
+    const char *version = "dev";
+#endif
+#ifdef __VERSION__
+    const char *compiler = __VERSION__;
+#else
+    const char *compiler = "unknown";
+#endif
+    out += "# TYPE square_build_info gauge\n";
+    out += "square_build_info{version=\"";
+    out += version;
+    out += "\",compiler=\"";
+    out += compiler;
+    out += "\",sanitizer=\"";
+    out += sanitizerName();
+    out += "\",cpus=\"";
+    out += std::to_string(std::thread::hardware_concurrency());
+    out += "\"} 1\n";
+    out += "# TYPE square_uptime_seconds gauge\n";
+    out += "square_uptime_seconds ";
+    out += std::to_string(uptimeSeconds());
+    out += '\n';
 }
 
 } // namespace obs

@@ -165,6 +165,12 @@ class Histogram
         return n;
     }
 
+    /** Sum of recorded values (allocation-free, for visitValues). */
+    int64_t sum() const
+    {
+        return sum_.load(std::memory_order_relaxed);
+    }
+
   private:
     std::atomic<uint64_t> buckets_[kBuckets] = {};
     std::atomic<int64_t> sum_{0};
@@ -191,6 +197,21 @@ class Registry
     std::vector<std::pair<std::string, int64_t>> gaugeValues() const;
     std::vector<std::pair<std::string, HistogramSnapshot>>
     histogramValues() const;
+
+    /**
+     * Allocation-free walk over every metric's current value, for the
+     * postmortem path (obs/flight_recorder.h).  @p kind is 'c'
+     * (counter), 'g' (gauge), 'h' (histogram count), or 's'
+     * (histogram sum).  With @p best_effort the registry lock is only
+     * tried — a crash handler must never block on a mutex its own
+     * thread may hold — and the walk then races create-or-get, which
+     * is tolerable for a dying process: entries are never removed and
+     * deque element addresses are stable.
+     */
+    void visitValues(bool best_effort,
+                     void (*fn)(void *ctx, char kind,
+                                const char *name, int64_t value),
+                     void *ctx) const;
 
   private:
     mutable std::mutex mu_;
@@ -219,6 +240,21 @@ struct LabeledRegistry {
  */
 void renderPrometheus(std::string &out, std::string_view prefix,
                       const std::vector<LabeledRegistry> &registries);
+
+/** Seconds since the process started (static-init anchor). */
+int64_t uptimeSeconds();
+
+/**
+ * Append the build-identity series plus the uptime gauge:
+ *
+ *   square_build_info{version=..., compiler=..., sanitizer=...,
+ *                     cpus=...} 1
+ *   square_uptime_seconds <elapsed>
+ *
+ * so a scrape (and square_top's header) can tell *what* is running,
+ * not just how it is doing.
+ */
+void renderBuildInfo(std::string &out);
 
 } // namespace obs
 } // namespace square

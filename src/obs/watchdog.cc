@@ -1,0 +1,158 @@
+#include "obs/watchdog.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+#include "obs/flight_recorder.h"
+
+namespace square {
+namespace obs {
+
+Watchdog &
+Watchdog::instance()
+{
+    // Immortal: the checker joins via disable() (daemons call it on
+    // shutdown), never via a static destructor racing teardown.
+    static Watchdog *dog = new Watchdog();
+    return *dog;
+}
+
+Watchdog::Watchdog()
+    : stallsC_(metrics_.counter("stalls")),
+      threadsG_(metrics_.gauge("threads"))
+{
+}
+
+int64_t
+Watchdog::nowMonoUsRelaxed()
+{
+    return nowMonoUs();
+}
+
+void
+Watchdog::configure(const WatchdogConfig &cfg)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    thresholdMs_ = cfg.thresholdMs > 0 ? cfg.thresholdMs : 5000;
+    intervalMs_ = cfg.intervalMs > 0 ? cfg.intervalMs : 100;
+    metrics_.gauge("threshold_ms")
+        .set(static_cast<int64_t>(thresholdMs_));
+    if (checker_.joinable()) {
+        // Retune only; the running checker reads the new values on
+        // its next pass (it takes mu_ per scan).
+        enabled_.store(true, std::memory_order_release);
+        return;
+    }
+    stopping_ = false;
+    enabled_.store(true, std::memory_order_release);
+    checker_ = std::thread([this] { checkerLoop(); });
+}
+
+void
+Watchdog::disable()
+{
+    std::thread checker;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        enabled_.store(false, std::memory_order_release);
+        stopping_ = true;
+        checker.swap(checker_);
+        cv_.notify_all();
+    }
+    if (checker.joinable())
+        checker.join();
+}
+
+int
+Watchdog::registerThread(const char *name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int i = 0; i < kMaxSlots; ++i) {
+        Slot &s = slots_[i];
+        if (s.state.load(std::memory_order_relaxed) != kFree)
+            continue;
+        s.name.store(name, std::memory_order_relaxed);
+        s.lastUs.store(nowMonoUs(), std::memory_order_relaxed);
+        s.alarmed.store(false, std::memory_order_relaxed);
+        s.state.store(kIdle, std::memory_order_release);
+        int high = slotHighWater_.load(std::memory_order_relaxed);
+        if (i + 1 > high)
+            slotHighWater_.store(i + 1, std::memory_order_release);
+        threadsG_.add(1);
+        return i;
+    }
+    return -1;
+}
+
+void
+Watchdog::unregisterThread(int slot)
+{
+    if (slot < 0)
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    Slot &s = slots_[slot];
+    if (s.state.exchange(kFree, std::memory_order_acq_rel) != kFree)
+        threadsG_.add(-1);
+    s.name.store(nullptr, std::memory_order_relaxed);
+}
+
+void
+Watchdog::checkerLoop()
+{
+    for (;;) {
+        double threshold_ms;
+        double interval_ms;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            if (stopping_)
+                return;
+            interval_ms = intervalMs_;
+            threshold_ms = thresholdMs_;
+            cv_.wait_for(
+                lock,
+                std::chrono::duration<double, std::milli>(
+                    interval_ms),
+                [this] { return stopping_; });
+            if (stopping_)
+                return;
+        }
+        const int64_t now = nowMonoUs();
+        const int64_t threshold_us =
+            static_cast<int64_t>(threshold_ms * 1000.0);
+        const int high =
+            slotHighWater_.load(std::memory_order_acquire);
+        for (int i = 0; i < high; ++i) {
+            Slot &s = slots_[i];
+            if (s.state.load(std::memory_order_acquire) != kActive)
+                continue;
+            if (s.alarmed.load(std::memory_order_relaxed))
+                continue;
+            const int64_t silent =
+                now - s.lastUs.load(std::memory_order_relaxed);
+            if (silent <= threshold_us)
+                continue;
+            s.alarmed.store(true, std::memory_order_relaxed);
+            stallsC_.add(1);
+            const char *name =
+                s.name.load(std::memory_order_relaxed);
+            const int64_t silent_ms = silent / 1000;
+            recordEvent(Comp::Watchdog, Ev::Stall,
+                        static_cast<uint64_t>(i),
+                        static_cast<uint64_t>(silent_ms));
+            warn("thread '" +
+                 std::string(name != nullptr ? name : "?") +
+                 "' (slot " + std::to_string(i) + ") silent for " +
+                 std::to_string(silent_ms) + " ms (threshold " +
+                 std::to_string(static_cast<int64_t>(threshold_ms)) +
+                 " ms); dumping postmortem");
+            const int64_t events =
+                Postmortem::instance().dump("stall");
+            if (events >= 0)
+                recordEvent(Comp::Watchdog, Ev::Dump,
+                            static_cast<uint64_t>(events));
+        }
+    }
+}
+
+} // namespace obs
+} // namespace square

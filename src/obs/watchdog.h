@@ -1,0 +1,174 @@
+/**
+ * @file
+ * The stall watchdog: a heartbeat table plus one checker thread that
+ * turns "an epoll loop wedged" from an invisible hang into a logged,
+ * counted, postmortem-dumped event.
+ *
+ * Threads that must stay responsive (epoll event loops, WorkerPool
+ * workers) register a slot and then narrate their state:
+ *
+ *   beat()  I just made progress; the silence clock restarts.
+ *   idle()  I am parked waiting for work (epoll_wait, cv.wait) —
+ *           silence is expected, do not alarm.
+ *   busy()  I am executing one known-long unit of work (a compile) —
+ *           exempt from the threshold for its duration.
+ *
+ * Only an *active* slot can alarm: a loop stalls when it wakes up,
+ * starts processing, and then goes silent past the threshold — which
+ * is exactly what the read_stall_ms fault injects into onReadable.
+ * A legitimately slow compile (compile_delay_ms) runs under busy()
+ * and never false-positives; tests/test_server.cc pins both sides.
+ *
+ * On a stall the checker logs a warning, bumps the stalls counter
+ * (square_watchdog_stalls_total), records a flight-recorder event,
+ * and triggers a postmortem dump tagged reason="stall".  A stalled
+ * slot alarms once; its next beat() re-arms it.
+ *
+ * All heartbeat calls are a couple of relaxed atomic stores behind an
+ * enabled() gate, so an unconfigured watchdog costs one relaxed load
+ * per call site.
+ */
+
+#ifndef SQUARE_OBS_WATCHDOG_H
+#define SQUARE_OBS_WATCHDOG_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace square {
+namespace obs {
+
+struct WatchdogConfig {
+    /** Silence (ms) an active thread may show before it alarms. */
+    double thresholdMs = 5000;
+    /** Checker scan period (ms). */
+    double intervalMs = 100;
+};
+
+class Watchdog
+{
+  public:
+    static constexpr int kMaxSlots = 256;
+
+    static Watchdog &instance();
+
+    /** Start (or retune) the checker thread. */
+    void configure(const WatchdogConfig &cfg);
+
+    /** Stop the checker; heartbeat calls become no-ops again. */
+    void disable();
+
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Claim a slot for the calling thread (any thread may then beat
+     * it, but by convention only the owner does).  `name` must
+     * outlive the registration (string literals).  Returns -1 when
+     * the table is full — every heartbeat call ignores -1.
+     */
+    int registerThread(const char *name);
+    void unregisterThread(int slot);
+
+    void beat(int slot)
+    {
+        if (!enabled() || slot < 0)
+            return;
+        Slot &s = slots_[slot];
+        s.lastUs.store(nowMonoUsRelaxed(),
+                       std::memory_order_relaxed);
+        s.state.store(kActive, std::memory_order_relaxed);
+        s.alarmed.store(false, std::memory_order_relaxed);
+    }
+
+    void idle(int slot)
+    {
+        if (!enabled() || slot < 0)
+            return;
+        slots_[slot].state.store(kIdle, std::memory_order_relaxed);
+    }
+
+    void busy(int slot)
+    {
+        if (!enabled() || slot < 0)
+            return;
+        Slot &s = slots_[slot];
+        s.lastUs.store(nowMonoUsRelaxed(),
+                       std::memory_order_relaxed);
+        s.state.store(kBusy, std::memory_order_relaxed);
+    }
+
+    int64_t stalls() const { return stallsC_.value(); }
+
+    /** Rendered as square_watchdog_* by the daemons. */
+    Registry &metricsRegistry() { return metrics_; }
+
+  private:
+    enum : uint32_t { kFree = 0, kIdle, kActive, kBusy };
+
+    struct Slot {
+        std::atomic<uint32_t> state{kFree};
+        std::atomic<int64_t> lastUs{0};
+        std::atomic<bool> alarmed{false};
+        std::atomic<const char *> name{nullptr};
+    };
+
+    Watchdog();
+
+    static int64_t nowMonoUsRelaxed();
+    void checkerLoop();
+
+    Slot slots_[kMaxSlots];
+    std::atomic<bool> enabled_{false};
+    std::atomic<int> slotHighWater_{0};
+
+    std::mutex mu_; ///< configure/disable/register bookkeeping
+    std::condition_variable cv_;
+    std::thread checker_;
+    bool stopping_ = false;
+    double thresholdMs_ = 5000;
+    double intervalMs_ = 100;
+
+    Registry metrics_;
+    Counter &stallsC_;
+    Gauge &threadsG_;
+};
+
+/**
+ * RAII slot for loop/worker bodies: registers on entry, unregisters
+ * on every exit path (including worker death).
+ */
+class WatchdogRegistration
+{
+  public:
+    explicit WatchdogRegistration(const char *name)
+        : slot_(Watchdog::instance().registerThread(name))
+    {
+    }
+    ~WatchdogRegistration()
+    {
+        Watchdog::instance().unregisterThread(slot_);
+    }
+    WatchdogRegistration(const WatchdogRegistration &) = delete;
+    WatchdogRegistration &
+    operator=(const WatchdogRegistration &) = delete;
+
+    void beat() { Watchdog::instance().beat(slot_); }
+    void idle() { Watchdog::instance().idle(slot_); }
+    void busy() { Watchdog::instance().busy(slot_); }
+
+  private:
+    const int slot_;
+};
+
+} // namespace obs
+} // namespace square
+
+#endif // SQUARE_OBS_WATCHDOG_H

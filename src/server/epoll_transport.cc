@@ -11,6 +11,8 @@
 #include <unistd.h>
 #include <utility>
 
+#include "obs/flight_recorder.h"
+#include "obs/watchdog.h"
 #include "server/faults.h"
 #include "server/net.h"
 
@@ -221,10 +223,17 @@ EpollTransport::stop()
 void
 EpollTransport::runLoop(Loop &loop)
 {
+    // Watchdog discipline: idle while parked in epoll_wait (silence
+    // is expected), beat on every wakeup.  A loop that wakes up and
+    // then wedges mid-processing (the read_stall_ms fault, a handler
+    // bug) stays Active and silent — exactly what alarms.
+    obs::WatchdogRegistration wd("epoll_loop");
     epoll_event events[128];
     while (running_.load(std::memory_order_acquire)) {
+        wd.idle();
         int n = ::epoll_wait(loop.epfd, events,
                              static_cast<int>(std::size(events)), -1);
+        wd.beat();
         if (n < 0) {
             if (errno == EINTR)
                 continue;
@@ -289,6 +298,8 @@ EpollTransport::acceptReady(Loop &loop)
         net::setNoDelay(fd);
         acceptedC_.add(1);
         activeG_.add(1);
+        obs::recordEvent(obs::Comp::Transport, obs::Ev::Accept,
+                         static_cast<uint64_t>(activeG_.value()));
         Loop &target = *loops_[nextLoop_++ % loops_.size()];
         if (&target == &loop) {
             adoptConn(loop, fd);
@@ -424,6 +435,9 @@ EpollTransport::processLines(Conn &conn)
             // drains what it already owes us.
             conn.paused = true;
             backpressuredC_.add(1);
+            obs::recordEvent(obs::Comp::Transport,
+                             obs::Ev::Backpressure, conn.id,
+                             conn.wbuf.pending());
             break;
         }
         std::string_view line;
@@ -463,6 +477,8 @@ EpollTransport::noteFlushBatch(int batch)
     batchedRepliesC_.add(batch);
     maxFlushBatchG_.noteMax(batch);
     flushBatchH_.record(batch);
+    obs::recordEvent(obs::Comp::Transport, obs::Ev::Flush,
+                     static_cast<uint64_t>(batch));
 }
 
 bool
@@ -553,6 +569,8 @@ EpollTransport::destroyConn(Loop &loop, Conn &conn)
     net::shutdownFd(conn.fd);
     net::closeFd(conn.fd);
     activeG_.add(-1);
+    obs::recordEvent(obs::Comp::Transport, obs::Ev::Disconnect,
+                     conn.id);
     // In-flight completions for this id now miss in byId and drop;
     // the Sink object itself stays alive (shared_ptr in the done
     // callbacks) but only ever touches the mutex-guarded queue.

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <thread>
 
+#include "obs/flight_recorder.h"
+
 namespace square {
 
 namespace {
@@ -126,6 +128,8 @@ FaultInjector::onCompileStart()
                 rng_.uniform() * cfg_.compileDelayJitterMs;
         ++stats_.compileDelays;
     }
+    obs::recordEvent(obs::Comp::Fault, obs::Ev::FaultCompileDelay,
+                     static_cast<uint64_t>(delay));
     sleepMs(delay); // outside the lock: delays must not serialize
 }
 
@@ -138,6 +142,8 @@ FaultInjector::shouldKillWorker()
     if (cfg_.workerDeathRate <= 0 || !rng_.coin(cfg_.workerDeathRate))
         return false;
     ++stats_.workerDeaths;
+    obs::recordEvent(obs::Comp::Fault, obs::Ev::FaultWorkerDeath,
+                     static_cast<uint64_t>(stats_.workerDeaths));
     return true;
 }
 
@@ -150,6 +156,8 @@ FaultInjector::shouldFailWrite()
     if (cfg_.writeFailRate <= 0 || !rng_.coin(cfg_.writeFailRate))
         return false;
     ++stats_.writeFailures;
+    obs::recordEvent(obs::Comp::Fault, obs::Ev::FaultWriteFail,
+                     static_cast<uint64_t>(stats_.writeFailures));
     return true;
 }
 
@@ -166,6 +174,8 @@ FaultInjector::onReadStart()
         stall = cfg_.readStallMs;
         ++stats_.readStalls;
     }
+    obs::recordEvent(obs::Comp::Fault, obs::Ev::FaultReadStall,
+                     static_cast<uint64_t>(stall));
     sleepMs(stall);
 }
 
@@ -178,6 +188,8 @@ FaultInjector::shouldFailConnect()
     if (cfg_.connectFailRate <= 0 || !rng_.coin(cfg_.connectFailRate))
         return false;
     ++stats_.connectFailures;
+    obs::recordEvent(obs::Comp::Fault, obs::Ev::FaultConnectFail,
+                     static_cast<uint64_t>(stats_.connectFailures));
     return true;
 }
 
@@ -195,6 +207,8 @@ FaultInjector::noteConnectionReset()
 {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.connectionResets;
+    obs::recordEvent(obs::Comp::Fault, obs::Ev::FaultReset,
+                     static_cast<uint64_t>(stats_.connectionResets));
 }
 
 FaultStats

@@ -5,8 +5,10 @@
 #include <exception>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "server/client.h"
 #include "server/faults.h"
 #include "service/cache_key.h"
@@ -77,24 +79,43 @@ RouterServer::start(std::string &error)
     transport_ = makeTransport("epoll", opts, error);
     if (transport_ == nullptr)
         return false;
-    return transport_->start(
-        cfg_.host, cfg_.port,
-        [this](std::string_view line, std::string &out,
-               bool &close_conn,
-               const std::shared_ptr<AsyncReplySink> &async) {
-            handleLineTo(line, out, close_conn, async);
-        },
-        error);
+    if (!transport_->start(
+            cfg_.host, cfg_.port,
+            [this](std::string_view line, std::string &out,
+                   bool &close_conn,
+                   const std::shared_ptr<AsyncReplySink> &async) {
+                handleLineTo(line, out, close_conn, async);
+            },
+            error))
+        return false;
+    obs::Postmortem &pm = obs::Postmortem::instance();
+    pm.registerRegistry("router", &metrics_);
+    pm.registerRegistry("upstream", &pool_->metricsRegistry());
+    if (transport_->metricsRegistry() != nullptr)
+        pm.registerRegistry("transport", transport_->metricsRegistry());
+    pm.registerRegistry("watchdog",
+                        &obs::Watchdog::instance().metricsRegistry());
+    return true;
 }
 
 void
 RouterServer::stop()
 {
+    obs::Postmortem &pm = obs::Postmortem::instance();
+    pm.unregisterRegistry(&metrics_);
+    if (pool_ != nullptr)
+        pm.unregisterRegistry(&pool_->metricsRegistry());
+    // registerRegistry does not dedupe: the watchdog's slot must be
+    // released too, or start/stop churn (tests) fills the table.
+    pm.unregisterRegistry(&obs::Watchdog::instance().metricsRegistry());
     // Transport first: once its event threads are joined nothing can
     // call forward(), so the pool's teardown flush is the last word on
     // every in-flight request.
-    if (transport_ != nullptr)
+    if (transport_ != nullptr) {
+        if (transport_->metricsRegistry() != nullptr)
+            pm.unregisterRegistry(transport_->metricsRegistry());
         transport_->stop();
+    }
     if (pool_ != nullptr)
         pool_->stop();
 }
@@ -181,7 +202,11 @@ RouterServer::renderMetricsText()
             text, "square_transport",
             {{"", transport_->metricsRegistry()}});
     }
+    obs::renderPrometheus(
+        text, "square_watchdog",
+        {{"", &obs::Watchdog::instance().metricsRegistry()}});
     FaultInjector::instance().renderMetrics(text);
+    obs::renderBuildInfo(text);
     return text;
 }
 
@@ -237,6 +262,22 @@ RouterServer::handleLineTo(std::string_view line, std::string &out,
             out += '{';
             out += replyIdPrefix(json);
             out += "\"ok\": true, \"cmd\": \"ping\"}";
+        } else if (cmd == "dump") {
+            const int64_t events =
+                obs::Postmortem::instance().dump("command");
+            if (events < 0) {
+                out += formatError(
+                    json, "no postmortem file configured");
+            } else {
+                out += '{';
+                out += replyIdPrefix(json);
+                out += "\"ok\": true, \"cmd\": \"dump\", "
+                       "\"events\": ";
+                out += std::to_string(events);
+                out += ", \"path\": \"";
+                out += obs::Postmortem::instance().path();
+                out += "\"}";
+            }
         } else if (cmd == "shutdown") {
             if (cfg_.cascadeShutdown)
                 broadcastCommand("{\"cmd\": \"shutdown\"}");
@@ -307,6 +348,10 @@ RouterServer::handleLineTo(std::string_view line, std::string &out,
     // trace_id is already among the copied fields).
     formatForwardedRequestTo(framed, json, seq, key,
                              trace != nullptr ? trace->id() : 0);
+    if (trace != nullptr)
+        obs::recordEvent(obs::Comp::Router, obs::Ev::Forward,
+                         static_cast<uint64_t>(shard), seq,
+                         trace->id());
     async->expectReply();
     pool_->forward(shard, seq, async, replyIdPrefix(json),
                    std::move(framed), trace);

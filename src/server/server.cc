@@ -4,7 +4,9 @@
 #include <utility>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/watchdog.h"
 #include "server/faults.h"
 #include "service/protocol.h"
 
@@ -82,21 +84,45 @@ CompileServer::start(std::string &error)
     transport_ = makeTransport(cfg_.transport, opts, error);
     if (transport_ == nullptr)
         return false;
-    return transport_->start(
-        cfg_.host, cfg_.port,
-        [this](std::string_view line, std::string &out,
-               bool &close_conn,
-               const std::shared_ptr<AsyncReplySink> &async) {
-            handleLineTo(line, out, close_conn, async);
-        },
-        error);
+    if (!transport_->start(
+            cfg_.host, cfg_.port,
+            [this](std::string_view line, std::string &out,
+                   bool &close_conn,
+                   const std::shared_ptr<AsyncReplySink> &async) {
+                handleLineTo(line, out, close_conn, async);
+            },
+            error))
+        return false;
+    // Postmortem dumps carry a final metrics snapshot; every registry
+    // this server owns is labelled into it while it is alive.
+    obs::Postmortem &pm = obs::Postmortem::instance();
+    for (int i = 0; i < router_.shards(); ++i) {
+        char prefix[32];
+        std::snprintf(prefix, sizeof prefix, "service%d", i);
+        pm.registerRegistry(prefix,
+                            &router_.shard(i).metricsRegistry());
+    }
+    if (transport_->metricsRegistry() != nullptr)
+        pm.registerRegistry("transport", transport_->metricsRegistry());
+    pm.registerRegistry("watchdog",
+                        &obs::Watchdog::instance().metricsRegistry());
+    return true;
 }
 
 void
 CompileServer::stop()
 {
-    if (transport_ != nullptr)
+    obs::Postmortem &pm = obs::Postmortem::instance();
+    for (int i = 0; i < router_.shards(); ++i)
+        pm.unregisterRegistry(&router_.shard(i).metricsRegistry());
+    // registerRegistry does not dedupe: the watchdog's slot must be
+    // released too, or start/stop churn (tests) fills the table.
+    pm.unregisterRegistry(&obs::Watchdog::instance().metricsRegistry());
+    if (transport_ != nullptr) {
+        if (transport_->metricsRegistry() != nullptr)
+            pm.unregisterRegistry(transport_->metricsRegistry());
         transport_->stop();
+    }
 }
 
 void
@@ -132,6 +158,22 @@ CompileServer::handleLineTo(std::string_view line, std::string &out,
             out += '{';
             out += replyIdPrefix(json);
             out += "\"ok\": true, \"cmd\": \"ping\"}";
+        } else if (cmd == "dump") {
+            const int64_t events =
+                obs::Postmortem::instance().dump("command");
+            if (events < 0) {
+                out += formatError(
+                    json, "no postmortem file configured");
+            } else {
+                out += '{';
+                out += replyIdPrefix(json);
+                out += "\"ok\": true, \"cmd\": \"dump\", "
+                       "\"events\": ";
+                out += std::to_string(events);
+                out += ", \"path\": \"";
+                out += obs::Postmortem::instance().path();
+                out += "\"}";
+            }
         } else if (cmd == "shutdown") {
             shutdownRequested_.store(true);
             close_conn = true;
@@ -163,6 +205,11 @@ CompileServer::handleLineTo(std::string_view line, std::string &out,
             trace =
                 std::make_shared<obs::Trace>(obs::genTraceId(), false);
     }
+    // Traced requests only: anchors the trace id in this shard's ring
+    // so a postmortem can be correlated with the request's spans.
+    if (trace != nullptr && trace->sampled())
+        obs::recordEvent(obs::Comp::Service, obs::Ev::Request, 0, 0,
+                         trace->id());
 
     // Router-forwarded fast path: a "key" field carries the CacheKey
     // the router already resolved.  A published hit on the key's home
@@ -289,7 +336,11 @@ CompileServer::renderMetricsText()
             text, "square_transport",
             {{"", transport_->metricsRegistry()}});
     }
+    obs::renderPrometheus(
+        text, "square_watchdog",
+        {{"", &obs::Watchdog::instance().metricsRegistry()}});
     FaultInjector::instance().renderMetrics(text);
+    obs::renderBuildInfo(text);
     return text;
 }
 

@@ -6,6 +6,7 @@
 #include <system_error>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "server/faults.h"
 #include "server/net.h"
 
@@ -139,6 +140,8 @@ TcpTransport::acceptLoop()
             continue;
         }
         acceptedC_.add(1);
+        obs::recordEvent(obs::Comp::Transport, obs::Ev::Accept,
+                         conns_.size());
     }
 }
 
@@ -170,6 +173,7 @@ TcpTransport::serveConn(Conn *conn)
             // Count the flush before send(): a peer that reads the
             // reply and immediately queries stats() must see it.
             flushesC_.add(1);
+            obs::recordEvent(obs::Comp::Transport, obs::Ev::Flush, 1);
             if (FaultInjector::instance().enabled() &&
                 FaultInjector::instance().shouldFailWrite())
                 break; // injected mid-write socket failure
@@ -185,6 +189,8 @@ TcpTransport::serveConn(Conn *conn)
             break;
     }
     net::shutdownFd(conn->fd);
+    obs::recordEvent(obs::Comp::Transport, obs::Ev::Disconnect,
+                     static_cast<uint64_t>(conn->fd));
     conn->done.store(true);
 }
 

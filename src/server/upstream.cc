@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "server/faults.h"
 #include "server/net.h"
 
@@ -323,9 +324,15 @@ UpstreamPool::markDown(size_t idx)
         s.failovers.fetch_add(1, std::memory_order_relaxed);
         failoversC_.add(1);
         shardDownC_.add(1);
+        obs::recordEvent(obs::Comp::Upstream, obs::Ev::Failover, idx,
+                         0,
+                         entry.trace != nullptr ? entry.trace->id()
+                                                : 0);
         noteForwardDone(entry, /*ok=*/false);
         entry.sink->post(std::move(line));
     }
+    obs::recordEvent(obs::Comp::Upstream, obs::Ev::ShardDown, idx,
+                     flushed.size());
 }
 
 void
@@ -350,6 +357,12 @@ UpstreamPool::postShardDown(uint64_t seq)
             1, std::memory_order_relaxed);
     failoversC_.add(1);
     shardDownC_.add(1);
+    obs::recordEvent(obs::Comp::Upstream, obs::Ev::Failover,
+                     entry.shard >= 0
+                         ? static_cast<uint64_t>(entry.shard)
+                         : 0,
+                     1,
+                     entry.trace != nullptr ? entry.trace->id() : 0);
     noteForwardDone(entry, /*ok=*/false);
     entry.sink->post(std::move(line));
 }
@@ -361,6 +374,7 @@ UpstreamPool::forward(int shard, uint64_t seq,
                       std::shared_ptr<obs::Trace> trace)
 {
     Shard &s = *shards_[static_cast<size_t>(shard)];
+    const uint64_t trace_id = trace != nullptr ? trace->id() : 0;
     {
         std::lock_guard<std::mutex> lock(pendingMu_);
         pending_.emplace(seq,
@@ -372,6 +386,12 @@ UpstreamPool::forward(int shard, uint64_t seq,
     if (sendOn(s, line.data(), line.size())) {
         s.forwarded.fetch_add(1, std::memory_order_relaxed);
         forwardedC_.add(1);
+        // Traced forwards only: the event ties a trace id to the shard
+        // the router picked without taxing the untraced fast path.
+        if (trace_id != 0)
+            obs::recordEvent(obs::Comp::Upstream, obs::Ev::Forward,
+                             static_cast<uint64_t>(shard), seq,
+                             trace_id);
         return;
     }
     // The send failed (dead shard, injected reset, or a down-race):
@@ -506,6 +526,8 @@ UpstreamPool::healthLoop()
                     s.reconnects.fetch_add(1,
                                            std::memory_order_relaxed);
                     reconnectsC_.add(1);
+                    obs::recordEvent(obs::Comp::Upstream,
+                                     obs::Ev::Redial, i);
                 }
                 continue;
             }

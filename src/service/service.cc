@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/stats.h"
+#include "obs/flight_recorder.h"
 #include "service/protocol.h"
 
 namespace square {
@@ -160,6 +161,8 @@ CompileService::evictOverLimitLocked()
         lru_.pop_back();
         cache_.erase(it);
         evictionsC_.add();
+        obs::recordEvent(obs::Comp::Service, obs::Ev::Evict,
+                         lru_.size(), cachedBytes_);
     }
 }
 
@@ -265,6 +268,11 @@ CompileService::publish(Entry &entry,
             ewmaCompileMs_ =
                 0.8 * ewmaCompileMs_ + 0.2 * compile_millis;
     }
+    obs::recordEvent(
+        obs::Comp::Service, obs::Ev::Publish, waiters.size(),
+        compile_millis >= 0 ? static_cast<uint64_t>(compile_millis)
+                            : 0,
+        trace != nullptr ? trace->id() : 0);
     for (size_t i = 0; i < waiters.size(); ++i) {
         if (entry.expired)
             deadlineExpiredC_.add();
@@ -406,6 +414,10 @@ CompileService::serveResolved(const CompileRequest &req,
             // control applies (hits and duplicates are always free).
             if (!admitLocked(req, reply)) {
                 shedC_.add();
+                obs::recordEvent(
+                    obs::Comp::Service, obs::Ev::Shed,
+                    static_cast<uint64_t>(reply.retryAfterMs),
+                    pendingCompiles_, req.traceId);
                 if (metricsEnabled())
                     shedRetryMs_.record(static_cast<int64_t>(
                         reply.retryAfterMs + 0.5));
@@ -418,6 +430,8 @@ CompileService::serveResolved(const CompileRequest &req,
             owner = true;
             missesC_.add();
             ++pendingCompiles_;
+            obs::recordEvent(obs::Comp::Service, obs::Ev::Admit,
+                             pendingCompiles_, 0, req.traceId);
             entry = ins->second.entry;
         } else {
             hitsC_.add();
@@ -467,6 +481,10 @@ CompileService::submitPreparedAsync(
         if (it == cache_.end()) {
             if (!admitLocked(req, reply)) {
                 shedC_.add();
+                obs::recordEvent(
+                    obs::Comp::Service, obs::Ev::Shed,
+                    static_cast<uint64_t>(reply.retryAfterMs),
+                    pendingCompiles_, req.traceId);
                 if (metricsEnabled())
                     shedRetryMs_.record(static_cast<int64_t>(
                         reply.retryAfterMs + 0.5));
@@ -479,6 +497,8 @@ CompileService::submitPreparedAsync(
             owner = true;
             missesC_.add();
             ++pendingCompiles_;
+            obs::recordEvent(obs::Comp::Service, obs::Ev::Admit,
+                             pendingCompiles_, 0, req.traceId);
             entry = ins->second.entry;
         } else {
             hitsC_.add();
@@ -580,6 +600,8 @@ CompileService::runQueuedCompile(const CompileRequest &req,
     }
     if (cancel) {
         entry->expired = true;
+        obs::recordEvent(obs::Comp::Service, obs::Ev::DeadlineExpired,
+                         0, 0, req.traceId);
         uncache(res.key, entry);
         publish(*entry, nullptr, res.key,
                 "deadline expired before compile started");
@@ -716,6 +738,9 @@ CompileService::submitBatch(const std::vector<CompileRequest> &reqs)
             it->second.entry = std::make_shared<Entry>();
             missesC_.add();
             ++pendingCompiles_;
+            obs::recordEvent(obs::Comp::Service, obs::Ev::Admit,
+                             pendingCompiles_, 0,
+                             reqs[i].traceId);
             is_owner[i] = true;
             owned.push_back(Claim{i, std::move(res), it->second.entry});
         } else {

@@ -8,11 +8,19 @@
  * wire format, the NDJSON span log, and the Prometheus exposition
  * shape.  The protocol-level "metrics"/"text" reply round-trip is
  * covered here too, since square_top depends on it.
+ *
+ * The flight-recorder half: per-thread ring recording and wrap, the
+ * merged snapshot, the postmortem NDJSON round-trip, the crash
+ * handler's ability to write a parseable postmortem from inside a
+ * signal frame (a death test), and the watchdog's active/idle/busy
+ * alarm semantics.
  */
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -24,8 +32,10 @@
 
 #include "common/rng.h"
 #include "common/stats.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "service/protocol.h"
 
 namespace square {
@@ -433,6 +443,355 @@ TEST(TraceTest, ConcurrentSpanAppendsAllSurvive)
         thread.join();
     EXPECT_EQ(trace.spans().size(),
               static_cast<size_t>(kThreads) * kSpans);
+}
+
+// -------------------------------------------------------------------
+// Flight recorder
+// -------------------------------------------------------------------
+
+TEST(FlightRecorderTest, NameTablesCoverEveryCode)
+{
+    for (uint16_t c = 0;
+         c < static_cast<uint16_t>(obs::Comp::kCount); ++c) {
+        const char *name =
+            obs::compName(static_cast<obs::Comp>(c));
+        ASSERT_NE(name, nullptr);
+        EXPECT_STRNE(name, "");
+        EXPECT_STRNE(name, "unknown") << "comp " << c;
+    }
+    for (uint16_t e = 0; e < static_cast<uint16_t>(obs::Ev::kCount);
+         ++e) {
+        const char *name = obs::evName(static_cast<obs::Ev>(e));
+        ASSERT_NE(name, nullptr);
+        EXPECT_STRNE(name, "");
+        EXPECT_STRNE(name, "unknown") << "ev " << e;
+    }
+    // Out-of-range codes (a corrupt ring) still render safely.
+    EXPECT_STREQ(obs::compName(obs::Comp::kCount), "unknown");
+    EXPECT_STREQ(obs::evName(obs::Ev::kCount), "unknown");
+}
+
+TEST(FlightRecorderTest, RecordedEventsAppearInSnapshotInOrder)
+{
+    obs::FlightRecorder &fr = obs::FlightRecorder::instance();
+    fr.setEnabled(true);
+    const uint64_t marker = 0xfee1500000000001ull;
+    obs::recordEvent(obs::Comp::Service, obs::Ev::Admit, marker, 1);
+    obs::recordEvent(obs::Comp::Transport, obs::Ev::Flush, marker, 2,
+                     0xabc123);
+    std::vector<obs::Event> mine;
+    for (const obs::Event &ev : fr.snapshot())
+        if (ev.a0 == marker)
+            mine.push_back(ev);
+    ASSERT_EQ(mine.size(), 2u);
+    EXPECT_EQ(mine[0].a1, 1u);
+    EXPECT_EQ(mine[1].a1, 2u);
+    EXPECT_EQ(mine[0].comp,
+              static_cast<uint16_t>(obs::Comp::Service));
+    EXPECT_EQ(mine[0].code, static_cast<uint16_t>(obs::Ev::Admit));
+    EXPECT_EQ(mine[0].trace, 0u);
+    EXPECT_EQ(mine[1].trace, 0xabc123u);
+    EXPECT_LE(mine[0].tsUs, mine[1].tsUs);
+    EXPECT_EQ(mine[0].tid, mine[1].tid); // same recording thread
+}
+
+TEST(FlightRecorderTest, DisabledGateSwallowsRecords)
+{
+    obs::FlightRecorder &fr = obs::FlightRecorder::instance();
+    fr.setEnabled(false);
+    const uint64_t before = fr.recorded();
+    obs::recordEvent(obs::Comp::Service, obs::Ev::Shed, 1, 2);
+    EXPECT_EQ(fr.recorded(), before);
+    fr.setEnabled(true);
+    obs::recordEvent(obs::Comp::Service, obs::Ev::Shed, 1, 2);
+    EXPECT_EQ(fr.recorded(), before + 1);
+}
+
+TEST(FlightRecorderTest, RingWrapKeepsTheNewestEvents)
+{
+    obs::FlightRecorder &fr = obs::FlightRecorder::instance();
+    fr.setEnabled(true);
+    const uint64_t marker = 0xfee1500000000002ull;
+    constexpr uint64_t kExtra = 100;
+    // A dedicated thread owns one ring for the whole burst.
+    std::thread writer([marker] {
+        for (uint64_t i = 0;
+             i < obs::FlightRecorder::kRingEvents + kExtra; ++i)
+            obs::recordEvent(obs::Comp::Worker, obs::Ev::Dequeue,
+                             marker, i);
+    });
+    writer.join();
+    std::vector<uint64_t> seqs;
+    for (const obs::Event &ev : fr.snapshot())
+        if (ev.a0 == marker)
+            seqs.push_back(ev.a1);
+    // Exactly one ring's worth survives, and it is the newest suffix.
+    ASSERT_EQ(seqs.size(), obs::FlightRecorder::kRingEvents);
+    std::sort(seqs.begin(), seqs.end());
+    EXPECT_EQ(seqs.front(), kExtra);
+    EXPECT_EQ(seqs.back(),
+              obs::FlightRecorder::kRingEvents + kExtra - 1);
+    EXPECT_GE(fr.dropped(), kExtra);
+}
+
+TEST(FlightRecorderTest, ConcurrentWritersAndSnapshotReaders)
+{
+    // Writers never synchronize with each other; snapshot() races
+    // them by design.  Under TSan (CI) this pins the ring's
+    // release/acquire publication protocol.
+    obs::FlightRecorder &fr = obs::FlightRecorder::instance();
+    fr.setEnabled(true);
+    const uint64_t marker = 0xfee1500000000003ull;
+    constexpr int kThreads = 4;
+    constexpr uint64_t kEach = 1500; // < kRingEvents: nothing wraps
+    // Writers park until everyone is done: a thread that exited early
+    // would release its ring slot for the next writer to reuse, and
+    // the shared ring would wrap (this box may run them serially).
+    std::atomic<int> done{0};
+    std::vector<std::thread> writers;
+    writers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+        writers.emplace_back([marker, t, &done] {
+            for (uint64_t i = 0; i < kEach; ++i)
+                obs::recordEvent(obs::Comp::Transport,
+                                 obs::Ev::Backpressure, marker,
+                                 static_cast<uint64_t>(t) * kEach + i);
+            done.fetch_add(1);
+            while (done.load() < kThreads)
+                std::this_thread::yield();
+        });
+    std::thread reader([&fr] {
+        for (int i = 0; i < 50; ++i)
+            (void)fr.snapshot();
+    });
+    for (auto &w : writers)
+        w.join();
+    reader.join();
+    uint64_t count = 0;
+    for (const obs::Event &ev : fr.snapshot())
+        if (ev.a0 == marker)
+            ++count;
+    // Concurrent threads hold distinct rings, each burst fits: every
+    // event survives to the quiescent snapshot.
+    EXPECT_EQ(count, static_cast<uint64_t>(kThreads) * kEach);
+}
+
+// -------------------------------------------------------------------
+// Postmortem NDJSON
+// -------------------------------------------------------------------
+
+TEST(PostmortemTest, DumpRoundTripsThroughNdjson)
+{
+    obs::Postmortem &pm = obs::Postmortem::instance();
+    EXPECT_EQ(pm.dump("unit"), -1); // unconfigured: no file, no dump
+    EXPECT_FALSE(pm.enabled());
+
+    char path[] = "/tmp/square_obs_pm_XXXXXX";
+    const int fd = ::mkstemp(path);
+    ASSERT_GE(fd, 0);
+    ::close(fd);
+    std::string error;
+    ASSERT_TRUE(pm.configure(path, error)) << error;
+    EXPECT_TRUE(pm.enabled());
+    EXPECT_EQ(pm.path(), path);
+
+    obs::Registry reg;
+    reg.counter("dumps").add(3);
+    reg.gauge("depth").set(7);
+    reg.histogram("lat_us").record(42);
+    pm.registerRegistry("unit", &reg);
+    obs::FlightRecorder::instance().setEnabled(true);
+    obs::recordEvent(obs::Comp::Router, obs::Ev::Forward, 2, 9,
+                     0x1234abcd);
+    const int64_t events = pm.dump("command");
+    EXPECT_GT(events, 0);
+    pm.unregisterRegistry(&reg);
+    ASSERT_TRUE(pm.configure("", error));
+    EXPECT_FALSE(pm.enabled());
+
+    std::ifstream in(path);
+    std::string line;
+    bool begin = false, end = false, saw_ev = false;
+    bool saw_counter = false, saw_gauge = false, saw_hist = false;
+    while (std::getline(in, line)) {
+        JsonRequest json;
+        ASSERT_TRUE(parseJsonLine(line, json, error))
+            << error << ": " << line;
+        const std::string kind = json.get("pm");
+        EXPECT_EQ(json.get("pid"), std::to_string(::getpid()));
+        if (kind == "begin") {
+            begin = true;
+            EXPECT_EQ(json.get("reason"), "command");
+            EXPECT_FALSE(json.has("signal"));
+        } else if (kind == "ev") {
+            if (json.get("trace") == "000000001234abcd") {
+                saw_ev = true;
+                EXPECT_EQ(json.get("comp"), "router");
+                EXPECT_EQ(json.get("ev"), "forward");
+                EXPECT_EQ(json.get("a0"), "2");
+                EXPECT_EQ(json.get("a1"), "9");
+            }
+        } else if (kind == "metric") {
+            if (json.get("reg") != "unit")
+                continue;
+            if (json.get("name") == "dumps") {
+                saw_counter = true;
+                EXPECT_EQ(json.get("kind"), "counter");
+                EXPECT_EQ(json.get("value"), "3");
+            } else if (json.get("name") == "depth") {
+                saw_gauge = true;
+                EXPECT_EQ(json.get("kind"), "gauge");
+                EXPECT_EQ(json.get("value"), "7");
+            } else if (json.get("name") == "lat_us_count") {
+                saw_hist = true;
+                EXPECT_EQ(json.get("value"), "1");
+            }
+        } else if (kind == "end") {
+            end = true;
+            EXPECT_EQ(json.get("reason"), "command");
+            EXPECT_EQ(json.get("events"), std::to_string(events));
+        }
+    }
+    EXPECT_TRUE(begin);
+    EXPECT_TRUE(saw_ev);
+    EXPECT_TRUE(saw_counter);
+    EXPECT_TRUE(saw_gauge);
+    EXPECT_TRUE(saw_hist);
+    EXPECT_TRUE(end);
+    std::remove(path);
+}
+
+TEST(PostmortemDeathTest, CrashHandlerWritesParseablePostmortem)
+{
+    // The whole point of the crash handler: a SIGABRT inside the
+    // process must still leave a complete, parseable postmortem
+    // block.  "threadsafe" re-execs the binary for the child, so the
+    // statement re-configures the sink from the environment.
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    // The re-exec'ed child runs this preamble again before the
+    // statement: only the original parent may create the temp file
+    // and publish it, or the child would dump to a file of its own.
+    char path[256] = {};
+    if (const char *inherited = ::getenv("SQUARE_PM_CRASH_PATH")) {
+        std::snprintf(path, sizeof path, "%s", inherited);
+    } else {
+        std::snprintf(path, sizeof path,
+                      "/tmp/square_obs_crash_XXXXXX");
+        const int fd = ::mkstemp(path);
+        ASSERT_GE(fd, 0);
+        ::close(fd);
+        ASSERT_EQ(::setenv("SQUARE_PM_CRASH_PATH", path, 1), 0);
+    }
+
+    EXPECT_EXIT(
+        {
+            const char *pm_path = ::getenv("SQUARE_PM_CRASH_PATH");
+            std::string err;
+            obs::Postmortem &pm = obs::Postmortem::instance();
+            if (pm_path == nullptr || !pm.configure(pm_path, err))
+                ::_exit(42);
+            pm.installCrashHandler();
+            obs::FlightRecorder::instance().setEnabled(true);
+            obs::recordEvent(obs::Comp::Service, obs::Ev::Request, 7,
+                             0, 0xdeadbeef);
+            std::abort();
+        },
+        testing::KilledBySignal(SIGABRT), "");
+
+    std::ifstream in(path);
+    std::string line, error;
+    bool begin = false, end = false, saw_ev = false;
+    int64_t declared = -1;
+    while (std::getline(in, line)) {
+        JsonRequest json;
+        ASSERT_TRUE(parseJsonLine(line, json, error))
+            << error << ": " << line;
+        const std::string kind = json.get("pm");
+        if (kind == "begin") {
+            begin = true;
+            EXPECT_EQ(json.get("reason"), "crash");
+            EXPECT_EQ(json.get("signal_name"), "SIGABRT");
+        } else if (kind == "ev") {
+            if (json.get("trace") == "00000000deadbeef") {
+                saw_ev = true;
+                EXPECT_EQ(json.get("comp"), "service");
+                EXPECT_EQ(json.get("ev"), "request");
+            }
+        } else if (kind == "end") {
+            end = true;
+            declared = std::strtoll(json.get("events").c_str(),
+                                    nullptr, 10);
+        }
+    }
+    EXPECT_TRUE(begin);
+    EXPECT_TRUE(saw_ev) << "crash dump lost the traced event";
+    EXPECT_TRUE(end) << "crash dump was truncated";
+    EXPECT_GE(declared, 1);
+    ::unsetenv("SQUARE_PM_CRASH_PATH");
+    std::remove(path);
+}
+
+// -------------------------------------------------------------------
+// Watchdog
+// -------------------------------------------------------------------
+
+TEST(WatchdogTest, OnlyActiveSilenceAlarmsAndOnlyOnce)
+{
+    obs::Watchdog &wd = obs::Watchdog::instance();
+    obs::WatchdogConfig cfg;
+    cfg.thresholdMs = 40;
+    cfg.intervalMs = 5;
+    wd.configure(cfg);
+    ASSERT_TRUE(wd.enabled());
+    const int64_t before = wd.stalls();
+    {
+        obs::WatchdogRegistration reg("test_loop");
+
+        // Idle (parked in epoll_wait / cv.wait): silence is expected.
+        reg.idle();
+        std::this_thread::sleep_for(std::chrono::milliseconds(120));
+        EXPECT_EQ(wd.stalls(), before);
+
+        // Busy (a known-long compile): exempt from the threshold.
+        reg.busy();
+        std::this_thread::sleep_for(std::chrono::milliseconds(120));
+        EXPECT_EQ(wd.stalls(), before);
+
+        // Active then silent: the stall the watchdog exists for.
+        // One alarm only — the alarmed latch holds until re-armed.
+        reg.beat();
+        std::this_thread::sleep_for(std::chrono::milliseconds(250));
+        EXPECT_EQ(wd.stalls(), before + 1);
+
+        // The next beat re-arms the slot; a second stall re-alarms.
+        reg.beat();
+        std::this_thread::sleep_for(std::chrono::milliseconds(250));
+        EXPECT_EQ(wd.stalls(), before + 2);
+    }
+    wd.disable();
+    EXPECT_FALSE(wd.enabled());
+}
+
+TEST(WatchdogTest, HeartbeatsSuppressTheAlarm)
+{
+    obs::Watchdog &wd = obs::Watchdog::instance();
+    obs::WatchdogConfig cfg;
+    cfg.thresholdMs = 60;
+    cfg.intervalMs = 5;
+    wd.configure(cfg);
+    const int64_t before = wd.stalls();
+    {
+        obs::WatchdogRegistration reg("beating_loop");
+        // 300ms of work, five times past the threshold, but beating
+        // every 15ms: a healthy loop never alarms.
+        for (int i = 0; i < 20; ++i) {
+            reg.beat();
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(15));
+        }
+    }
+    EXPECT_EQ(wd.stalls(), before);
+    wd.disable();
 }
 
 } // namespace

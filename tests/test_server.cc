@@ -29,7 +29,9 @@
 
 #include <unistd.h>
 
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "server/client.h"
 #include "server/faults.h"
 #include "server/server.h"
@@ -1222,6 +1224,157 @@ TEST(Observability, SlowThresholdCapturesUnsampledRequests)
     EXPECT_TRUE(hasSpan(spans, "shard", "analysis"));
     ::close(fd);
     std::remove(path);
+}
+
+// -------------------------------------------------------------------
+// Flight recorder: the dump command and the stall watchdog
+// -------------------------------------------------------------------
+
+/** Count complete begin..end postmortem blocks with this reason. */
+int
+countPostmortemBlocks(const char *path, const std::string &reason)
+{
+    std::ifstream in(path);
+    std::string line, error, open_reason;
+    int complete = 0;
+    while (std::getline(in, line)) {
+        JsonRequest json;
+        if (!parseJsonLine(line, json, error))
+            continue;
+        const std::string kind = json.get("pm");
+        if (kind == "begin")
+            open_reason = json.get("reason");
+        else if (kind == "end" && open_reason == reason)
+            ++complete;
+    }
+    return complete;
+}
+
+TEST(Observability, DumpCommandWritesAPostmortemBlock)
+{
+    CompileServer server(overloadConfig());
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+    LineClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port(), error));
+    std::string reply;
+
+    // Without a configured sink the command reports the problem.
+    ASSERT_TRUE(client.sendLine("{\"id\": 4, \"cmd\": \"dump\"}"));
+    ASSERT_TRUE(client.recvLine(reply));
+    EXPECT_NE(reply.find("no postmortem file configured"),
+              std::string::npos)
+        << reply;
+
+    char path[] = "/tmp/square_server_pm_XXXXXX";
+    const int fd = ::mkstemp(path);
+    ASSERT_GE(fd, 0);
+    ::close(fd);
+    ASSERT_TRUE(obs::Postmortem::instance().configure(path, error))
+        << error;
+
+    // A request first, so the dump has service events to carry.
+    ASSERT_TRUE(client.sendLine("{\"workload\":\"ADDER4\"}"));
+    ASSERT_TRUE(client.recvLine(reply));
+    ASSERT_TRUE(client.sendLine("{\"id\": 5, \"cmd\": \"dump\"}"));
+    ASSERT_TRUE(client.recvLine(reply));
+    JsonRequest parsed;
+    ASSERT_TRUE(parseJsonLine(reply, parsed, error)) << error;
+    EXPECT_EQ(parsed.get("id"), "5");
+    EXPECT_EQ(parsed.get("ok"), "true");
+    EXPECT_EQ(parsed.get("path"), path);
+    EXPECT_GT(std::strtoll(parsed.get("events").c_str(), nullptr, 10),
+              0);
+
+    ASSERT_TRUE(obs::Postmortem::instance().configure("", error));
+    EXPECT_EQ(countPostmortemBlocks(path, "command"), 1);
+    server.stop();
+    std::remove(path);
+}
+
+TEST(Observability, WatchdogFiresOnInjectedReadStall)
+{
+    // The true positive: a read_stall_ms fault wedges the epoll loop
+    // *after* its wake-up beat, so the slot sits Active and silent
+    // past the threshold — the watchdog must alarm and dump.
+    char path[] = "/tmp/square_server_wd_XXXXXX";
+    const int fd = ::mkstemp(path);
+    ASSERT_GE(fd, 0);
+    ::close(fd);
+    std::string error;
+    ASSERT_TRUE(obs::Postmortem::instance().configure(path, error))
+        << error;
+    obs::WatchdogConfig wcfg;
+    wcfg.thresholdMs = 50;
+    wcfg.intervalMs = 10;
+    obs::Watchdog::instance().configure(wcfg);
+    const int64_t stalls_before = obs::Watchdog::instance().stalls();
+
+    CompileServer server(overloadConfig());
+    ASSERT_TRUE(server.start(error)) << error;
+    LineClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port(), error));
+    std::string reply;
+    ASSERT_TRUE(client.sendLine(
+        R"({"workload":"ADDER4","policy":"square"})"));
+    ASSERT_TRUE(client.recvLine(reply)); // warm the cache first
+
+    ASSERT_TRUE(FaultInjector::instance().configureFromSpec(
+        "seed=3,read_stall_ms=400", error))
+        << error;
+    ASSERT_TRUE(client.sendLine(
+        R"({"workload":"ADDER4","policy":"square"})"));
+    ASSERT_TRUE(client.recvLine(reply));
+    FaultInjector::instance().disable();
+
+    EXPECT_GE(obs::Watchdog::instance().stalls(), stalls_before + 1);
+
+    // The stall shows up in the exposition the operator is watching.
+    ASSERT_TRUE(client.sendLine("{\"cmd\": \"metrics\"}"));
+    ASSERT_TRUE(client.recvLine(reply));
+    JsonRequest parsed;
+    ASSERT_TRUE(parseJsonLine(reply, parsed, error)) << error;
+    EXPECT_NE(parsed.get("text").find("square_watchdog_stalls_total"),
+              std::string::npos);
+
+    server.stop();
+    obs::Watchdog::instance().disable();
+    ASSERT_TRUE(obs::Postmortem::instance().configure("", error));
+    EXPECT_GE(countPostmortemBlocks(path, "stall"), 1);
+    std::remove(path);
+}
+
+TEST(Observability, WatchdogIgnoresSlowButHeartbeatingCompiles)
+{
+    // The false positive it must NOT have: a compile_delay_ms fault
+    // makes one compile five times slower than the threshold, but the
+    // worker runs it under busy() and the epoll loop sleeps in
+    // epoll_wait (idle) while waiting — nobody is Active-and-silent,
+    // so no stall and no dump.
+    std::string error;
+    obs::WatchdogConfig wcfg;
+    wcfg.thresholdMs = 80;
+    wcfg.intervalMs = 10;
+    obs::Watchdog::instance().configure(wcfg);
+    const int64_t stalls_before = obs::Watchdog::instance().stalls();
+
+    CompileServer server(overloadConfig());
+    ASSERT_TRUE(server.start(error)) << error;
+    ASSERT_TRUE(FaultInjector::instance().configureFromSpec(
+        "seed=3,compile_delay_ms=400", error))
+        << error;
+    LineClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port(), error));
+    std::string reply;
+    ASSERT_TRUE(client.sendLine(coldRequest(1, 230)));
+    ASSERT_TRUE(client.recvLine(reply));
+    EXPECT_NE(reply.find("\"ok\": true"), std::string::npos);
+    FaultInjector::instance().disable();
+    EXPECT_GE(FaultInjector::instance().stats().compileDelays, 1);
+
+    EXPECT_EQ(obs::Watchdog::instance().stalls(), stalls_before);
+    server.stop();
+    obs::Watchdog::instance().disable();
 }
 
 } // namespace

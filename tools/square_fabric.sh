@@ -24,8 +24,13 @@
 #   --quiet           pass --quiet to every daemon
 #
 # State directory layout (the CI smoke kills shards through it):
-#   router.port  router.pid
-#   shard<i>.port  shard<i>.pid     for i in 1..N
+#   router.port  router.pid  router.postmortem
+#   shard<i>.port  shard<i>.pid  shard<i>.postmortem   for i in 1..N
+#
+# Every daemon gets a per-daemon --postmortem file in the state
+# directory, so a crashed or stalled daemon leaves a flight-recorder
+# dump behind for square_blackbox (the files are only written when a
+# dump actually happens).
 #
 # The router is started with --cascade-shutdown, so a protocol
 # {"cmd": "shutdown"} to the router brings down the whole fabric.
@@ -123,6 +128,7 @@ SHARD_ADDRS=()
 for i in $(seq 1 "$SHARDS"); do
     # shellcheck disable=SC2086  # SERVED_FLAGS is intentionally split
     "$SERVED" --port=0 --port-file="$STATE_DIR/shard$i.port" \
+        --postmortem="$STATE_DIR/shard$i.postmortem" \
         "${SERVED_ARGS[@]}" $SERVED_FLAGS &
     pid=$!
     PIDS+=("$pid")
@@ -135,6 +141,7 @@ done
 
 # shellcheck disable=SC2086  # ROUTER_FLAGS is intentionally split
 "$ROUTER" --port="$PORT" --port-file="$STATE_DIR/router.port" \
+    --postmortem="$STATE_DIR/router.postmortem" \
     --cascade-shutdown "${SHARD_ADDRS[@]}" $QUIET $ROUTER_FLAGS &
 ROUTER_PID=$!
 PIDS+=("$ROUTER_PID")

@@ -42,6 +42,11 @@
  *                         = off)
  *   --trace-log=PATH      NDJSON span log destination (overrides the
  *                         SQUARE_TRACE_LOG environment variable)
+ *   --postmortem=PATH     append flight-recorder postmortem dumps to
+ *                         PATH and install the crash handler (env
+ *                         fallback: SQUARE_POSTMORTEM)
+ *   --watchdog-ms=N       stall-watchdog threshold in ms (default
+ *                         5000; 0 disables)
  *   --port-file=PATH      write the bound port once listening
  *   --quiet               suppress the stderr banner and counters
  *
@@ -60,7 +65,9 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "server/faults.h"
 #include "server/router_daemon.h"
 
@@ -95,6 +102,8 @@ main(int argc, char **argv)
 {
     RouterConfig cfg;
     std::string port_file;
+    std::string postmortem_path;
+    int watchdog_ms = 5000;
     bool quiet = false;
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -163,6 +172,13 @@ main(int argc, char **argv)
                              trace_error.c_str());
                 return 1;
             }
+        } else if (std::strncmp(arg, "--postmortem=", 13) == 0) {
+            postmortem_path = arg + 13;
+        } else if (std::strncmp(arg, "--watchdog-ms=", 14) == 0) {
+            if (!parseInt(arg + 14, 0, 3600000, watchdog_ms)) {
+                std::fprintf(stderr, "bad --watchdog-ms value\n");
+                return 1;
+            }
         } else if (std::strncmp(arg, "--port-file=", 12) == 0) {
             port_file = arg + 12;
         } else if (std::strcmp(arg, "--quiet") == 0) {
@@ -176,6 +192,7 @@ main(int argc, char **argv)
                 "[--failure-threshold=N] [--retry-after-ms=N] "
                 "[--cascade-shutdown] [--faults=SPEC] "
                 "[--trace-sample=N] [--trace-log=PATH] "
+                "[--postmortem=PATH] [--watchdog-ms=N] "
                 "[--port-file=PATH] [--quiet]\n");
             return 1;
         }
@@ -196,6 +213,27 @@ main(int argc, char **argv)
                          fault_error.c_str());
             return 1;
         }
+    }
+
+    if (postmortem_path.empty()) {
+        const char *env = std::getenv("SQUARE_POSTMORTEM");
+        if (env != nullptr)
+            postmortem_path = env;
+    }
+    if (!postmortem_path.empty()) {
+        std::string pm_error;
+        if (!obs::Postmortem::instance().configure(postmortem_path,
+                                                   pm_error)) {
+            std::fprintf(stderr, "square_router: %s\n",
+                         pm_error.c_str());
+            return 1;
+        }
+        obs::Postmortem::instance().installCrashHandler();
+    }
+    if (watchdog_ms > 0) {
+        obs::WatchdogConfig wcfg;
+        wcfg.thresholdMs = watchdog_ms;
+        obs::Watchdog::instance().configure(wcfg);
     }
 
     std::string error;
@@ -228,6 +266,7 @@ main(int argc, char **argv)
     while (!server.shutdownRequested() && !g_signal.load())
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
     server.stop();
+    obs::Watchdog::instance().disable(); // join the checker thread
 
     if (!quiet) {
         const UpstreamStats s = server.upstreamStats();

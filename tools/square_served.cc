@@ -46,6 +46,13 @@
  *                      "seed=7,compile_delay_ms=30,worker_death_rate=
  *                      0.05" (see src/server/faults.h for the grammar;
  *                      the SQUARE_FAULTS env var is honoured too)
+ *   --postmortem=PATH  append flight-recorder postmortem dumps (crash,
+ *                      watchdog stall, {"cmd":"dump"}) to PATH and
+ *                      install the SIGSEGV/SIGABRT/SIGBUS crash
+ *                      handler; the SQUARE_POSTMORTEM env var is the
+ *                      no-flag fallback (read with tools/square_blackbox)
+ *   --watchdog-ms=N    stall-watchdog threshold in ms (default 5000;
+ *                      0 disables the watchdog entirely)
  *   --port-file=PATH   write the bound port (decimal, newline) once
  *                      listening — for scripts that pass --port=0
  *   --quiet            suppress the stderr banner and final counters
@@ -65,7 +72,9 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "server/faults.h"
 #include "server/server.h"
 
@@ -122,6 +131,8 @@ main(int argc, char **argv)
 {
     ServerConfig cfg;
     std::string port_file;
+    std::string postmortem_path;
+    int watchdog_ms = 5000;
     bool quiet = false;
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -203,6 +214,13 @@ main(int argc, char **argv)
                              fault_error.c_str());
                 return 1;
             }
+        } else if (std::strncmp(arg, "--postmortem=", 13) == 0) {
+            postmortem_path = arg + 13;
+        } else if (std::strncmp(arg, "--watchdog-ms=", 14) == 0) {
+            if (!parseInt(arg + 14, 0, 3600000, watchdog_ms)) {
+                std::fprintf(stderr, "bad --watchdog-ms value\n");
+                return 1;
+            }
         } else if (std::strncmp(arg, "--port-file=", 12) == 0) {
             port_file = arg + 12;
         } else if (std::strcmp(arg, "--quiet") == 0) {
@@ -217,7 +235,8 @@ main(int argc, char **argv)
                 "[--batch-fraction=F] [--no-async-cold] "
                 "[--no-metrics] [--trace-sample=N] "
                 "[--trace-slow-ms=T] [--trace-log=PATH] "
-                "[--faults=SPEC] [--port-file=PATH] [--quiet]\n");
+                "[--faults=SPEC] [--postmortem=PATH] "
+                "[--watchdog-ms=N] [--port-file=PATH] [--quiet]\n");
             return 1;
         }
     }
@@ -235,6 +254,30 @@ main(int argc, char **argv)
                          fault_error.c_str());
             return 1;
         }
+    }
+
+    // Postmortem sink: the flag wins, SQUARE_POSTMORTEM is the no-flag
+    // fallback.  The crash handler is only worth installing once there
+    // is somewhere for the dump to go.
+    if (postmortem_path.empty()) {
+        const char *env = std::getenv("SQUARE_POSTMORTEM");
+        if (env != nullptr)
+            postmortem_path = env;
+    }
+    if (!postmortem_path.empty()) {
+        std::string pm_error;
+        if (!obs::Postmortem::instance().configure(postmortem_path,
+                                                   pm_error)) {
+            std::fprintf(stderr, "square_served: %s\n",
+                         pm_error.c_str());
+            return 1;
+        }
+        obs::Postmortem::instance().installCrashHandler();
+    }
+    if (watchdog_ms > 0) {
+        obs::WatchdogConfig wcfg;
+        wcfg.thresholdMs = watchdog_ms;
+        obs::Watchdog::instance().configure(wcfg);
     }
 
     CompileServer server(cfg);
@@ -273,6 +316,7 @@ main(int argc, char **argv)
     while (!server.shutdownRequested() && !g_signal.load())
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
     server.stop();
+    obs::Watchdog::instance().disable(); // join the checker thread
 
     if (!quiet) {
         RouterStats s = server.router().stats();

@@ -124,6 +124,39 @@ parseSeries(const std::string &text)
     return out;
 }
 
+/**
+ * Pull the square_build_info labels and square_uptime_seconds out of
+ * the exposition text for the per-target header line ("" when the
+ * daemon predates them).
+ */
+std::string
+buildInfoSummary(const std::string &text)
+{
+    std::string out;
+    constexpr const char *kInfo = "square_build_info{";
+    size_t pos = text.find(kInfo);
+    if (pos != std::string::npos) {
+        pos += std::strlen(kInfo);
+        const size_t end = text.find('}', pos);
+        if (end != std::string::npos)
+            out = text.substr(pos, end - pos);
+    }
+    constexpr const char *kUp = "square_uptime_seconds ";
+    pos = text.find(kUp);
+    if (pos != std::string::npos) {
+        pos += std::strlen(kUp);
+        size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = text.size();
+        if (!out.empty())
+            out += ", ";
+        out += "up ";
+        out += text.substr(pos, eol - pos);
+        out += "s";
+    }
+    return out;
+}
+
 bool
 isCounterSeries(const std::string &name)
 {
@@ -221,13 +254,19 @@ main(int argc, char **argv)
         for (size_t t = 0; t < targets.size(); ++t) {
             frame += "\n== ";
             frame += targets[t].label;
-            frame += " ==\n";
             std::string text, error;
             if (!fetchMetrics(targets[t], text, error)) {
-                frame += "(unreachable: " + error + ")\n";
+                frame += " ==\n(unreachable: " + error + ")\n";
                 prev[t].clear();
                 continue;
             }
+            const std::string info = buildInfoSummary(text);
+            if (!info.empty()) {
+                frame += " (";
+                frame += info;
+                frame += ')';
+            }
+            frame += " ==\n";
             for (const auto &[series, value] : parseSeries(text)) {
                 if (!filter.empty() &&
                     series.find(filter) == std::string::npos)
