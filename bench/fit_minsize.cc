@@ -7,6 +7,9 @@
  * which compilation succeeds (binary search over the edge; compilation
  * throws when allocation finds no free site).  SQUARE should fit on
  * machines close to Eager's minimum while Lazy needs the largest.
+ *
+ * With --square_json=PATH, also writes one row per (benchmark,
+ * policy) cell to a diffable BENCH_fit_minsize.json baseline.
  */
 
 #include <cstdio>
@@ -51,14 +54,20 @@ minEdge(const Program &prog, const SquareConfig &cfg, int hi_edge)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string json_path = extractJsonPath(argc, argv);
     printHeader("Smallest machine per policy", "Sec. I / Fig. 1 claim");
     std::printf("%-10s %14s %14s %14s\n", "Benchmark", "LAZY",
                 "EAGER", "SQUARE");
     std::printf("%-10s %14s %14s %14s\n", "", "(min sites)",
                 "(min sites)", "(min sites)");
     printRule(60);
+
+    JsonReport report;
+    report.benchmark = "fit_minsize";
+    report.unit = "lattice edge (sites = edge^2)";
+    static const char *kPolicyNames[3] = {"lazy", "eager", "square"};
 
     for (const BenchmarkInfo &info : benchmarkRegistry()) {
         Program prog = info.build();
@@ -71,10 +80,22 @@ main()
                     info.name.c_str(), edges[0], edges[0] * edges[0],
                     edges[1], edges[1] * edges[1], edges[2],
                     edges[2] * edges[2]);
+        for (int p = 0; p < 3; ++p)
+            report.addRow({jsonStr("workload", info.name),
+                           jsonStr("policy", kPolicyNames[p]),
+                           jsonInt("min_edge", edges[p]),
+                           jsonInt("min_sites",
+                                   edges[p] < 0
+                                       ? -1
+                                       : static_cast<int64_t>(
+                                             edges[p]) *
+                                             edges[p])});
     }
     printRule(60);
     std::printf("\nSQUARE's reclamation-under-pressure lets programs "
                 "fit machines far smaller\nthan Lazy requires, "
                 "approaching Eager's minimum footprint.\n");
+    if (!json_path.empty() && !report.writeTo(json_path))
+        return 1;
     return 0;
 }

@@ -50,6 +50,22 @@
  * through the fabric, where hits depend on cross-process key stability
  * — exits non-zero.
  *
+ * Two artifact-store phases ride along whenever the epoll transport is
+ * measured.  The store-overhead phase is the persistence acceptance
+ * gate: two fresh epoll servers — one appending to a --store log, one
+ * without — run the identical warm pipelined load at the deepest depth
+ * (interleaved, best-of), and warm throughput with the store on must
+ * stay within 2% of off (publishes append asynchronously off the warm
+ * path, and warm hits append nothing at all; the gate keeps it that
+ * way) or the bench exits non-zero.  The restart phase measures the
+ * store's reason to exist: a working set of unique keys is compiled
+ * into a store-backed server (the cold-start row: time-to-hit-rate-1.0
+ * = compiling the working set), the server is stopped (draining the
+ * log), and a second server starts over the same log — its first pass
+ * must be ALL hits with ZERO compiles (enforced, non-zero exit
+ * otherwise), and its time-to-hit-rate-1.0 row is the warm-restart
+ * headline against the recompile row.
+ *
  * Pass --square_json=PATH for BENCH_server_throughput.json.  Flags:
  * --clients=N connections, --batches=N pipelined batches per client,
  * --pipeline-depth=B, --transport=threads|epoll|both, --shards=N,
@@ -610,6 +626,211 @@ recorderOverheadPhase(const ServerConfig &base, int clients,
     return true;
 }
 
+/**
+ * Store-overhead phase: the persistence acceptance gate, mirroring
+ * metricsOverheadPhase.  Two fresh epoll servers — one with a --store
+ * log behind the publish sink, one without — run the identical warm
+ * pipelined load at the deepest depth with best-of scoring.  Publishes
+ * append asynchronously (a refcount bump and a queue push on the
+ * worker thread, never the event loop) and warm hits publish nothing,
+ * so the measured delta is the cost of the installed sink and the idle
+ * appender thread; the gate keeps the warm path that clean.  The
+ * store-on server gets a FRESH log each trial (replaying last trial's
+ * log would turn the cold phase into hits and trip its miss check).
+ */
+bool
+storeOverheadPhase(const ServerConfig &base, const std::string &path,
+                   int clients, int batches, int depth, int trials,
+                   double &on_rps, double &off_rps)
+{
+    on_rps = off_rps = 0;
+    for (int trial = 0; trial < trials; ++trial) {
+        for (const bool store_on : {false, true}) {
+            ServerConfig cfg = base;
+            cfg.transport = "epoll";
+            if (store_on) {
+                unlink(path.c_str());
+                cfg.storePath = path;
+            }
+            CompileServer server(cfg);
+            std::string error;
+            if (!server.start(error)) {
+                std::fprintf(stderr,
+                             "server start failed (store %s): %s\n",
+                             store_on ? "on" : "off", error.c_str());
+                return false;
+            }
+            double cold_ms = 0;
+            PhaseRow row;
+            if (!coldPhase(server.port(), cold_ms) ||
+                !loadPhase(server.port(), server.transport(),
+                           store_on ? "s-on" : "s-off", clients,
+                           batches, depth, row))
+                return false;
+            double &best = store_on ? on_rps : off_rps;
+            best = std::max(best, row.rps);
+            server.stop();
+        }
+    }
+    unlink(path.c_str());
+    return true;
+}
+
+/** One restart-phase row (cold start vs warm start over one log). */
+struct RestartRow
+{
+    std::string mode;   ///< "cold_start" | "warm_start"
+    double startMs = 0; ///< server.start(), including any replay
+    double serveMs = 0; ///< first pass over the working set
+    double totalMs = 0; ///< time-to-hit-rate-1.0 from process intent
+    int64_t requests = 0;
+    int64_t hits = 0;
+    int64_t compiles = 0;
+    int64_t replayed = 0;
+};
+
+/**
+ * One pass over the restart working set on a fresh connection.
+ * @p expect_hits asserts the all-or-nothing contract of each leg: a
+ * cold start must miss every key, a warm restart must hit every key.
+ */
+bool
+restartPass(uint16_t port, const std::vector<std::string> &lines,
+            bool expect_hits, int64_t &hits, double &serve_ms)
+{
+    LineClient client;
+    std::string error;
+    if (!client.connect("127.0.0.1", port, error)) {
+        std::fprintf(stderr, "connect failed: %s\n", error.c_str());
+        return false;
+    }
+    hits = 0;
+    Clock::time_point t0 = Clock::now();
+    for (const std::string &line : lines) {
+        std::string_view reply;
+        JsonRequest json;
+        bool hit = false;
+        if (!client.sendLine(line) || !client.recvLineView(reply) ||
+            !parseReply(reply, json, hit, error)) {
+            std::fprintf(stderr, "restart request failed: %s\n",
+                         error.c_str());
+            return false;
+        }
+        if (hit != expect_hits) {
+            std::fprintf(stderr,
+                         "RESTART REGRESSION: request %s on a %s "
+                         "start\n",
+                         hit ? "hit" : "missed",
+                         expect_hits ? "warm" : "cold");
+            return false;
+        }
+        hits += hit ? 1 : 0;
+    }
+    serve_ms = millisSince(t0);
+    return true;
+}
+
+/** Sum of per-shard compiles since this server started. */
+int64_t
+serverCompiles(CompileServer &server)
+{
+    int64_t compiles = 0;
+    for (const ServiceStats &s : server.router().stats().shards)
+        compiles += s.compiles;
+    return compiles;
+}
+
+/**
+ * Restart phase: cold start vs warm start over one artifact log.  The
+ * cold leg compiles a working set of @p n_keys unique keys (minted
+ * from a reserved anchor_box_margin range) into a store-backed server
+ * and times start + first pass — the time-to-hit-rate-1.0 of a
+ * restart WITHOUT persistence, i.e. recompiling the working set.  The
+ * server is stopped (the appender drains to disk) and the warm leg
+ * starts a second server over the same log: its start time includes
+ * the mmap replay, its first pass must be all hits with zero compiles
+ * (enforced), and start + pass is the warm-restart
+ * time-to-hit-rate-1.0 — the headline against the cold row.
+ */
+bool
+restartPhase(const ServerConfig &base, const std::string &path,
+             int n_keys, RestartRow &cold, RestartRow &warm)
+{
+    std::vector<std::string> lines;
+    for (int k = 0; k < n_keys; ++k) {
+        const size_t n = kWorkloads.size();
+        lines.push_back(
+            "{\"workload\": \"" + kWorkloads[static_cast<size_t>(k) % n] +
+            "\", \"policy\": \"square\", \"anchor_box_margin\": " +
+            std::to_string(5000 + k / static_cast<int>(n)) + "}");
+    }
+    unlink(path.c_str());
+
+    // Cold leg: empty log, every key compiles.
+    {
+        ServerConfig cfg = base;
+        cfg.transport = "epoll";
+        cfg.storePath = path;
+        CompileServer server(cfg);
+        std::string error;
+        Clock::time_point t0 = Clock::now();
+        if (!server.start(error)) {
+            std::fprintf(stderr, "cold-start failed: %s\n",
+                         error.c_str());
+            return false;
+        }
+        cold.startMs = millisSince(t0);
+        cold.mode = "cold_start";
+        cold.requests = n_keys;
+        if (!restartPass(server.port(), lines, /*expect_hits=*/false,
+                         cold.hits, cold.serveMs))
+            return false;
+        cold.totalMs = cold.startMs + cold.serveMs;
+        cold.compiles = serverCompiles(server);
+        server.stop(); // drains the append queue into the log
+    }
+
+    // Warm leg: same log, every key replays — zero compiles allowed.
+    {
+        ServerConfig cfg = base;
+        cfg.transport = "epoll";
+        cfg.storePath = path;
+        CompileServer server(cfg);
+        std::string error;
+        Clock::time_point t0 = Clock::now();
+        if (!server.start(error)) {
+            std::fprintf(stderr, "warm-start failed: %s\n",
+                         error.c_str());
+            return false;
+        }
+        warm.startMs = millisSince(t0);
+        warm.mode = "warm_start";
+        warm.requests = n_keys;
+        if (server.store() != nullptr) {
+            for (const auto &[name, value] :
+                 server.store()->metricsRegistry().counterValues()) {
+                if (name == "replayed")
+                    warm.replayed = value;
+            }
+        }
+        if (!restartPass(server.port(), lines, /*expect_hits=*/true,
+                         warm.hits, warm.serveMs))
+            return false;
+        warm.totalMs = warm.startMs + warm.serveMs;
+        warm.compiles = serverCompiles(server);
+        server.stop();
+        if (warm.compiles != 0) {
+            std::fprintf(stderr,
+                         "RESTART REGRESSION: warm start recompiled "
+                         "%lld key(s)\n",
+                         static_cast<long long>(warm.compiles));
+            return false;
+        }
+    }
+    unlink(path.c_str());
+    return true;
+}
+
 /** Golden phase: every workload re-requested, parsed, and compared. */
 bool
 goldenPhase(uint16_t port)
@@ -951,6 +1172,62 @@ main(int argc, char **argv)
         }
     }
 
+    // Store-overhead phase: the artifact store's acceptance gate —
+    // warm throughput at the deepest pipeline depth with a store
+    // behind the publish sink must stay within 2% of no store.
+    double store_on_rps = 0, store_off_rps = 0;
+    double store_overhead = 0;
+    RestartRow restart_cold, restart_warm;
+    const int restart_keys = smoke ? 6 : 48;
+    if (ran_metrics_phase) {
+        const std::string store_path =
+            "bench_store." + std::to_string(getpid()) + ".store";
+        ServerConfig base;
+        base.shards = shards;
+        base.workersPerShard = workers;
+        base.eventThreads = event_threads;
+        if (!storeOverheadPhase(base, store_path, clients, batches,
+                                depth, smoke ? 1 : 2, store_on_rps,
+                                store_off_rps))
+            return 1;
+        store_overhead =
+            store_off_rps > 0
+                ? (store_off_rps - store_on_rps) / store_off_rps
+                : 0.0;
+        std::printf("store overhead (epoll, depth %d): on %.0f req/s "
+                    "vs off %.0f req/s => %+.2f%%\n",
+                    depth, store_on_rps, store_off_rps,
+                    store_overhead * 100.0);
+        if (!smoke && store_overhead > 0.02) {
+            std::fprintf(stderr,
+                         "STORE OVERHEAD REGRESSION: %.2f%% > 2%% at "
+                         "pipeline depth %d\n",
+                         store_overhead * 100.0, depth);
+            return 1;
+        }
+
+        // Restart phase: the store's headline — warm-restart
+        // time-to-hit-rate-1.0 vs recompiling the working set.
+        if (!restartPhase(base, store_path, restart_keys, restart_cold,
+                          restart_warm))
+            return 1;
+        std::printf(
+            "restart (%d unique keys): cold start %.1f ms to hit rate "
+            "1.0 (%lld compiles; start %.1f + serve %.1f) vs warm "
+            "restart %.1f ms (%lld compiles, %lld replayed; start "
+            "%.1f + serve %.1f) => %.1fx\n",
+            restart_keys, restart_cold.totalMs,
+            static_cast<long long>(restart_cold.compiles),
+            restart_cold.startMs, restart_cold.serveMs,
+            restart_warm.totalMs,
+            static_cast<long long>(restart_warm.compiles),
+            static_cast<long long>(restart_warm.replayed),
+            restart_warm.startMs, restart_warm.serveMs,
+            restart_warm.totalMs > 0
+                ? restart_cold.totalMs / restart_warm.totalMs
+                : 0.0);
+    }
+
     // Fabric phase: N forked shard daemons behind an in-process
     // consistent-hash router, same cold/load/golden sequence.
     UpstreamStats fabric_stats;
@@ -1100,6 +1377,12 @@ main(int argc, char **argv)
             report.header.push_back(
                 jsonNum("recorder_overhead_pct",
                         recorder_overhead * 100.0, 2));
+            report.header.push_back(
+                jsonNum("store_on_rps", store_on_rps, 0));
+            report.header.push_back(
+                jsonNum("store_off_rps", store_off_rps, 0));
+            report.header.push_back(jsonNum(
+                "store_overhead_pct", store_overhead * 100.0, 2));
         }
         if (fabric > 0) {
             report.header.push_back(
@@ -1122,6 +1405,26 @@ main(int argc, char **argv)
                  jsonNum("syscalls_per_req", r.syscallsPerReq, 2),
                  jsonNum("mean_flush_batch", r.meanFlushBatch, 1),
                  jsonInt("max_flush_batch", r.maxFlushBatch)});
+        }
+        if (ran_metrics_phase) {
+            for (const RestartRow *r : {&restart_cold, &restart_warm}) {
+                report.addRow(
+                    {jsonStr("phase", "restart"),
+                     jsonStr("mode", r->mode),
+                     jsonInt("unique_keys", restart_keys),
+                     jsonNum("start_ms", r->startMs, 1),
+                     jsonNum("serve_ms", r->serveMs, 1),
+                     jsonNum("time_to_full_hit_ms", r->totalMs, 1),
+                     jsonInt("requests", r->requests),
+                     jsonNum("hit_rate",
+                             r->requests > 0
+                                 ? static_cast<double>(r->hits) /
+                                       static_cast<double>(r->requests)
+                                 : 0.0,
+                             3),
+                     jsonInt("compiles", r->compiles),
+                     jsonInt("replayed", r->replayed)});
+            }
         }
         for (const MixedRow &r : mixed_rows) {
             report.addRow(

@@ -25,7 +25,7 @@ compName(Comp comp)
 {
     static const char *const kNames[] = {
         "service", "transport", "worker", "upstream",
-        "router",  "fault",     "watchdog",
+        "router",  "fault",     "watchdog", "store",
     };
     static_assert(std::size(kNames) ==
                   static_cast<size_t>(Comp::kCount));
@@ -63,6 +63,10 @@ evName(Ev ev)
         "fault_reset",
         "stall",
         "dump",
+        "store_replay",
+        "store_corrupt",
+        "store_append",
+        "store_drop",
     };
     static_assert(std::size(kNames) == static_cast<size_t>(Ev::kCount));
     const auto i = static_cast<size_t>(ev);

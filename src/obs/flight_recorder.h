@@ -62,6 +62,7 @@ enum class Comp : uint16_t {
     Router,    ///< router request forwarding
     Fault,     ///< fault injection (every injected fault records)
     Watchdog,  ///< stall detection
+    Store,     ///< persistent artifact store (replay + appender)
     kCount
 };
 
@@ -100,6 +101,11 @@ enum class Ev : uint16_t {
     // watchdog
     Stall, ///< heartbeat went silent (a0 = slot, a1 = silent ms)
     Dump,  ///< postmortem dump written (a0 = events)
+    // artifact store
+    StoreReplay,  ///< log replayed at startup (a0 = records, a1 = bytes)
+    StoreCorrupt, ///< torn/corrupt tail truncated (a0 = good bytes)
+    StoreAppend,  ///< record appended (a0 = bytes, a1 = queue depth)
+    StoreDrop,    ///< append dropped on a full queue (a0 = queue cap)
     kCount
 };
 

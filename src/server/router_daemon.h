@@ -44,10 +44,12 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "server/transport.h"
 #include "server/upstream.h"
+#include "service/cache_key.h"
 #include "service/program_cache.h"
 
 namespace square {
@@ -72,6 +74,17 @@ struct RouterConfig
      * always traced regardless of this knob.
      */
     uint64_t traceSample = 0;
+    /**
+     * An artifact log (service/artifact_store.h) to replay read-only
+     * at startup into a router-local key -> preserialized-reply-tail
+     * map: requests whose key is in the map are answered at the
+     * router tier without touching a shard — an edge cache that keeps
+     * a restarted (cold) fabric serving its working set, and keeps
+     * serving it even through shard_down windows.  The map is
+     * immutable after start (the router never compiles, so it has
+     * nothing to append); "" = off.
+     */
+    std::string storePath;
 };
 
 class RouterServer
@@ -121,6 +134,17 @@ class RouterServer
     std::unique_ptr<UpstreamPool> pool_;
     std::unique_ptr<Transport> transport_;
     ProgramNameCache programs_;
+    /**
+     * The replayed edge cache (cfg_.storePath): immutable after
+     * start(), so lookups on the event threads take no lock.  Tails
+     * are shared refcounted with in-flight replies, same as the
+     * service tier's.
+     */
+    std::unordered_map<CacheKey, std::shared_ptr<const std::string>,
+                       CacheKeyHash>
+        warmTails_;
+    /** square_store_* telemetry for the edge cache (replay + hits). */
+    obs::Registry storeMetrics_;
     /** Router-tier telemetry (obs/metrics.h) + head sampler. */
     obs::Registry metrics_;
     obs::Counter &resolveFailuresC_;

@@ -67,6 +67,15 @@ CompileServer::CompileServer(const ServerConfig &cfg)
 
 CompileServer::~CompileServer() { stop(); }
 
+void
+CompileServer::replayIntoShards(StoreRecord &&rec, uint64_t &inserted)
+{
+    if (router_.shard(router_.shardFor(rec.key))
+            .insertReplayed(rec.key, std::move(rec.result),
+                            std::move(rec.tail)))
+        ++inserted;
+}
+
 bool
 CompileServer::start(std::string &error)
 {
@@ -79,6 +88,56 @@ CompileServer::start(std::string &error)
         router_.shard(i).setWorkerDeathHook(
             [] { return FaultInjector::instance().shouldKillWorker(); });
     }
+
+    // Warm restart, strictly before the transport accepts its first
+    // connection: replay this server's own log into the key-affine
+    // shard caches (entries beyond CacheLimits evict normally — log
+    // order is recency order), truncate any torn tail, and point
+    // every shard's publish sink at the store's append queue.
+    if (!cfg_.storePath.empty()) {
+        store_ = std::make_unique<ArtifactStore>();
+        ArtifactStore::Options sopts;
+        sopts.path = cfg_.storePath;
+        sopts.fsyncEachRecord = cfg_.storeFsync;
+        uint64_t inserted = 0;
+        if (!store_->open(sopts,
+                          [this, &inserted](StoreRecord &&rec) {
+                              replayIntoShards(std::move(rec),
+                                               inserted);
+                          },
+                          error)) {
+            store_.reset();
+            return false;
+        }
+        ArtifactStore *store = store_.get();
+        for (int i = 0; i < router_.shards(); ++i)
+            router_.shard(i).setPublishSink(
+                [store](const CacheKey &key,
+                        const std::shared_ptr<const CompileResult> &r,
+                        const std::shared_ptr<const std::string> &t) {
+                    store->append(key, r, t);
+                });
+    }
+    // Shard pre-warming: bulk-load a donor shard's log read-only.
+    // Runs after the own-store replay, so a key present in both keeps
+    // its own (more local) copy; duplicates are skipped, not
+    // re-appended — content addressing makes over-replay harmless.
+    if (!cfg_.prewarmPath.empty()) {
+        uint64_t good_bytes = 0, replayed = 0, corrupt = 0;
+        uint64_t inserted = 0;
+        if (!replayStoreFile(cfg_.prewarmPath,
+                             [this, &inserted](StoreRecord &&rec) {
+                                 replayIntoShards(std::move(rec),
+                                                  inserted);
+                             },
+                             good_bytes, replayed, corrupt, error))
+            return false;
+        if (store_ != nullptr)
+            store_->notePrewarm(inserted, corrupt);
+        obs::recordEvent(obs::Comp::Store, obs::Ev::StoreReplay,
+                         replayed, good_bytes);
+    }
+
     TransportOptions opts;
     opts.eventThreads = cfg_.eventThreads;
     transport_ = makeTransport(cfg_.transport, opts, error);
@@ -106,6 +165,8 @@ CompileServer::start(std::string &error)
         pm.registerRegistry("transport", transport_->metricsRegistry());
     pm.registerRegistry("watchdog",
                         &obs::Watchdog::instance().metricsRegistry());
+    if (store_ != nullptr)
+        pm.registerRegistry("store", &store_->metricsRegistry());
     return true;
 }
 
@@ -122,6 +183,13 @@ CompileServer::stop()
         if (transport_->metricsRegistry() != nullptr)
             pm.unregisterRegistry(transport_->metricsRegistry());
         transport_->stop();
+    }
+    if (store_ != nullptr) {
+        pm.unregisterRegistry(&store_->metricsRegistry());
+        // Drain the append queue before the fd closes: a clean
+        // shutdown (SIGTERM, {"cmd": "shutdown"}) persists every
+        // publish it acknowledged.
+        store_->close();
     }
 }
 
@@ -339,6 +407,9 @@ CompileServer::renderMetricsText()
     obs::renderPrometheus(
         text, "square_watchdog",
         {{"", &obs::Watchdog::instance().metricsRegistry()}});
+    if (store_ != nullptr)
+        obs::renderPrometheus(text, "square_store",
+                              {{"", &store_->metricsRegistry()}});
     FaultInjector::instance().renderMetrics(text);
     obs::renderBuildInfo(text);
     return text;

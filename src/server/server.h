@@ -52,6 +52,7 @@
 #include "obs/trace.h"
 #include "server/shard_router.h"
 #include "server/transport.h"
+#include "service/artifact_store.h"
 
 namespace square {
 
@@ -91,6 +92,24 @@ struct ServerConfig
     /** Head-sample 1 in N requests into traces (0 = off). */
     uint64_t traceSample = 0;
     /**
+     * Persistent artifact store (service/artifact_store.h).  When
+     * set, the log at this path is mmap'd and replayed into the shard
+     * caches before the transport accepts its first connection, and
+     * every successful publish appends asynchronously — a restart
+     * starts warm instead of re-paying the working set's compiles.
+     * "" = no persistence (the pre-PR-10 behaviour).
+     */
+    std::string storePath;
+    /**
+     * A donor shard's log to bulk-load at startup (read-only, never
+     * truncated, never appended to): the fabric's shard pre-warming.
+     * Keys outside this shard's ring slice are simply never looked
+     * up — content addressing makes over-replay harmless.
+     */
+    std::string prewarmPath;
+    /** fsync the store after every appended record. */
+    bool storeFsync = false;
+    /**
      * Emit a trace for any request slower than this many ms (0 = off).
      * Costs the instrumented path for every request — a diagnosis
      * mode, not a default.
@@ -122,6 +141,8 @@ class CompileServer
     ShardRouter &router() { return router_; }
     /** The live transport (null before start()). */
     const Transport *transport() const { return transport_.get(); }
+    /** The artifact store (null without cfg.storePath). */
+    ArtifactStore *store() { return store_.get(); }
 
     /**
      * Serve one protocol line, appending the framed reply (with its
@@ -153,6 +174,12 @@ class CompileServer
     /** The {"cmd": "metrics"} payload (unescaped Prometheus text). */
     std::string renderMetricsText();
 
+    /** Replay one log into the key-affine shard caches. */
+    void replayIntoShards(StoreRecord &&rec, uint64_t &inserted);
+
+    /** Declared before router_: publish sinks (worker threads still
+        draining at teardown) append into it, so it must die last. */
+    std::unique_ptr<ArtifactStore> store_;
     ShardRouter router_;
     std::unique_ptr<Transport> transport_;
     ServerConfig cfg_;

@@ -99,6 +99,47 @@ CompileService::setCompileHook(std::function<void()> hook)
 }
 
 void
+CompileService::setPublishSink(PublishSink sink)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    publishSink_ = std::move(sink);
+}
+
+bool
+CompileService::insertReplayed(const CacheKey &key,
+                               CompileResult &&result,
+                               std::string &&tail)
+{
+    auto entry = std::make_shared<Entry>();
+    entry->ready = true;
+    entry->result =
+        std::make_shared<const CompileResult>(std::move(result));
+    entry->tail =
+        std::make_shared<const std::string>(std::move(tail));
+
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = cache_.try_emplace(key);
+    if (!inserted) {
+        // Already resident (duplicate log records, prewarm over a
+        // warm key): refresh recency so log order stays LRU order,
+        // but keep the live entry — it may have waiters.
+        if (it->second.inLru)
+            touchLocked(it->second);
+        return false;
+    }
+    Slot &slot = it->second;
+    slot.entry = std::move(entry);
+    slot.bytes = resultBytes(*slot.entry->result) +
+                 sizeof(std::string) + slot.entry->tail->capacity();
+    cachedBytes_ += slot.bytes;
+    lru_.push_front(key);
+    slot.lruIt = lru_.begin();
+    slot.inLru = true;
+    evictOverLimitLocked();
+    return true;
+}
+
+void
 CompileService::setWorkerDeathHook(std::function<bool()> hook)
 {
     std::lock_guard<std::mutex> lock(mu_);
@@ -177,11 +218,13 @@ CompileService::noteReady(const CacheKey &key,
     Slot &slot = it->second;
     if (slot.inLru)
         return;
-    // The publisher calls noteReady after publish() on the same thread,
-    // so reading entry->result without entry->m is ordered.  The
-    // preserialized reply bytes count toward the byte bound too: they
-    // are resident cache state, evicted with the entry (refcounting
-    // keeps handed-out copies valid past eviction).
+    // The publisher calls noteReady after publish() on the same
+    // thread, so reading entry->result without entry->m is ordered.
+    // The preserialized reply bytes count toward the byte bound
+    // too: they are resident cache state, evicted with the entry
+    // (refcounting keeps handed-out copies valid past eviction).
+    // (The publish sink already fired inside publish(), before any
+    // waiter was notified — see the ordering comment there.)
     slot.bytes = resultBytes(*entry->result);
     if (entry->tail != nullptr)
         slot.bytes += sizeof(std::string) + entry->tail->capacity();
@@ -257,6 +300,22 @@ CompileService::publish(Entry &entry,
         entry.error = std::move(error);
         entry.ready = true;
         waiters.swap(entry.waiters);
+    }
+    // Persist BEFORE any waiter is notified: once a client holds the
+    // reply, the record must already sit in the store's append queue,
+    // so a shutdown right after the last acknowledged reply (close()
+    // drains the queue) can never lose it.  The sink only bumps
+    // refcounts and pushes onto a bounded queue — cheap enough to sit
+    // ahead of the wakeup, and it runs outside every lock.
+    if (entry.error.empty() && entry.result != nullptr &&
+        entry.tail != nullptr) {
+        PublishSink sink;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            sink = publishSink_;
+        }
+        if (sink)
+            sink(key, entry.result, entry.tail);
     }
     entry.cv.notify_all();
 

@@ -339,6 +339,36 @@ class CompileService
     const AdmissionLimits &admission() const { return admission_; }
 
     /**
+     * Persistence sink, fired once per successful publish — from
+     * inside publish(), BEFORE any waiter is notified and outside
+     * every service lock — with the shared result and preserialized
+     * reply tail.  The ordering is the durability contract: once a
+     * client holds a reply, the record is already in the store's
+     * append queue, so a clean shutdown (whose close() drains that
+     * queue) persists every acknowledged publish.  The server tier
+     * points this at the ArtifactStore's append queue; this layer
+     * stays free of storage concerns.  Replayed entries
+     * (insertReplayed) never fire it, so replay cannot re-append.
+     * Set before traffic; the sink must be thread-safe and fast.
+     */
+    using PublishSink = std::function<void(
+        const CacheKey &, const std::shared_ptr<const CompileResult> &,
+        const std::shared_ptr<const std::string> &)>;
+    void setPublishSink(PublishSink sink);
+
+    /**
+     * Insert one replayed artifact as a ready published entry: it
+     * joins the front of the LRU order (call in log order — append
+     * order is recency order) and evicts over-limit entries exactly
+     * like a fresh publish.  Counts square-one service stats not at
+     * all — replay is not traffic.  Returns false without touching
+     * the cache when the key is already present (duplicate records,
+     * prewarm over an already-warm key).
+     */
+    bool insertReplayed(const CacheKey &key, CompileResult &&result,
+                        std::string &&tail);
+
+    /**
      * Fault-injection probe run at the start of every compilation
      * (sync and async).  Installed by the server tier so this layer
      * stays free of src/server includes.  Thread-safe to set before
@@ -522,6 +552,7 @@ class CompileService
     std::unique_ptr<WorkerPool> pool_;
     std::function<void()> compileHook_;
     std::function<bool()> workerDeathHook_;
+    PublishSink publishSink_;
 };
 
 } // namespace square

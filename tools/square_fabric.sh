@@ -19,13 +19,23 @@
 #                     fresh mktemp -d under TMPDIR)
 #   --workers=N       fleet workers per shard daemon (default 1)
 #   --cache-entries=N per-shard-daemon LRU bound (default unbounded)
+#   --no-store        do NOT give each shard a persistent artifact
+#                     store (default: shard i appends to
+#                     $STATE_DIR/shard<i>.store and warm-restarts from
+#                     it — reusing --dir across runs restarts warm)
+#   --prewarm=LOG     pass --prewarm=LOG to every shard daemon: a
+#                     freshly added shard bulk-loads a donor shard's
+#                     log; keys outside its ring slice are simply
+#                     never looked up (content addressing makes
+#                     over-replay harmless)
 #   --router-flags=S  extra flags passed verbatim to square_router
 #   --served-flags=S  extra flags passed verbatim to each square_served
 #   --quiet           pass --quiet to every daemon
 #
 # State directory layout (the CI smoke kills shards through it):
 #   router.port  router.pid  router.postmortem
-#   shard<i>.port  shard<i>.pid  shard<i>.postmortem   for i in 1..N
+#   shard<i>.port  shard<i>.pid  shard<i>.postmortem  shard<i>.store
+#   for i in 1..N
 #
 # Every daemon gets a per-daemon --postmortem file in the state
 # directory, so a crashed or stalled daemon leaves a flight-recorder
@@ -42,6 +52,8 @@ PORT=0
 STATE_DIR=""
 WORKERS=1
 CACHE_ENTRIES=""
+STORE=1
+PREWARM=""
 ROUTER_FLAGS=""
 SERVED_FLAGS=""
 QUIET=""
@@ -53,6 +65,8 @@ for arg in "$@"; do
         --dir=*) STATE_DIR="${arg#*=}" ;;
         --workers=*) WORKERS="${arg#*=}" ;;
         --cache-entries=*) CACHE_ENTRIES="${arg#*=}" ;;
+        --no-store) STORE=0 ;;
+        --prewarm=*) PREWARM="${arg#*=}" ;;
         --router-flags=*) ROUTER_FLAGS="${arg#*=}" ;;
         --served-flags=*) SERVED_FLAGS="${arg#*=}" ;;
         --quiet) QUIET="--quiet" ;;
@@ -60,6 +74,7 @@ for arg in "$@"; do
             echo "square_fabric: unknown flag '$arg'" >&2
             echo "usage: square_fabric [--shards=N] [--port=N]" \
                  "[--dir=PATH] [--workers=N] [--cache-entries=N]" \
+                 "[--no-store] [--prewarm=LOG]" \
                  "[--router-flags=S] [--served-flags=S] [--quiet]" >&2
             exit 1
             ;;
@@ -126,9 +141,20 @@ fi
 
 SHARD_ADDRS=()
 for i in $(seq 1 "$SHARDS"); do
+    # Per-shard persistence: each daemon owns its own append-only log
+    # (two writers on one log would interleave frames), so reusing the
+    # state directory across fabric runs restarts every shard warm.
+    PERSIST_ARGS=()
+    if [ "$STORE" -eq 1 ]; then
+        PERSIST_ARGS+=("--store=$STATE_DIR/shard$i.store")
+    fi
+    if [ -n "$PREWARM" ]; then
+        PERSIST_ARGS+=("--prewarm=$PREWARM")
+    fi
     # shellcheck disable=SC2086  # SERVED_FLAGS is intentionally split
     "$SERVED" --port=0 --port-file="$STATE_DIR/shard$i.port" \
         --postmortem="$STATE_DIR/shard$i.postmortem" \
+        "${PERSIST_ARGS[@]}" \
         "${SERVED_ARGS[@]}" $SERVED_FLAGS &
     pid=$!
     PIDS+=("$pid")

@@ -51,6 +51,17 @@
  *                      install the SIGSEGV/SIGABRT/SIGBUS crash
  *                      handler; the SQUARE_POSTMORTEM env var is the
  *                      no-flag fallback (read with tools/square_blackbox)
+ *   --store=PATH       persistent artifact store: replay PATH into the
+ *                      shard caches before accepting connections (warm
+ *                      restart), then append every published result to
+ *                      it off the serving path; the SQUARE_STORE env
+ *                      var is the no-flag fallback (inspect/compact
+ *                      with tools/square_storetool)
+ *   --store-fsync      fsync the store after every appended record
+ *                      (durability over append latency)
+ *   --prewarm=PATH     bulk-load a donor shard's log read-only at
+ *                      startup (fabric shard pre-warming); keys this
+ *                      daemon never sees are simply never looked up
  *   --watchdog-ms=N    stall-watchdog threshold in ms (default 5000;
  *                      0 disables the watchdog entirely)
  *   --port-file=PATH   write the bound port (decimal, newline) once
@@ -216,6 +227,12 @@ main(int argc, char **argv)
             }
         } else if (std::strncmp(arg, "--postmortem=", 13) == 0) {
             postmortem_path = arg + 13;
+        } else if (std::strncmp(arg, "--store=", 8) == 0) {
+            cfg.storePath = arg + 8;
+        } else if (std::strcmp(arg, "--store-fsync") == 0) {
+            cfg.storeFsync = true;
+        } else if (std::strncmp(arg, "--prewarm=", 10) == 0) {
+            cfg.prewarmPath = arg + 10;
         } else if (std::strncmp(arg, "--watchdog-ms=", 14) == 0) {
             if (!parseInt(arg + 14, 0, 3600000, watchdog_ms)) {
                 std::fprintf(stderr, "bad --watchdog-ms value\n");
@@ -236,6 +253,7 @@ main(int argc, char **argv)
                 "[--no-metrics] [--trace-sample=N] "
                 "[--trace-slow-ms=T] [--trace-log=PATH] "
                 "[--faults=SPEC] [--postmortem=PATH] "
+                "[--store=PATH] [--store-fsync] [--prewarm=PATH] "
                 "[--watchdog-ms=N] [--port-file=PATH] [--quiet]\n");
             return 1;
         }
@@ -280,6 +298,13 @@ main(int argc, char **argv)
         obs::Watchdog::instance().configure(wcfg);
     }
 
+    // Same flag-beats-environment rule as the other deployment knobs.
+    if (cfg.storePath.empty()) {
+        const char *env = std::getenv("SQUARE_STORE");
+        if (env != nullptr)
+            cfg.storePath = env;
+    }
+
     CompileServer server(cfg);
     std::string error;
     if (!server.start(error)) {
@@ -295,6 +320,15 @@ main(int argc, char **argv)
                      cfg.transport.c_str(), cfg.shards,
                      cfg.workersPerShard, cfg.limits.maxEntries,
                      cfg.limits.maxBytes);
+        if (server.store() != nullptr) {
+            RouterStats warm = server.router().stats();
+            std::fprintf(
+                stderr,
+                "square_served: store %s replayed %zu resident "
+                "result(s) (%zu bytes)\n",
+                cfg.storePath.c_str(), warm.global.cachedResults,
+                warm.global.cachedBytes);
+        }
     }
     if (!port_file.empty()) {
         std::FILE *f = std::fopen(port_file.c_str(), "w");
